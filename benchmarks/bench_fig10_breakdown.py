@@ -1,0 +1,74 @@
+"""Fig. 10 — latency/energy/area/power breakdown of the n=16 design.
+
+Regenerates: (a) per-datapath latency and energy fractions, (b) per-block
+area and average power at 0.8 V / 1 GHz.
+
+Paper reference: MACs 90.7 % latency / 98.8 % energy; encode+decode
+~3.2 % latency each; 1.39 mm² total; 85.9 mW total split 36.9 (PU) /
+9.44 (SFU) / 33.6 (SRAM) / 3.48 (ReRAM) / 2.46 (ADPLL).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.config import HwConfig, ModelConfig
+from repro.hw import AcceleratorModel, build_encoder_workload
+from repro.utils import format_table
+
+PAPER_AREA = {"pu_datapaths": 0.52, "sfu_datapaths": 0.21,
+              "sram_buffers": 0.50, "reram_buffers": 0.15, "adpll": 0.01}
+PAPER_POWER = {"pu_datapaths": 36.9, "sfu_datapaths": 9.44,
+               "sram_buffers": 33.6, "reram_buffers": 3.48, "adpll": 2.46}
+
+
+def build_breakdowns():
+    accelerator = AcceleratorModel(HwConfig(mac_vector_size=16))
+    workload = build_encoder_workload(ModelConfig.albert_base(), 128,
+                                      use_adaptive_span=False)
+    return {
+        "latency": accelerator.latency_fractions(workload),
+        "energy": accelerator.energy_fractions(workload),
+        "area": accelerator.area_breakdown(),
+        "power": accelerator.power_breakdown_mw(workload),
+    }
+
+
+def build_table(breakdowns):
+    keys = ("macs", "bitmask_decode", "bitmask_encode", "softmax",
+            "attn_layernorm", "ffn_layernorm", "residual_add",
+            "exit_assessment")
+    rows_a = [[key, f"{breakdowns['latency'].get(key, 0) * 100:.2f}%",
+               f"{breakdowns['energy'].get(key, 0) * 100:.3f}%"]
+              for key in keys]
+    part_a = format_table(["Datapath", "Latency", "Energy"], rows_a,
+                          title="Fig. 10a — PU/SFU datapath breakdown")
+
+    rows_b = []
+    for block in PAPER_AREA:
+        rows_b.append([block,
+                       f"{breakdowns['area'][block]:.3f}",
+                       f"{PAPER_AREA[block]:.2f}",
+                       f"{breakdowns['power'][block]:.2f}",
+                       f"{PAPER_POWER[block]:.2f}"])
+    rows_b.append(["TOTAL",
+                   f"{sum(breakdowns['area'].values()):.3f}",
+                   f"{sum(PAPER_AREA.values()):.2f}",
+                   f"{sum(breakdowns['power'].values()):.2f}",
+                   f"{sum(PAPER_POWER.values()):.2f}"])
+    part_b = format_table(
+        ["Block", "Area mm2 (ours)", "Area (paper)", "Power mW (ours)",
+         "Power (paper)"],
+        rows_b, title="Fig. 10b — area & power at 0.8 V / 1 GHz (n=16)")
+    return part_a + "\n\n" + part_b
+
+
+def test_fig10_breakdown(benchmark):
+    breakdowns = benchmark(build_breakdowns)
+    emit("fig10_breakdown", build_table(breakdowns))
+
+    assert breakdowns["latency"]["macs"] == pytest.approx(0.907, abs=0.04)
+    assert breakdowns["energy"]["macs"] == pytest.approx(0.988, abs=0.012)
+    assert sum(breakdowns["area"].values()) == pytest.approx(1.39, rel=0.05)
+    assert sum(breakdowns["power"].values()) == pytest.approx(85.9, rel=0.15)
+    for block, value in PAPER_POWER.items():
+        assert breakdowns["power"][block] == pytest.approx(value, rel=0.35)

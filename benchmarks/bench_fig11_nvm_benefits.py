@@ -1,0 +1,56 @@
+"""Fig. 11 — cost of reading the embeddings after system power-on.
+
+Regenerates the comparison between the conventional path (DRAM read of
+the multi-task embedding image + SRAM fill after every power cycle) and
+the EdgeBERT path (embeddings statically resident in on-chip ReRAM; only
+the sentence's token rows are read).
+
+Paper reference: ~66,000x energy and ~50x latency advantage on a 1.73 MB
+compressed image. Our model reproduces the orders of magnitude; the exact
+energy ratio depends on read-granularity assumptions documented in
+EXPERIMENTS.md.
+"""
+
+from conftest import emit
+from repro.hw import power_on_embedding_cost
+from repro.utils import format_table
+
+PAPER_IMAGE_BYTES = int(1.73 * 2**20)
+
+
+def run_comparison():
+    return power_on_embedding_cost(image_bytes=PAPER_IMAGE_BYTES,
+                                   sentence_rows=128, row_bytes=128,
+                                   embedding_density=0.40)
+
+
+def build_table(comparison):
+    rows = [
+        ["conventional (DRAM->SRAM)",
+         f"{comparison.conventional_energy_pj / 1e6:.2f}",
+         f"{comparison.conventional_latency_ns / 1e3:.1f}"],
+        ["EdgeBERT (ReRAM resident)",
+         f"{comparison.edgebert_energy_pj / 1e6:.5f}",
+         f"{comparison.edgebert_latency_ns / 1e3:.2f}"],
+        ["advantage",
+         f"{comparison.energy_advantage:,.0f}x",
+         f"{comparison.latency_advantage:.0f}x"],
+        ["paper", "~66,000x", "~50x"],
+    ]
+    return format_table(["Path", "Energy (uJ)", "Latency (us)"], rows,
+                        title="Fig. 11 — embedding reload cost after "
+                              "power-on (1.73 MB multi-task image)")
+
+
+def test_fig11_nvm_benefits(benchmark):
+    comparison = benchmark(run_comparison)
+    emit("fig11_nvm_benefits", build_table(comparison))
+
+    # Orders-of-magnitude shape of the paper's claim.
+    assert comparison.energy_advantage > 1e3
+    assert 10 < comparison.latency_advantage < 500
+
+    # Non-volatility scales with power cycles: two power-ons cost the
+    # conventional path twice, EdgeBERT still only per-sentence reads.
+    assert 2 * comparison.conventional_energy_pj \
+        > 100 * comparison.edgebert_energy_pj

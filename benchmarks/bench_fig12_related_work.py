@@ -1,0 +1,32 @@
+"""Fig. 12 — qualitative comparison with prior NLP accelerators.
+
+Regenerates the feature matrix (GOBO, OPTIMUS, A3, SpAtten vs. EdgeBERT)
+and checks EdgeBERT's distinguishing feature set.
+"""
+
+from conftest import emit
+from repro.baselines import RELATED_WORK, feature_matrix
+from repro.utils import format_table
+
+
+def test_fig12_related_work(benchmark):
+    headers, rows = benchmark(feature_matrix)
+    emit("fig12_related_work",
+         format_table(headers, rows,
+                      title="Fig. 12 — EdgeBERT vs prior Transformer "
+                            "accelerators"))
+
+    edgebert = next(a for a in RELATED_WORK if a.name == "EdgeBERT")
+    others = [a for a in RELATED_WORK if a.name != "EdgeBERT"]
+
+    # EdgeBERT is the only design with early exit, KD, finetuning-time
+    # attention span, and eNVM-resident embeddings.
+    assert edgebert.early_exit and not any(a.early_exit for a in others)
+    assert edgebert.knowledge_distillation \
+        and not any(a.knowledge_distillation for a in others)
+    assert edgebert.envm_embeddings \
+        and not any(a.envm_embeddings for a in others)
+    assert edgebert.attention_span_when == "finetuning" \
+        and all(a.attention_span_when == "inference" for a in others)
+    assert edgebert.pruning and edgebert.quantization \
+        and edgebert.compressed_sparse_execution

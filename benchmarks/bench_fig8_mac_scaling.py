@@ -1,0 +1,95 @@
+"""Fig. 8 — latency and energy vs. PU MAC vector size.
+
+Regenerates, per task: per-sentence latency (top row) and energy (bottom
+row) for n ∈ {2,4,8,16,32} in base / +AAS / +AAS+Sparse modes, next to
+the TX2 mobile-GPU baseline (base / +AAS).
+
+Paper reference shapes: latency drops ~3.5-4x per doubling of n; the
+energy-optimal design is n = 16; AAS buys ~1.2x latency / 1.1x energy;
+sparse execution another 1.4-1.7x energy; the n = 16 design beats the
+mGPU latency and is ~53x lower energy with all optimizations.
+"""
+
+from conftest import PAPER_ENCODER_SPARSITY, PAPER_SPANS, emit
+from repro.config import GLUE_TASKS, ModelConfig
+from repro.hw import (
+    DEFAULT_VECTOR_SIZES,
+    TaskSetting,
+    energy_optimal_vector_size,
+    sweep_design_space,
+)
+from repro.utils import format_table
+
+
+def run_sweeps():
+    config = ModelConfig.albert_base()
+    sweeps = {}
+    for task in GLUE_TASKS:
+        setting = TaskSetting(
+            task, PAPER_SPANS[task],
+            encoder_density=1.0 - PAPER_ENCODER_SPARSITY[task])
+        sweeps[task] = sweep_design_space(config, setting, num_layers=12,
+                                          seq_len=128)
+    return sweeps
+
+
+def build_table(sweeps):
+    headers = ["Task", "Mode"] + [f"n={n}" for n in DEFAULT_VECTOR_SIZES] \
+        + ["mGPU"]
+    lat_rows, energy_rows = [], []
+    for task in GLUE_TASKS:
+        points, mgpu = sweeps[task]
+        for mode in ("base", "aas", "aas_sparse"):
+            by_n = {p.vector_size: p for p in points if p.mode == mode}
+            gpu = mgpu["aas" if mode != "base" else "base"]
+            lat_rows.append(
+                [task, mode]
+                + [f"{by_n[n].latency_ms:.1f}" for n in DEFAULT_VECTOR_SIZES]
+                + [f"{gpu.latency_ms:.1f}"])
+            energy_rows.append(
+                [task, mode]
+                + [f"{by_n[n].energy_mj:.2f}" for n in DEFAULT_VECTOR_SIZES]
+                + [f"{gpu.energy_mj:.1f}"])
+    top = format_table(headers, lat_rows,
+                       title="Fig. 8 (top) — per-sentence latency (ms) vs "
+                             "MAC vector size")
+    bottom = format_table(headers, energy_rows,
+                          title="Fig. 8 (bottom) — per-sentence energy (mJ) "
+                                "vs MAC vector size")
+    return top + "\n\n" + bottom
+
+
+def test_fig8_mac_scaling(benchmark):
+    sweeps = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
+    emit("fig8_mac_scaling", build_table(sweeps))
+
+    for task in GLUE_TASKS:
+        points, mgpu = sweeps[task]
+        # Energy-optimal design point is n = 16 in every mode.
+        for mode in ("base", "aas", "aas_sparse"):
+            assert energy_optimal_vector_size(points, mode) == 16
+
+        by16 = {p.mode: p for p in points if p.vector_size == 16}
+        # AAS latency/energy benefit (paper: up to 1.2x / 1.1x).
+        lat_gain = by16["base"].latency_ms / by16["aas"].latency_ms
+        energy_gain = by16["base"].energy_mj / by16["aas"].energy_mj
+        assert 1.05 < lat_gain < 1.35
+        assert 1.05 < energy_gain < 1.35
+        # Sparse execution energy benefit (paper: 1.4-1.7x, QQP highest).
+        sparse_gain = by16["aas"].energy_mj / by16["aas_sparse"].energy_mj
+        assert 1.25 < sparse_gain < 1.9
+        # n = 16 beats the mGPU's latency; n = 4 does not (paper Sec 8.2.1).
+        assert by16["aas"].latency_ms < mgpu["aas"].latency_ms
+        by4 = {p.mode: p for p in points if p.vector_size == 4}
+        assert by4["aas"].latency_ms > mgpu["aas"].latency_ms
+        # All-optimizations energy gap to the mGPU is tens-of-x (~53x).
+        gap = mgpu["aas"].energy_mj / by16["aas_sparse"].energy_mj
+        assert 30.0 < gap < 85.0
+
+    # QQP (80 % sparsity) benefits from sparse execution the most.
+    def sparse_gain(task):
+        points, _ = sweeps[task]
+        by16 = {p.mode: p for p in points if p.vector_size == 16}
+        return by16["aas"].energy_mj / by16["aas_sparse"].energy_mj
+
+    assert sparse_gain("qqp") == max(sparse_gain(t) for t in GLUE_TASKS)

@@ -1,0 +1,118 @@
+"""Fig. 9 — DVFS-driven latency-aware inference.
+
+Regenerates, per task: average supply voltage, clock frequency and
+per-sentence energy for Base (12-layer, nominal V/F), conventional EE,
+LAI at latency targets 50/75/100 ms, and LAI+AAS+Sparse.
+
+The exit behaviour (which layer each sentence leaves at) comes from the
+trained tiny-EdgeBERT artifacts; the hardware is priced at the paper's
+ALBERT-base dimensions on the energy-optimal n = 16 accelerator — the
+same separation the paper uses (algorithm results feed the accelerator
+evaluation).
+
+Paper reference shapes: LAI scales V/F down as the target relaxes until
+scaling bottoms out at 0.5 V; energy savings up to ~7x vs Base and ~2.5x
+vs EE (SST-2 the largest); AAS+Sparse extend the savings further.
+"""
+
+import numpy as np
+
+from conftest import PAPER_ENCODER_SPARSITY, PAPER_SPANS, emit
+from repro.config import GLUE_TASKS, HwConfig, ModelConfig
+from repro.core import LatencyAwareEngine
+from repro.earlyexit import build_lut_for_threshold, calibrate_conventional
+from repro.utils import format_table
+
+TARGETS_MS = (50.0, 75.0, 100.0)
+ACCURACY_BUDGET_PCT = 1.0
+
+
+def run_task(artifact):
+    """All Fig. 9 bars for one task."""
+    config = ModelConfig.albert_base(
+        num_labels=artifact.eval_logits.shape[-1])
+    logits = artifact.eval_logits
+    entropies = artifact.eval_entropies
+    labels = artifact.eval_labels
+
+    calibration = calibrate_conventional(logits, entropies, labels,
+                                         ACCURACY_BUDGET_PCT)
+    threshold = calibration.threshold
+    lut = build_lut_for_threshold(artifact.train_entropies, threshold,
+                                  logits.shape[-1], use_mlp=True,
+                                  mlp_epochs=120)
+
+    plain = LatencyAwareEngine(config, HwConfig(mac_vector_size=16))
+    optimized = LatencyAwareEngine(
+        config, HwConfig(mac_vector_size=16),
+        spans=np.asarray(PAPER_SPANS[artifact.task], dtype=float),
+        use_adaptive_span=True, sparse_execution=True,
+        weight_density=1.0 - PAPER_ENCODER_SPARSITY[artifact.task])
+
+    bars = {
+        "base": plain.simulate_dataset("base", logits, entropies),
+        "ee": plain.simulate_dataset("ee", logits, entropies,
+                                     entropy_threshold=threshold),
+    }
+    for target in TARGETS_MS:
+        bars[f"lai_T{target:.0f}"] = plain.simulate_dataset(
+            "lai", logits, entropies, lut=lut, entropy_threshold=threshold,
+            target_ms=target)
+        bars[f"lai_opt_T{target:.0f}"] = optimized.simulate_dataset(
+            "lai", logits, entropies, lut=lut, entropy_threshold=threshold,
+            target_ms=target)
+    return bars
+
+
+def build_table(all_bars):
+    headers = ["Task", "Mode", "Avg VDD (V)", "Avg Freq (GHz)",
+               "Energy (mJ)", "Avg exit"]
+    rows = []
+    for task in GLUE_TASKS:
+        for mode, report in all_bars[task].items():
+            rows.append([task, mode, f"{report.average_vdd:.3f}",
+                         f"{report.average_freq_ghz:.3f}",
+                         f"{report.average_energy_mj:.3f}",
+                         f"{report.average_exit_layer:.2f}"])
+    return format_table(headers, rows,
+                        title="Fig. 9 — latency-aware inference: supply "
+                              "voltage, frequency and per-sentence energy")
+
+
+def test_fig9_latency_aware(benchmark, artifacts):
+    all_bars = benchmark.pedantic(
+        lambda: {task: run_task(artifacts[task]) for task in GLUE_TASKS},
+        rounds=1, iterations=1)
+    emit("fig9_latency_aware", build_table(all_bars))
+
+    for task in GLUE_TASKS:
+        bars = all_bars[task]
+        base = bars["base"].average_energy_mj
+        ee = bars["ee"].average_energy_mj
+        lai = bars["lai_T75"].average_energy_mj
+        opt = bars["lai_opt_T75"].average_energy_mj
+
+        # Energy ordering of the four bars (the Fig. 9 shape). A task
+        # whose 1 % budget calibrates to a ~0 threshold has ee == base.
+        assert base >= ee >= lai > opt
+        assert base > opt
+        # Paper headlines: multiple-x vs Base, better than EE at T=75.
+        # (A no-early-exit task is limited to DVFS+AAS+sparse gains here.)
+        assert base / opt > 2.5
+        assert ee / opt > 1.1
+        # DVFS actually scaled down, and relaxing the target never raises
+        # voltage or energy.
+        assert bars["lai_T50"].average_vdd >= bars["lai_T75"].average_vdd
+        assert bars["lai_T75"].average_vdd >= bars["lai_T100"].average_vdd
+        assert bars["lai_T50"].average_energy_mj >= \
+            bars["lai_T100"].average_energy_mj - 1e-9
+        # No deadline violations at any target.
+        for target in TARGETS_MS:
+            assert bars[f"lai_T{target:.0f}"].target_violations == 0
+
+    # The largest base/optimized ratio across tasks approaches the paper's
+    # up-to-7x claim.
+    best = max(all_bars[t]["base"].average_energy_mj
+               / all_bars[t]["lai_opt_T100"].average_energy_mj
+               for t in GLUE_TASKS)
+    assert best > 4.5

@@ -1,0 +1,52 @@
+"""Table 1 — learned spans of every attention head.
+
+Regenerates: per-head spans, average span, and the accuracy delta versus
+the span-free teacher for the four GLUE-like tasks. Paper reference: more
+than half the heads (7–8 of 12) turn off entirely; average spans 11–19.6;
+accuracy deltas within ±0.6 pt.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.config import GLUE_TASKS
+from repro.utils import format_table
+
+
+def build_table(artifacts):
+    headers = (["Task"] + [f"h{i}" for i in range(1, 13)]
+               + ["Avg.Span", "HeadsOff", "Acc", "TeacherAcc", "AccDiff"])
+    rows = []
+    for task in GLUE_TASKS:
+        artifact = artifacts[task]
+        spans = artifact.spans
+        rows.append(
+            [task]
+            + [f"{s:.0f}" for s in spans]
+            + [f"{artifact.average_span:.1f}",
+               str(int((spans == 0).sum())),
+               f"{artifact.baseline_accuracy:.3f}",
+               f"{artifact.teacher_accuracy:.3f}",
+               f"{artifact.baseline_accuracy - artifact.teacher_accuracy:+.3f}"]
+        )
+    return format_table(headers, rows,
+                        title="Table 1 — learned attention spans per head")
+
+
+def test_table1_attention_spans(benchmark, artifacts):
+    table = benchmark.pedantic(build_table, args=(artifacts,),
+                               rounds=1, iterations=1)
+    emit("table1_attention_spans", table)
+
+    healthy = 0
+    for task in GLUE_TASKS:
+        artifact = artifacts[task]
+        # Paper shape: a meaningful share of heads is fully off.
+        assert int((artifact.spans == 0).sum()) >= 4
+        assert artifact.average_span <= artifact.model_config.max_seq_len
+        if artifact.baseline_accuracy >= artifact.teacher_accuracy - 0.10:
+            healthy += 1
+    # Tiny-scale training is fragile for one task/seed combination (see
+    # EXPERIMENTS.md); at least three of four tasks must preserve the
+    # teacher's accuracy through the full compression pipeline.
+    assert healthy >= 3

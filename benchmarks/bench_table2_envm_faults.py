@@ -1,0 +1,94 @@
+"""Table 2 — eNVM fault-injection study.
+
+Regenerates: mean/min task accuracy when the (pruned, FP8) word embeddings
+are stored in SLC / MLC2 / MLC3 ReRAM, plus the area-density and
+read-latency rows. Paper reference: SLC and MLC2 show no degradation over
+100 trials; MLC3 degrades on average and catastrophically in the minimum
+(QNLI min 53.43); density 0.28/0.08/0.04 mm²/MB; latency 1.21/1.54/2.96 ns.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.config import GLUE_TASKS
+from repro.envm import MLC2, MLC3, SLC, EnvmEmbeddingStore, run_fault_trials
+from repro.training import evaluate_accuracy
+from repro.utils import format_table
+
+CELLS = (SLC, MLC2, MLC3)
+
+
+def accuracy_with_table(artifact, table, eval_subset):
+    """Install a (possibly corrupted) embedding table and measure accuracy."""
+    weight = artifact.model.embeddings.word.weight
+    original = weight.data
+    weight.data = table
+    try:
+        return evaluate_accuracy(artifact.model, eval_subset)
+    finally:
+        weight.data = original
+
+
+def run_study(artifacts, n_trials, eval_size=96):
+    results = {}
+    for task in GLUE_TASKS:
+        artifact = artifacts[task]
+        from repro.data import make_task_data
+
+        _, eval_split = make_task_data(
+            task, train_size=8, eval_size=eval_size, seed=artifactseed(task),
+            max_seq_len=artifact.model_config.max_seq_len)
+        table = artifact.model.embeddings.word.weight.data
+        for cell in CELLS:
+            store = EnvmEmbeddingStore(table, cell)
+            stats = run_fault_trials(
+                store,
+                lambda t: accuracy_with_table(artifact, t, eval_split),
+                n_trials=n_trials, seed=7)
+            results[(task, cell.name)] = stats
+    return results
+
+
+def artifactseed(task):
+    return 1000 + hash(task) % 100
+
+
+def build_table(results):
+    headers = ["Task"]
+    for cell in CELLS:
+        headers += [f"{cell.name} mean", f"{cell.name} min"]
+    rows = []
+    for task in GLUE_TASKS:
+        row = [task]
+        for cell in CELLS:
+            stats = results[(task, cell.name)]
+            row += [f"{stats['mean_accuracy']:.3f}",
+                    f"{stats['min_accuracy']:.3f}"]
+        rows.append(row)
+    rows.append(["Area (mm2/MB)"]
+                + [v for cell in CELLS
+                   for v in (f"{cell.area_mm2_per_mb:.2f}", "")])
+    rows.append(["Read latency (ns)"]
+                + [v for cell in CELLS
+                   for v in (f"{cell.read_latency_ns:.2f}", "")])
+    return format_table(headers, rows,
+                        title="Table 2 — ReRAM embedding storage "
+                              "fault-injection study")
+
+
+def test_table2_envm_faults(benchmark, artifacts, fault_trials):
+    results = benchmark.pedantic(run_study, args=(artifacts, fault_trials),
+                                 rounds=1, iterations=1)
+    emit("table2_envm_faults", build_table(results))
+
+    for task in GLUE_TASKS:
+        slc = results[(task, "SLC")]
+        mlc2 = results[(task, "MLC2")]
+        mlc3 = results[(task, "MLC3")]
+        # SLC is fault-free; MLC2 matches it (the paper's key decision
+        # point for storing data in MLC2); MLC3 is the risky option whose
+        # minimum can dip below MLC2's.
+        assert slc["mean_accuracy"] == slc["max_accuracy"]
+        assert abs(mlc2["mean_accuracy"] - slc["mean_accuracy"]) < 0.02
+        assert mlc2["min_accuracy"] >= mlc3["min_accuracy"] - 1e-9
+        assert mlc3["mean_data_faults"] > mlc2["mean_data_faults"]

@@ -1,0 +1,88 @@
+"""Table 3 — synergistic optimization results.
+
+Regenerates, per task: embedding/encoder sparsity, average attention span,
+and for accuracy budgets of 1/2/5 %: the conventional-EE entropy threshold
+and average exit layer versus the latency-aware (predictor-bounded)
+threshold, average predicted exit and average actual exit.
+
+Paper reference shapes: uniform 40 % embedding density; LAI needs a
+*lower* entropy threshold than conventional EE at the same budget
+(conservative prediction); LAI's average actual exit is close to the
+conventional EE exit; larger budgets exit earlier.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.config import GLUE_TASKS
+from repro.earlyexit import (
+    build_lut_for_threshold,
+    calibrate_conventional,
+    calibrate_latency_aware,
+)
+from repro.utils import format_table
+
+BUDGETS = (1.0, 2.0, 5.0)
+
+
+def calibrate_task(artifact):
+    logits = artifact.eval_logits
+    entropies = artifact.eval_entropies
+    labels = artifact.eval_labels
+    num_labels = logits.shape[-1]
+    rows = []
+    for budget in BUDGETS:
+        conventional = calibrate_conventional(logits, entropies, labels,
+                                              budget)
+        lut = build_lut_for_threshold(
+            artifact.train_entropies, conventional.threshold, num_labels,
+            use_mlp=True, margin=0, mlp_epochs=120)
+        lai = calibrate_latency_aware(logits, entropies, labels, budget, lut)
+        rows.append((budget, conventional, lai))
+    return rows
+
+
+def build_table(artifacts, calibrations):
+    headers = ["Task", "Emb.Spars", "Enc.Spars", "Avg.Span", "Budget%",
+               "EE: ET", "EE: AvgExit", "LAI: ET", "LAI: AvgPred",
+               "LAI: AvgActual"]
+    rows = []
+    for task in GLUE_TASKS:
+        artifact = artifacts[task]
+        for budget, conventional, lai in calibrations[task]:
+            rows.append([
+                task,
+                f"{1.0 - artifact.embedding_density:.2f}",
+                f"{artifact.encoder_sparsity:.2f}",
+                f"{artifact.average_span:.1f}",
+                f"{budget:.0f}",
+                f"{conventional.threshold:.2f}",
+                f"{conventional.average_exit_layer:.2f}",
+                f"{lai.threshold:.2f}",
+                f"{lai.average_predicted_layer:.2f}",
+                f"{lai.average_exit_layer:.2f}",
+            ])
+    return format_table(headers, rows,
+                        title="Table 3 — synergy of the EdgeBERT "
+                              "optimizations (per accuracy budget)")
+
+
+def test_table3_synergy(benchmark, artifacts):
+    calibrations = benchmark.pedantic(
+        lambda: {task: calibrate_task(artifacts[task])
+                 for task in GLUE_TASKS},
+        rounds=1, iterations=1)
+    emit("table3_synergy", build_table(artifacts, calibrations))
+
+    for task in GLUE_TASKS:
+        artifact = artifacts[task]
+        # Uniform 40 % embedding density across tasks (paper Sec. 6.2).
+        assert abs(artifact.embedding_density - 0.40) < 0.02
+        exits = [c.average_exit_layer for _, c, _ in calibrations[task]]
+        # Larger accuracy budgets must not exit later.
+        assert exits[0] >= exits[-1] - 1e-9
+        for _, conventional, lai in calibrations[task]:
+            # Exits happen before the final layer on average...
+            assert lai.average_exit_layer <= 12.0
+            # ...and the LUT bound keeps actual <= predicted.
+            assert lai.average_exit_layer <= lai.average_predicted_layer + 1e-9

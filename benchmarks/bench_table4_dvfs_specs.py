@@ -1,0 +1,48 @@
+"""Table 4 — LDO and ADPLL performance specs.
+
+Regenerates the DVFS component specs and verifies the behavioural models
+hit them: LDO response 3.8 ns / 50 mV with 99.2 % peak current efficiency,
+ADPLL 2.46 mW at 1 GHz.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.config import DvfsConfig
+from repro.dvfs import AdpllModel, LdoModel, VoltageFrequencyTable
+from repro.utils import format_table
+
+
+def build_table():
+    config = DvfsConfig()
+    ldo = LdoModel(config)
+    adpll = AdpllModel(config)
+    table = VoltageFrequencyTable(config)
+    rows = [
+        ["LDO response time", f"{config.ldo_slew_ns_per_50mv} ns / 50 mV"],
+        ["LDO peak current efficiency",
+         f"{config.ldo_peak_current_efficiency * 100:.1f} %"],
+        ["LDO max load", f"{config.ldo_max_load_ma:.0f} mA"],
+        ["LDO full-swing settle (0.5->0.8 V)",
+         f"{ldo.transition_time_ns(0.5, 0.8):.1f} ns"],
+        ["ADPLL power @ 1 GHz", f"{adpll.power_mw(1.0):.2f} mW"],
+        ["ADPLL relock (full swing)",
+         f"{adpll.relock_time_ns(1.0, table.frequencies[0]):.1f} ns"],
+        ["V/F operating points", f"{len(table)}"],
+        ["f_max @ 0.5 V", f"{table.frequencies[0]:.3f} GHz"],
+        ["f_max @ 0.8 V", f"{table.frequencies[-1]:.3f} GHz"],
+    ]
+    return format_table(["Spec", "Value"], rows,
+                        title="Table 4 — LDO / ADPLL performance specs")
+
+
+def test_table4_dvfs_specs(benchmark):
+    table = benchmark(build_table)
+    emit("table4_dvfs_specs", table)
+
+    config = DvfsConfig()
+    ldo = LdoModel(config)
+    adpll = AdpllModel(config)
+    assert ldo.transition_time_ns(0.5, 0.8) == pytest.approx(22.8)
+    assert adpll.power_mw(1.0) == pytest.approx(2.46)
+    assert config.ldo_peak_current_efficiency == pytest.approx(0.992)

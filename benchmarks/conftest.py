@@ -1,0 +1,55 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Each bench regenerates one table or figure of the paper and writes its
+output (paper-style rows) to ``benchmarks/results/`` while also printing
+it, so `pytest benchmarks/ --benchmark-only -s` shows the reproduction
+next to the timing numbers.
+"""
+
+import os
+import sys
+
+import pytest
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "results")
+
+#: Paper Table 1 learned spans (used by the paper-scale hardware benches).
+PAPER_SPANS = {
+    "mnli": (20, 0, 0, 0, 0, 0, 36, 81, 0, 0, 0, 10),
+    "qqp": (16, 0, 0, 0, 0, 0, 40, 75, 0, 0, 0, 2),
+    "sst2": (31, 0, 0, 0, 0, 101, 14, 5, 0, 36, 0, 0),
+    "qnli": (39, 0, 0, 0, 0, 105, 22, 19, 0, 51, 0, 0),
+}
+
+#: Paper Table 3 encoder sparsity per task.
+PAPER_ENCODER_SPARSITY = {"mnli": 0.50, "qqp": 0.80, "sst2": 0.50,
+                          "qnli": 0.60}
+
+
+def emit(name, text):
+    """Print a reproduction table and persist it under results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, name + ".txt"), "w",
+              encoding="utf-8") as f:
+        f.write(text + "\n")
+    print("\n" + text)
+
+
+@pytest.fixture(scope="session")
+def artifacts():
+    """Trained tiny-EdgeBERT models for all four tasks (cached on disk)."""
+    from repro.core import load_all_artifacts
+
+    return load_all_artifacts()
+
+
+@pytest.fixture(scope="session")
+def fault_trials():
+    """Monte-Carlo trial count for the eNVM bench (env-overridable)."""
+    return int(os.environ.get("REPRO_BENCH_FAULT_TRIALS", "8"))

@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make `src/` importable even without an install.
+
+The offline environment lacks the `wheel` package, so `pip install -e .`
+(PEP 517 editable) cannot run there; `python setup.py develop` works, and
+this fallback keeps `pytest` green either way.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

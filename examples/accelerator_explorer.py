@@ -1,0 +1,67 @@
+"""Design-space exploration of the EdgeBERT accelerator.
+
+Sweeps the PU MAC vector size and reports latency/energy/area/power per
+design point (the Fig. 8 / Fig. 10 studies), then prints the eNVM cell
+trade-off (Table 2's density/latency rows) — everything a hardware
+architect would look at before committing to the n = 16 point.
+
+Run:  python examples/accelerator_explorer.py
+"""
+
+from repro.baselines import MobileGpuModel
+from repro.config import HwConfig, ModelConfig
+from repro.envm import MLC2, MLC3, SLC
+from repro.hw import (
+    AcceleratorModel,
+    TaskSetting,
+    build_encoder_workload,
+    sweep_design_space,
+)
+
+MNLI_SPANS = (20, 0, 0, 0, 0, 0, 36, 81, 0, 0, 0, 10)
+
+
+def main():
+    config = ModelConfig.albert_base()
+    setting = TaskSetting("mnli", MNLI_SPANS, encoder_density=0.5)
+    points, mgpu = sweep_design_space(config, setting, num_layers=12,
+                                      seq_len=128)
+
+    print("MAC-vector-size sweep (12-layer sentence, MNLI settings):")
+    print(f"{'n':>4} {'area mm2':>9} {'lat ms':>8} {'E base':>8} "
+          f"{'E +AAS':>8} {'E +sparse':>10}")
+    for n in (2, 4, 8, 16, 32):
+        accel = AcceleratorModel(HwConfig(mac_vector_size=n))
+        by_mode = {p.mode: p for p in points if p.vector_size == n}
+        print(f"{n:>4} {accel.total_area_mm2():>9.2f} "
+              f"{by_mode['base'].latency_ms:>8.1f} "
+              f"{by_mode['base'].energy_mj:>8.2f} "
+              f"{by_mode['aas'].energy_mj:>8.2f} "
+              f"{by_mode['aas_sparse'].energy_mj:>10.2f}")
+    print(f"mGPU (TX2): {mgpu['base'].latency_ms:.1f} ms / "
+          f"{mgpu['base'].energy_mj:.1f} mJ "
+          f"(+AAS: {mgpu['aas'].latency_ms:.1f} ms / "
+          f"{mgpu['aas'].energy_mj:.1f} mJ)")
+
+    best = min((p for p in points if p.mode == "aas_sparse"),
+               key=lambda p: p.energy_mj)
+    print(f"\nenergy-optimal design: n = {best.vector_size} "
+          f"({best.energy_mj:.2f} mJ/sentence; "
+          f"{mgpu['aas'].energy_mj / best.energy_mj:.0f}x below the mGPU)")
+
+    accel = AcceleratorModel(HwConfig(mac_vector_size=16))
+    workload = build_encoder_workload(config, 128, use_adaptive_span=False)
+    print("\nn=16 block power at 0.8 V / 1 GHz (paper: 85.9 mW total):")
+    for block, mw in accel.power_breakdown_mw(workload).items():
+        print(f"  {block:15s} {mw:6.2f} mW")
+
+    print("\neNVM cell trade-off for the 2 MB embedding buffer:")
+    print(f"{'cell':>6} {'mm2/MB':>7} {'read ns':>8} {'err rate':>10}")
+    for cell in (SLC, MLC2, MLC3):
+        print(f"{cell.name:>6} {cell.area_mm2_per_mb:>7.2f} "
+              f"{cell.read_latency_ns:>8.2f} {cell.level_error_rate:>10.0e}")
+    print("-> MLC2 for data (dense AND reliable), SLC for the bitmask.")
+
+
+if __name__ == "__main__":
+    main()

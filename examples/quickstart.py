@@ -1,0 +1,72 @@
+"""Quickstart: latency-aware EdgeBERT inference on a few sentences.
+
+Trains (or loads from cache) a tiny EdgeBERT model for SST-2-like
+sentiment, then runs the full Algorithm-2 pipeline — entropy check after
+layer 1, EE-predictor LUT, sentence-level DVFS on the simulated n=16
+accelerator — and prints the per-sentence exit layer, operating point,
+latency and energy.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.config import HwConfig, ModelConfig
+from repro.core import LatencyAwareEngine, load_task_artifact
+from repro.earlyexit import build_lut_for_threshold, calibrate_conventional
+
+TARGET_MS = 75.0
+
+
+def main():
+    print("Loading the SST-2 artifact (first run trains it, ~5 min)...")
+    artifact = load_task_artifact("sst2")
+    print(f"  model: {artifact.model_config.num_layers} layers, "
+          f"{artifact.model.num_parameters():,} parameters")
+    print(f"  accuracy: {artifact.baseline_accuracy:.3f} "
+          f"(teacher {artifact.teacher_accuracy:.3f})")
+    print(f"  learned spans: {artifact.spans.round(0)}")
+
+    # Calibrate the exit threshold at a 1 % accuracy budget and distill
+    # the EE predictor into its LUT.
+    calibration = calibrate_conventional(
+        artifact.eval_logits, artifact.eval_entropies, artifact.eval_labels,
+        max_drop_pct=1.0)
+    lut = build_lut_for_threshold(
+        artifact.train_entropies, calibration.threshold,
+        artifact.eval_logits.shape[-1])
+    print(f"  entropy threshold: {calibration.threshold:.2f} "
+          f"(avg exit layer {calibration.average_exit_layer:.1f})")
+
+    # Price Algorithm 2 on the paper-scale accelerator (ALBERT-base
+    # dimensions, energy-optimal n = 16 design).
+    engine = LatencyAwareEngine(ModelConfig.albert_base(),
+                                HwConfig.energy_optimal())
+    predictions = artifact.eval_logits.argmax(axis=-1)
+    print(f"\nPer-sentence latency-aware inference (target {TARGET_MS} ms):")
+    header = (f"{'sentence':>9} {'exit':>5} {'pred':>5} {'VDD':>6} "
+              f"{'freq':>6} {'lat(ms)':>8} {'E(mJ)':>7} {'ok':>3}")
+    print(header)
+    for i in range(8):
+        result = engine.run_latency_aware(
+            artifact.eval_entropies[:, i], lut, calibration.threshold,
+            TARGET_MS, prediction_at=lambda layer: predictions[layer - 1, i])
+        print(f"{i:>9} {result.exit_layer:>5} {result.predicted_layer:>5} "
+              f"{result.vdd:>6.3f} {result.freq_ghz:>6.3f} "
+              f"{result.latency_ms:>8.2f} {result.energy_mj:>7.3f} "
+              f"{'y' if result.met_target else 'N':>3}")
+
+    report = engine.simulate_dataset(
+        "lai", artifact.eval_logits, artifact.eval_entropies, lut=lut,
+        entropy_threshold=calibration.threshold, target_ms=TARGET_MS)
+    base = engine.simulate_dataset("base", artifact.eval_logits,
+                                   artifact.eval_entropies)
+    print(f"\nDataset averages: energy {report.average_energy_mj:.3f} mJ "
+          f"(vs {base.average_energy_mj:.3f} mJ conventional = "
+          f"{base.average_energy_mj / report.average_energy_mj:.1f}x less), "
+          f"exit layer {report.average_exit_layer:.1f}, "
+          f"VDD {report.average_vdd:.3f} V")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Setuptools entry point.
+
+A classic setup.py is used (rather than PEP 517 metadata) because the target
+environment is offline and has no `wheel` package; `pip install -e .` then
+falls back to the legacy `setup.py develop` path, which works everywhere.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "EdgeBERT (MICRO 2021) reproduction: latency-aware multi-task NLP "
+        "inference with early-exit DVFS on a simulated 12nm accelerator"
+    ),
+    author="EdgeBERT Reproduction Authors",
+    license="MIT",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.24"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis", "scipy"]},
+)

@@ -1,0 +1,51 @@
+"""EdgeBERT reproduction (MICRO 2021).
+
+A from-scratch Python implementation of *EdgeBERT: Sentence-Level Energy
+Optimizations for Latency-Aware Multi-Task NLP Inference* — the
+algorithmic stack (ALBERT with entropy-based early exit, an exit-layer
+predictor, adaptive attention span, movement/magnitude pruning and FP8
+quantization), the memory stack (ReRAM eNVM with Monte-Carlo fault
+injection), and the hardware stack (a calibrated 12 nm accelerator model
+with sentence-level DVFS via LDO + ADPLL).
+
+Quick start::
+
+    from repro import LatencyAwareEngine
+    from repro.core import load_task_artifact
+
+    artifact = load_task_artifact("sst2")
+    engine = LatencyAwareEngine(artifact.model_config)
+"""
+
+from repro.config import (
+    DvfsConfig,
+    EnvmConfig,
+    GLUE_TASKS,
+    HwConfig,
+    ModelConfig,
+    PruningConfig,
+    QuantConfig,
+    TrainConfig,
+)
+from repro.core.engine import EngineReport, LatencyAwareEngine, SentenceResult
+from repro.errors import ReproError
+from repro.model import AlbertModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DvfsConfig",
+    "EnvmConfig",
+    "GLUE_TASKS",
+    "HwConfig",
+    "ModelConfig",
+    "PruningConfig",
+    "QuantConfig",
+    "TrainConfig",
+    "EngineReport",
+    "LatencyAwareEngine",
+    "SentenceResult",
+    "ReproError",
+    "AlbertModel",
+    "__version__",
+]

@@ -1,0 +1,188 @@
+"""Neural-network functional ops built on the autograd :class:`Tensor`.
+
+These are the building blocks of the from-scratch ALBERT implementation:
+stable softmax / log-softmax, layer normalization, GELU, dropout, linear
+layers, and the two losses the EdgeBERT training recipe needs
+(cross-entropy and temperature-scaled distillation KL).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import erf as _erf
+
+from repro.autograd.tensor import Tensor, ensure_tensor
+
+_SQRT_2 = float(np.sqrt(2.0))
+_INV_SQRT_2PI = float(1.0 / np.sqrt(2.0 * np.pi))
+
+
+def parameter(data, name=None):
+    """Create a trainable tensor."""
+    return Tensor(np.asarray(data), requires_grad=True, name=name)
+
+
+def softmax(x, axis=-1):
+    """Numerically stable softmax along ``axis``."""
+    x = ensure_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad):
+        if x.requires_grad:
+            inner = (grad * out_data).sum(axis=axis, keepdims=True)
+            x._accumulate(out_data * (grad - inner))
+
+    return Tensor._from_op(out_data, (x,), backward)
+
+
+def log_softmax(x, axis=-1):
+    """Numerically stable log-softmax along ``axis``."""
+    x = ensure_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_z
+
+    def backward(grad):
+        if x.requires_grad:
+            softmax_data = np.exp(out_data)
+            x._accumulate(grad - softmax_data * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._from_op(out_data, (x,), backward)
+
+
+def relu(x):
+    """Rectified linear unit."""
+    x = ensure_tensor(x)
+    out_data = np.maximum(x.data, 0.0)
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(grad * (x.data > 0.0))
+
+    return Tensor._from_op(out_data, (x,), backward)
+
+
+def sigmoid(x):
+    """Logistic sigmoid with a stable implementation."""
+    x = ensure_tensor(x)
+    out_data = np.empty_like(x.data)
+    positive = x.data >= 0
+    out_data[positive] = 1.0 / (1.0 + np.exp(-x.data[positive]))
+    exp_x = np.exp(x.data[~positive])
+    out_data[~positive] = exp_x / (1.0 + exp_x)
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(grad * out_data * (1.0 - out_data))
+
+    return Tensor._from_op(out_data, (x,), backward)
+
+
+def gelu(x):
+    """Exact (erf-based) GELU, the activation used by BERT/ALBERT FFNs."""
+    x = ensure_tensor(x)
+    cdf = 0.5 * (1.0 + _erf(x.data / _SQRT_2))
+    out_data = x.data * cdf
+
+    def backward(grad):
+        if x.requires_grad:
+            pdf = _INV_SQRT_2PI * np.exp(-0.5 * x.data**2)
+            x._accumulate(grad * (cdf + x.data * pdf))
+
+    return Tensor._from_op(out_data, (x,), backward)
+
+
+def layer_norm(x, gain, bias, eps=1e-5):
+    """Layer normalization over the last axis.
+
+    The paper leans on layer norm's reparameterization invariance to argue
+    for floating-point quantization (Sec. 3.4); this implementation follows
+    the standard Ba et al. formulation.
+    """
+    x = ensure_tensor(x)
+    gain = ensure_tensor(gain)
+    bias = ensure_tensor(bias)
+    mean = x.data.mean(axis=-1, keepdims=True)
+    centered = x.data - mean
+    variance = (centered**2).mean(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(variance + eps)
+    normalized = centered * inv_std
+    out_data = gain.data * normalized + bias.data
+
+    def backward(grad):
+        if gain.requires_grad:
+            gain._accumulate(grad * normalized)
+        if bias.requires_grad:
+            bias._accumulate(grad)
+        if x.requires_grad:
+            width = x.data.shape[-1]
+            d_norm = grad * gain.data
+            term1 = width * d_norm
+            term2 = d_norm.sum(axis=-1, keepdims=True)
+            term3 = normalized * (d_norm * normalized).sum(axis=-1, keepdims=True)
+            x._accumulate((inv_std / width) * (term1 - term2 - term3))
+
+    return Tensor._from_op(out_data, (x, gain, bias), backward)
+
+
+def dropout(x, rate, rng, training=True):
+    """Inverted dropout; identity when ``training`` is false or rate is 0."""
+    x = ensure_tensor(x)
+    if not training or rate <= 0.0:
+        return x
+    keep = 1.0 - rate
+    mask = (rng.random(x.data.shape) < keep) / keep
+    out_data = x.data * mask
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(grad * mask)
+
+    return Tensor._from_op(out_data, (x,), backward)
+
+
+def linear(x, weight, bias=None):
+    """Affine map ``x @ weight + bias`` (weight shaped (in, out))."""
+    out = ensure_tensor(x) @ ensure_tensor(weight)
+    if bias is not None:
+        out = out + ensure_tensor(bias)
+    return out
+
+
+def cross_entropy(logits, labels):
+    """Mean cross-entropy of integer ``labels`` under ``logits``.
+
+    ``logits`` is (batch, classes); ``labels`` an int array (batch,).
+    """
+    labels = np.asarray(labels)
+    log_probs = log_softmax(logits, axis=-1)
+    picked = log_probs[np.arange(labels.shape[0]), labels]
+    return -(picked.mean())
+
+
+def distillation_kl(student_logits, teacher_logits, temperature=1.0):
+    """Hinton-style distillation loss: T² · KL(teacher ‖ student).
+
+    The teacher distribution is treated as a constant (detached).
+    """
+    temperature = float(temperature)
+    teacher = ensure_tensor(teacher_logits).detach()
+    teacher_probs = softmax(teacher * (1.0 / temperature), axis=-1).data
+    student_log_probs = log_softmax(
+        ensure_tensor(student_logits) * (1.0 / temperature), axis=-1
+    )
+    teacher_log_probs = np.log(np.clip(teacher_probs, 1e-12, None))
+    kl_per_row = (
+        Tensor(teacher_probs * teacher_log_probs).sum(axis=-1)
+        - (student_log_probs * teacher_probs).sum(axis=-1)
+    )
+    return kl_per_row.mean() * (temperature**2)
+
+
+def entropy_of_logits(logits):
+    """Differentiable Shannon entropy (nats) of softmax(logits) rows."""
+    log_probs = log_softmax(logits, axis=-1)
+    probs = softmax(logits, axis=-1)
+    return -(probs * log_probs).sum(axis=-1)

@@ -1,0 +1,52 @@
+"""Numerical gradient checking used by the autograd test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def numerical_gradient(fn, tensor, eps=1e-6):
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``tensor``.
+
+    ``fn`` must close over ``tensor`` and return a scalar :class:`Tensor`.
+    """
+    grad = np.zeros_like(tensor.data)
+    flat = tensor.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(fn().data)
+        flat[i] = original - eps
+        minus = float(fn().data)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(fn, tensors, eps=1e-6, atol=1e-5, rtol=1e-4):
+    """Compare analytic and numerical gradients for every tensor.
+
+    Returns the maximum absolute deviation; raises ``AssertionError`` on
+    mismatch (so it can sit directly inside tests).
+    """
+    for t in tensors:
+        t.zero_grad()
+    out = fn()
+    out.backward()
+    worst = 0.0
+    for t in tensors:
+        numeric = numerical_gradient(fn, t, eps=eps)
+        analytic = t.grad if t.grad is not None else np.zeros_like(t.data)
+        deviation = np.abs(analytic - numeric)
+        tolerance = atol + rtol * np.abs(numeric)
+        if not np.all(deviation <= tolerance):
+            worst_idx = np.unravel_index(np.argmax(deviation - tolerance),
+                                         deviation.shape)
+            raise AssertionError(
+                f"gradient mismatch for {t.name or 'tensor'} at {worst_idx}: "
+                f"analytic={analytic[worst_idx]:.8f} "
+                f"numeric={numeric[worst_idx]:.8f}"
+            )
+        worst = max(worst, float(deviation.max()))
+    return worst

@@ -1,0 +1,539 @@
+"""A small tape-based reverse-mode autodiff engine over numpy arrays.
+
+This is the training substrate for the from-scratch ALBERT implementation.
+It follows the classic design: every operation records a backward closure
+and its parent tensors; :meth:`Tensor.backward` topologically sorts the tape
+and accumulates gradients into ``.grad`` (plain ndarrays).
+
+Only the operations the EdgeBERT models actually need are implemented, but
+each supports full numpy broadcasting with correct gradient reduction.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+from repro.errors import GradientError, ShapeError
+
+_GRAD_ENABLED = [True]
+_DEFAULT_DTYPE = [np.float64]
+
+
+def grad_enabled():
+    """Whether operations currently record the autodiff tape."""
+    return _GRAD_ENABLED[-1]
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling tape recording (for evaluation paths)."""
+    _GRAD_ENABLED.append(False)
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED.pop()
+
+
+def get_default_dtype():
+    """Dtype new tensors are created with (float64 by default)."""
+    return _DEFAULT_DTYPE[-1]
+
+
+def set_default_dtype(dtype):
+    """Set the global default tensor dtype (float32 or float64).
+
+    float64 keeps gradient checks exact; float32 roughly doubles training
+    throughput and is what the artifact pipeline uses.
+    """
+    dtype = np.dtype(dtype)
+    if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise TypeError(f"unsupported default dtype {dtype}")
+    _DEFAULT_DTYPE[-1] = dtype.type
+
+
+@contextlib.contextmanager
+def default_dtype(dtype):
+    """Context manager scoping :func:`set_default_dtype`."""
+    _DEFAULT_DTYPE.append(_DEFAULT_DTYPE[-1])
+    try:
+        set_default_dtype(dtype)
+        yield
+    finally:
+        _DEFAULT_DTYPE.pop()
+
+
+def _unbroadcast(grad, shape):
+    """Reduce ``grad`` back to ``shape`` after numpy broadcasting.
+
+    Sums over axes that were added or broadcast from size 1.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes broadcast from 1.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value):
+    if isinstance(value, Tensor):
+        raise TypeError("expected raw array, got Tensor")
+    return np.asarray(value, dtype=get_default_dtype())
+
+
+def ensure_tensor(value):
+    """Coerce ``value`` to a (non-differentiable) :class:`Tensor`."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+class Tensor:
+    """An ndarray with an optional gradient tape.
+
+    Parameters
+    ----------
+    data:
+        Anything ``np.asarray`` accepts; stored as float64.
+    requires_grad:
+        Whether gradients should be accumulated into ``.grad``.
+    name:
+        Optional label (used for parameters and debugging).
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "name", "_backward", "_parents")
+
+    def __init__(self, data, requires_grad=False, name=None, dtype=None):
+        if dtype is None:
+            dtype = get_default_dtype()
+        self.data = np.asarray(data, dtype=dtype)
+        self.grad = None
+        self.requires_grad = bool(requires_grad)
+        self.name = name
+        self._backward = None
+        self._parents = ()
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def zeros(cls, shape, requires_grad=False, name=None):
+        return cls(np.zeros(shape), requires_grad=requires_grad, name=name)
+
+    @classmethod
+    def _from_op(cls, data, parents, backward):
+        """Build an op result, recording the tape when grad is enabled."""
+        requires = grad_enabled() and any(p.requires_grad for p in parents)
+        out = cls(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    # -- basic protocol --------------------------------------------------------
+
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def ndim(self):
+        return self.data.ndim
+
+    @property
+    def size(self):
+        return self.data.size
+
+    def __len__(self):
+        return len(self.data)
+
+    def __repr__(self):
+        grad_tag = ", requires_grad=True" if self.requires_grad else ""
+        name_tag = f", name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.data.shape}{grad_tag}{name_tag})"
+
+    def numpy(self):
+        """Return the underlying ndarray (no copy)."""
+        return self.data
+
+    def item(self):
+        return float(self.data)
+
+    def detach(self):
+        """Return a new tensor sharing data but cut from the tape."""
+        return Tensor(self.data)
+
+    # -- gradient accumulation -------------------------------------------------
+
+    def _accumulate(self, grad):
+        grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype),
+                            self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    def zero_grad(self):
+        self.grad = None
+
+    def backward(self, grad=None):
+        """Run reverse-mode autodiff from this tensor.
+
+        ``grad`` defaults to ones (must be supplied for non-scalar outputs
+        only if a different seed gradient is wanted).
+        """
+        if not self.requires_grad:
+            raise GradientError("backward() on a tensor that does not require grad")
+        if grad is None:
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+            if grad.shape != self.data.shape:
+                raise ShapeError(
+                    f"seed gradient shape {grad.shape} != tensor shape {self.data.shape}"
+                )
+
+        order = []
+        seen = set()
+
+        def visit(node):
+            stack = [(node, False)]
+            while stack:
+                current, expanded = stack.pop()
+                if expanded:
+                    order.append(current)
+                    continue
+                if id(current) in seen:
+                    continue
+                seen.add(id(current))
+                stack.append((current, True))
+                for parent in current._parents:
+                    if id(parent) not in seen:
+                        stack.append((parent, False))
+
+        visit(self)
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other):
+        other = ensure_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad)
+            if other.requires_grad:
+                other._accumulate(grad)
+
+        return Tensor._from_op(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return Tensor._from_op(-self.data, (self,), backward)
+
+    def __sub__(self, other):
+        return self + (-ensure_tensor(other))
+
+    def __rsub__(self, other):
+        return ensure_tensor(other) + (-self)
+
+    def __mul__(self, other):
+        other = ensure_tensor(other)
+        out_data = self.data * other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * other.data)
+            if other.requires_grad:
+                other._accumulate(grad * self.data)
+
+        return Tensor._from_op(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = ensure_tensor(other)
+        out_data = self.data / other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad / other.data)
+            if other.requires_grad:
+                other._accumulate(-grad * self.data / (other.data**2))
+
+        return Tensor._from_op(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other):
+        return ensure_tensor(other) / self
+
+    def __pow__(self, exponent):
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp/log")
+        exponent = float(exponent)
+        out_data = self.data**exponent
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def __matmul__(self, other):
+        other = ensure_tensor(other)
+        out_data = self.data @ other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                if other.data.ndim == 1:
+                    self._accumulate(np.outer(grad, other.data)
+                                     if self.data.ndim > 1 else grad * other.data)
+                else:
+                    self._accumulate(grad @ np.swapaxes(other.data, -1, -2))
+            if other.requires_grad:
+                if self.data.ndim == 1:
+                    other._accumulate(np.outer(self.data, grad))
+                else:
+                    other._accumulate(np.swapaxes(self.data, -1, -2) @ grad)
+
+        return Tensor._from_op(out_data, (self, other), backward)
+
+    # -- elementwise functions ----------------------------------------------
+
+    def exp(self):
+        out_data = np.exp(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * out_data)
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def log(self):
+        out_data = np.log(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def sqrt(self):
+        out_data = np.sqrt(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * 0.5 / out_data)
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def tanh(self):
+        out_data = np.tanh(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - out_data**2))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def abs(self):
+        out_data = np.abs(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * np.sign(self.data))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def clip_min(self, minimum):
+        """Elementwise max(self, minimum); subgradient 1 where kept."""
+        minimum = float(minimum)
+        out_data = np.maximum(self.data, minimum)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * (self.data > minimum))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    # -- reductions -----------------------------------------------------------
+
+    def sum(self, axis=None, keepdims=False):
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            if not self.requires_grad:
+                return
+            expanded = grad
+            if axis is not None and not keepdims:
+                expanded = np.expand_dims(grad, axis)
+            self._accumulate(np.broadcast_to(expanded, self.data.shape))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims=False):
+        count = self.data.size if axis is None else _axis_size(self.data.shape, axis)
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims=False):
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            if not self.requires_grad:
+                return
+            expanded_out = out_data
+            expanded_grad = grad
+            if axis is not None and not keepdims:
+                expanded_out = np.expand_dims(out_data, axis)
+                expanded_grad = np.expand_dims(grad, axis)
+            mask = (self.data == expanded_out).astype(self.data.dtype)
+            # Split gradient evenly among ties to keep the op well-defined.
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None \
+                else mask.sum()
+            self._accumulate(expanded_grad * mask / counts)
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    # -- shape manipulation -----------------------------------------------------
+
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        original = self.data.shape
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def transpose(self, *axes):
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        inverse = np.argsort(axes)
+        out_data = self.data.transpose(axes)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad.transpose(inverse))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def swapaxes(self, a, b):
+        axes = list(range(self.data.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(*axes)
+
+    def __getitem__(self, index):
+        out_data = self.data[index]
+
+        def backward(grad):
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, grad)
+                self._accumulate(full)
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    # -- comparison (non-differentiable, returns ndarray) ---------------------
+
+    def __gt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data > other
+
+    def __lt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data < other
+
+
+def _axis_size(shape, axis):
+    if isinstance(axis, int):
+        return shape[axis]
+    result = 1
+    for a in axis:
+        result *= shape[a]
+    return result
+
+
+def where(condition, a, b):
+    """Differentiable selection; ``condition`` is a plain boolean array."""
+    condition = np.asarray(condition)
+    a = ensure_tensor(a)
+    b = ensure_tensor(b)
+    out_data = np.where(condition, a.data, b.data)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(grad * condition)
+        if b.requires_grad:
+            b._accumulate(grad * (~condition if condition.dtype == bool
+                                  else 1.0 - condition))
+
+    return Tensor._from_op(out_data, (a, b), backward)
+
+
+def concat(tensors, axis=0):
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    tensors = [ensure_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad):
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(start, stop)
+                tensor._accumulate(grad[tuple(slicer)])
+
+    return Tensor._from_op(out_data, tuple(tensors), backward)
+
+
+def stack(tensors, axis=0):
+    """Stack tensors along a new ``axis``."""
+    tensors = [ensure_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad):
+        moved = np.moveaxis(grad, axis, 0)
+        for tensor, piece in zip(tensors, moved):
+            if tensor.requires_grad:
+                tensor._accumulate(piece)
+
+    return Tensor._from_op(out_data, tuple(tensors), backward)
+
+
+def embedding(weight, ids):
+    """Row gather ``weight[ids]`` with scatter-add backward.
+
+    ``ids`` is an integer ndarray; ``weight`` a 2-D tensor (vocab, dim).
+    """
+    ids = np.asarray(ids)
+    if np.issubdtype(ids.dtype, np.floating):
+        ids = ids.astype(np.int64)
+    out_data = weight.data[ids]
+
+    def backward(grad):
+        if weight.requires_grad:
+            full = np.zeros_like(weight.data)
+            np.add.at(full, ids.reshape(-1), grad.reshape(-1, weight.data.shape[1]))
+            weight._accumulate(full)
+
+    return Tensor._from_op(out_data, (weight,), backward)

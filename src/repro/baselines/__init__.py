@@ -1,0 +1,16 @@
+"""Comparison baselines: TX2 mobile GPU, related-work feature matrix."""
+
+from repro.baselines.mgpu import MgpuMetrics, MobileGpuModel
+from repro.baselines.related_work import (
+    RELATED_WORK,
+    AcceleratorFeatures,
+    feature_matrix,
+)
+
+__all__ = [
+    "MgpuMetrics",
+    "MobileGpuModel",
+    "RELATED_WORK",
+    "AcceleratorFeatures",
+    "feature_matrix",
+]

@@ -1,0 +1,60 @@
+"""Analytic Nvidia Jetson TX2 mobile-GPU baseline (paper Sec. 8.1/8.2).
+
+The paper runs CUDA adaptations of the (early-exit, adaptive-span) ALBERT
+inference on a Jetson TX2 and reports per-sentence latency/energy next to
+the accelerator's (Fig. 8). No GPU exists in this environment, so the TX2
+is modeled analytically: FLOPs come from the same workload builder the
+accelerator uses; sustained throughput and energy-per-FLOP are calibrated
+to the TX2's public specs (≈1.33 TFLOPS FP16 peak, ~7.5 W board power,
+roughly a third of peak sustained on single-batch Transformer kernels),
+which lands the model on the paper's ~113–129 mJ per 12-layer sentence.
+
+The GPU reaps the *algorithmic* benefits (early exit, adaptive span — it
+skips whole heads and layers) but none of the dataflow ones (no skip
+gating, no bitmask compression, no DVFS at sentence granularity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.tech import MobileGpuParams
+from repro.hw.workload import build_encoder_workload
+
+
+@dataclass(frozen=True)
+class MgpuMetrics:
+    """Per-sentence mobile-GPU cost."""
+
+    latency_ms: float
+    energy_mj: float
+
+
+class MobileGpuModel:
+    """Roofline-style TX2 model over encoder-layer FLOPs."""
+
+    def __init__(self, params=None):
+        self.params = params or MobileGpuParams()
+
+    def layer_flops(self, config, seq_len=None, spans=None,
+                    use_adaptive_span=False):
+        workload = build_encoder_workload(
+            config, seq_len=seq_len, spans=spans,
+            use_adaptive_span=use_adaptive_span)
+        return workload.flops
+
+    def sentence_metrics(self, config, num_layers, seq_len=None, spans=None,
+                         use_adaptive_span=False):
+        """Latency/energy for one sentence that runs ``num_layers`` layers.
+
+        ``num_layers`` may be fractional (an average exit layer).
+        """
+        flops = self.layer_flops(config, seq_len=seq_len, spans=spans,
+                                 use_adaptive_span=use_adaptive_span)
+        total_flops = flops * float(num_layers)
+        params = self.params
+        compute_ms = total_flops / (params.effective_tflops * 1e12) * 1e3
+        latency = compute_ms + params.launch_overhead_ms
+        energy = (total_flops * params.energy_pj_per_flop * 1e-9
+                  + params.launch_overhead_mj)
+        return MgpuMetrics(latency_ms=latency, energy_mj=energy)

@@ -1,0 +1,71 @@
+"""Qualitative comparison with prior Transformer accelerators (Fig. 12)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AcceleratorFeatures:
+    """Feature flags of one NLP accelerator (paper Fig. 12 rows)."""
+
+    name: str
+    pruning: bool
+    quantization: bool
+    knowledge_distillation: bool
+    attention_span_when: str  # "inference" or "finetuning"
+    early_exit: bool
+    compressed_sparse_execution: bool
+    envm_embeddings: bool
+
+
+RELATED_WORK = (
+    AcceleratorFeatures("GOBO", pruning=False, quantization=True,
+                        knowledge_distillation=False,
+                        attention_span_when="inference", early_exit=False,
+                        compressed_sparse_execution=False,
+                        envm_embeddings=False),
+    AcceleratorFeatures("OPTIMUS", pruning=True, quantization=False,
+                        knowledge_distillation=False,
+                        attention_span_when="inference", early_exit=False,
+                        compressed_sparse_execution=True,
+                        envm_embeddings=False),
+    AcceleratorFeatures("A3", pruning=True, quantization=False,
+                        knowledge_distillation=False,
+                        attention_span_when="inference", early_exit=False,
+                        compressed_sparse_execution=False,
+                        envm_embeddings=False),
+    AcceleratorFeatures("SpAtten", pruning=True, quantization=True,
+                        knowledge_distillation=False,
+                        attention_span_when="inference", early_exit=False,
+                        compressed_sparse_execution=False,
+                        envm_embeddings=False),
+    AcceleratorFeatures("EdgeBERT", pruning=True, quantization=True,
+                        knowledge_distillation=True,
+                        attention_span_when="finetuning", early_exit=True,
+                        compressed_sparse_execution=True,
+                        envm_embeddings=True),
+)
+
+
+def feature_matrix():
+    """Rows of (feature, per-accelerator flags) for the Fig. 12 table."""
+    def mark(flag):
+        return "yes" if flag else "no"
+
+    names = [a.name for a in RELATED_WORK]
+    rows = [
+        ["Pruning"] + [mark(a.pruning) for a in RELATED_WORK],
+        ["Quantization"] + [mark(a.quantization) for a in RELATED_WORK],
+        ["Knowledge distillation"] + [mark(a.knowledge_distillation)
+                                      for a in RELATED_WORK],
+        ["Attention span computed during"] + [a.attention_span_when
+                                              for a in RELATED_WORK],
+        ["Early exit assessment"] + [mark(a.early_exit)
+                                     for a in RELATED_WORK],
+        ["Compressed sparse execution"] + [mark(a.compressed_sparse_execution)
+                                           for a in RELATED_WORK],
+        ["eNVM storage for embeddings"] + [mark(a.envm_embeddings)
+                                           for a in RELATED_WORK],
+    ]
+    return ["Feature"] + names, rows

@@ -1,0 +1,263 @@
+"""Central configuration dataclasses.
+
+Three families of configuration flow through the library:
+
+* **Model/training** (:class:`ModelConfig`, :class:`TrainConfig`) describe
+  the ALBERT network and the two-phase EdgeBERT fine-tuning procedure.
+* **Compression** (:class:`QuantConfig`, :class:`PruningConfig`) describe
+  the floating-point quantization and pruning applied at evaluation and
+  fine-tuning time.
+* **Hardware** (:class:`HwConfig`, :class:`DvfsConfig`, :class:`EnvmConfig`)
+  describe the simulated 12 nm accelerator, its DVFS subsystem, and the
+  on-chip ReRAM used for the shared word embeddings.
+
+Unit conventions used throughout the hardware layer: time in **ns**, energy
+in **pJ**, power in **mW** (= pJ/ns), voltage in **V**, frequency in **GHz**
+(= cycles/ns), area in **mm²**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError
+
+#: The four GLUE tasks the paper evaluates (largest corpora, all categories).
+GLUE_TASKS = ("mnli", "qqp", "sst2", "qnli")
+
+#: Number of classification labels for each evaluated task.
+TASK_NUM_LABELS = {"mnli": 3, "qqp": 2, "sst2": 2, "qnli": 2}
+
+#: Tasks whose inputs are sentence *pairs* (vs. single sentences).
+TASK_IS_PAIR = {"mnli": True, "qqp": True, "sst2": False, "qnli": True}
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture of the ALBERT backbone plus its EdgeBERT extensions."""
+
+    vocab_size: int = 1000
+    embedding_size: int = 48  # ALBERT factorized embedding width (E)
+    hidden_size: int = 96  # Transformer width (H)
+    num_layers: int = 12
+    num_heads: int = 12
+    ffn_size: int = 384
+    max_seq_len: int = 128
+    num_labels: int = 2
+    share_parameters: bool = True  # True = ALBERT, False = BERT
+    use_adaptive_span: bool = True
+    span_ramp: float = 16.0  # softness R of the adaptive-span mask ramp
+    layer_norm_eps: float = 1e-5
+    initializer_range: float = 0.02
+    type_vocab_size: int = 2  # segment A/B embeddings for sentence pairs
+
+    def __post_init__(self):
+        if self.hidden_size % self.num_heads != 0:
+            raise ConfigError(
+                f"hidden_size {self.hidden_size} not divisible by "
+                f"num_heads {self.num_heads}"
+            )
+        for name in ("vocab_size", "embedding_size", "hidden_size", "num_layers",
+                     "num_heads", "ffn_size", "max_seq_len", "num_labels"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+
+    @property
+    def head_dim(self):
+        """Per-head projection width (H / num_heads)."""
+        return self.hidden_size // self.num_heads
+
+    @classmethod
+    def albert_base(cls, num_labels=2):
+        """The paper's full-size ALBERT-base configuration."""
+        return cls(
+            vocab_size=30000,
+            embedding_size=128,
+            hidden_size=768,
+            num_layers=12,
+            num_heads=12,
+            ffn_size=3072,
+            max_seq_len=128,
+            num_labels=num_labels,
+        )
+
+    @classmethod
+    def tiny(cls, num_labels=2, num_layers=12):
+        """Reduced-width config used by tests/benches (trains in seconds)."""
+        return cls(num_labels=num_labels, num_layers=num_layers)
+
+    def for_task(self, task):
+        """Return a copy of this config with the task's label count."""
+        if task not in TASK_NUM_LABELS:
+            raise ConfigError(f"unknown task {task!r}; expected one of {GLUE_TASKS}")
+        return replace(self, num_labels=TASK_NUM_LABELS[task])
+
+
+@dataclass(frozen=True)
+class PruningConfig:
+    """Pruning targets for the two parameter partitions.
+
+    The embedding layer is always magnitude-pruned (shared across tasks);
+    encoder weights use either movement or magnitude pruning per task.
+    """
+
+    embedding_sparsity: float = 0.60
+    encoder_sparsity: float = 0.50
+    encoder_method: str = "movement"  # "movement" | "magnitude"
+    # The ramp starts only after the model has had time to learn the task
+    # (movement scores are uninformative until then) and ends with slack
+    # for recovery at the final sparsity.
+    schedule_begin_frac: float = 0.35
+    schedule_end_frac: float = 0.85
+
+    def __post_init__(self):
+        for name in ("embedding_sparsity", "encoder_sparsity"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ConfigError(f"{name} must be in [0, 1); got {value}")
+        if self.encoder_method not in ("movement", "magnitude"):
+            raise ConfigError(f"unknown pruning method {self.encoder_method!r}")
+        if not 0.0 <= self.schedule_begin_frac < self.schedule_end_frac <= 1.0:
+            raise ConfigError("schedule fractions must satisfy 0 <= begin < end <= 1")
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Two-phase EdgeBERT fine-tuning hyperparameters (paper Fig. 4)."""
+
+    steps_phase1: int = 200  # KD + pruning + adaptive attention span
+    steps_phase2: int = 100  # off-ramp (highway) fine-tuning, backbone frozen
+    batch_size: int = 8
+    learning_rate: float = 5e-4  # stable for the from-scratch tiny ALBERT
+    weight_decay: float = 0.01
+    kd_alpha: float = 0.5  # weight of distillation loss vs. hard CE
+    kd_temperature: float = 2.0
+    span_loss_coeff: float = 5.0  # pressure shrinking attention spans
+    # Span parameters live on a token-count scale (0..max_seq_len), so they
+    # get their own SGD optimizer with a much larger learning rate than the
+    # ~0.02-scale weights (plain SGD so the step tracks the true gradient
+    # balance between task loss and span penalty).
+    span_learning_rate: float = 50.0
+    # Fraction of phase-1 steps before span shrinking starts; attention has
+    # to become useful before the penalty may prune it away.
+    span_start_frac: float = 0.35
+    grad_clip: float = 1.0
+    seed: int = 0
+    pruning: PruningConfig = field(default_factory=PruningConfig)
+
+    def __post_init__(self):
+        if self.steps_phase1 < 0 or self.steps_phase2 < 0:
+            raise ConfigError("training step counts must be non-negative")
+        if self.batch_size <= 0:
+            raise ConfigError("batch_size must be positive")
+        if not 0.0 <= self.kd_alpha <= 1.0:
+            raise ConfigError("kd_alpha must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class QuantConfig:
+    """8-bit floating-point quantization (paper Sec. 3.4).
+
+    The paper searches the exponent width and lands on 4 exponent bits in an
+    8-bit word, with per-layer exponent scaling (a per-tensor exponent bias).
+    """
+
+    total_bits: int = 8
+    exponent_bits: int = 4
+    per_tensor_bias: bool = True
+
+    def __post_init__(self):
+        if self.total_bits < 2:
+            raise ConfigError("total_bits must be >= 2")
+        if not 1 <= self.exponent_bits <= self.total_bits - 1:
+            raise ConfigError(
+                "exponent_bits must leave at least a sign bit: "
+                f"got {self.exponent_bits} of {self.total_bits}"
+            )
+
+    @property
+    def mantissa_bits(self):
+        """Explicit mantissa bits (word = 1 sign + exponent + mantissa)."""
+        return self.total_bits - 1 - self.exponent_bits
+
+
+@dataclass(frozen=True)
+class DvfsConfig:
+    """DVFS subsystem: LDO + ADPLL + V/F operating-point table (Table 4)."""
+
+    vdd_nominal: float = 0.80
+    vdd_min: float = 0.50
+    vdd_max: float = 0.80
+    vdd_step: float = 0.025  # LDO 25 mV step
+    vdd_standby: float = 0.50
+    freq_max_ghz: float = 1.0  # at vdd_nominal
+    ldo_slew_ns_per_50mv: float = 3.8
+    ldo_peak_current_efficiency: float = 0.992
+    ldo_max_load_ma: float = 200.0
+    adpll_power_mw_at_1ghz: float = 2.46
+    adpll_relock_ns: float = 100.0
+    vt_volts: float = 0.30  # effective threshold voltage for the f(V) model
+    alpha_velocity: float = 1.6  # velocity-saturation exponent in f(V)
+
+    def __post_init__(self):
+        if not (0 < self.vdd_min <= self.vdd_max):
+            raise ConfigError("need 0 < vdd_min <= vdd_max")
+        if self.vdd_step <= 0:
+            raise ConfigError("vdd_step must be positive")
+        if self.vdd_nominal < self.vdd_min or self.vdd_nominal > self.vdd_max:
+            raise ConfigError("vdd_nominal must lie in [vdd_min, vdd_max]")
+        if self.vt_volts >= self.vdd_min:
+            raise ConfigError("vt_volts must be below vdd_min")
+
+
+@dataclass(frozen=True)
+class EnvmConfig:
+    """On-chip ReRAM (eNVM) storage for the shared word embeddings (Sec. 4)."""
+
+    data_bits_per_cell: int = 2  # MLC2 for non-zero embedding values
+    mask_bits_per_cell: int = 1  # bitmask always in SLC
+    capacity_mb: float = 2.0
+
+    def __post_init__(self):
+        if self.data_bits_per_cell not in (1, 2, 3):
+            raise ConfigError("data_bits_per_cell must be 1, 2 or 3")
+        if self.mask_bits_per_cell != 1:
+            raise ConfigError("the bitmask must be stored in SLC (1 bit/cell)")
+        if self.capacity_mb <= 0:
+            raise ConfigError("capacity_mb must be positive")
+
+
+@dataclass(frozen=True)
+class HwConfig:
+    """The EdgeBERT accelerator system (paper Fig. 6, Sec. 7).
+
+    ``mac_vector_size`` is the paper's *n*: the PU holds n vector-MACs of
+    vector width n (n² FP8 MACs total) and computes an n×n×n matmul tile in
+    n cycles.
+    """
+
+    mac_vector_size: int = 16
+    weight_buffer_kb: int = 128  # per decoder block (×2)
+    mask_buffer_kb: int = 16  # per decoder block (×2)
+    aux_buffer_kb: int = 32  # SFU auxiliary buffer
+    input_bits: int = 8  # FP8 PU operands
+    accum_bits: int = 32  # fixed-point accumulation
+    sfu_bits: int = 16  # SFU fixed-point datapaths
+    dvfs: DvfsConfig = field(default_factory=DvfsConfig)
+    envm: EnvmConfig = field(default_factory=EnvmConfig)
+
+    def __post_init__(self):
+        if self.mac_vector_size < 1:
+            raise ConfigError("mac_vector_size must be >= 1")
+        if self.mac_vector_size & (self.mac_vector_size - 1):
+            raise ConfigError("mac_vector_size must be a power of two")
+
+    @property
+    def macs_per_cycle(self):
+        """Peak MAC throughput (n²) of the PU datapath."""
+        return self.mac_vector_size**2
+
+    @classmethod
+    def energy_optimal(cls):
+        """The paper's energy-optimal design point (n = 16)."""
+        return cls(mac_vector_size=16)

@@ -1,0 +1,23 @@
+"""End-to-end EdgeBERT pipeline: engine, artifacts."""
+
+from repro.core.artifacts import (
+    ArtifactConfig,
+    TaskArtifact,
+    artifact_dir,
+    load_all_artifacts,
+    load_task_artifact,
+    train_task_artifact,
+)
+from repro.core.engine import EngineReport, LatencyAwareEngine, SentenceResult
+
+__all__ = [
+    "ArtifactConfig",
+    "TaskArtifact",
+    "artifact_dir",
+    "load_all_artifacts",
+    "load_task_artifact",
+    "train_task_artifact",
+    "EngineReport",
+    "LatencyAwareEngine",
+    "SentenceResult",
+]

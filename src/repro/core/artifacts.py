@@ -1,0 +1,292 @@
+"""Trained-model artifacts: the bridge from training to the benches.
+
+Tables 1/3 and Figs. 8/9 need a *fine-tuned* EdgeBERT model per task
+(learned spans, pruned weights, calibrated off-ramps). Training takes
+minutes per task even at tiny scale, so artifacts are built once and
+cached on disk (``.artifacts/`` by default, override with
+``REPRO_ARTIFACT_DIR``); every bench and integration test loads the cache.
+
+An artifact bundles the trained student, the measured sparsities/spans,
+the per-layer entropies/logits over held-out data (for threshold
+calibration and the EE predictor), and the evaluation labels.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace as _replace
+
+import numpy as np
+
+from repro.autograd import default_dtype
+from repro.config import (
+    GLUE_TASKS,
+    ModelConfig,
+    PruningConfig,
+    TASK_NUM_LABELS,
+    TrainConfig,
+)
+from repro.data import build_vocab, make_task_data
+from repro.earlyexit import collect_layer_outputs
+from repro.errors import ArtifactError
+from repro.model import AlbertModel
+from repro.pruning import measured_embedding_density, measured_encoder_sparsity
+from repro.quant import quantize_model_for_eval
+from repro.training import EdgeBertTrainer, evaluate_accuracy, train_teacher
+from repro.training.span_calibration import calibrate_spans
+from repro.utils.serialization import load_arrays, save_arrays
+
+#: Per-task encoder sparsity targets (paper Table 3).
+TASK_ENCODER_SPARSITY = {"mnli": 0.50, "qqp": 0.80, "sst2": 0.50, "qnli": 0.60}
+
+#: Schema version — bump to invalidate stale caches.
+_VERSION = 3
+
+
+@dataclass(frozen=True)
+class ArtifactConfig:
+    """Scale and recipe of the trained tiny-EdgeBERT artifacts."""
+
+    seq_len: int = 48
+    num_layers: int = 12
+    hidden_size: int = 96
+    num_heads: int = 12
+    ffn_size: int = 384
+    embedding_size: int = 48
+    train_size: int = 768
+    eval_size: int = 320
+    teacher_steps: int = 550
+    steps_phase1: int = 600
+    steps_phase2: int = 250
+    adapt_steps: int = 120  # post-calibration backbone adaptation
+    span_loss_budget: float = 0.08  # relative loss budget for spans
+    calibration_size: int = 128  # examples used by span calibration
+    batch_size: int = 8
+    learning_rate: float = 5e-4
+    seed: int = 0
+    quantize: bool = True
+
+    def model_config(self, task):
+        vocab = build_vocab()
+        return ModelConfig(
+            vocab_size=len(vocab),
+            embedding_size=self.embedding_size,
+            hidden_size=self.hidden_size,
+            num_layers=self.num_layers,
+            num_heads=self.num_heads,
+            ffn_size=self.ffn_size,
+            max_seq_len=self.seq_len,
+            num_labels=TASK_NUM_LABELS[task],
+        )
+
+    def train_config(self, task):
+        return TrainConfig(
+            steps_phase1=self.steps_phase1,
+            steps_phase2=self.steps_phase2,
+            batch_size=self.batch_size,
+            learning_rate=self.learning_rate,
+            seed=self.seed,
+            # Spans are calibrated by loss sensitivity after phase 1 (see
+            # repro.training.span_calibration), not by gradient penalty.
+            span_loss_coeff=0.0,
+            pruning=PruningConfig(
+                embedding_sparsity=0.60,
+                encoder_sparsity=TASK_ENCODER_SPARSITY[task],
+            ),
+        )
+
+    @classmethod
+    def quick(cls):
+        """Fast low-fidelity recipe for tests (seconds, 4 layers)."""
+        return cls(seq_len=32, num_layers=4, train_size=192, eval_size=96,
+                   teacher_steps=60, steps_phase1=80, steps_phase2=40,
+                   adapt_steps=30, calibration_size=64)
+
+
+#: Per-task recipe adjustments. QQP's relational objective needs a longer
+#: teacher run at 12 layers; SST-2's student is seed-sensitive at this
+#: depth (the default seed diverges during adaptation).
+TASK_RECIPE_OVERRIDES = {
+    "qqp": {"teacher_steps": 900, "seed": 2, "span_loss_budget": 0.05},
+    # SST-2's 12-layer student is fragile to aggressive span removal; a
+    # tight budget keeps its long-range head alive, and skipping the
+    # adaptation pass avoids post-calibration divergence.
+    "sst2": {"seed": 4, "span_loss_budget": 0.015, "adapt_steps": 0},
+}
+
+
+def default_config_for(task):
+    """The default artifact recipe for ``task`` (with overrides)."""
+    return ArtifactConfig(**TASK_RECIPE_OVERRIDES.get(task, {}))
+
+
+@dataclass
+class TaskArtifact:
+    """A trained EdgeBERT model plus its evaluation-time measurements."""
+
+    task: str
+    model: AlbertModel
+    model_config: ModelConfig
+    teacher_accuracy: float
+    baseline_accuracy: float  # final off-ramp, after compression
+    spans: np.ndarray
+    encoder_sparsity: float
+    embedding_density: float
+    train_entropies: np.ndarray  # (L, N_train)
+    eval_entropies: np.ndarray  # (L, N_eval)
+    eval_logits: np.ndarray  # (L, N_eval, C)
+    eval_labels: np.ndarray
+
+    @property
+    def average_span(self):
+        return float(np.mean(self.spans))
+
+    @property
+    def active_heads(self):
+        return int((self.spans > 0).sum())
+
+
+def artifact_dir():
+    """Cache directory (created on demand)."""
+    root = os.environ.get("REPRO_ARTIFACT_DIR")
+    if root is None:
+        here = os.path.dirname(os.path.abspath(__file__))
+        root = os.path.join(here, "..", "..", "..", ".artifacts")
+    root = os.path.abspath(root)
+    os.makedirs(root, exist_ok=True)
+    return root
+
+
+def _cache_path(task, config):
+    tag = (f"{task}_L{config.num_layers}H{config.hidden_size}"
+           f"S{config.seq_len}T{config.train_size}"
+           f"p{config.steps_phase1}-{config.steps_phase2}"
+           f"seed{config.seed}v{_VERSION}")
+    return os.path.join(artifact_dir(), tag)
+
+
+def train_task_artifact(task, config=None):
+    """Train one task's EdgeBERT model from scratch (no cache)."""
+    if task not in GLUE_TASKS:
+        raise ArtifactError(f"unknown task {task!r}")
+    config = config or default_config_for(task)
+    with default_dtype("float32"):
+        model_config = config.model_config(task)
+        train, eval_split = make_task_data(
+            task, train_size=config.train_size, eval_size=config.eval_size,
+            seed=config.seed, max_seq_len=config.seq_len)
+
+        # The teacher is a plain task-tuned ALBERT: no adaptive span (its
+        # attention stays fully open), no pruning, no off-ramp training.
+        teacher_config = _replace(model_config, use_adaptive_span=False)
+        teacher = AlbertModel(teacher_config, seed=config.seed + 1)
+        train_teacher(teacher, train, steps=config.teacher_steps,
+                      batch_size=config.batch_size,
+                      lr=config.learning_rate, seed=config.seed)
+        teacher_accuracy = evaluate_accuracy(teacher, eval_split)
+
+        student = AlbertModel(model_config, seed=config.seed)
+        span = student.shared_encoder.attention.span
+        # Train with fully-open spans; calibration decides reach afterward.
+        span.z.data[:] = config.seq_len + span.ramp
+        trainer = EdgeBertTrainer(student, config.train_config(task),
+                                  teacher=teacher)
+        trainer.train_phase1(train)
+        calibration = train.subset(np.arange(min(config.calibration_size,
+                                                 len(train))))
+        calibrate_spans(student, calibration,
+                        loss_budget=config.span_loss_budget)
+        span.z.requires_grad = False
+        if config.adapt_steps:
+            trainer.train_adaptation(train, config.adapt_steps)
+        trainer.train_phase2(train)
+        if config.quantize:
+            quantize_model_for_eval(student)
+        student.eval()
+
+        train_logits, train_entropies = collect_layer_outputs(student, train)
+        eval_logits, eval_entropies = collect_layer_outputs(student,
+                                                            eval_split)
+        del train_logits
+        return TaskArtifact(
+            task=task,
+            model=student,
+            model_config=model_config,
+            teacher_accuracy=float(teacher_accuracy),
+            baseline_accuracy=float(
+                (eval_logits[-1].argmax(-1) == eval_split.labels).mean()),
+            spans=student.attention_spans(),
+            encoder_sparsity=float(measured_encoder_sparsity(student)),
+            embedding_density=float(measured_embedding_density(student)),
+            train_entropies=train_entropies,
+            eval_entropies=eval_entropies,
+            eval_logits=eval_logits,
+            eval_labels=eval_split.labels.copy(),
+        )
+
+
+def _save_artifact(path, artifact, config):
+    arrays = {f"param::{k}": v for k, v in artifact.model.state_dict().items()}
+    arrays.update({
+        "spans": artifact.spans,
+        "train_entropies": artifact.train_entropies,
+        "eval_entropies": artifact.eval_entropies,
+        "eval_logits": artifact.eval_logits,
+        "eval_labels": artifact.eval_labels,
+    })
+    metadata = {
+        "task": artifact.task,
+        "teacher_accuracy": artifact.teacher_accuracy,
+        "baseline_accuracy": artifact.baseline_accuracy,
+        "encoder_sparsity": artifact.encoder_sparsity,
+        "embedding_density": artifact.embedding_density,
+        "version": _VERSION,
+    }
+    save_arrays(path, arrays, metadata)
+
+
+def _load_artifact(path, task, config):
+    arrays, metadata = load_arrays(path)
+    if metadata.get("version") != _VERSION or metadata.get("task") != task:
+        raise ArtifactError(f"stale artifact cache at {path}")
+    model_config = config.model_config(task)
+    model = AlbertModel(model_config, seed=config.seed)
+    state = {k[len("param::"):]: v for k, v in arrays.items()
+             if k.startswith("param::")}
+    model.load_state_dict(state)
+    model.eval()
+    return TaskArtifact(
+        task=task,
+        model=model,
+        model_config=model_config,
+        teacher_accuracy=metadata["teacher_accuracy"],
+        baseline_accuracy=metadata["baseline_accuracy"],
+        spans=arrays["spans"],
+        encoder_sparsity=metadata["encoder_sparsity"],
+        embedding_density=metadata["embedding_density"],
+        train_entropies=arrays["train_entropies"],
+        eval_entropies=arrays["eval_entropies"],
+        eval_logits=arrays["eval_logits"],
+        eval_labels=arrays["eval_labels"].astype(np.int64),
+    )
+
+
+def load_task_artifact(task, config=None, force_rebuild=False):
+    """Load a cached artifact, training (and caching) it if missing."""
+    config = config or default_config_for(task)
+    path = _cache_path(task, config)
+    if not force_rebuild and os.path.exists(path + ".npz"):
+        try:
+            return _load_artifact(path, task, config)
+        except (ArtifactError, KeyError, ValueError):
+            pass  # fall through to rebuild
+    artifact = train_task_artifact(task, config)
+    _save_artifact(path, artifact, config)
+    return artifact
+
+
+def load_all_artifacts(config=None, tasks=GLUE_TASKS, force_rebuild=False):
+    """Artifacts for every evaluated task (builds missing ones)."""
+    return {task: load_task_artifact(task, config=config,
+                                     force_rebuild=force_rebuild)
+            for task in tasks}

@@ -1,0 +1,263 @@
+"""End-to-end latency-aware inference (the paper's headline system).
+
+The engine executes Algorithm 2 against the hardware model: layer 1 runs
+at nominal V/F, the layer-1 entropy consults the EE-predictor LUT, the
+DVFS controller drops the supply to the lowest point that still meets the
+per-sentence latency target for the predicted remaining work, and the
+entropy check keeps running up to the predicted layer (where termination
+is forced, preserving the timing guarantee).
+
+Four execution modes reproduce Fig. 9's bars:
+
+* ``base`` — all layers at nominal V/F, no exits;
+* ``ee`` — Algorithm 1 (latency-unbounded early exit) at nominal V/F;
+* ``lai`` — Algorithm 2 with sentence-level DVFS;
+* ``lai`` with AAS + sparse — the same plus adaptive-span predication and
+  compressed sparse execution in the datapath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import HwConfig
+from repro.dvfs import DvfsController
+from repro.errors import PipelineError
+from repro.hw.accelerator import AcceleratorModel
+from repro.hw.memories import ReramBufferModel
+from repro.hw.workload import build_embedding_workload, build_encoder_workload
+
+
+@dataclass(frozen=True)
+class SentenceResult:
+    """Cost and outcome of one sentence inference."""
+
+    exit_layer: int
+    predicted_layer: int
+    prediction: int
+    latency_ms: float
+    energy_mj: float
+    vdd: float  # operating voltage of the post-prediction layers
+    freq_ghz: float
+    met_target: bool
+
+
+@dataclass
+class EngineReport:
+    """Aggregate over a dataset."""
+
+    results: list = field(default_factory=list)
+
+    def append(self, result):
+        self.results.append(result)
+
+    @property
+    def average_energy_mj(self):
+        return float(np.mean([r.energy_mj for r in self.results]))
+
+    @property
+    def average_latency_ms(self):
+        return float(np.mean([r.latency_ms for r in self.results]))
+
+    @property
+    def average_exit_layer(self):
+        return float(np.mean([r.exit_layer for r in self.results]))
+
+    @property
+    def average_predicted_layer(self):
+        return float(np.mean([r.predicted_layer for r in self.results]))
+
+    @property
+    def average_vdd(self):
+        return float(np.mean([r.vdd for r in self.results]))
+
+    @property
+    def average_freq_ghz(self):
+        return float(np.mean([r.freq_ghz for r in self.results]))
+
+    @property
+    def target_violations(self):
+        return sum(not r.met_target for r in self.results)
+
+    def accuracy(self, labels):
+        predictions = np.array([r.prediction for r in self.results])
+        return float((predictions == np.asarray(labels)).mean())
+
+
+class LatencyAwareEngine:
+    """Prices Algorithm 2 (and the baselines) on the accelerator model."""
+
+    def __init__(self, model_config, hw_config=None, spans=None,
+                 activation_density=0.60, weight_density=1.0,
+                 embedding_density=0.40, use_adaptive_span=False,
+                 sparse_execution=False, seq_len=None, tech=None):
+        self.model_config = model_config
+        self.hw_config = hw_config or HwConfig.energy_optimal()
+        self.accelerator = AcceleratorModel(self.hw_config, tech=tech)
+        self.dvfs = DvfsController(self.hw_config.dvfs)
+        self.reram = ReramBufferModel()
+        self.seq_len = int(seq_len or model_config.max_seq_len)
+        self.sparse_execution = sparse_execution
+        self._embedding_density = embedding_density
+
+        self.layer_workload = build_encoder_workload(
+            model_config, seq_len=self.seq_len,
+            spans=spans if use_adaptive_span else None,
+            activation_density=activation_density if sparse_execution else 1.0,
+            weight_density=weight_density if sparse_execution else 1.0,
+            use_adaptive_span=use_adaptive_span)
+        self.embed_workload = build_embedding_workload(
+            model_config, seq_len=self.seq_len,
+            embedding_density=embedding_density)
+
+        nominal_vdd, nominal_freq = self.dvfs.table.nominal_point()
+        self._nominal = (nominal_vdd, nominal_freq)
+        self._layer_nominal = self.accelerator.layer_metrics(
+            self.layer_workload, vdd=nominal_vdd, freq_ghz=nominal_freq,
+            sparse_execution=sparse_execution)
+        self._embed_nominal = self.accelerator.layer_metrics(
+            self.embed_workload, vdd=nominal_vdd, freq_ghz=nominal_freq,
+            sparse_execution=sparse_execution)
+
+    # -- building blocks ---------------------------------------------------------
+
+    def _embedding_read_energy_pj(self):
+        """ReRAM gather of the sentence's token embedding rows."""
+        row_bytes = self.model_config.embedding_size  # FP8: 1 B per value
+        data = self.seq_len * row_bytes * self._embedding_density
+        mask = self.seq_len * row_bytes / 8.0
+        return self.reram.read_energy_pj(data, mask)
+
+    def _layer_at(self, vdd, freq_ghz):
+        return self.accelerator.layer_metrics(
+            self.layer_workload, vdd=vdd, freq_ghz=freq_ghz,
+            sparse_execution=self.sparse_execution)
+
+    @property
+    def layer_cycles(self):
+        return self._layer_nominal.cycles
+
+    # -- execution modes -----------------------------------------------------------
+
+    def run_conventional(self, prediction):
+        """Full 12-layer inference at nominal V/F (Fig. 1a)."""
+        num_layers = self.model_config.num_layers
+        energy = (self._embed_nominal.energy_pj
+                  + self._embedding_read_energy_pj()
+                  + num_layers * self._layer_nominal.energy_pj)
+        time_ns = (self._embed_nominal.time_ns
+                   + num_layers * self._layer_nominal.time_ns)
+        vdd, freq = self._nominal
+        return SentenceResult(
+            exit_layer=num_layers, predicted_layer=num_layers,
+            prediction=int(prediction), latency_ms=time_ns * 1e-6,
+            energy_mj=energy * 1e-9, vdd=vdd, freq_ghz=freq, met_target=True)
+
+    def run_early_exit(self, exit_layer, prediction):
+        """Algorithm 1 at nominal V/F (latency-unbounded early exit)."""
+        exit_layer = int(exit_layer)
+        energy = (self._embed_nominal.energy_pj
+                  + self._embedding_read_energy_pj()
+                  + exit_layer * self._layer_nominal.energy_pj)
+        time_ns = (self._embed_nominal.time_ns
+                   + exit_layer * self._layer_nominal.time_ns)
+        vdd, freq = self._nominal
+        return SentenceResult(
+            exit_layer=exit_layer, predicted_layer=exit_layer,
+            prediction=int(prediction), latency_ms=time_ns * 1e-6,
+            energy_mj=energy * 1e-9, vdd=vdd, freq_ghz=freq, met_target=True)
+
+    def run_latency_aware(self, entropies, lut, entropy_threshold,
+                          target_ms, prediction_at):
+        """Algorithm 2 for one sentence.
+
+        ``entropies`` is the sentence's per-layer entropy vector (layer 1
+        first); ``prediction_at(layer)`` returns the class predicted at a
+        1-based layer. The returned exit layer is
+        min(first-below-threshold, LUT prediction).
+        """
+        entropies = np.asarray(entropies, dtype=np.float64)
+        num_layers = self.model_config.num_layers
+        if entropies.shape[0] != num_layers:
+            raise PipelineError(
+                f"expected {num_layers} entropies, got {entropies.shape[0]}")
+        target_ns = target_ms * 1e6
+        nominal_vdd, nominal_freq = self._nominal
+
+        # Front end: embedding stage + encoder layer 1 at nominal V/F.
+        elapsed_ns = self._embed_nominal.time_ns + self._layer_nominal.time_ns
+        energy_pj = (self._embed_nominal.energy_pj
+                     + self._embedding_read_energy_pj()
+                     + self._layer_nominal.energy_pj)
+        if entropies[0] < entropy_threshold:
+            return SentenceResult(
+                exit_layer=1, predicted_layer=1,
+                prediction=int(prediction_at(1)),
+                latency_ms=elapsed_ns * 1e-6, energy_mj=energy_pj * 1e-9,
+                vdd=nominal_vdd, freq_ghz=nominal_freq, met_target=True)
+
+        predicted = int(np.clip(lut.predict(entropies[0]), 1, num_layers))
+        remaining_cycles = (predicted - 1) * self._layer_nominal.cycles
+        point = self.dvfs.plan(remaining_cycles, target_ns, elapsed_ns)
+        transition_ns = self.dvfs.transition_overhead_ns(
+            nominal_vdd, point.vdd, nominal_freq, point.freq_ghz)
+        elapsed_ns += transition_ns
+
+        scaled = self._layer_at(point.vdd, point.freq_ghz)
+        exit_layer = predicted
+        for layer in range(2, predicted + 1):
+            elapsed_ns += scaled.time_ns
+            energy_pj += scaled.energy_pj
+            if entropies[layer - 1] < entropy_threshold:
+                exit_layer = layer
+                break
+        # Return transition (back toward nominal for the next sentence).
+        energy_pj += self.dvfs.ldo.overhead_energy_pj(
+            scaled.energy_pj * 0.02, point.vdd)
+        met = elapsed_ns <= target_ns + 1e-6
+        return SentenceResult(
+            exit_layer=exit_layer, predicted_layer=predicted,
+            prediction=int(prediction_at(exit_layer)),
+            latency_ms=elapsed_ns * 1e-6, energy_mj=energy_pj * 1e-9,
+            vdd=point.vdd, freq_ghz=point.freq_ghz,
+            met_target=met and point.meets_target)
+
+    # -- dataset-level simulation ----------------------------------------------------
+
+    def simulate_dataset(self, mode, layer_logits, entropies, lut=None,
+                         entropy_threshold=None, target_ms=None):
+        """Price a whole dataset from precomputed per-layer logits.
+
+        ``layer_logits`` is (L, N, C); ``entropies`` (L, N) — both from
+        :func:`repro.earlyexit.collect_layer_outputs` on the trained
+        model, so the algorithmic behaviour is the real model's.
+        """
+        num_layers, n, _ = layer_logits.shape
+        report = EngineReport()
+        predictions = layer_logits.argmax(axis=-1)  # (L, N)
+        if mode == "base":
+            for i in range(n):
+                report.append(self.run_conventional(predictions[-1, i]))
+            return report
+        if entropy_threshold is None:
+            raise PipelineError(f"mode {mode!r} needs an entropy threshold")
+        below = entropies < entropy_threshold
+        first_below = np.argmax(below, axis=0) + 1
+        first_below[~below.any(axis=0)] = num_layers
+        if mode == "ee":
+            for i in range(n):
+                exit_layer = int(first_below[i])
+                report.append(self.run_early_exit(
+                    exit_layer, predictions[exit_layer - 1, i]))
+            return report
+        if mode == "lai":
+            if lut is None or target_ms is None:
+                raise PipelineError("lai mode needs a LUT and latency target")
+            for i in range(n):
+                report.append(self.run_latency_aware(
+                    entropies[:, i], lut, entropy_threshold, target_ms,
+                    prediction_at=lambda layer, i=i: predictions[layer - 1, i]))
+            return report
+        raise PipelineError(f"unknown mode {mode!r}")

@@ -1,0 +1,31 @@
+"""Synthetic GLUE-like corpora and dataset utilities."""
+
+from repro.data.dataset import (
+    EncodedDataset,
+    build_tokenizer,
+    build_vocab,
+    encode_examples,
+    make_task_data,
+)
+from repro.data.synthetic_glue import (
+    Example,
+    expected_num_labels,
+    generate_examples,
+    is_pair_task,
+    sample_difficulty,
+    task_generator,
+)
+
+__all__ = [
+    "EncodedDataset",
+    "build_tokenizer",
+    "build_vocab",
+    "encode_examples",
+    "make_task_data",
+    "Example",
+    "expected_num_labels",
+    "generate_examples",
+    "is_pair_task",
+    "sample_difficulty",
+    "task_generator",
+]

@@ -1,0 +1,104 @@
+"""Encoded datasets and batching for the synthetic GLUE tasks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data import lexicon
+from repro.data.synthetic_glue import generate_examples
+from repro.errors import ConfigError
+from repro.tokenizer import Tokenizer, Vocab
+from repro.utils.rng import derive_seed, new_rng
+
+
+def build_vocab():
+    """Vocabulary covering the entire synthetic lexicon."""
+    return Vocab(lexicon.all_words())
+
+
+def build_tokenizer():
+    """Tokenizer over the shared synthetic vocabulary."""
+    return Tokenizer(build_vocab())
+
+
+@dataclass
+class EncodedDataset:
+    """Model-ready arrays for one split of one task."""
+
+    task: str
+    input_ids: np.ndarray  # (N, seq) int64
+    token_type_ids: np.ndarray  # (N, seq) int64
+    attention_mask: np.ndarray  # (N, seq) int64
+    labels: np.ndarray  # (N,) int64
+    difficulty: np.ndarray  # (N,) float64
+
+    def __len__(self):
+        return self.input_ids.shape[0]
+
+    def subset(self, indices):
+        """View of the dataset restricted to ``indices``."""
+        indices = np.asarray(indices)
+        return EncodedDataset(
+            task=self.task,
+            input_ids=self.input_ids[indices],
+            token_type_ids=self.token_type_ids[indices],
+            attention_mask=self.attention_mask[indices],
+            labels=self.labels[indices],
+            difficulty=self.difficulty[indices],
+        )
+
+    def batches(self, batch_size, seed=None, drop_last=False):
+        """Yield dict batches; shuffles when ``seed`` is given."""
+        if batch_size <= 0:
+            raise ConfigError("batch_size must be positive")
+        order = np.arange(len(self))
+        if seed is not None:
+            new_rng(seed).shuffle(order)
+        for start in range(0, len(self), batch_size):
+            idx = order[start:start + batch_size]
+            if drop_last and len(idx) < batch_size:
+                return
+            yield {
+                "input_ids": self.input_ids[idx],
+                "token_type_ids": self.token_type_ids[idx],
+                "attention_mask": self.attention_mask[idx],
+                "labels": self.labels[idx],
+                "difficulty": self.difficulty[idx],
+            }
+
+
+def encode_examples(examples, tokenizer, max_seq_len=128):
+    """Encode generated examples into an :class:`EncodedDataset`."""
+    if not examples:
+        raise ConfigError("cannot encode an empty example list")
+    task = examples[0].task
+    pairs = [(e.text_a, e.text_b) for e in examples]
+    ids, types, mask = tokenizer.encode_batch(pairs, max_seq_len=max_seq_len)
+    return EncodedDataset(
+        task=task,
+        input_ids=ids,
+        token_type_ids=types,
+        attention_mask=mask,
+        labels=np.asarray([e.label for e in examples], dtype=np.int64),
+        difficulty=np.asarray([e.difficulty for e in examples]),
+    )
+
+
+def make_task_data(task, train_size=512, eval_size=256, seed=0,
+                   max_seq_len=128, tokenizer=None):
+    """Generate and encode train/eval splits for ``task``.
+
+    Returns ``(train, eval)`` :class:`EncodedDataset` objects drawn from
+    independent RNG streams derived from ``seed``.
+    """
+    tokenizer = tokenizer or build_tokenizer()
+    train_examples = generate_examples(
+        task, train_size, seed=derive_seed(seed, task, "train"))
+    eval_examples = generate_examples(
+        task, eval_size, seed=derive_seed(seed, task, "eval"))
+    train = encode_examples(train_examples, tokenizer, max_seq_len=max_seq_len)
+    eval_split = encode_examples(eval_examples, tokenizer,
+                                 max_seq_len=max_seq_len)
+    return train, eval_split

@@ -1,0 +1,144 @@
+"""Closed lexicon for the synthetic GLUE-like corpora.
+
+The four task generators draw from these word banks. The banks are small
+enough for a tiny ALBERT to learn quickly but structured enough to produce
+graded example difficulty (strong vs. weak lexical evidence, negation,
+contrast clauses, paraphrase via synonym substitution).
+"""
+
+from __future__ import annotations
+
+POSITIVE_WORDS = (
+    "good great excellent wonderful brilliant delightful superb amazing "
+    "charming clever funny smart moving fresh crisp engaging gripping warm "
+    "inventive stylish graceful vivid witty lively stunning tender sincere "
+    "polished rich bold elegant radiant thrilling soulful luminous deft "
+    "sharp nimble sublime rewarding"
+).split()
+
+NEGATIVE_WORDS = (
+    "bad awful terrible dreadful boring dull horrid weak messy bland stale "
+    "clumsy tedious shallow lifeless grim sour flat hollow sloppy murky "
+    "forced tired crude leaden trite vapid drab soggy limp rigid stilted "
+    "lumpy gaudy turgid feeble dismal inert plodding listless"
+).split()
+
+#: Nouns grouped by topic. The grouping gives the QQP generator a
+#: *lexically learnable* notion of "different question": real non-duplicate
+#: question pairs usually concern different topics, so cross-topic pairs
+#: are easy negatives while same-topic pairs form the hard tail.
+NOUN_GROUPS = (
+    ("film plot actor scene story music ending character dialogue director "
+     "script camera pacing tone cast crew premise finale montage narration"
+     ).split(),
+    ("city street garden bridge market station library museum harbor tower "
+     "river valley forest meadow village castle abbey mill quay orchard"
+     ).split(),
+    ("engine device machine circuit sensor battery antenna module panel"
+     ).split(),
+    ("journal ledger charter treaty decree statute archive census atlas"
+     ).split(),
+)
+
+NEUTRAL_NOUNS = [noun for group in NOUN_GROUPS for noun in group]
+
+VERBS = (
+    "watched praised admired enjoyed described painted built opened closed "
+    "carried moved visited crossed studied measured repaired signed drafted "
+    "launched tested observed recorded mapped traced guarded restored "
+    "sketched borrowed returned delivered collected"
+).split()
+
+NAMES = (
+    "alice bob carol david emma frank grace henry irene jack karen liam "
+    "mona noah olive peter quinn rosa sam tina ulric vera walter xena "
+    "yusuf zara"
+).split()
+
+PLACES = (
+    "paris london tokyo cairo oslo lima quito delhi seoul dublin vienna "
+    "lisbon madrid prague athens bergen turin geneva kyoto naples"
+).split()
+
+FUNCTION_WORDS = (
+    "the a an is was are to of and or with it this that in on at by for "
+    "from near under over"
+).split()
+
+NEGATORS = "not never hardly barely".split()
+INTENSIFIERS = "very really extremely quite truly".split()
+CONTRAST_WORDS = "but although however yet".split()
+HEDGES = "maybe perhaps possibly reportedly apparently".split()
+DISCOURSE_WORDS = "exactly so again also then once did".split()
+
+QUESTION_WORDS = "where who what when".split()
+
+#: Synonym pairs used for paraphrase generation (both directions).
+SYNONYM_PAIRS = (
+    ("film", "movie"), ("story", "tale"), ("good", "fine"),
+    ("big", "large"), ("small", "little"), ("happy", "glad"),
+    ("city", "town"), ("street", "road"), ("watched", "viewed"),
+    ("built", "constructed"), ("opened", "unlocked"), ("praised", "lauded"),
+    ("garden", "yard"), ("bridge", "span"), ("fast", "quick"),
+    ("old", "ancient"), ("music", "score"), ("ending", "finale"),
+)
+
+#: Antonym pairs used for MNLI contradictions.
+ANTONYM_PAIRS = (
+    ("good", "bad"), ("big", "small"), ("happy", "sad"),
+    ("opened", "closed"), ("fast", "slow"), ("old", "new"),
+    ("warm", "cold"), ("bright", "dark"), ("praised", "condemned"),
+    ("early", "late"),
+)
+
+_EXTRA_ADJECTIVES = (
+    "big large small little happy glad sad fast quick slow old ancient new "
+    "warm cold bright dark early late"
+).split()
+
+
+def noun_group_index():
+    """Word → topic-group index for the grouped nouns."""
+    table = {}
+    for index, group in enumerate(NOUN_GROUPS):
+        for noun in group:
+            table[noun] = index
+    return table
+
+
+def synonym_map():
+    """Word → synonym dict (symmetric closure of :data:`SYNONYM_PAIRS`)."""
+    table = {}
+    for a, b in SYNONYM_PAIRS:
+        table[a] = b
+        table[b] = a
+    return table
+
+
+def antonym_map():
+    """Word → antonym dict (symmetric closure of :data:`ANTONYM_PAIRS`)."""
+    table = {}
+    for a, b in ANTONYM_PAIRS:
+        table[a] = b
+        table[b] = a
+    return table
+
+
+def all_words():
+    """Every lexicon word (deduplicated, deterministic order)."""
+    seen = []
+    seen_set = set()
+    for bank in (POSITIVE_WORDS, NEGATIVE_WORDS, NEUTRAL_NOUNS, VERBS, NAMES,
+                 PLACES, FUNCTION_WORDS, NEGATORS, INTENSIFIERS,
+                 CONTRAST_WORDS, HEDGES, DISCOURSE_WORDS, QUESTION_WORDS,
+                 _EXTRA_ADJECTIVES):
+        for word in bank:
+            if word not in seen_set:
+                seen_set.add(word)
+                seen.append(word)
+    for a, b in SYNONYM_PAIRS + ANTONYM_PAIRS:
+        for word in (a, b):
+            if word not in seen_set:
+                seen_set.add(word)
+                seen.append(word)
+    return seen

@@ -1,0 +1,301 @@
+"""Synthetic stand-ins for the four GLUE tasks the paper evaluates.
+
+The paper fine-tunes on SST-2 (single-sentence sentiment), QQP (question
+paraphrase), QNLI and MNLI (inference). The public GLUE corpora are not
+available offline, so these generators produce structurally matched tasks
+over a closed lexicon:
+
+* same input structure (single sentence vs. sentence pair),
+* same label cardinality (MNLI is 3-way, the others binary),
+* a per-example ``difficulty`` in [0, 1] controlling how much lexical
+  evidence the label leaves in the text. Low difficulty = blatant signal
+  (early exit territory); high difficulty = single weak cue with noise.
+
+That difficulty gradient is what gives early exit, entropy prediction and
+span learning the same qualitative behaviour the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import GLUE_TASKS, TASK_IS_PAIR, TASK_NUM_LABELS
+from repro.data import lexicon
+from repro.errors import ConfigError
+from repro.utils.rng import derive_seed, new_rng
+
+
+@dataclass(frozen=True)
+class Example:
+    """One generated classification example."""
+
+    text_a: str
+    text_b: str | None
+    label: int
+    difficulty: float
+    task: str
+
+
+def _choice(rng, bank):
+    return bank[int(rng.integers(len(bank)))]
+
+
+def _fillers(rng, count):
+    return [_choice(rng, lexicon.FUNCTION_WORDS) for _ in range(count)]
+
+
+def _noun_phrase(rng):
+    return f"{_choice(rng, ('the', 'a'))} {_choice(rng, lexicon.NEUTRAL_NOUNS)}"
+
+
+class _TaskGenerator:
+    """Base class: concrete tasks implement :meth:`generate`."""
+
+    task = None
+
+    def generate(self, rng, difficulty):
+        raise NotImplementedError
+
+
+class Sst2Generator(_TaskGenerator):
+    """Single-sentence sentiment with negation and contrast clauses."""
+
+    task = "sst2"
+
+    def generate(self, rng, difficulty):
+        label = int(rng.integers(2))
+        polar = lexicon.POSITIVE_WORDS if label else lexicon.NEGATIVE_WORDS
+        other = lexicon.NEGATIVE_WORDS if label else lexicon.POSITIVE_WORDS
+
+        # Easy: many aligned sentiment words. Hard: one cue, possibly a
+        # negated opposite-polarity word plus a contrast clause.
+        n_cues = max(1, int(round(4.0 * (1.0 - difficulty))))
+        words = [_noun_phrase(rng), _choice(rng, ("is", "was"))]
+        if difficulty > 0.55 and rng.random() < 0.7:
+            # Contrast construction: "... <other-clause> but <label-clause>"
+            words.append(_choice(rng, other))
+            words.append(_choice(rng, lexicon.CONTRAST_WORDS))
+            words.append(_choice(rng, lexicon.INTENSIFIERS))
+            words.append(_choice(rng, polar))
+        elif difficulty > 0.45 and rng.random() < 0.5:
+            # Negated opposite polarity: "not <other-word>" implies label.
+            words.append(_choice(rng, lexicon.NEGATORS))
+            words.append(_choice(rng, other))
+        else:
+            for _ in range(n_cues):
+                if rng.random() < 0.4:
+                    words.append(_choice(rng, lexicon.INTENSIFIERS))
+                words.append(_choice(rng, polar))
+        words.extend(_fillers(rng, int(rng.integers(0, 2 + int(4 * difficulty)))))
+        return Example(" ".join(words), None, label, difficulty, self.task)
+
+
+class QqpGenerator(_TaskGenerator):
+    """Question-pair duplicate detection.
+
+    Duplicates are synonym/filler paraphrases of the same question.
+    Non-duplicates ask about a *different topic* (a noun from another
+    topic group plus fresh subject/verb) — a lexically learnable signal,
+    the way real non-duplicate questions differ. The hard tail keeps the
+    second question in the same topic group, which demands genuinely
+    relational (token-matching) reasoning.
+    """
+
+    task = "qqp"
+
+    def __init__(self):
+        self._synonyms = lexicon.synonym_map()
+        self._groups = lexicon.noun_group_index()
+
+    def _question(self, rng, noun=None):
+        qword = _choice(rng, lexicon.QUESTION_WORDS)
+        noun = noun or _choice(rng, lexicon.NEUTRAL_NOUNS)
+        verb = _choice(rng, lexicon.VERBS)
+        name = _choice(rng, lexicon.NAMES)
+        return [qword, "did", name, verb, "the", noun]
+
+    def _paraphrase(self, rng, words, strength):
+        """Synonym-substitute and lightly pad; strength in [0,1]."""
+        out = []
+        for word in words:
+            if word in self._synonyms and rng.random() < 0.15 + 0.35 * strength:
+                out.append(self._synonyms[word])
+            else:
+                out.append(word)
+        # Re-asked questions tend to open with a discourse marker
+        # ("again", "so", ...) — a surface cue real duplicates carry.
+        if rng.random() < 0.45:
+            out.insert(0, _choice(rng, lexicon.DISCOURSE_WORDS))
+        return out
+
+    def generate(self, rng, difficulty):
+        label = int(rng.integers(2))  # 1 = duplicate
+        base = self._question(rng)
+        base_group = self._groups[base[5]]
+        if label:
+            other = self._paraphrase(rng, base, strength=difficulty)
+        else:
+            if difficulty < 0.7:
+                # Easy negative: a question about a different topic *and*
+                # with a different question word — duplicates repeat their
+                # question word, non-duplicates don't.
+                other_groups = [g for g in range(len(lexicon.NOUN_GROUPS))
+                                if g != base_group]
+                group = lexicon.NOUN_GROUPS[
+                    other_groups[int(rng.integers(len(other_groups)))]]
+                other = self._question(rng, noun=_choice(rng, group))
+                other_qwords = [q for q in lexicon.QUESTION_WORDS
+                                if q != base[0]]
+                other[0] = _choice(rng, other_qwords)
+            else:
+                # Hard negative: same topic, different specifics — only
+                # token-level matching can tell it from a paraphrase.
+                other = self._question(
+                    rng, noun=_choice(rng, lexicon.NOUN_GROUPS[base_group]))
+        return Example(" ".join(base), " ".join(other), label, difficulty,
+                       self.task)
+
+
+class QnliGenerator(_TaskGenerator):
+    """Question / sentence pairs: does the sentence answer the question?"""
+
+    task = "qnli"
+
+    def generate(self, rng, difficulty):
+        label = int(rng.integers(2))  # 1 = sentence answers the question
+        name = _choice(rng, lexicon.NAMES)
+        place = _choice(rng, lexicon.PLACES)
+        noun = _choice(rng, lexicon.NEUTRAL_NOUNS)
+        verb = _choice(rng, lexicon.VERBS)
+        question = f"where is the {noun} that {name} {verb}"
+        if label:
+            answer = f"the {noun} {name} {verb} is in {place}"
+            if difficulty > 0.5:
+                # Bury the answer in hedges and filler.
+                answer = (f"{_choice(rng, lexicon.HEDGES)} the {noun} "
+                          f"{name} {verb} is in {place} "
+                          f"{' '.join(_fillers(rng, 3))}")
+        else:
+            if difficulty < 0.5:
+                # Easy negative: unrelated statement.
+                answer = (f"{_choice(rng, lexicon.NAMES)} "
+                          f"{_choice(rng, lexicon.VERBS)} "
+                          f"{_noun_phrase(rng)}")
+            else:
+                # Hard negative: same entities, wrong relation (who, not
+                # where).
+                answer = (f"it was {_choice(rng, lexicon.NAMES)} who "
+                          f"{verb} the {noun}")
+        return Example(question, answer, label, difficulty, self.task)
+
+
+class MnliGenerator(_TaskGenerator):
+    """Premise/hypothesis with entailment / neutral / contradiction."""
+
+    task = "mnli"
+    LABELS = ("entailment", "neutral", "contradiction")
+
+    def __init__(self):
+        self._synonyms = lexicon.synonym_map()
+        self._antonyms = lexicon.antonym_map()
+
+    def generate(self, rng, difficulty):
+        label = int(rng.integers(3))
+        name = _choice(rng, lexicon.NAMES)
+        verb = _choice(rng, lexicon.VERBS)
+        noun = _choice(rng, lexicon.NEUTRAL_NOUNS)
+        place = _choice(rng, lexicon.PLACES)
+        adjective = _choice(rng, [a for a, _ in lexicon.ANTONYM_PAIRS])
+        premise = f"{name} {verb} the {adjective} {noun} in {place}"
+
+        if label == 0:  # entailment: drop detail and/or synonym-substitute
+            hyp_noun = self._synonyms.get(noun, noun) \
+                if rng.random() < difficulty else noun
+            hypothesis = f"{name} {verb} the {hyp_noun}"
+            if difficulty > 0.6:
+                hypothesis = f"{name} {verb} a {adjective} {hyp_noun}"
+        elif label == 2:  # contradiction: negate or antonym
+            if rng.random() < 0.5:
+                hypothesis = f"{name} {_choice(rng, lexicon.NEGATORS)} {verb} the {noun}"
+            else:
+                hypothesis = (f"{name} {verb} the "
+                              f"{self._antonyms[adjective]} {noun} in {place}")
+        else:  # neutral: unverifiable addition
+            hedge = _choice(rng, lexicon.HEDGES)
+            extra = _choice(rng, lexicon.VERBS)
+            hypothesis = f"{hedge} {name} {extra} {_noun_phrase(rng)}"
+            if difficulty > 0.5:
+                hypothesis = (f"{name} {verb} the {noun} and {hedge} "
+                              f"{extra} {_noun_phrase(rng)}")
+        return Example(premise, hypothesis, label, difficulty, self.task)
+
+
+_GENERATORS = {
+    "sst2": Sst2Generator,
+    "qqp": QqpGenerator,
+    "qnli": QnliGenerator,
+    "mnli": MnliGenerator,
+}
+
+
+def task_generator(task):
+    """Instantiate the generator for ``task``."""
+    if task not in _GENERATORS:
+        raise ConfigError(f"unknown task {task!r}; expected one of {GLUE_TASKS}")
+    return _GENERATORS[task]()
+
+
+def sample_difficulty(rng):
+    """Draw a difficulty in [0, 1], biased toward easy sentences.
+
+    A Beta(1.3, 1.7) mix keeps the bulk of sentences lexically easy —
+    matching the paper's observation that most inputs can exit well before
+    layer 12 — while preserving a hard tail that must run deep.
+    """
+    return float(rng.beta(1.3, 1.7))
+
+
+#: Default label-noise rate. Real GLUE tasks have irreducible annotation
+#: disagreement that caps model accuracy near the paper's 85–92 %; a clean
+#: synthetic task would saturate at 100 % and collapse the early-exit
+#: entropy distribution (everything would exit at layer 1).
+DEFAULT_LABEL_NOISE = 0.05
+
+
+def generate_examples(task, count, seed=0, difficulty=None,
+                      label_noise=DEFAULT_LABEL_NOISE):
+    """Generate ``count`` examples for ``task``.
+
+    ``difficulty`` may be a float (fixed for all examples) or ``None``
+    (sampled per-example via :func:`sample_difficulty`). ``label_noise``
+    flips each label to a uniformly random *other* class with the given
+    probability.
+    """
+    rng = new_rng(seed)
+    # Label noise uses its own stream so toggling it never changes the
+    # generated text (clean/noisy corpora differ only in flipped labels).
+    noise_rng = new_rng(derive_seed(seed if isinstance(seed, int) else 0,
+                                    task, "label-noise"))
+    generator = task_generator(task)
+    num_labels = TASK_NUM_LABELS[task]
+    examples = []
+    for _ in range(count):
+        d = sample_difficulty(rng) if difficulty is None else float(difficulty)
+        example = generator.generate(rng, d)
+        if label_noise > 0.0 and noise_rng.random() < label_noise:
+            wrong = (example.label + 1
+                     + int(noise_rng.integers(num_labels - 1))) % num_labels
+            example = Example(example.text_a, example.text_b, wrong,
+                              example.difficulty, example.task)
+        examples.append(example)
+    return examples
+
+
+def expected_num_labels(task):
+    """Label cardinality for ``task`` (MNLI = 3, others = 2)."""
+    return TASK_NUM_LABELS[task]
+
+
+def is_pair_task(task):
+    """Whether the task consumes sentence pairs."""
+    return TASK_IS_PAIR[task]

@@ -1,0 +1,16 @@
+"""Sentence-level DVFS: V/F table, LDO, ADPLL, controller."""
+
+from repro.dvfs.adpll import AdpllModel
+from repro.dvfs.controller import DvfsController, OperatingPoint
+from repro.dvfs.ldo import LdoModel, VoltageTrace
+from repro.dvfs.vf_table import VoltageFrequencyTable, max_frequency_ghz
+
+__all__ = [
+    "AdpllModel",
+    "DvfsController",
+    "OperatingPoint",
+    "LdoModel",
+    "VoltageTrace",
+    "VoltageFrequencyTable",
+    "max_frequency_ghz",
+]

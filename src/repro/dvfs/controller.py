@@ -1,0 +1,108 @@
+"""Sentence-level DVFS controller (paper Sec. 5.2, Algorithm 2).
+
+Per sentence: layer 1 runs at nominal V/F; once the EE predictor forecasts
+the exit layer, the remaining cycle count is known, so
+
+    Freq_opt = N_cycles / (T − T_elapsed)
+
+and the V/F LUT gives the lowest voltage sustaining that frequency. The
+controller also produces the Fig. 7-style voltage schedule (transition to
+the optimal point, return to nominal between sentences, standby when
+idle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DvfsConfig
+from repro.dvfs.adpll import AdpllModel
+from repro.dvfs.ldo import LdoModel, VoltageTrace
+from repro.dvfs.vf_table import VoltageFrequencyTable
+from repro.errors import DvfsError
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One DVFS decision."""
+
+    vdd: float
+    freq_ghz: float
+    meets_target: bool
+    requested_freq_ghz: float
+
+    @property
+    def is_nominal(self):
+        return not self.meets_target or self.requested_freq_ghz <= 0
+
+
+class DvfsController:
+    """Plans per-sentence operating points and voltage schedules."""
+
+    def __init__(self, config=None):
+        self.config = config or DvfsConfig()
+        self.table = VoltageFrequencyTable(self.config)
+        self.ldo = LdoModel(self.config)
+        self.adpll = AdpllModel(self.config)
+
+    def plan(self, remaining_cycles, target_ns, elapsed_ns):
+        """Choose (vdd, freq) for the remaining work of one sentence.
+
+        Implements ``Freq_opt = N_cycles / (T − T_elapsed)``. When the
+        budget is already blown (or infeasible at f_max), the controller
+        falls back to the nominal point and flags ``meets_target=False`` —
+        the paper's remedy for such targets is a larger MAC vector size.
+        """
+        nominal_vdd, nominal_freq = self.table.nominal_point()
+        slack_ns = target_ns - elapsed_ns
+        if remaining_cycles <= 0:
+            return OperatingPoint(nominal_vdd, nominal_freq, True, 0.0)
+        if slack_ns <= 0:
+            return OperatingPoint(nominal_vdd, nominal_freq, False,
+                                  float("inf"))
+        freq_request = remaining_cycles / slack_ns  # cycles per ns = GHz
+        try:
+            vdd, freq = self.table.lowest_voltage_for(freq_request)
+        except DvfsError:
+            return OperatingPoint(nominal_vdd, nominal_freq, False,
+                                  freq_request)
+        return OperatingPoint(vdd, freq, True, freq_request)
+
+    def transition_overhead_ns(self, v_from, v_to, f_from, f_to):
+        """Settling time before compute may resume (LDO ∥ ADPLL)."""
+        return max(self.ldo.transition_time_ns(v_from, v_to),
+                   self.adpll.relock_time_ns(f_from, f_to))
+
+    def schedule_trace(self, sentence_plans, target_ns, standby_gap_ns=100.0):
+        """Fig. 7-style V(t) trace over consecutive sentence inferences.
+
+        ``sentence_plans`` is a list of dicts with keys ``layer1_ns``
+        (front-end time at nominal), ``opt_vdd`` and ``rest_ns`` (remaining
+        compute time at the scaled point). Each sentence slot is padded to
+        ``target_ns`` (the real-time arrival period), then the trace drops
+        to standby after the last sentence.
+        """
+        trace = VoltageTrace()
+        nominal_vdd, _ = self.table.nominal_point()
+        t = 0.0
+        trace.append(t, self.ldo.standby_voltage)
+        settle = self.ldo.transition_time_ns(self.ldo.standby_voltage,
+                                             nominal_vdd)
+        trace.append(t + settle, nominal_vdd)
+        for plan in sentence_plans:
+            start = t
+            t += float(plan["layer1_ns"])
+            trace.append(t, nominal_vdd)
+            settle = self.ldo.extend_trace(trace, t, nominal_vdd,
+                                           plan["opt_vdd"])
+            t += settle + float(plan["rest_ns"])
+            trace.append(t, plan["opt_vdd"])
+            settle = self.ldo.extend_trace(trace, t, plan["opt_vdd"],
+                                           nominal_vdd)
+            t += settle
+            # Hold at nominal until the next sentence arrives.
+            t = max(t, start + target_ns)
+            trace.append(t, nominal_vdd)
+        settle = self.ldo.extend_trace(
+            trace, t + standby_gap_ns, nominal_vdd, self.ldo.standby_voltage)
+        return trace

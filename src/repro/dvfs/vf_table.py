@@ -1,0 +1,80 @@
+"""Voltage/frequency operating points (the "DVFS LUT", Sec. 7.4.3).
+
+The accelerator's maximum clock frequency at a supply voltage follows the
+alpha-power law
+
+    f_max(V) ∝ (V − V_t)^α / V
+
+normalized so that ``f_max(vdd_nominal) = freq_max_ghz``. The table holds
+one row per LDO step (25 mV from 0.5 V to 0.8 V); the DVFS controller
+indexes it to find the lowest voltage whose f_max meets a frequency
+request — exactly the V/F LUT the paper stores in the SFU auxiliary
+buffer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import DvfsConfig
+from repro.errors import DvfsError
+
+
+def max_frequency_ghz(vdd, config=None):
+    """Alpha-power-law maximum clock frequency at ``vdd`` (GHz)."""
+    config = config or DvfsConfig()
+    vdd = np.asarray(vdd, dtype=np.float64)
+    if np.any(vdd <= config.vt_volts):
+        raise DvfsError(
+            f"vdd must exceed the threshold voltage {config.vt_volts}"
+        )
+    shape = (vdd - config.vt_volts) ** config.alpha_velocity / vdd
+    nominal = ((config.vdd_nominal - config.vt_volts)
+               ** config.alpha_velocity / config.vdd_nominal)
+    result = config.freq_max_ghz * shape / nominal
+    return float(result) if np.isscalar(vdd) or vdd.ndim == 0 else result
+
+
+class VoltageFrequencyTable:
+    """Discrete (vdd, f_max) operating points at the LDO's step size."""
+
+    def __init__(self, config=None):
+        self.config = config or DvfsConfig()
+        steps = int(round((self.config.vdd_max - self.config.vdd_min)
+                          / self.config.vdd_step)) + 1
+        self.voltages = np.round(
+            self.config.vdd_min + np.arange(steps) * self.config.vdd_step, 6)
+        self.frequencies = np.array(
+            [max_frequency_ghz(v, self.config) for v in self.voltages])
+
+    def __len__(self):
+        return self.voltages.size
+
+    def rows(self):
+        """Iterate (vdd, f_max_ghz) rows, lowest voltage first."""
+        return list(zip(self.voltages.tolist(), self.frequencies.tolist()))
+
+    def lowest_voltage_for(self, freq_ghz):
+        """Lowest vdd whose f_max meets ``freq_ghz``.
+
+        Returns ``(vdd, f_max)``; raises :class:`DvfsError` if the request
+        exceeds the table's top frequency.
+        """
+        feasible = self.frequencies >= freq_ghz - 1e-12
+        if not feasible.any():
+            raise DvfsError(
+                f"requested {freq_ghz:.3f} GHz exceeds f_max "
+                f"{self.frequencies[-1]:.3f} GHz at vdd_max"
+            )
+        idx = int(np.argmax(feasible))
+        return float(self.voltages[idx]), float(self.frequencies[idx])
+
+    def nominal_point(self):
+        """(vdd_nominal, freq at nominal) — where every sentence starts."""
+        return (self.config.vdd_nominal,
+                float(max_frequency_ghz(self.config.vdd_nominal, self.config)))
+
+    @property
+    def size_bytes(self):
+        """Auxiliary-buffer footprint: 2 bytes (V code + F code) per row."""
+        return 2 * len(self)

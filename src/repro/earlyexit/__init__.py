@@ -1,0 +1,51 @@
+"""Entropy-based early exit: entropy, algorithms, predictor, calibration."""
+
+from repro.earlyexit.algorithms import (
+    ExitOutcome,
+    collect_layer_outputs,
+    conventional_early_exit,
+    conventional_inference,
+    latency_aware_inference,
+    predictions_at,
+)
+from repro.earlyexit.calibration import (
+    CalibrationResult,
+    build_lut_for_threshold,
+    calibrate_conventional,
+    calibrate_latency_aware,
+    default_threshold_grid,
+)
+from repro.earlyexit.entropy import (
+    entropy_from_logits,
+    entropy_naive,
+    max_entropy,
+    normalized_entropy,
+)
+from repro.earlyexit.predictor import (
+    ExitPredictorLUT,
+    ExitPredictorMLP,
+    train_exit_predictor,
+    true_exit_layers,
+)
+
+__all__ = [
+    "ExitOutcome",
+    "collect_layer_outputs",
+    "conventional_early_exit",
+    "conventional_inference",
+    "latency_aware_inference",
+    "predictions_at",
+    "CalibrationResult",
+    "build_lut_for_threshold",
+    "calibrate_conventional",
+    "calibrate_latency_aware",
+    "default_threshold_grid",
+    "entropy_from_logits",
+    "entropy_naive",
+    "max_entropy",
+    "normalized_entropy",
+    "ExitPredictorLUT",
+    "ExitPredictorMLP",
+    "train_exit_predictor",
+    "true_exit_layers",
+]

@@ -1,0 +1,112 @@
+"""Reference implementations of the paper's inference algorithms.
+
+* :func:`conventional_inference` — the 12-layer baseline (no exits).
+* :func:`conventional_early_exit` — Algorithm 1: check entropy after every
+  encoder layer, exit below threshold.
+* :func:`latency_aware_inference` — Algorithm 2: after layer 1, either exit
+  immediately or ask the EE-predictor LUT for the exit layer; continue
+  checking entropy up to the predicted layer and *force* termination there
+  so the latency bound always holds.
+
+These run on batched per-layer logits so threshold calibration is a pure
+array operation; the streaming per-sentence engine that also models
+hardware time/energy lives in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autograd import no_grad
+from repro.earlyexit.entropy import entropy_from_logits
+from repro.earlyexit.predictor import true_exit_layers
+
+
+@dataclass
+class ExitOutcome:
+    """Vectorized result of an early-exit policy over a dataset."""
+
+    exit_layers: np.ndarray  # (N,) 1-based layer each sentence exited at
+    predictions: np.ndarray  # (N,) argmax class at the exit layer
+    predicted_layers: np.ndarray | None = None  # (N,) LUT predictions (Alg. 2)
+
+    @property
+    def average_exit_layer(self):
+        return float(self.exit_layers.mean())
+
+    def accuracy(self, labels):
+        return float((self.predictions == np.asarray(labels)).mean())
+
+    @property
+    def average_predicted_layer(self):
+        if self.predicted_layers is None:
+            return None
+        return float(self.predicted_layers.mean())
+
+
+def collect_layer_outputs(model, dataset, batch_size=64):
+    """All off-ramp logits and entropies for a dataset.
+
+    Returns ``(logits, entropies)`` shaped (L, N, C) and (L, N). One full
+    forward pass per batch — the exit policies are then simulated
+    vectorially on top.
+    """
+    all_logits = None
+    with no_grad():
+        for start in range(0, len(dataset), batch_size):
+            stop = min(start + batch_size, len(dataset))
+            sub = dataset.subset(np.arange(start, stop))
+            layer_logits = model(sub.input_ids, sub.token_type_ids,
+                                 sub.attention_mask)
+            stacked = np.stack([l.data for l in layer_logits])  # (L, b, C)
+            if all_logits is None:
+                all_logits = [stacked]
+            else:
+                all_logits.append(stacked)
+    logits = np.concatenate(all_logits, axis=1)
+    return logits, entropy_from_logits(logits)
+
+
+def predictions_at(logits, exit_layers):
+    """Argmax class of each sentence at its (1-based) exit layer."""
+    n = logits.shape[1]
+    return logits[exit_layers - 1, np.arange(n)].argmax(axis=-1)
+
+
+def conventional_inference(logits):
+    """Baseline: every sentence runs all layers (paper Fig. 1a)."""
+    num_layers, n = logits.shape[0], logits.shape[1]
+    exits = np.full(n, num_layers, dtype=np.int64)
+    return ExitOutcome(exit_layers=exits,
+                       predictions=predictions_at(logits, exits))
+
+
+def conventional_early_exit(logits, entropies, threshold):
+    """Algorithm 1: exit at the first layer with entropy < threshold."""
+    exits = true_exit_layers(entropies, threshold)
+    return ExitOutcome(exit_layers=exits,
+                       predictions=predictions_at(logits, exits))
+
+
+def latency_aware_inference(logits, entropies, threshold, lut):
+    """Algorithm 2 (vectorized): predictor-bounded early exit.
+
+    Sentences whose layer-1 entropy clears the threshold exit at layer 1;
+    the rest exit at ``min(first-layer-below-threshold, LUT prediction)``
+    — the LUT prediction is a *hard* bound (timing guarantee), even if the
+    entropy never crossed the threshold.
+    """
+    num_layers = entropies.shape[0]
+    first_below = true_exit_layers(entropies, threshold)
+    predicted = lut.predict(entropies[0]).astype(np.int64)
+    predicted = np.clip(predicted, 1, num_layers)
+    exits = np.minimum(first_below, predicted)
+    # Layer-1 immediate exits keep exit layer 1 regardless of prediction.
+    exits[entropies[0] < threshold] = 1
+    return ExitOutcome(
+        exit_layers=exits,
+        predictions=predictions_at(logits, exits),
+        predicted_layers=predicted,
+    )

@@ -1,0 +1,115 @@
+"""Entropy-threshold calibration (paper Sec. 5.1, Table 3).
+
+The paper fixes an accuracy-degradation budget (1 %, 2 % or 5 % relative
+to the full 12-layer model) and *raises the entropy threshold until the
+accuracy drops to the budget* — separately for the conventional early-exit
+policy and for the predictor-bounded latency-aware policy (which needs a
+lower threshold because LUT errors force conservative prediction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.earlyexit.algorithms import (
+    conventional_early_exit,
+    conventional_inference,
+    latency_aware_inference,
+)
+from repro.earlyexit.entropy import max_entropy
+from repro.earlyexit.predictor import (
+    ExitPredictorLUT,
+    train_exit_predictor,
+    true_exit_layers,
+)
+
+
+@dataclass
+class CalibrationResult:
+    """One Table-3 row fragment for a policy at one accuracy budget."""
+
+    threshold: float
+    accuracy: float
+    average_exit_layer: float
+    average_predicted_layer: float | None = None
+
+
+def default_threshold_grid(num_labels, count=60):
+    """Candidate entropy thresholds spanning (0, ln C]."""
+    return np.linspace(0.01, max_entropy(num_labels), count)
+
+
+def calibrate_conventional(logits, entropies, labels, max_drop_pct,
+                           thresholds=None):
+    """Largest threshold keeping accuracy within ``max_drop_pct`` %.
+
+    Returns a :class:`CalibrationResult`; the baseline is the full-model
+    (final off-ramp) accuracy, matching the paper's definition.
+    """
+    labels = np.asarray(labels)
+    baseline = conventional_inference(logits).accuracy(labels)
+    floor = baseline * (1.0 - max_drop_pct / 100.0)
+    if thresholds is None:
+        thresholds = default_threshold_grid(logits.shape[-1])
+    best = CalibrationResult(threshold=0.0, accuracy=baseline,
+                             average_exit_layer=float(logits.shape[0]))
+    for threshold in np.sort(thresholds):
+        outcome = conventional_early_exit(logits, entropies, threshold)
+        accuracy = outcome.accuracy(labels)
+        if accuracy >= floor:
+            best = CalibrationResult(
+                threshold=float(threshold),
+                accuracy=accuracy,
+                average_exit_layer=outcome.average_exit_layer,
+            )
+        else:
+            break
+    return best
+
+
+def calibrate_latency_aware(logits, entropies, labels, max_drop_pct, lut,
+                            thresholds=None):
+    """Same sweep for the predictor-bounded (Algorithm 2) policy."""
+    labels = np.asarray(labels)
+    baseline = conventional_inference(logits).accuracy(labels)
+    floor = baseline * (1.0 - max_drop_pct / 100.0)
+    if thresholds is None:
+        thresholds = default_threshold_grid(logits.shape[-1])
+    best = CalibrationResult(threshold=0.0, accuracy=baseline,
+                             average_exit_layer=float(logits.shape[0]),
+                             average_predicted_layer=float(logits.shape[0]))
+    for threshold in np.sort(thresholds):
+        outcome = latency_aware_inference(logits, entropies, threshold, lut)
+        accuracy = outcome.accuracy(labels)
+        if accuracy >= floor:
+            best = CalibrationResult(
+                threshold=float(threshold),
+                accuracy=accuracy,
+                average_exit_layer=outcome.average_exit_layer,
+                average_predicted_layer=outcome.average_predicted_layer,
+            )
+        else:
+            break
+    return best
+
+
+def build_lut_for_threshold(train_entropies, threshold, num_labels,
+                            use_mlp=True, margin=0, seed=0, num_bins=64,
+                            mlp_epochs=150):
+    """Train the EE predictor for one threshold and distill it to a LUT.
+
+    ``train_entropies`` is (L, N) from a *training* split; the paper builds
+    parallel train/test entropy datasets the same way.
+    """
+    num_layers = train_entropies.shape[0]
+    exits = true_exit_layers(train_entropies, threshold)
+    layer1 = train_entropies[0]
+    if use_mlp:
+        mlp = train_exit_predictor(layer1, exits, epochs=mlp_epochs, seed=seed)
+        return ExitPredictorLUT.distill(mlp, num_labels, num_layers,
+                                        num_bins=num_bins, margin=margin)
+    return ExitPredictorLUT.from_samples(layer1, exits, num_labels,
+                                         num_layers, num_bins=num_bins,
+                                         margin=margin)

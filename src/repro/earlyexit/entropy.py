@@ -1,0 +1,57 @@
+"""Numerically-stable entropy of classifier logits (paper Eq. 1 / Eq. 3).
+
+The early-exit decision compares the entropy of an off-ramp's output
+distribution against the threshold E_T. The paper's hardware computes the
+max-shifted form (Eq. 3) to avoid exponential overflow and division by
+tiny sums; this module is that reference implementation, shared by the
+software algorithms and the SFU model.
+
+With x̃ = x − max(x):
+
+    H(x) = ln Σ e^{x̃_k}  −  ( Σ x̃_k e^{x̃_k} ) / ( Σ e^{x̃_k} )
+
+which equals −Σ p ln p for p = softmax(x), in nats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def entropy_from_logits(logits):
+    """Entropy (nats) of softmax(logits) along the last axis.
+
+    Stable for arbitrarily large logit magnitudes; returns an array with
+    the last axis reduced.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    z = exp.sum(axis=-1)
+    weighted = (shifted * exp).sum(axis=-1)
+    return np.log(z) - weighted / z
+
+
+def entropy_naive(logits):
+    """Textbook −Σ p log p (Eq. 1, no max shift) — for tests/benches.
+
+    Overflows for large logits; kept as the reference the stable form is
+    validated against and as the "what the hardware avoids" baseline.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    exp = np.exp(logits)
+    probs = exp / exp.sum(axis=-1, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = np.where(probs > 0, probs * np.log(probs), 0.0)
+    return -terms.sum(axis=-1)
+
+
+def max_entropy(num_labels):
+    """Upper bound ln(C) — the entropy of a uniform distribution."""
+    return float(np.log(num_labels))
+
+
+def normalized_entropy(logits):
+    """Entropy rescaled to [0, 1] by ln(C) (threshold-friendly)."""
+    logits = np.asarray(logits)
+    return entropy_from_logits(logits) / max_entropy(logits.shape[-1])

@@ -1,0 +1,167 @@
+"""The early-exit predictor (paper Sec. 5.1).
+
+A ReLU-activated five-layer perceptron (64 cells per hidden layer) maps
+the entropy measured after encoder layer 1 to the layer at which the
+entropy-threshold exit would fire. Knowing the exit layer after layer 1 is
+what enables sentence-level DVFS: the remaining work is bounded, so the
+voltage/frequency can be dropped immediately.
+
+The trained MLP is then *distilled into a lookup table* (LUT) indexed by
+quantized entropy, which is what the accelerator's SFU actually evaluates
+(one LUT read per sentence).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import SGD, Tensor, no_grad, relu
+from repro.earlyexit.entropy import max_entropy
+from repro.errors import ConfigError
+from repro.model.modules import Linear, Module
+from repro.utils.rng import new_rng
+
+
+class ExitPredictorMLP(Module):
+    """1 → 64 → 64 → 64 → 64 → 1 regression network (five weight layers).
+
+    Inputs/targets are standardized internally (entropy is O(0.1–0.7)
+    while exit layers are O(1–12); training on raw scales diverges).
+    """
+
+    def __init__(self, hidden=64, depth=5, seed=0):
+        super().__init__()
+        if depth < 2:
+            raise ConfigError("predictor needs at least input+output layers")
+        rng = new_rng(seed)
+        widths = [1] + [hidden] * (depth - 1) + [1]
+        self.layers = [
+            Linear(widths[i], widths[i + 1], rng, std=np.sqrt(2.0 / widths[i]),
+                   name=f"mlp.{i}")
+            for i in range(depth)
+        ]
+        self.input_scale = 1.0
+        self.output_scale = 1.0
+
+    def forward(self, x):
+        out = x
+        for layer in self.layers[:-1]:
+            out = relu(layer(out))
+        return self.layers[-1](out)
+
+    def predict(self, entropies):
+        """Predict exit layers for an array of layer-1 entropies."""
+        entropies = np.asarray(entropies, dtype=np.float64).reshape(-1, 1)
+        with no_grad():
+            out = self.forward(Tensor(entropies / self.input_scale)).data
+        return out.reshape(-1) * self.output_scale
+
+
+def true_exit_layers(entropies, threshold, num_layers=None):
+    """First layer whose entropy is below ``threshold`` (1-based).
+
+    ``entropies`` is (num_layers, N); sentences that never cross the
+    threshold exit at the last layer (Algorithm 1's fallthrough).
+    """
+    entropies = np.asarray(entropies)
+    num_layers = num_layers or entropies.shape[0]
+    below = entropies < threshold
+    first = np.argmax(below, axis=0) + 1
+    never = ~below.any(axis=0)
+    first[never] = num_layers
+    return first
+
+
+def train_exit_predictor(layer1_entropy, exit_layers, hidden=64, depth=5,
+                         epochs=200, lr=0.01, seed=0):
+    """Fit the MLP on (entropy@layer1 → exit layer) pairs.
+
+    Matches the paper's setup: the network is searched/trained to minimize
+    the difference between predicted and true entropy-based exit layer.
+    Returns the trained :class:`ExitPredictorMLP`.
+    """
+    x = np.asarray(layer1_entropy, dtype=np.float64).reshape(-1, 1)
+    y = np.asarray(exit_layers, dtype=np.float64).reshape(-1, 1)
+    if x.shape[0] != y.shape[0] or x.shape[0] == 0:
+        raise ConfigError("predictor needs matching, non-empty training data")
+    model = ExitPredictorMLP(hidden=hidden, depth=depth, seed=seed)
+    model.input_scale = max(float(np.max(x)), 1e-6)
+    model.output_scale = max(float(np.max(y)), 1.0)
+    optimizer = SGD([p for p in model.parameters() if p.requires_grad],
+                    lr=lr, momentum=0.9)
+    inputs = Tensor(x / model.input_scale)
+    targets = Tensor(y / model.output_scale)
+    for _ in range(epochs):
+        optimizer.zero_grad()
+        pred = model(inputs)
+        loss = ((pred - targets) ** 2).mean()
+        loss.backward()
+        optimizer.step()
+    return model
+
+
+class ExitPredictorLUT:
+    """LUT distillation of the exit predictor (paper Sec. 5.1 / 7.4.2).
+
+    The entropy axis is quantized into uniform bins over [0, ln C]; each
+    bin stores a (conservatively rounded-up) exit layer. ``margin`` adds
+    extra conservatism: predicting too high wastes a little energy,
+    predicting too low forces a premature exit and costs accuracy.
+    """
+
+    def __init__(self, bin_edges, layers, num_layers):
+        self.bin_edges = np.asarray(bin_edges, dtype=np.float64)
+        self.layers = np.asarray(layers, dtype=np.int64)
+        self.num_layers = int(num_layers)
+        if self.layers.size != self.bin_edges.size - 1:
+            raise ConfigError("LUT needs exactly one entry per bin")
+
+    @classmethod
+    def distill(cls, mlp, num_labels, num_layers, num_bins=64, margin=0):
+        """Tabulate the MLP at bin centers."""
+        top = max_entropy(num_labels)
+        edges = np.linspace(0.0, top, num_bins + 1)
+        centers = 0.5 * (edges[:-1] + edges[1:])
+        raw = mlp.predict(centers)
+        layers = np.clip(np.ceil(raw + margin), 1, num_layers).astype(np.int64)
+        # Enforce monotonicity: higher entropy can never exit earlier.
+        layers = np.maximum.accumulate(layers)
+        return cls(edges, layers, num_layers)
+
+    @classmethod
+    def from_samples(cls, layer1_entropy, exit_layers, num_labels, num_layers,
+                     num_bins=64, margin=0):
+        """Direct empirical LUT (no MLP): per-bin max exit layer.
+
+        Used by tests and as an ablation of the MLP distillation path.
+        """
+        top = max_entropy(num_labels)
+        edges = np.linspace(0.0, top, num_bins + 1)
+        x = np.asarray(layer1_entropy)
+        y = np.asarray(exit_layers)
+        table = np.ones(num_bins, dtype=np.int64)
+        bin_idx = np.clip(np.digitize(x, edges) - 1, 0, num_bins - 1)
+        for b in range(num_bins):
+            hits = y[bin_idx == b]
+            if hits.size:
+                table[b] = int(hits.max())
+        table = np.clip(table + margin, 1, num_layers)
+        table = np.maximum.accumulate(table)
+        return cls(edges, table, num_layers)
+
+    def predict(self, entropy):
+        """Predicted exit layer(s) for entropy value(s)."""
+        entropy = np.asarray(entropy, dtype=np.float64)
+        idx = np.clip(np.digitize(entropy, self.bin_edges) - 1, 0,
+                      self.layers.size - 1)
+        return self.layers[idx]
+
+    @property
+    def size_bytes(self):
+        """Auxiliary-buffer footprint: one byte per bin (layers ≤ 255)."""
+        return int(self.layers.size)
+
+    def mean_prediction_error(self, layer1_entropy, exit_layers):
+        """Mean |predicted − true| exit-layer error (diagnostic)."""
+        pred = self.predict(layer1_entropy)
+        return float(np.mean(np.abs(pred - np.asarray(exit_layers))))

@@ -1,0 +1,24 @@
+"""Embedded non-volatile memory (ReRAM) modeling and fault injection."""
+
+from repro.envm.cells import MLC2, MLC3, SLC, ReramCellType
+from repro.envm.fault_injection import (
+    EnvmEmbeddingStore,
+    FaultInjectionReport,
+    inject_cell_faults,
+    merge_cells,
+    run_fault_trials,
+    split_into_cells,
+)
+
+__all__ = [
+    "MLC2",
+    "MLC3",
+    "SLC",
+    "ReramCellType",
+    "EnvmEmbeddingStore",
+    "FaultInjectionReport",
+    "inject_cell_faults",
+    "merge_cells",
+    "run_fault_trials",
+    "split_into_cells",
+]

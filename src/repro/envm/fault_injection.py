@@ -1,0 +1,210 @@
+"""Ares-style Monte-Carlo fault injection for eNVM embeddings (Sec. 4.1).
+
+The experiment behind Table 2: quantize the (pruned) word-embedding table
+to FP8, store it in ReRAM — non-zero values in data cells at 1–3 bits per
+cell, the sparsity bitmask in SLC — inject per-cell adjacent-level read
+faults, rebuild the table, and measure end-task accuracy. Repeat for N
+trials and report mean/min accuracy per cell configuration.
+
+Fault semantics:
+
+* **Data cells** hold ``bits_per_cell`` consecutive bits of an FP8 word
+  (MSB-first). An adjacent-level fault perturbs that cell's integer value
+  by ±1, so an MLC3 fault can strike the exponent's top bits — the
+  mechanism behind the catastrophic accuracy minima the paper observes.
+* **Bitmask cells** are SLC; a mask-bit flip desynchronizes the packed
+  value stream for the rest of its row, which is why the paper keeps the
+  bitmask in the safest cells. We model that row-level corruption
+  explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.envm.cells import SLC, ReramCellType
+from repro.errors import EnvmError
+from repro.quant import FloatFormat
+from repro.utils.rng import spawn_rngs
+
+
+def split_into_cells(words, total_bits, bits_per_cell):
+    """Split integer words into per-cell level values, MSB-first.
+
+    Returns an int array of shape ``(num_words, cells_per_word)`` where
+    each entry is in ``[0, 2^bits_per_cell)``. Words whose width is not a
+    multiple of ``bits_per_cell`` put the *leftover high bits* in the first
+    cell (matching how a packer would stream MSB-first).
+    """
+    words = np.asarray(words, dtype=np.uint32)
+    cells_per_word = -(-total_bits // bits_per_cell)
+    out = np.empty((words.size,) + (cells_per_word,), dtype=np.int64)
+    remaining = total_bits
+    flat = words.reshape(-1)
+    for cell in range(cells_per_word):
+        width = min(bits_per_cell, remaining)
+        shift = remaining - width
+        out[:, cell] = (flat >> np.uint32(shift)) & ((1 << width) - 1)
+        remaining -= width
+    return out
+
+
+def merge_cells(cells, total_bits, bits_per_cell):
+    """Inverse of :func:`split_into_cells`."""
+    cells = np.asarray(cells, dtype=np.int64)
+    words = np.zeros(cells.shape[0], dtype=np.uint32)
+    remaining = total_bits
+    for cell in range(cells.shape[1]):
+        width = min(bits_per_cell, remaining)
+        shift = remaining - width
+        words |= (cells[:, cell].astype(np.uint32) & ((1 << width) - 1)) \
+            << np.uint32(shift)
+        remaining -= width
+    return words
+
+
+def inject_cell_faults(cells, bits_per_cell, error_rate, rng):
+    """Perturb each cell to an adjacent level with ``error_rate``.
+
+    Levels saturate at the range edges (a fault at level 0 moves to 1).
+    Returns a new array and the number of faulted cells.
+    """
+    cells = np.asarray(cells, dtype=np.int64)
+    faults = rng.random(cells.shape) < error_rate
+    if not faults.any():
+        return cells.copy(), 0
+    direction = np.where(rng.random(cells.shape) < 0.5, -1, 1)
+    top = (1 << bits_per_cell) - 1
+    faulted = cells + np.where(faults, direction, 0)
+    # Saturate: moving outside the level range reflects back inside.
+    faulted = np.where(faulted < 0, 1, faulted)
+    faulted = np.where(faulted > top, top - 1, faulted)
+    return faulted, int(faults.sum())
+
+
+@dataclass
+class FaultInjectionReport:
+    """Outcome of one stored-table corruption."""
+
+    table: np.ndarray
+    data_faults: int
+    mask_faults: int
+
+
+class EnvmEmbeddingStore:
+    """A pruned, quantized embedding table resident in ReRAM.
+
+    Encodes the table once (bitmask + packed FP8 words + per-tensor
+    exponent bias) and can produce fault-injected *read* copies.
+    """
+
+    def __init__(self, table, data_cell, fmt=None, mask_cell=SLC):
+        if not isinstance(data_cell, ReramCellType):
+            raise EnvmError("data_cell must be a ReramCellType")
+        self.fmt = fmt or FloatFormat(total_bits=8, exponent_bits=4)
+        self.data_cell = data_cell
+        self.mask_cell = mask_cell
+        table = np.asarray(table, dtype=np.float64)
+        self.shape = table.shape
+        self.bias = self.fmt.adaptive_bias(table)
+        quantized = self.fmt.quantize(table, self.bias)
+        self.mask = quantized != 0
+        self.values = quantized[self.mask]
+        self.words = self.fmt.encode_bits(self.values, self.bias)
+
+    # -- storage accounting (feeds Table 2 / Fig. 11) -------------------------
+
+    @property
+    def data_bits(self):
+        return int(self.words.size) * self.fmt.total_bits
+
+    @property
+    def mask_bits(self):
+        return int(np.prod(self.shape))
+
+    def footprint_bytes(self):
+        """Payload bytes: packed values + bitmask."""
+        return (self.data_bits + self.mask_bits) / 8.0
+
+    def area_mm2(self):
+        """Array area with values in data cells and the mask in SLC."""
+        data_mb = self.data_bits / 8.0 / (1024 * 1024)
+        mask_mb = self.mask_bits / 8.0 / (1024 * 1024)
+        return (data_mb * self.data_cell.area_mm2_per_mb
+                + mask_mb * self.mask_cell.area_mm2_per_mb)
+
+    def read_energy_pj(self):
+        """Energy to read the entire stored image once."""
+        return (self.data_cell.read_energy_pj_for_bits(self.data_bits)
+                + self.mask_cell.read_energy_pj_for_bits(self.mask_bits))
+
+    # -- faulty reads ------------------------------------------------------------
+
+    def read_clean(self):
+        """Reconstruct the table without faults."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        dense[self.mask] = self.fmt.decode_bits(self.words, self.bias)
+        return dense
+
+    def read_with_faults(self, rng):
+        """One Monte-Carlo faulty read of the stored table."""
+        cells = split_into_cells(self.words, self.fmt.total_bits,
+                                 self.data_cell.bits_per_cell)
+        faulted_cells, n_data = inject_cell_faults(
+            cells, self.data_cell.bits_per_cell,
+            self.data_cell.level_error_rate, rng)
+        words = merge_cells(faulted_cells, self.fmt.total_bits,
+                            self.data_cell.bits_per_cell)
+        values = self.fmt.decode_bits(words, self.bias)
+
+        mask = self.mask.copy()
+        mask_flat = mask.reshape(mask.shape[0], -1)
+        flip = rng.random(mask_flat.shape) < self.mask_cell.level_error_rate
+        n_mask = int(flip.sum())
+        dense = np.zeros(self.shape, dtype=np.float64)
+        if n_mask == 0:
+            dense[mask] = values
+        else:
+            # A mask flip desynchronizes the value stream for the rest of
+            # that row: rebuild row-by-row with the corrupted mask.
+            mask_flat ^= flip
+            counts_true = self.mask.reshape(mask.shape[0], -1).sum(axis=1)
+            offsets = np.concatenate([[0], np.cumsum(counts_true)])
+            dense_flat = dense.reshape(mask.shape[0], -1)
+            for row in range(mask_flat.shape[0]):
+                row_values = values[offsets[row]:offsets[row + 1]]
+                positions = np.flatnonzero(mask_flat[row])
+                take = min(positions.size, row_values.size)
+                dense_flat[row, positions[:take]] = row_values[:take]
+        return FaultInjectionReport(table=dense, data_faults=n_data,
+                                    mask_faults=n_mask)
+
+
+def run_fault_trials(store, evaluate, n_trials=100, seed=0):
+    """Monte-Carlo accuracy study (the Table 2 experiment).
+
+    ``evaluate(table) -> accuracy`` installs the corrupted table in a model
+    and measures task accuracy. Returns a dict with mean/min/max accuracy
+    and mean fault counts.
+    """
+    if n_trials <= 0:
+        raise EnvmError("n_trials must be positive")
+    rngs = spawn_rngs(seed, n_trials)
+    accuracies = np.empty(n_trials)
+    data_faults = np.empty(n_trials)
+    mask_faults = np.empty(n_trials)
+    for i, rng in enumerate(rngs):
+        report = store.read_with_faults(rng)
+        accuracies[i] = evaluate(report.table)
+        data_faults[i] = report.data_faults
+        mask_faults[i] = report.mask_faults
+    return {
+        "mean_accuracy": float(accuracies.mean()),
+        "min_accuracy": float(accuracies.min()),
+        "max_accuracy": float(accuracies.max()),
+        "mean_data_faults": float(data_faults.mean()),
+        "mean_mask_faults": float(mask_faults.mean()),
+        "accuracies": accuracies,
+    }

@@ -1,0 +1,67 @@
+"""Accelerator system simulator: PU, SFU, memories, DRAM, DSE sweeps."""
+
+from repro.hw.accelerator import AcceleratorModel, LayerMetrics
+from repro.hw.dram import Lpddr4Model, Lpddr4Params
+from repro.hw.memories import (
+    PowerOnComparison,
+    ReramBufferModel,
+    SramModel,
+    power_on_embedding_cost,
+)
+from repro.hw.pu import ProcessingUnit, PuMetrics
+from repro.hw.sfu import (
+    SfuMetrics,
+    SpecialFunctionUnit,
+    sfu_entropy,
+    sfu_layernorm,
+    sfu_softmax_with_mask,
+)
+from repro.hw.sweep import (
+    DEFAULT_VECTOR_SIZES,
+    SweepPoint,
+    TaskSetting,
+    energy_optimal_vector_size,
+    sweep_design_space,
+)
+from repro.hw.tech import MobileGpuParams, TechnologyParams
+from repro.hw.workload import (
+    LayerWorkload,
+    MatmulOp,
+    SfuOp,
+    build_embedding_workload,
+    build_encoder_workload,
+    encoder_gflops,
+    span_coverage,
+)
+
+__all__ = [
+    "AcceleratorModel",
+    "LayerMetrics",
+    "Lpddr4Model",
+    "Lpddr4Params",
+    "PowerOnComparison",
+    "ReramBufferModel",
+    "SramModel",
+    "power_on_embedding_cost",
+    "ProcessingUnit",
+    "PuMetrics",
+    "SfuMetrics",
+    "SpecialFunctionUnit",
+    "sfu_entropy",
+    "sfu_layernorm",
+    "sfu_softmax_with_mask",
+    "DEFAULT_VECTOR_SIZES",
+    "SweepPoint",
+    "TaskSetting",
+    "energy_optimal_vector_size",
+    "sweep_design_space",
+    "MobileGpuParams",
+    "TechnologyParams",
+    "LayerWorkload",
+    "MatmulOp",
+    "SfuOp",
+    "build_embedding_workload",
+    "build_encoder_workload",
+    "encoder_gflops",
+    "span_coverage",
+]

@@ -1,0 +1,54 @@
+"""Burst-level LPDDR4 model (DRAMsim3 substitute, paper Sec. 8.1/8.3).
+
+The paper runs DRAMsim3 to price the conventional path — reload the word
+embeddings from off-chip DRAM into on-chip SRAM after every power cycle.
+For the Fig. 11 comparison only sequential streaming matters, so the model
+carries LPDDR4-3200's sustained bandwidth, per-byte access energy
+(device + PHY/IO), per-activate row energy, and the wake-from-power-down
+initialization cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+
+
+@dataclass(frozen=True)
+class Lpddr4Params:
+    """LPDDR4-3200 x32 channel constants."""
+
+    bandwidth_gb_s: float = 12.8  # sustained sequential read
+    energy_pj_per_byte: float = 80.0  # device core + IO + controller
+    row_size_bytes: int = 2048
+    activate_energy_pj: float = 900.0  # per row activate+precharge
+    wakeup_latency_ns: float = 4000.0  # exit self-refresh / power-down
+    wakeup_energy_pj: float = 60000.0
+
+
+class Lpddr4Model:
+    """Latency/energy of sequential DRAM transfers."""
+
+    def __init__(self, params=None):
+        self.params = params or Lpddr4Params()
+
+    def read_latency_ns(self, num_bytes, include_wakeup=False):
+        """Time to stream ``num_bytes`` sequentially."""
+        if num_bytes < 0:
+            raise HardwareError("num_bytes must be non-negative")
+        transfer = num_bytes / self.params.bandwidth_gb_s  # B / (B/ns)
+        wakeup = self.params.wakeup_latency_ns if include_wakeup else 0.0
+        return transfer + wakeup
+
+    def read_energy_pj(self, num_bytes, include_wakeup=False):
+        """Energy to stream ``num_bytes`` sequentially."""
+        if num_bytes < 0:
+            raise HardwareError("num_bytes must be non-negative")
+        rows = -(-int(num_bytes) // self.params.row_size_bytes) \
+            if num_bytes else 0
+        energy = (num_bytes * self.params.energy_pj_per_byte
+                  + rows * self.params.activate_energy_pj)
+        if include_wakeup:
+            energy += self.params.wakeup_energy_pj
+        return energy

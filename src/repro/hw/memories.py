@@ -1,0 +1,116 @@
+"""On-chip memory cost models and the Fig. 11 power-on comparison.
+
+Two ways to make the shared word embeddings available after an SoC
+power-on (paper Sec. 8.3, Fig. 11):
+
+* **conventional** — stream the embedding image from off-chip LPDDR4 and
+  write it into dedicated on-chip SRAM, then read rows per sentence;
+* **EdgeBERT** — the image is *statically resident* in on-chip ReRAM
+  (non-volatile), so power-on costs nothing and each sentence just reads
+  its token rows from the ReRAM buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.envm.cells import MLC2, SLC
+from repro.errors import HardwareError
+from repro.hw.dram import Lpddr4Model
+from repro.hw.tech import TechnologyParams
+
+
+@dataclass(frozen=True)
+class SramModel:
+    """Scratchpad access-cost model."""
+
+    read_pj_per_byte: float = 0.90
+    write_pj_per_byte: float = 1.35
+    bytes_per_access: int = 16
+    access_ns: float = 0.55
+
+    def read_energy_pj(self, num_bytes):
+        return num_bytes * self.read_pj_per_byte
+
+    def write_energy_pj(self, num_bytes):
+        return num_bytes * self.write_pj_per_byte
+
+    def access_latency_ns(self, num_bytes):
+        accesses = -(-int(num_bytes) // self.bytes_per_access)
+        return accesses * self.access_ns
+
+
+@dataclass(frozen=True)
+class ReramBufferModel:
+    """The 2 MB ReRAM buffer: values in MLC2, bitmask in SLC (Sec. 7.2)."""
+
+    data_cell = MLC2
+    mask_cell = SLC
+    bits_per_access: int = 128
+
+    def read_energy_pj(self, data_bytes, mask_bytes=0.0):
+        return (self.data_cell.read_energy_pj_for_bits(data_bytes * 8)
+                + self.mask_cell.read_energy_pj_for_bits(mask_bytes * 8))
+
+    def read_latency_ns(self, data_bytes, mask_bytes=0.0):
+        data_accesses = -(-int(data_bytes * 8) // self.bits_per_access)
+        mask_accesses = -(-int(mask_bytes * 8) // self.bits_per_access)
+        return (data_accesses * self.data_cell.read_latency_ns
+                + mask_accesses * self.mask_cell.read_latency_ns)
+
+
+@dataclass
+class PowerOnComparison:
+    """One Fig.-11 measurement."""
+
+    conventional_energy_pj: float
+    conventional_latency_ns: float
+    edgebert_energy_pj: float
+    edgebert_latency_ns: float
+
+    @property
+    def energy_advantage(self):
+        return self.conventional_energy_pj / self.edgebert_energy_pj
+
+    @property
+    def latency_advantage(self):
+        return self.conventional_latency_ns / self.edgebert_latency_ns
+
+
+def power_on_embedding_cost(image_bytes, sentence_rows=128, row_bytes=128,
+                            embedding_density=0.40, dram=None, sram=None,
+                            reram=None):
+    """Price both embedding-access strategies after a power cycle.
+
+    ``image_bytes`` is the compressed multi-task embedding image (the
+    paper's 1.73 MB). The conventional path pays a full DRAM read (with
+    wake-up) plus an SRAM fill; EdgeBERT pays only the first sentence's
+    token-row gather from ReRAM (data at the pruned density + bitmask).
+    """
+    if image_bytes <= 0:
+        raise HardwareError("image_bytes must be positive")
+    dram = dram or Lpddr4Model()
+    sram = sram or SramModel()
+    reram = reram or ReramBufferModel()
+
+    conventional_energy = (
+        dram.read_energy_pj(image_bytes, include_wakeup=True)
+        + sram.write_energy_pj(image_bytes)
+        + sram.read_energy_pj(sentence_rows * row_bytes)
+    )
+    conventional_latency = (
+        dram.read_latency_ns(image_bytes, include_wakeup=True)
+        + sram.access_latency_ns(image_bytes)
+    )
+
+    gathered_data = sentence_rows * row_bytes * embedding_density
+    gathered_mask = sentence_rows * row_bytes / 8.0
+    edgebert_energy = reram.read_energy_pj(gathered_data, gathered_mask)
+    edgebert_latency = reram.read_latency_ns(gathered_data, gathered_mask)
+
+    return PowerOnComparison(
+        conventional_energy_pj=conventional_energy,
+        conventional_latency_ns=conventional_latency,
+        edgebert_energy_pj=edgebert_energy,
+        edgebert_latency_ns=edgebert_latency,
+    )

@@ -1,0 +1,142 @@
+"""Processing Unit model (paper Sec. 7.3, Fig. 6).
+
+The PU holds ``n`` floating-point vector MACs of vector size ``n``
+(n² FP8 MACs) and computes an n×n×n matmul tile in n cycles. Matrices are
+stored bitmask-compressed in two 128 KB scratchpads; a decoder block per
+operand re-inflates n values per cycle into the datapath and an encoder
+block compresses the outputs.
+
+Model relationships (output-stationary n×n tiling):
+
+* **cycles** — ``tiles · n`` for the MACs plus one mask-fetch bubble per
+  tile for the decoders (two run in parallel) and a drain bubble per tile
+  for the encoder — reproducing Fig. 10a's ≈3 % decode / ≈3 % encode
+  latency shares at n = 16;
+* **scratchpad traffic** — each operand streams ``MACs / n`` values
+  (every input tile is re-read once per output-tile column and vice
+  versa), the classic 1/n reuse of an n×n array. Compressed streams move
+  only non-zero bytes plus 1 mask bit per element;
+* **energy** — cycle behaviour is *sparsity-independent* (fixed
+  scheduling), but a vector MAC with an all-zero operand vector is
+  skip-gated to ``mac_gate_ratio`` of the active energy (the paper's
+  1.4–1.7× sparse saving);
+* **wire growth** — per-MAC energy follows
+  ``e0 · (0.7 + 0.3·n/16 + 0.05·max(0, n−16))``: operand-broadcast wires
+  lengthen with the vector size, which is what makes n = 32 lose to the
+  n = 16 energy-optimal point (Sec. 8.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+
+
+def _ceil_div(a, b):
+    return -(-int(a) // int(b))
+
+
+@dataclass(frozen=True)
+class PuMetrics:
+    """Cycles and energy (pJ, at nominal voltage) for a set of matmuls."""
+
+    mac_cycles: int
+    decode_cycles: int
+    encode_cycles: int
+    mac_energy_pj: float
+    decode_energy_pj: float
+    encode_energy_pj: float
+    sram_energy_pj: float
+
+    @property
+    def cycles(self):
+        return self.mac_cycles + self.decode_cycles + self.encode_cycles
+
+    @property
+    def energy_pj(self):
+        return (self.mac_energy_pj + self.decode_energy_pj
+                + self.encode_energy_pj + self.sram_energy_pj)
+
+
+class ProcessingUnit:
+    """Cycle/energy model of the PU at one design point (vector size n)."""
+
+    def __init__(self, hw_config, tech):
+        self.n = hw_config.mac_vector_size
+        self.tech = tech
+        if self.n < 1:
+            raise HardwareError("mac_vector_size must be >= 1")
+
+    def mac_energy_per_op(self):
+        """Per-MAC energy including broadcast-wire growth with n."""
+        n = self.n
+        factor = 0.7 + 0.3 * (n / 16.0) + \
+            self.tech.wire_growth_per_lane * max(0, n - 16)
+        return self.tech.e_mac_pj * factor
+
+    def _sram_port_factor(self):
+        """Wordline-length growth of per-byte SRAM energy beyond n=16."""
+        return 1.0 + self.tech.sram_port_growth_per_lane * max(0, self.n - 16)
+
+    def _tiles(self, op):
+        n = self.n
+        tiles = (_ceil_div(op.m, n) * _ceil_div(op.k, n) * _ceil_div(op.n, n))
+        return int(round(tiles * op.coverage)) * op.count
+
+    def matmul_cycles(self, op):
+        """n cycles per scheduled n×n×n tile."""
+        return self._tiles(op) * self.n
+
+    def codec_cycles(self, op):
+        """(decode, encode) bubble cycles: one per tile, decoders paired."""
+        tiles = self._tiles(op)
+        return _ceil_div(tiles, 2), _ceil_div(tiles, 2)
+
+    def streamed_values(self, op):
+        """Values streamed per operand: MACs/n (1/n reuse)."""
+        return op.macs // self.n
+
+    def simulate(self, matmuls, sparse_execution=True):
+        """Aggregate :class:`PuMetrics` for a list of matmul ops."""
+        e_mac = self.mac_energy_per_op()
+        tech = self.tech
+        mac_cycles = decode_cycles = encode_cycles = 0
+        mac_energy = decode_energy = encode_energy = sram_energy = 0.0
+        for op in matmuls:
+            mac_cycles += self.matmul_cycles(op)
+            dec, enc = self.codec_cycles(op)
+            decode_cycles += dec
+            encode_cycles += enc
+
+            scheduled = op.macs
+            streamed = self.streamed_values(op)
+            if sparse_execution:
+                active = op.active_macs
+                gated = scheduled - active
+                mac_energy += (active * e_mac
+                               + gated * e_mac * tech.mac_gate_ratio)
+                in_bytes = streamed * (op.input_density + 1.0 / 8)
+                w_bytes = streamed * (op.weight_density + 1.0 / 8)
+                out_bytes = op.output_values * (op.input_density + 1.0 / 8)
+            else:
+                mac_energy += scheduled * e_mac
+                in_bytes = float(streamed)
+                w_bytes = float(streamed)
+                out_bytes = float(op.output_values)
+
+            decode_energy += 2 * streamed * tech.e_decode_pj_per_value
+            encode_energy += op.output_values * tech.e_encode_pj_per_value
+            port = self._sram_port_factor()
+            sram_energy += ((in_bytes + w_bytes)
+                            * tech.e_sram_read_pj_per_byte * port
+                            + out_bytes * tech.e_sram_write_pj_per_byte * port)
+        return PuMetrics(
+            mac_cycles=mac_cycles,
+            decode_cycles=decode_cycles,
+            encode_cycles=encode_cycles,
+            mac_energy_pj=mac_energy,
+            decode_energy_pj=decode_energy,
+            encode_energy_pj=encode_energy,
+            sram_energy_pj=sram_energy,
+        )

@@ -1,0 +1,103 @@
+"""Special Function Unit model (paper Sec. 7.4, Fig. 6).
+
+The SFU owns the non-matmul datapaths — numerically-stable softmax with
+attention-span masking (Algorithm 3), layer normalization, element-wise
+residual adds, the early-exit entropy assessment (Eq. 3) and the
+EE-predictor / V-F LUT lookups — all in 16-bit fixed point, fed from a
+32 KB auxiliary buffer.
+
+Functional reference implementations (the exact arithmetic the hardware
+performs, including the max / log-sum-exp tricks) live alongside the
+cycle/energy model so tests can pin them against the software versions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.earlyexit.entropy import entropy_from_logits
+
+
+@dataclass(frozen=True)
+class SfuMetrics:
+    """Cycles and energy (pJ at nominal) for a set of SFU ops."""
+
+    cycles: int
+    energy_pj: float
+    cycles_by_kind: dict
+    energy_by_kind: dict
+
+
+class SpecialFunctionUnit:
+    """Cycle/energy model of the SFU datapaths."""
+
+    def __init__(self, hw_config, tech):
+        self.tech = tech
+        self.hw_config = hw_config
+
+    def _lanes_for(self, kind):
+        if kind == "add":
+            return self.tech.sfu_add_lanes
+        return self.tech.sfu_lanes
+
+    def op_cycles(self, op):
+        """Row-serial, lane-parallel execution."""
+        lanes = self._lanes_for(op.kind)
+        per_row = -(-op.width // lanes) * op.passes
+        return op.rows * per_row * op.count
+
+    def op_energy_pj(self, op):
+        lane_ops = op.lane_ops
+        energy = lane_ops * self.tech.e_sfu_lane_op_pj
+        # Auxiliary-buffer traffic: span masks / LN parameters / LUT reads
+        # are charged per consumed row at 2 bytes per lane value.
+        aux_bytes = op.rows * op.count * 2.0
+        return energy + aux_bytes * self.tech.e_aux_read_pj_per_byte
+
+    def simulate(self, sfu_ops):
+        cycles_by_kind = {}
+        energy_by_kind = {}
+        for op in sfu_ops:
+            cycles_by_kind[op.name] = (cycles_by_kind.get(op.name, 0)
+                                       + self.op_cycles(op))
+            energy_by_kind[op.name] = (energy_by_kind.get(op.name, 0.0)
+                                       + self.op_energy_pj(op))
+        return SfuMetrics(
+            cycles=sum(cycles_by_kind.values()),
+            energy_pj=sum(energy_by_kind.values()),
+            cycles_by_kind=cycles_by_kind,
+            energy_by_kind=energy_by_kind,
+        )
+
+
+# -- functional reference implementations (what the datapaths compute) ------
+
+
+def sfu_softmax_with_mask(attention_row, span_mask_row):
+    """Algorithm 3: three-pass masked softmax over one row.
+
+    Pass 1 finds the max, pass 2 the log-sum-exp, pass 3 produces
+    ``exp(a − max − logsumexp) · mask`` — no division, no overflow.
+    """
+    attention_row = np.asarray(attention_row, dtype=np.float64)
+    span_mask_row = np.asarray(span_mask_row, dtype=np.float64)
+    row_max = attention_row.max()                       # pass 1
+    logsumexp = np.log(np.exp(attention_row - row_max).sum())  # pass 2
+    out = np.exp(attention_row - row_max - logsumexp)   # pass 3
+    return out * span_mask_row
+
+
+def sfu_entropy(logits):
+    """Eq. 3: the numerically-stable entropy the EE unit evaluates."""
+    return entropy_from_logits(logits)
+
+
+def sfu_layernorm(row, gain, bias, eps=1e-5):
+    """Three-pass layer norm: mean, variance, normalize-scale-shift."""
+    row = np.asarray(row, dtype=np.float64)
+    mean = row.mean()                                   # pass 1
+    variance = ((row - mean) ** 2).mean()               # pass 2
+    inv = 1.0 / np.sqrt(variance + eps)
+    return gain * ((row - mean) * inv) + bias           # pass 3

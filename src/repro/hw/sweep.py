@@ -1,0 +1,87 @@
+"""Design-space exploration over the PU MAC vector size (Fig. 8).
+
+For each design point n ∈ {2..32} and each task configuration the sweep
+prices a full 12-layer sentence in three modes — plain, with adaptive
+attention span (AAS), and with AAS plus compressed sparse execution —
+alongside the TX2 mobile-GPU baseline (plain and AAS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.mgpu import MobileGpuModel
+from repro.config import HwConfig
+from repro.hw.accelerator import AcceleratorModel
+from repro.hw.workload import build_encoder_workload
+
+DEFAULT_VECTOR_SIZES = (2, 4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (design, mode) measurement of a full sentence."""
+
+    vector_size: int
+    mode: str  # "base" | "aas" | "aas_sparse"
+    latency_ms: float
+    energy_mj: float
+
+
+@dataclass(frozen=True)
+class TaskSetting:
+    """Per-task optimization results feeding the sweep (from Table 3)."""
+
+    name: str
+    spans: tuple  # learned per-head spans
+    encoder_density: float  # 1 - encoder sparsity
+    activation_density: float = 0.60  # post-GELU/attention zeros
+
+
+def sweep_design_space(model_config, setting, num_layers=None, seq_len=None,
+                       vector_sizes=DEFAULT_VECTOR_SIZES, tech=None):
+    """Run the Fig. 8 sweep for one task setting.
+
+    Returns ``(points, mgpu)`` where points is a list of
+    :class:`SweepPoint` and mgpu a dict mode → MgpuMetrics.
+    """
+    num_layers = num_layers or model_config.num_layers
+    workloads = {
+        "base": build_encoder_workload(
+            model_config, seq_len=seq_len, use_adaptive_span=False),
+        "aas": build_encoder_workload(
+            model_config, seq_len=seq_len, spans=setting.spans),
+        "aas_sparse": build_encoder_workload(
+            model_config, seq_len=seq_len, spans=setting.spans,
+            activation_density=setting.activation_density,
+            weight_density=setting.encoder_density),
+    }
+    points = []
+    for n in vector_sizes:
+        accelerator = AcceleratorModel(HwConfig(mac_vector_size=n), tech=tech)
+        for mode, workload in workloads.items():
+            sparse = mode == "aas_sparse"
+            metrics = accelerator.layer_metrics(workload,
+                                                sparse_execution=sparse)
+            points.append(SweepPoint(
+                vector_size=n,
+                mode=mode,
+                latency_ms=metrics.time_ms * num_layers,
+                energy_mj=metrics.energy_mj * num_layers,
+            ))
+    gpu = MobileGpuModel()
+    mgpu = {
+        "base": gpu.sentence_metrics(model_config, num_layers,
+                                     seq_len=seq_len),
+        "aas": gpu.sentence_metrics(model_config, num_layers, seq_len=seq_len,
+                                    spans=setting.spans,
+                                    use_adaptive_span=True),
+    }
+    return points, mgpu
+
+
+def energy_optimal_vector_size(points, mode="aas_sparse"):
+    """The n minimizing sentence energy in ``mode`` (paper: n = 16)."""
+    candidates = [p for p in points if p.mode == mode]
+    best = min(candidates, key=lambda p: p.energy_mj)
+    return best.vector_size

@@ -1,0 +1,232 @@
+"""Encoder-layer workload description (paper Fig. 5).
+
+The accelerator scheduler decomposes one Transformer encoder layer into
+matrix-multiply operations (run on the PU) and special-function operations
+(run on the SFU). The decomposition is parameterized by the model config,
+the sequence length, the learned per-head attention spans (which skip
+whole heads and trim the attention window) and the weight/activation
+densities (which drive the PU's skip gating).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import HardwareError
+
+
+@dataclass(frozen=True)
+class MatmulOp:
+    """One (M×K) @ (K×N) matmul on the PU.
+
+    ``coverage`` is the fraction of output tiles that must actually be
+    computed (adaptive-span predication skips tiles wholly outside the
+    span window). ``count`` repeats the op (e.g. per attention head).
+    """
+
+    name: str
+    m: int
+    k: int
+    n: int
+    input_density: float = 1.0
+    weight_density: float = 1.0
+    coverage: float = 1.0
+    count: int = 1
+
+    def __post_init__(self):
+        if min(self.m, self.k, self.n) <= 0 or self.count < 0:
+            raise HardwareError(f"bad matmul dims in {self.name}")
+        for attr in ("input_density", "weight_density", "coverage"):
+            value = getattr(self, attr)
+            if not 0.0 <= value <= 1.0:
+                raise HardwareError(f"{attr} must be in [0,1] for {self.name}")
+
+    @property
+    def macs(self):
+        """MAC count actually scheduled (after coverage predication)."""
+        return int(round(self.m * self.k * self.n * self.coverage)) * self.count
+
+    @property
+    def active_macs(self):
+        """MACs with both operands non-zero (the rest are skip-gated)."""
+        return int(round(self.macs * self.input_density * self.weight_density))
+
+    @property
+    def input_values(self):
+        return int(round(self.m * self.k * self.coverage)) * self.count
+
+    @property
+    def weight_values(self):
+        return int(round(self.k * self.n * self.coverage)) * self.count
+
+    @property
+    def output_values(self):
+        return int(round(self.m * self.n * self.coverage)) * self.count
+
+
+@dataclass(frozen=True)
+class SfuOp:
+    """One special-function pass: ``rows`` independent rows of ``width``."""
+
+    name: str
+    kind: str  # softmax | layernorm | entropy | add | lut
+    rows: int
+    width: int
+    passes: int = 1
+    count: int = 1
+
+    @property
+    def lane_ops(self):
+        return self.rows * self.width * self.passes * self.count
+
+
+@dataclass
+class LayerWorkload:
+    """All operations of one encoder layer (plus optional embedding stage)."""
+
+    matmuls: list = field(default_factory=list)
+    sfu_ops: list = field(default_factory=list)
+
+    @property
+    def total_macs(self):
+        return sum(op.macs for op in self.matmuls)
+
+    @property
+    def total_active_macs(self):
+        return sum(op.active_macs for op in self.matmuls)
+
+    @property
+    def flops(self):
+        """2 FLOPs per scheduled MAC (paper's GFLOPs accounting)."""
+        return 2 * self.total_macs
+
+
+def span_coverage(span, seq_len, ramp):
+    """Fraction of a (T×T) attention matrix inside one head's span window.
+
+    The span mask ``clip01((z − d)/R)`` is exactly zero for distances
+    ``d ≥ z``, so a head with span ≤ 0 is *completely off* (paper Table 1:
+    "more than half of the attention heads can be completely turned off")
+    and position pairs beyond the span never have their score/context
+    tiles scheduled.
+    """
+    if span <= 0:
+        return 0.0
+    window = float(span)
+    if window >= seq_len:
+        return 1.0
+    t = float(seq_len)
+    inside = t * t - (t - window) * (t - window)
+    return float(min(inside, t * t) / (t * t))
+
+
+def resolve_spans(config, spans):
+    """Normalize the spans argument to a per-head float array."""
+    if spans is None:
+        return np.full(config.num_heads, float(config.max_seq_len))
+    spans = np.asarray(spans, dtype=np.float64)
+    if spans.shape != (config.num_heads,):
+        raise HardwareError(
+            f"expected {config.num_heads} spans, got shape {spans.shape}")
+    return spans
+
+
+def build_encoder_workload(config, seq_len=None, spans=None,
+                           activation_density=1.0, weight_density=1.0,
+                           use_adaptive_span=True):
+    """Workload of one encoder layer (Fig. 5's op inventory).
+
+    ``spans`` are the learned per-head attention spans; a head whose span
+    window is empty is skipped entirely (its Q/K/V projections, softmax
+    and context matmuls are never scheduled, and its context columns are
+    zero — raising input sparsity of the output projection).
+    """
+    seq_len = int(seq_len or config.max_seq_len)
+    spans = resolve_spans(config, spans)
+    heads = config.num_heads
+    head_dim = config.head_dim
+    hidden = config.hidden_size
+    ffn = config.ffn_size
+    d_act = float(activation_density)
+    d_w = float(weight_density)
+
+    if use_adaptive_span:
+        coverages = np.array([span_coverage(s, seq_len, config.span_ramp)
+                              for s in spans])
+    else:
+        coverages = np.ones(heads)
+    active = coverages > 0.0
+    n_active = int(active.sum())
+    active_fraction = n_active / heads if heads else 0.0
+
+    matmuls = [
+        # Q, K, V projections — only for active heads (column predication).
+        MatmulOp("qkv_proj", seq_len, hidden, 3 * head_dim,
+                 input_density=d_act, weight_density=d_w, count=n_active),
+        # Per-head attention scores Q·Kᵀ, trimmed to the span window.
+        *[
+            MatmulOp(f"attn_scores_h{h}", seq_len, head_dim, seq_len,
+                     input_density=d_act, weight_density=d_act,
+                     coverage=float(coverages[h]))
+            for h in range(heads) if active[h]
+        ],
+        # Per-head context = probs · V (probs rows limited to the window).
+        *[
+            MatmulOp(f"attn_context_h{h}", seq_len, seq_len, head_dim,
+                     input_density=d_act, weight_density=d_act,
+                     coverage=float(coverages[h]))
+            for h in range(heads) if active[h]
+        ],
+        # Output projection; skipped heads contribute all-zero context
+        # columns, so the input density shrinks with the active fraction.
+        MatmulOp("attn_output", seq_len, hidden, hidden,
+                 input_density=d_act * active_fraction, weight_density=d_w),
+        # Feed-forward network.
+        MatmulOp("ffn_in", seq_len, hidden, ffn,
+                 input_density=d_act, weight_density=d_w),
+        MatmulOp("ffn_out", seq_len, ffn, hidden,
+                 input_density=d_act, weight_density=d_w),
+    ]
+
+    sfu_ops = [
+        SfuOp("softmax", "softmax", rows=seq_len, width=seq_len, passes=3,
+              count=n_active),
+        SfuOp("attn_mask", "softmax", rows=seq_len, width=seq_len, passes=1,
+              count=n_active),
+        SfuOp("attn_layernorm", "layernorm", rows=seq_len, width=hidden,
+              passes=3),
+        SfuOp("ffn_layernorm", "layernorm", rows=seq_len, width=hidden,
+              passes=3),
+        SfuOp("residual_add", "add", rows=seq_len, width=hidden, count=2),
+        SfuOp("exit_assessment", "entropy", rows=1,
+              width=max(config.num_labels, 2), passes=3),
+        SfuOp("offramp_pool", "layernorm", rows=1, width=hidden, passes=2),
+    ]
+    return LayerWorkload(matmuls=matmuls, sfu_ops=sfu_ops)
+
+
+def build_embedding_workload(config, seq_len=None, embedding_density=1.0):
+    """Front-end stage: token/position/segment sum, E→H projection."""
+    seq_len = int(seq_len or config.max_seq_len)
+    matmuls = [
+        MatmulOp("embed_projection", seq_len, config.embedding_size,
+                 config.hidden_size, input_density=embedding_density),
+    ]
+    sfu_ops = [
+        SfuOp("embed_sum", "add", rows=seq_len, width=config.embedding_size,
+              count=2),
+        SfuOp("embed_layernorm", "layernorm", rows=seq_len,
+              width=config.embedding_size, passes=3),
+    ]
+    return LayerWorkload(matmuls=matmuls, sfu_ops=sfu_ops)
+
+
+def encoder_gflops(config, seq_len=None, spans=None, use_adaptive_span=False):
+    """GFLOPs of one encoder layer — sanity anchor: ALBERT-base at
+    T=128 must give the paper's 1.9 GFLOPs."""
+    workload = build_encoder_workload(
+        config, seq_len=seq_len, spans=spans,
+        use_adaptive_span=use_adaptive_span)
+    return workload.flops / 1e9

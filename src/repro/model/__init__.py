@@ -1,0 +1,24 @@
+"""From-scratch ALBERT/BERT with EdgeBERT extensions."""
+
+from repro.model.albert import AlbertModel
+from repro.model.attention import MultiHeadSelfAttention
+from repro.model.embeddings import AlbertEmbeddings
+from repro.model.encoder import TransformerEncoderLayer
+from repro.model.modules import Embedding, LayerNorm, Linear, Module
+from repro.model.offramp import HighwayOffRamp
+from repro.model.span import AdaptiveSpanMask, clip01, distance_matrix
+
+__all__ = [
+    "AlbertModel",
+    "MultiHeadSelfAttention",
+    "AlbertEmbeddings",
+    "TransformerEncoderLayer",
+    "Embedding",
+    "LayerNorm",
+    "Linear",
+    "Module",
+    "HighwayOffRamp",
+    "AdaptiveSpanMask",
+    "clip01",
+    "distance_matrix",
+]

@@ -1,0 +1,139 @@
+"""The ALBERT backbone with EdgeBERT extensions.
+
+ALBERT (paper Fig. 2b) differs from BERT in two ways this class models
+directly: the embedding width is factorized (E < H with a learned E→H
+projection) and the twelve encoder layers *share one set of weights*.
+Setting ``config.share_parameters = False`` produces the BERT variant with
+per-layer weights, used for comparison tests.
+
+EdgeBERT extensions carried here:
+
+* a :class:`HighwayOffRamp` per layer for entropy-based early exit;
+* per-head adaptive span masks inside the (shared) attention block;
+* :meth:`iter_layer_logits`, the streaming evaluation path that Algorithms
+  1 and 2 use to stop computation at the exit layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import no_grad
+from repro.model.embeddings import AlbertEmbeddings
+from repro.model.encoder import TransformerEncoderLayer
+from repro.model.modules import Module
+from repro.model.offramp import HighwayOffRamp
+from repro.utils.rng import new_rng
+
+
+class AlbertModel(Module):
+    """ALBERT encoder stack with per-layer early-exit off-ramps."""
+
+    def __init__(self, config, seed=0):
+        super().__init__()
+        rng = new_rng(seed)
+        self.config = config
+        self.embeddings = AlbertEmbeddings(config, rng)
+        if config.share_parameters:
+            shared = TransformerEncoderLayer(config, rng)
+            self.layers = [shared] * config.num_layers
+        else:
+            self.layers = [TransformerEncoderLayer(config, rng)
+                           for _ in range(config.num_layers)]
+        self.offramps = [HighwayOffRamp(config, rng)
+                         for _ in range(config.num_layers)]
+
+    # -- parameter discovery must not double-count shared layers -------------
+
+    def named_parameters(self, prefix=""):
+        seen = set()
+        for name, param in super().named_parameters(prefix=prefix):
+            if id(param) in seen:
+                continue
+            seen.add(id(param))
+            yield name, param
+
+    # -- forward passes -------------------------------------------------------
+
+    def forward(self, input_ids, token_type_ids=None, attention_mask=None):
+        """Full forward pass; returns logits from every off-ramp.
+
+        Returns a list of ``num_layers`` logit tensors, one per off-ramp;
+        the last entry is the model's final classification head.
+        """
+        hidden = self.embeddings(input_ids, token_type_ids)
+        all_logits = []
+        for layer, offramp in zip(self.layers, self.offramps):
+            hidden = layer(hidden, attention_mask=attention_mask)
+            all_logits.append(offramp(hidden))
+        return all_logits
+
+    def iter_layer_logits(self, input_ids, token_type_ids=None,
+                          attention_mask=None):
+        """Yield ``(layer_index, logits_ndarray)`` one encoder at a time.
+
+        This is the early-exit evaluation path: the caller stops consuming
+        the generator at the exit layer and no deeper layer is computed.
+        Runs under ``no_grad`` (inference only). Layer indices are 1-based
+        to match the paper's "exit at encoder layer l" convention.
+        """
+        with no_grad():
+            hidden = self.embeddings(input_ids, token_type_ids)
+            for index, (layer, offramp) in enumerate(
+                    zip(self.layers, self.offramps), start=1):
+                hidden = layer(hidden, attention_mask=attention_mask)
+                yield index, offramp(hidden).data
+
+    def final_logits(self, input_ids, token_type_ids=None,
+                     attention_mask=None):
+        """Convenience: logits of the last off-ramp only (ndarray)."""
+        with no_grad():
+            return self.forward(input_ids, token_type_ids,
+                                attention_mask)[-1].data
+
+    # -- EdgeBERT-specific surface ---------------------------------------------
+
+    @property
+    def shared_encoder(self):
+        """The single shared encoder layer (ALBERT mode)."""
+        return self.layers[0]
+
+    def attention_spans(self):
+        """Learned span per head of the (shared) attention block."""
+        span = self.shared_encoder.attention.span
+        if span is None:
+            return np.full(self.config.num_heads, float(self.config.max_seq_len))
+        return span.spans()
+
+    def average_attention_span(self):
+        return float(np.mean(self.attention_spans()))
+
+    def active_head_count(self, seq_len=None):
+        """Number of heads the accelerator cannot skip."""
+        seq_len = seq_len or self.config.max_seq_len
+        return int(self.shared_encoder.attention.active_heads(seq_len).sum())
+
+    def encoder_parameters(self):
+        """Parameters of the encoder partition (task-specific, in SRAM)."""
+        params = []
+        seen = set()
+        for layer in self.layers:
+            for _, p in layer.named_parameters():
+                if id(p) not in seen:
+                    seen.add(id(p))
+                    params.append(p)
+        return params
+
+    def offramp_parameters(self):
+        """Parameters of all highway off-ramps (phase-2 fine-tuning)."""
+        params = []
+        for ramp in self.offramps:
+            params.extend(p for _, p in ramp.named_parameters())
+        return params
+
+    def freeze_backbone(self):
+        """Freeze everything except the off-ramps (training phase 2)."""
+        for p in self.parameters():
+            p.requires_grad = False
+        for p in self.offramp_parameters():
+            p.requires_grad = True

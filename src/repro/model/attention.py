@@ -1,0 +1,95 @@
+"""Multi-head self-attention with adaptive span masking (paper Fig. 3/5).
+
+The span mask is applied *after* the softmax ("post-mask" in Fig. 3,
+Algorithm 3 step 3), re-modulating attention saliencies; a head whose mask
+is 100 % null contributes nothing and is skippable by the accelerator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor, dropout, softmax
+from repro.model.modules import Linear, Module
+from repro.model.span import AdaptiveSpanMask
+
+#: Additive logit applied to padded key positions before the softmax.
+NEG_INF = -1e9
+
+
+class MultiHeadSelfAttention(Module):
+    """Self-attention block: QKV projections, span mask, output projection."""
+
+    def __init__(self, config, rng):
+        super().__init__()
+        self._num_heads = config.num_heads
+        self._head_dim = config.head_dim
+        self._hidden = config.hidden_size
+        self._scale = 1.0 / np.sqrt(config.head_dim)
+        self._dropout_rate = 0.0
+        std = config.initializer_range
+        self.query = Linear(self._hidden, self._hidden, rng, std=std, name="q")
+        self.key = Linear(self._hidden, self._hidden, rng, std=std, name="k")
+        self.value = Linear(self._hidden, self._hidden, rng, std=std, name="v")
+        self.output = Linear(self._hidden, self._hidden, rng, std=std, name="o")
+        self.span = None
+        if config.use_adaptive_span:
+            self.span = AdaptiveSpanMask(
+                config.num_heads,
+                max_span=config.max_seq_len,
+                ramp=config.span_ramp,
+            )
+        self._rng = rng
+
+    def _split_heads(self, x, batch, seq_len):
+        return x.reshape(batch, seq_len, self._num_heads,
+                         self._head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, hidden, attention_mask=None, return_probs=False):
+        """Run attention.
+
+        Parameters
+        ----------
+        hidden:
+            (batch, seq, hidden) input tensor.
+        attention_mask:
+            Optional (batch, seq) array; 1 for real tokens, 0 for padding.
+        return_probs:
+            Also return the post-mask attention probabilities (ndarray).
+        """
+        batch, seq_len, _ = hidden.shape
+        q = self._split_heads(self.query(hidden), batch, seq_len)
+        k = self._split_heads(self.key(hidden), batch, seq_len)
+        v = self._split_heads(self.value(hidden), batch, seq_len)
+
+        scores = (q @ k.transpose(0, 1, 3, 2)) * self._scale
+        if attention_mask is not None:
+            key_mask = np.asarray(attention_mask, dtype=np.float64)
+            additive = (1.0 - key_mask)[:, None, None, :] * NEG_INF
+            scores = scores + Tensor(additive)
+
+        probs = softmax(scores, axis=-1)
+        if self.span is not None:
+            if self.training:
+                # Differentiable mask: spans receive gradients.
+                probs = probs * self.span.mask(seq_len)
+            else:
+                # Identical values, cheaper constant path; a span-0 head
+                # has an all-zero mask (the accelerator skips it).
+                probs = probs * Tensor(self.span.mask_array(seq_len))
+        probs = dropout(probs, self._dropout_rate, self._rng,
+                        training=self.training)
+
+        context = probs @ v
+        context = context.transpose(0, 2, 1, 3).reshape(
+            batch, seq_len, self._hidden)
+        out = self.output(context)
+        if return_probs:
+            return out, probs.data
+        return out
+
+    def active_heads(self, seq_len):
+        """Heads the accelerator must compute (non-null span mask)."""
+        if self.span is None:
+            return np.ones(self._num_heads, dtype=bool)
+        return self.span.active_heads(seq_len)

@@ -1,0 +1,56 @@
+"""ALBERT factorized embeddings (paper Fig. 2b).
+
+Word, position and segment (token-type) embeddings all live at the reduced
+width E; the sum is layer-normalized, then a single linear map projects
+E → H at the encoder input. The *word* embedding table is the multi-task
+shared parameter partition that EdgeBERT freezes during fine-tuning and
+stores in on-chip ReRAM (Sec. 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.modules import Embedding, LayerNorm, Linear, Module
+
+
+class AlbertEmbeddings(Module):
+    """Token + position + segment embeddings with E→H projection."""
+
+    def __init__(self, config, rng):
+        super().__init__()
+        std = config.initializer_range
+        self.word = Embedding(config.vocab_size, config.embedding_size, rng,
+                              std=std, name="word")
+        self.position = Embedding(config.max_seq_len, config.embedding_size,
+                                  rng, std=std, name="position")
+        self.token_type = Embedding(config.type_vocab_size,
+                                    config.embedding_size, rng, std=std,
+                                    name="token_type")
+        self.norm = LayerNorm(config.embedding_size,
+                              eps=config.layer_norm_eps, name="emb_norm")
+        self.projection = Linear(config.embedding_size, config.hidden_size,
+                                 rng, std=std, name="emb_proj")
+
+    def forward(self, input_ids, token_type_ids=None):
+        input_ids = np.asarray(input_ids)
+        batch, seq_len = input_ids.shape
+        if token_type_ids is None:
+            token_type_ids = np.zeros_like(input_ids)
+        positions = np.broadcast_to(np.arange(seq_len), (batch, seq_len))
+        summed = (self.word(input_ids)
+                  + self.position(positions)
+                  + self.token_type(np.asarray(token_type_ids)))
+        return self.projection(self.norm(summed))
+
+    def freeze_word_embeddings(self):
+        """Stop gradient flow into the shared word-embedding table.
+
+        The paper deliberately fixes word embeddings during fine-tuning so
+        they stay identical across NLP tasks and can live in eNVM.
+        """
+        self.word.weight.requires_grad = False
+
+    def word_embedding_bytes(self, bits_per_weight=8):
+        """Dense storage footprint of the word table at a given precision."""
+        return self.word.weight.data.size * bits_per_weight / 8

@@ -1,0 +1,34 @@
+"""Transformer encoder layer (post-LN, GELU FFN) — paper Fig. 5."""
+
+from __future__ import annotations
+
+from repro.autograd import gelu
+from repro.model.attention import MultiHeadSelfAttention
+from repro.model.modules import LayerNorm, Linear, Module
+
+
+class TransformerEncoderLayer(Module):
+    """One ALBERT/BERT encoder block.
+
+    Structure (Fig. 5): multi-head attention → residual + layer-norm →
+    position-wise FFN (GELU) → residual + layer-norm.
+    """
+
+    def __init__(self, config, rng):
+        super().__init__()
+        std = config.initializer_range
+        self.attention = MultiHeadSelfAttention(config, rng)
+        self.attn_norm = LayerNorm(config.hidden_size, eps=config.layer_norm_eps,
+                                   name="attn_norm")
+        self.ffn_in = Linear(config.hidden_size, config.ffn_size, rng, std=std,
+                             name="ffn_in")
+        self.ffn_out = Linear(config.ffn_size, config.hidden_size, rng, std=std,
+                              name="ffn_out")
+        self.ffn_norm = LayerNorm(config.hidden_size, eps=config.layer_norm_eps,
+                                  name="ffn_norm")
+
+    def forward(self, hidden, attention_mask=None):
+        attn_out = self.attention(hidden, attention_mask=attention_mask)
+        hidden = self.attn_norm(hidden + attn_out)
+        ffn = self.ffn_out(gelu(self.ffn_in(hidden)))
+        return self.ffn_norm(hidden + ffn)

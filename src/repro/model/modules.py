@@ -1,0 +1,180 @@
+"""Minimal module system over the autograd engine.
+
+A :class:`Module` discovers parameters and sub-modules from instance
+attributes (including lists of modules), provides recursive
+``parameters()`` / ``named_parameters()``, and carries a train/eval flag —
+just enough structure for the ALBERT implementation without framework
+magic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+
+
+class Module:
+    """Base class for all network components."""
+
+    def __init__(self):
+        self.training = True
+
+    # -- parameter discovery -------------------------------------------------
+
+    def named_parameters(self, prefix=""):
+        """Yield ``(name, tensor)`` for every parameter tensor.
+
+        Frozen parameters (``requires_grad=False``) are included so that
+        ``state_dict`` stays complete; optimizers filter on
+        ``requires_grad`` themselves.
+        """
+        for attr, value in vars(self).items():
+            if attr.startswith("_") or attr == "training":
+                continue
+            name = f"{prefix}{attr}"
+            if isinstance(value, Tensor):
+                yield name, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{name}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{name}.{i}.")
+                    elif isinstance(item, Tensor):
+                        yield f"{name}.{i}", item
+
+    def parameters(self):
+        """Return the list of all parameter tensors (frozen included)."""
+        return [p for _, p in self.named_parameters()]
+
+    def modules(self):
+        """Yield this module and every descendant module."""
+        yield self
+        for attr, value in vars(self).items():
+            if attr.startswith("_"):
+                continue
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    # -- train/eval mode -------------------------------------------------------
+
+    def train(self, mode=True):
+        """Set train/eval mode recursively; returns self."""
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self):
+        return self.train(False)
+
+    # -- state (de)serialization ----------------------------------------------
+
+    def state_dict(self):
+        """Return a name → ndarray copy of all parameters."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state):
+        """Load parameter values in-place; shapes must match exactly."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state mismatch: missing={sorted(missing)} "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, tensor in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != tensor.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{value.shape} vs {tensor.data.shape}"
+                )
+            tensor.data = value.copy()
+
+    def num_parameters(self):
+        """Total number of trainable scalar parameters."""
+        return int(sum(p.data.size for p in self.parameters()))
+
+    def zero_grad(self):
+        for p in self.parameters():
+            p.zero_grad()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b`` with normal(0, std) initialization."""
+
+    def __init__(self, in_features, out_features, rng, std=0.02, bias=True,
+                 name=""):
+        super().__init__()
+        self.weight = Tensor(
+            rng.normal(0.0, std, size=(in_features, out_features)),
+            requires_grad=True, name=f"{name}.weight" if name else "weight",
+        )
+        self.bias = None
+        if bias:
+            self.bias = Tensor(np.zeros(out_features), requires_grad=True,
+                               name=f"{name}.bias" if name else "bias")
+        # Optional weight transform (e.g. movement-pruning mask) applied at
+        # forward time; set/cleared by repro.pruning.PruningManager.
+        self._weight_hook = None
+
+    def set_weight_hook(self, hook):
+        """Install ``hook(weight_tensor) -> tensor`` (None to clear)."""
+        self._weight_hook = hook
+
+    def effective_weight(self):
+        """The weight tensor the forward pass actually uses."""
+        if self._weight_hook is not None:
+            return self._weight_hook(self.weight)
+        return self.weight
+
+    def forward(self, x):
+        out = x @ self.effective_weight()
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class LayerNorm(Module):
+    """Learnable layer normalization over the last axis."""
+
+    def __init__(self, width, eps=1e-5, name=""):
+        super().__init__()
+        self.gain = Tensor(np.ones(width), requires_grad=True,
+                           name=f"{name}.gain" if name else "gain")
+        self.bias = Tensor(np.zeros(width), requires_grad=True,
+                           name=f"{name}.bias" if name else "bias")
+        self._eps = eps
+
+    def forward(self, x):
+        from repro.autograd import layer_norm
+
+        return layer_norm(x, self.gain, self.bias, eps=self._eps)
+
+
+class Embedding(Module):
+    """Lookup table with normal(0, std) initialization."""
+
+    def __init__(self, num_embeddings, dim, rng, std=0.02, name=""):
+        super().__init__()
+        self.weight = Tensor(
+            rng.normal(0.0, std, size=(num_embeddings, dim)),
+            requires_grad=True, name=f"{name}.weight" if name else "weight",
+        )
+
+    def forward(self, ids):
+        from repro.autograd import embedding
+
+        return embedding(self.weight, ids)

@@ -1,0 +1,30 @@
+"""Early-exit highway off-ramps (paper Sec. 3.1, Fig. 3/4).
+
+A lightweight classifier hangs off every Transformer encoder layer so that
+inference can exit as soon as the output distribution's entropy falls below
+the target threshold. Each off-ramp pools the [CLS] position through a tanh
+pooler and applies a linear classifier — the layer-12 off-ramp doubles as
+the model's final classifier.
+"""
+
+from __future__ import annotations
+
+from repro.model.modules import Linear, Module
+
+
+class HighwayOffRamp(Module):
+    """Pooler + classifier attached to one encoder layer's output."""
+
+    def __init__(self, config, rng):
+        super().__init__()
+        std = config.initializer_range
+        self.pooler = Linear(config.hidden_size, config.hidden_size, rng,
+                             std=std, name="pooler")
+        self.classifier = Linear(config.hidden_size, config.num_labels, rng,
+                                 std=std, name="classifier")
+
+    def forward(self, hidden):
+        """Map (batch, seq, hidden) to (batch, num_labels) logits."""
+        cls = hidden[:, 0, :]
+        pooled = self.pooler(cls).tanh()
+        return self.classifier(pooled)

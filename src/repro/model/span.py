@@ -1,0 +1,139 @@
+"""Adaptive attention span (paper Sec. 3.2, Sukhbaatar et al. 2019).
+
+Each self-attention head h owns a learnable span parameter ``z_h``. The
+mask applied to an attention weight between positions ``i`` (query) and
+``j`` (key) depends on the token distance ``d = |i - j|``:
+
+    m_h(d) = clip01( (z_h - d) / R )
+
+where ``R`` is the ramp softness. The mask is 1 for ``d <= z_h - R``,
+falls linearly across the ramp, and is exactly 0 for ``d >= z_h`` — so a
+head whose span has decayed to 0 has a *100 % null* mask and the EdgeBERT
+accelerator skips the head's computation entirely (Sec. 7.4.1). This
+holds identically during training and evaluation: there is no soft/hard
+semantics gap, which is what lets the task gradient defend useful heads
+(shrinking z claws into real attention weight immediately).
+
+Fine-tuning adds a quadratic span penalty (see :meth:`span_penalty`), so
+spans decay exponentially until the task gradient pushes back; unused
+heads decay toward zero and are snapped exactly off late in training
+(:meth:`snap_`), reproducing Table 1's mix of zero and small spans.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.model.modules import Module
+
+
+def clip01(x):
+    """Differentiable clamp of a tensor to [0, 1] (subgradients at edges)."""
+    return (1.0 - (1.0 - x).clip_min(0.0)).clip_min(0.0)
+
+
+def distance_matrix(seq_len):
+    """(seq_len, seq_len) matrix of absolute token distances |i - j|."""
+    idx = np.arange(seq_len)
+    return np.abs(idx[:, None] - idx[None, :]).astype(np.float64)
+
+
+class AdaptiveSpanMask(Module):
+    """Per-head learnable span masks for one multi-head attention block.
+
+    Parameters
+    ----------
+    num_heads:
+        Number of attention heads (one ``z`` per head).
+    max_span:
+        Maximum useful span (the maximum sentence length, 128 in the
+        paper). ``z`` may exceed it by one ramp so the mask can be fully
+        open everywhere.
+    ramp:
+        Softness ``R`` of the mask's linear ramp.
+    init_span:
+        Initial ``z``. Defaults to ``ramp`` — spans start *small* and the
+        task gradient grows the heads it needs (Sukhbaatar et al. init
+        near zero). Starting fully open instead lets the penalty kill
+        every head before the task loss notices (layer-norm compensates
+        for uniformly shrunk attention until it is too late).
+    """
+
+    #: Lower clamp applied during learning. A head at exactly 0 has an
+    #: all-zero mask and therefore *zero gradient* (clip01 is flat) — it
+    #: could never recover. The floor keeps a sliver of mask alive; the
+    #: end-of-training snap decides which heads actually die.
+    LEARNING_FLOOR = 2.0
+
+    def __init__(self, num_heads, max_span=128, ramp=16.0, init_span=None):
+        super().__init__()
+        if init_span is None:
+            init_span = float(ramp)
+        self.z = Tensor(np.full((num_heads, 1, 1), float(init_span)),
+                        requires_grad=True, name="span.z")
+        self._max_span = float(max_span)
+        self._ramp = float(ramp)
+        self._num_heads = num_heads
+
+    @property
+    def num_heads(self):
+        return self._num_heads
+
+    @property
+    def ramp(self):
+        return self._ramp
+
+    def clamp_(self):
+        """Clamp z in-place to [floor, max_span + R] (after each step)."""
+        np.clip(self.z.data, self.LEARNING_FLOOR,
+                self._max_span + self._ramp, out=self.z.data)
+
+    def snap_(self, threshold=None):
+        """Zero out heads whose span fell below ``threshold``.
+
+        The exponential decay of the quadratic penalty leaves unused heads
+        at small-but-nonzero spans; snapping them to exactly 0 makes their
+        masks 100 % null so the accelerator can skip them (the paper's
+        "completely turned off" heads). Default threshold: R/4.
+        """
+        threshold = self._ramp / 4.0 if threshold is None else threshold
+        self.z.data[self.z.data < threshold] = 0.0
+
+    def mask(self, seq_len):
+        """Differentiable (num_heads, seq_len, seq_len) span mask."""
+        distances = distance_matrix(seq_len)[None, :, :]
+        return clip01((self.z - Tensor(distances)) * (1.0 / self._ramp))
+
+    def mask_array(self, seq_len):
+        """Non-differentiable ndarray mask (same values as :meth:`mask`)."""
+        distances = distance_matrix(seq_len)[None, :, :]
+        raw = (self.z.data - distances) / self._ramp
+        return np.clip(raw, 0.0, 1.0)
+
+    def spans(self):
+        """Learned span per head (paper Table 1), clipped to [0, max]."""
+        return np.clip(self.z.data.reshape(-1), 0.0, self._max_span)
+
+    def average_span(self):
+        """Mean of the per-head spans (paper Table 1 "Avg. Span")."""
+        return float(self.spans().mean())
+
+    def active_heads(self, seq_len=None):
+        """Boolean array: heads whose mask is not 100 % null."""
+        seq_len = int(seq_len) if seq_len else int(self._max_span)
+        mask = self.mask_array(seq_len)
+        return mask.reshape(self._num_heads, -1).max(axis=1) > 0.0
+
+    def span_penalty(self):
+        """Differentiable span penalty, added to the training loss.
+
+        Quadratic in the normalized span: the shrinking force on a head is
+        *proportional to its current span*, so spans decay exponentially
+        until the task gradient pushes back — useful heads equilibrate at
+        small spans, unused heads decay to zero (the paper's Table 1
+        pattern). A linear penalty would apply constant force and kill
+        every head at the same rate regardless of usefulness.
+        """
+        normalized = self.z.clip_min(0.0) * (1.0 / self._max_span)
+        return (normalized * normalized).mean()

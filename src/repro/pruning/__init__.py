@@ -1,0 +1,29 @@
+"""Network pruning: magnitude, movement, schedules, orchestration."""
+
+from repro.pruning.magnitude import (
+    actual_sparsity,
+    magnitude_keep_mask,
+    prune_by_magnitude,
+    prune_embeddings,
+)
+from repro.pruning.manager import (
+    PruningManager,
+    measured_embedding_density,
+    measured_encoder_sparsity,
+)
+from repro.pruning.movement import MovementScore, masked_by_scores, topk_keep_mask
+from repro.pruning.schedule import cubic_sparsity
+
+__all__ = [
+    "actual_sparsity",
+    "magnitude_keep_mask",
+    "prune_by_magnitude",
+    "prune_embeddings",
+    "PruningManager",
+    "measured_embedding_density",
+    "measured_encoder_sparsity",
+    "MovementScore",
+    "masked_by_scores",
+    "topk_keep_mask",
+    "cubic_sparsity",
+]

@@ -1,0 +1,60 @@
+"""Magnitude pruning (paper Sec. 3.3; Han et al.).
+
+Weights with the smallest absolute values are zeroed. EdgeBERT always
+applies magnitude pruning to the *embedding* layer (the weights are frozen
+and task-shared, so the mask is computed once and enforces uniformity
+across NLP domains), and optionally to encoder weights as the alternative
+to movement pruning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SparsityError
+
+
+def magnitude_keep_mask(values, sparsity):
+    """Boolean mask keeping the largest-|value| fraction ``1 - sparsity``.
+
+    Exactly ``floor(sparsity * size)`` entries are dropped; ties are broken
+    by flat index for determinism.
+    """
+    values = np.asarray(values)
+    if not 0.0 <= sparsity < 1.0:
+        raise SparsityError(f"sparsity must be in [0, 1); got {sparsity}")
+    n_drop = int(np.floor(sparsity * values.size))
+    if n_drop == 0:
+        return np.ones(values.shape, dtype=bool)
+    flat = np.abs(values).reshape(-1)
+    # argsort is stable, so equal magnitudes drop lowest-index first.
+    drop_idx = np.argsort(flat, kind="stable")[:n_drop]
+    mask = np.ones(flat.size, dtype=bool)
+    mask[drop_idx] = False
+    return mask.reshape(values.shape)
+
+
+def prune_by_magnitude(values, sparsity):
+    """Return a pruned copy of ``values`` at the requested sparsity."""
+    return np.asarray(values) * magnitude_keep_mask(values, sparsity)
+
+
+def prune_embeddings(model, sparsity):
+    """One-shot magnitude pruning of the shared word-embedding table.
+
+    The paper's rule: magnitude pruning for embeddings (frozen, shared
+    across tasks) so the stored image is identical for every NLP domain.
+    Modifies the model in-place and returns the keep mask.
+    """
+    table = model.embeddings.word.weight
+    mask = magnitude_keep_mask(table.data, sparsity)
+    table.data = table.data * mask
+    return mask
+
+
+def actual_sparsity(values):
+    """Fraction of exactly-zero entries."""
+    values = np.asarray(values)
+    if values.size == 0:
+        return 0.0
+    return float((values == 0).mean())

@@ -1,0 +1,140 @@
+"""Pruning orchestration across a whole model (paper Sec. 3.3 / Fig. 4).
+
+The manager wires the paper's pruning policy onto an :class:`AlbertModel`:
+
+* the shared word-embedding table is magnitude-pruned (one shot — it is
+  frozen during fine-tuning and must stay identical across tasks);
+* every encoder Linear weight is pruned along a cubic sparsity schedule,
+  by movement pruning (score tensors + straight-through masks) or by
+  iterative magnitude pruning, per the configuration.
+
+Off-ramp classifiers and layer-norm/bias parameters are never pruned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.modules import Linear
+from repro.pruning.magnitude import (
+    actual_sparsity,
+    magnitude_keep_mask,
+    prune_embeddings,
+)
+from repro.pruning.movement import MovementScore
+from repro.pruning.schedule import cubic_sparsity
+
+
+def _encoder_linears(model):
+    """Unique (name, Linear) pairs inside the encoder layers."""
+    seen = set()
+    result = []
+    for i, layer in enumerate(model.layers):
+        for attr, value in vars(layer).items():
+            if isinstance(value, Linear) and id(value) not in seen:
+                seen.add(id(value))
+                result.append((f"layers.{i}.{attr}", value))
+            elif hasattr(value, "__dict__"):
+                for sub_attr, sub in vars(value).items():
+                    if isinstance(sub, Linear) and id(sub) not in seen:
+                        seen.add(id(sub))
+                        result.append((f"layers.{i}.{attr}.{sub_attr}", sub))
+    return result
+
+
+class PruningManager:
+    """Drives embedding + encoder pruning through a training run."""
+
+    def __init__(self, model, config, total_steps):
+        self.model = model
+        self.config = config
+        self.total_steps = max(int(total_steps), 1)
+        self._linears = _encoder_linears(model)
+        self._movement = {}
+        self._embedding_mask = None
+        self._finalized = False
+        if config.encoder_method == "movement":
+            for name, linear in self._linears:
+                score = MovementScore(linear.weight, name=name)
+                linear.set_weight_hook(score.hook())
+                self._movement[name] = score
+
+    # -- parameters the optimizer must also update -----------------------------
+
+    def score_parameters(self):
+        """Movement-score tensors (empty for magnitude pruning)."""
+        return [score.scores for score in self._movement.values()]
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def prune_embeddings_once(self):
+        """Apply the one-shot magnitude pruning of the shared embeddings."""
+        self._embedding_mask = prune_embeddings(
+            self.model, self.config.embedding_sparsity)
+        return self._embedding_mask
+
+    def step(self, step):
+        """Advance the cubic schedule at training ``step``."""
+        sparsity = cubic_sparsity(
+            step, self.total_steps, self.config.encoder_sparsity,
+            begin_frac=self.config.schedule_begin_frac,
+            end_frac=self.config.schedule_end_frac,
+        )
+        if self.config.encoder_method == "movement":
+            for score in self._movement.values():
+                score.sparsity = sparsity
+        else:
+            for _, linear in self._linears:
+                mask = magnitude_keep_mask(linear.weight.data, sparsity)
+                linear.weight.data = linear.weight.data * mask
+        return sparsity
+
+    def finalize(self):
+        """Bake masks into weights and remove forward hooks."""
+        if self._finalized:
+            return
+        if self.config.encoder_method == "movement":
+            for name, linear in self._linears:
+                self._movement[name].finalize()
+                linear.set_weight_hook(None)
+        else:
+            for _, linear in self._linears:
+                mask = magnitude_keep_mask(linear.weight.data,
+                                           self.config.encoder_sparsity)
+                linear.weight.data = linear.weight.data * mask
+        self._finalized = True
+
+    # -- reporting --------------------------------------------------------------
+
+    def encoder_sparsity(self):
+        """Measured zero fraction across encoder Linear weights."""
+        weights = [linear.weight.data for _, linear in self._linears]
+        total = sum(w.size for w in weights)
+        zeros = sum(int((w == 0).sum()) for w in weights)
+        return zeros / total if total else 0.0
+
+    def embedding_sparsity(self):
+        """Measured zero fraction of the word-embedding table."""
+        return actual_sparsity(self.model.embeddings.word.weight.data)
+
+    def summary(self):
+        """Dict of measured sparsities (for Table 3)."""
+        return {
+            "embedding_sparsity": self.embedding_sparsity(),
+            "encoder_sparsity": self.encoder_sparsity(),
+            "method": self.config.encoder_method,
+        }
+
+
+def measured_encoder_sparsity(model):
+    """Zero fraction across a model's encoder Linear weights."""
+    linears = _encoder_linears(model)
+    total = sum(linear.weight.data.size for _, linear in linears)
+    zeros = sum(int((linear.weight.data == 0).sum()) for _, linear in linears)
+    return zeros / total if total else 0.0
+
+
+def measured_embedding_density(model):
+    """Non-zero fraction of the word-embedding table (Table 3's 40 %)."""
+    table = model.embeddings.word.weight.data
+    return float((table != 0).mean()) if table.size else 0.0

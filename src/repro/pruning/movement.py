@@ -1,0 +1,82 @@
+"""Movement pruning (paper Sec. 3.3; Sanh et al. 2020).
+
+Movement pruning is *first-order*: each prunable weight matrix W gets a
+score matrix S of the same shape; the forward pass uses
+``W ⊙ TopK-mask(S)`` and the scores receive straight-through gradients
+``∂L/∂S = ∂L/∂W_eff ⊙ W``. Weights that shrink toward zero during
+fine-tuning accumulate negative movement and are dropped — which is why it
+beats magnitude pruning in high-sparsity transfer-learning regimes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+
+
+def topk_keep_mask(scores, sparsity):
+    """Keep-mask of the highest-score fraction ``1 - sparsity``."""
+    return _topk_mask(scores, sparsity)
+
+
+def _topk_mask(scores, sparsity):
+    scores = np.asarray(scores)
+    n_drop = int(np.floor(sparsity * scores.size))
+    if n_drop == 0:
+        return np.ones(scores.shape, dtype=bool)
+    flat = scores.reshape(-1)
+    drop_idx = np.argsort(flat, kind="stable")[:n_drop]
+    mask = np.ones(flat.size, dtype=bool)
+    mask[drop_idx] = False
+    return mask.reshape(scores.shape)
+
+
+def masked_by_scores(weight, scores, sparsity):
+    """Differentiable ``W ⊙ TopK-mask(S)`` with straight-through scores.
+
+    Forward: zero the weights whose score is in the lowest ``sparsity``
+    fraction. Backward: the weight gradient flows only through kept
+    entries, while the score gradient is the straight-through estimate
+    ``grad ⊙ W`` over *all* entries (Sanh et al., Eq. 7).
+    """
+    mask = _topk_mask(scores.data, sparsity).astype(np.float64)
+    out_data = weight.data * mask
+
+    def backward(grad):
+        if weight.requires_grad:
+            weight._accumulate(grad * mask)
+        if scores.requires_grad:
+            scores._accumulate(grad * weight.data)
+
+    return Tensor._from_op(out_data, (weight, scores), backward)
+
+
+class MovementScore:
+    """Owns the score tensor and current sparsity for one weight matrix."""
+
+    def __init__(self, weight, name=""):
+        self.weight = weight
+        self.scores = Tensor(np.zeros_like(weight.data), requires_grad=True,
+                             name=f"{name}.scores" if name else "scores")
+        self.sparsity = 0.0
+
+    def hook(self):
+        """Weight hook for :meth:`repro.model.modules.Linear.set_weight_hook`."""
+
+        def apply(weight):
+            if self.sparsity <= 0.0:
+                return weight
+            return masked_by_scores(weight, self.scores, self.sparsity)
+
+        return apply
+
+    def keep_mask(self):
+        """The current binary keep-mask derived from the scores."""
+        return _topk_mask(self.scores.data, self.sparsity)
+
+    def finalize(self):
+        """Bake the mask into the weight data; returns the mask."""
+        mask = self.keep_mask()
+        self.weight.data = self.weight.data * mask
+        return mask

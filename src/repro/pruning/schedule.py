@@ -1,0 +1,30 @@
+"""Sparsity schedules for gradual pruning during fine-tuning."""
+
+from __future__ import annotations
+
+from repro.errors import ScheduleError
+
+
+def cubic_sparsity(step, total_steps, final_sparsity, begin_frac=0.2,
+                   end_frac=0.8):
+    """Zhu & Gupta cubic sparsity ramp.
+
+    Sparsity is 0 before ``begin_frac * total_steps``, rises along
+    ``s_f * (1 - (1 - t)^3)`` and holds at ``final_sparsity`` after
+    ``end_frac * total_steps``. This is the schedule both pruning methods
+    use during EdgeBERT's phase-1 fine-tuning.
+    """
+    if total_steps <= 0:
+        raise ScheduleError("total_steps must be positive")
+    if not 0.0 <= final_sparsity < 1.0:
+        raise ScheduleError("final_sparsity must be in [0, 1)")
+    if not 0.0 <= begin_frac < end_frac <= 1.0:
+        raise ScheduleError("need 0 <= begin_frac < end_frac <= 1")
+    begin = begin_frac * total_steps
+    end = end_frac * total_steps
+    if step <= begin:
+        return 0.0
+    if step >= end:
+        return float(final_sparsity)
+    progress = (step - begin) / (end - begin)
+    return float(final_sparsity * (1.0 - (1.0 - progress) ** 3))

@@ -1,0 +1,18 @@
+"""Floating-point quantization (AdaptivFloat-style FP8)."""
+
+from repro.quant.floatformat import FloatFormat, search_exponent_bits
+from repro.quant.quantizer import (
+    Quantizer,
+    default_skip_predicate,
+    int8_symmetric_quantize,
+    quantize_model_for_eval,
+)
+
+__all__ = [
+    "FloatFormat",
+    "search_exponent_bits",
+    "Quantizer",
+    "default_skip_predicate",
+    "int8_symmetric_quantize",
+    "quantize_model_for_eval",
+]

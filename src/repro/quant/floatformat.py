@@ -1,0 +1,194 @@
+"""Reduced-precision floating-point formats (paper Sec. 3.4).
+
+EdgeBERT quantizes weights and activations to 8-bit floats — 1 sign bit,
+4 exponent bits, 3 mantissa bits — with the exponent *bias* chosen per
+tensor ("the exponent being scaled at a per-layer granularity"), following
+AdaptivFloat (Tambe et al., cited as [72]). Floating point is preferred
+over int8 because NLP weight distributions have outliers that need the
+extra dynamic range.
+
+The format model here uses the full exponent field for normal values (no
+inf/NaN encodings, as is standard for DNN inference formats) and supports
+subnormals, so the representable set is exactly:
+
+    ±(k / 2^m) · 2^(1 - bias)                for field = 0 (subnormal)
+    ±(1 + k / 2^m) · 2^(field - bias)        for field in [1, 2^e - 1]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """A (sign, exponent, mantissa) float format with an adjustable bias."""
+
+    total_bits: int = 8
+    exponent_bits: int = 4
+
+    def __post_init__(self):
+        if self.total_bits < 3:
+            raise QuantizationError("total_bits must be >= 3")
+        if not 1 <= self.exponent_bits <= self.total_bits - 2:
+            raise QuantizationError(
+                "exponent_bits must leave a sign bit and >= 1 mantissa bit"
+            )
+
+    @property
+    def mantissa_bits(self):
+        return self.total_bits - 1 - self.exponent_bits
+
+    @property
+    def standard_bias(self):
+        """IEEE-style bias 2^(e-1) - 1."""
+        return 2 ** (self.exponent_bits - 1) - 1
+
+    def exponent_range(self, bias=None):
+        """(E_min, E_max) of *normal* values for a given bias."""
+        bias = self.standard_bias if bias is None else int(bias)
+        return 1 - bias, (2**self.exponent_bits - 1) - bias
+
+    def max_value(self, bias=None):
+        """Largest representable magnitude."""
+        _, e_max = self.exponent_range(bias)
+        return float((2.0 - 2.0 ** (-self.mantissa_bits)) * 2.0**e_max)
+
+    def min_normal(self, bias=None):
+        """Smallest positive normal magnitude."""
+        e_min, _ = self.exponent_range(bias)
+        return float(2.0**e_min)
+
+    def min_subnormal(self, bias=None):
+        """Smallest positive representable magnitude."""
+        e_min, _ = self.exponent_range(bias)
+        return float(2.0 ** (e_min - self.mantissa_bits))
+
+    def adaptive_bias(self, values):
+        """Per-tensor bias covering the data's dynamic range.
+
+        Chooses the bias so that the top of the exponent range sits at the
+        data's maximum magnitude (AdaptivFloat rule). Falls back to the
+        standard bias for all-zero tensors.
+        """
+        values = np.asarray(values)
+        max_abs = float(np.max(np.abs(values))) if values.size else 0.0
+        if max_abs == 0.0 or not np.isfinite(max_abs):
+            return self.standard_bias
+        # Smallest e_max with (2 - 2^-m)·2^e_max >= max_abs, so the top of
+        # the range *covers* the data's largest magnitude.
+        top_significand = 2.0 - 2.0 ** (-self.mantissa_bits)
+        needed_e_max = int(np.ceil(np.log2(max_abs / top_significand)))
+        return (2**self.exponent_bits - 1) - needed_e_max
+
+    def quantize(self, values, bias=None):
+        """Round ``values`` to the nearest representable number.
+
+        Overflow clamps to ±max; ties round half-to-even (numpy default).
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if bias is None:
+            bias = self.standard_bias
+        e_min, e_max = self.exponent_range(bias)
+        m = self.mantissa_bits
+
+        sign = np.sign(values)
+        magnitude = np.abs(values)
+        # Exponent of each value, clamped into the normal range; zeros and
+        # subnormal-range values use e_min (subnormal spacing).
+        with np.errstate(divide="ignore"):
+            raw_e = np.floor(np.log2(magnitude, where=magnitude > 0,
+                                     out=np.full_like(magnitude, e_min)))
+        exponent = np.clip(raw_e, e_min, e_max)
+        spacing = 2.0 ** (exponent - m)
+        quantized = np.round(magnitude / spacing) * spacing
+        quantized = np.minimum(quantized, self.max_value(bias))
+        return sign * quantized
+
+    def quantization_error(self, values, bias=None):
+        """Mean absolute quantization error for ``values``."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return 0.0
+        return float(np.mean(np.abs(values - self.quantize(values, bias))))
+
+    # -- bit-level encoding (used by the eNVM store and HW buffers) ---------
+
+    def encode_bits(self, values, bias=None):
+        """Encode to integer words: ``sign | exponent | mantissa`` (MSB→LSB).
+
+        ``values`` should already be representable (i.e. pass through
+        :meth:`quantize` first); out-of-grid inputs are quantized here as a
+        safety net. Returns an unsigned integer array (dtype uint32, low
+        ``total_bits`` significant).
+        """
+        if bias is None:
+            bias = self.standard_bias
+        values = self.quantize(values, bias)
+        m = self.mantissa_bits
+        e_min, e_max = self.exponent_range(bias)
+
+        sign = (values < 0).astype(np.uint32)
+        magnitude = np.abs(values)
+        with np.errstate(divide="ignore"):
+            raw_e = np.floor(np.log2(magnitude, where=magnitude > 0,
+                                     out=np.full_like(magnitude, e_min)))
+        exponent = np.clip(raw_e, e_min, e_max)
+        is_subnormal = magnitude < self.min_normal(bias)
+        exponent = np.where(is_subnormal, e_min, exponent)
+        field = np.where(is_subnormal, 0, exponent + bias).astype(np.int64)
+        scale = 2.0 ** (exponent - m)
+        significand = np.round(magnitude / scale).astype(np.int64)
+        mantissa = np.where(is_subnormal, significand,
+                            significand - (1 << m))
+        # Mantissa rounding may carry into the exponent.
+        carry = mantissa >= (1 << m)
+        field = np.where(carry, field + 1, field)
+        mantissa = np.where(carry, 0, mantissa)
+        field = np.clip(field, 0, (1 << self.exponent_bits) - 1)
+        mantissa = np.clip(mantissa, 0, (1 << m) - 1)
+        word = ((sign.astype(np.uint32) << (self.total_bits - 1))
+                | (field.astype(np.uint32) << m)
+                | mantissa.astype(np.uint32))
+        return word
+
+    def decode_bits(self, words, bias=None):
+        """Decode integer words produced by :meth:`encode_bits`."""
+        if bias is None:
+            bias = self.standard_bias
+        words = np.asarray(words, dtype=np.uint32)
+        m = self.mantissa_bits
+        sign = (words >> (self.total_bits - 1)) & 1
+        field = (words >> m) & ((1 << self.exponent_bits) - 1)
+        mantissa = (words & ((1 << m) - 1)).astype(np.float64)
+        e_min, _ = self.exponent_range(bias)
+        subnormal = field == 0
+        exponent = np.where(subnormal, e_min, field.astype(np.int64) - bias)
+        significand = np.where(subnormal, mantissa / (1 << m),
+                               1.0 + mantissa / (1 << m))
+        values = significand * (2.0**exponent)
+        return np.where(sign == 1, -values, values)
+
+
+def search_exponent_bits(values, total_bits=8, candidates=None):
+    """Find the exponent width minimizing quantization error.
+
+    Reproduces the paper's search ("we also performed a search on the
+    optimal exponent bit width"): each candidate format quantizes with its
+    adaptive per-tensor bias and the lowest-MAE width wins (ties go to the
+    smaller exponent).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if candidates is None:
+        candidates = range(1, total_bits - 1)
+    best_bits, best_err = None, None
+    for exp_bits in candidates:
+        fmt = FloatFormat(total_bits=total_bits, exponent_bits=exp_bits)
+        err = fmt.quantization_error(values, fmt.adaptive_bias(values))
+        if best_err is None or err < best_err - 1e-15:
+            best_bits, best_err = exp_bits, err
+    return best_bits, best_err

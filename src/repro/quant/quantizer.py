@@ -1,0 +1,85 @@
+"""Model-level quantization: apply FP8 to all weights (and activations).
+
+At evaluation time the paper quantizes *both* weights and activations to
+8-bit floats. Weight quantization is applied in-place to a model's
+parameters (per-tensor adaptive exponent bias); activation quantization is
+exposed as a functional hook the hardware simulator and evaluation paths
+call between layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import QuantConfig
+from repro.quant.floatformat import FloatFormat
+
+
+class Quantizer:
+    """Applies a :class:`QuantConfig` to arrays and whole models."""
+
+    def __init__(self, config=None):
+        self.config = config or QuantConfig()
+        self.fmt = FloatFormat(total_bits=self.config.total_bits,
+                               exponent_bits=self.config.exponent_bits)
+
+    def bias_for(self, values):
+        """Exponent bias used for ``values`` under this config."""
+        if self.config.per_tensor_bias:
+            return self.fmt.adaptive_bias(values)
+        return self.fmt.standard_bias
+
+    def quantize_array(self, values):
+        """Quantize an ndarray, returning ``(quantized, bias)``."""
+        bias = self.bias_for(values)
+        return self.fmt.quantize(values, bias), bias
+
+    def quantize_model(self, model, skip_predicate=None):
+        """Quantize every parameter of ``model`` in-place.
+
+        ``skip_predicate(name)`` may exclude parameters (e.g. the adaptive
+        span scalars, which are control state rather than datapath values).
+        Returns a dict name → exponent bias for the record.
+        """
+        biases = {}
+        for name, param in model.named_parameters():
+            if skip_predicate is not None and skip_predicate(name):
+                continue
+            quantized, bias = self.quantize_array(param.data)
+            param.data = quantized
+            biases[name] = bias
+        return biases
+
+    def activation_hook(self):
+        """Return f(ndarray) -> ndarray quantizing activations."""
+
+        def hook(values):
+            quantized, _ = self.quantize_array(values)
+            return quantized
+
+        return hook
+
+
+def default_skip_predicate(name):
+    """Parameters that stay full-precision: span control scalars."""
+    return name.endswith("span.z")
+
+
+def quantize_model_for_eval(model, config=None):
+    """Standard EdgeBERT evaluation-time quantization (Fig. 4 legend)."""
+    quantizer = Quantizer(config)
+    return quantizer.quantize_model(model, skip_predicate=default_skip_predicate)
+
+
+def int8_symmetric_quantize(values):
+    """Baseline Q8BERT-style symmetric int8 quantization (for comparison).
+
+    Used by tests/benches to demonstrate the dynamic-range argument of
+    Sec. 3.4 (floating point beats int8 on outlier-heavy tensors).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    max_abs = float(np.max(np.abs(values))) if values.size else 0.0
+    if max_abs == 0.0:
+        return values.copy(), 1.0
+    scale = max_abs / 127.0
+    return np.clip(np.round(values / scale), -127, 127) * scale, scale

@@ -1,0 +1,10 @@
+"""Bitmask sparse encoding shared by the software and hardware layers."""
+
+from repro.sparse.bitmask import (
+    BitmaskTensor,
+    decode,
+    encode,
+    zero_vector_fraction,
+)
+
+__all__ = ["BitmaskTensor", "decode", "encode", "zero_vector_fraction"]

@@ -1,0 +1,108 @@
+"""Bitmask sparse encoding (paper Sec. 7.3).
+
+The EdgeBERT accelerator stores matrices as a binary mask (one bit per
+element: zero / non-zero) plus a packed vector of the non-zero values.
+This module is the software reference for that format — the PU's
+encoder/decoder blocks in :mod:`repro.hw` and the eNVM embedding store both
+round-trip through it, and its size accounting feeds the memory models
+(SLC bitmask + MLC2 data, Sec. 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SparsityError
+
+
+@dataclass(frozen=True)
+class BitmaskTensor:
+    """A sparse tensor in bitmask form.
+
+    ``mask`` is a boolean array of the original shape; ``values`` holds the
+    non-zero entries in C (row-major) order.
+    """
+
+    mask: np.ndarray
+    values: np.ndarray
+    shape: tuple
+
+    @property
+    def nnz(self):
+        """Number of stored non-zero values."""
+        return int(self.values.size)
+
+    @property
+    def density(self):
+        """Fraction of non-zero entries."""
+        total = int(np.prod(self.shape)) if self.shape else 1
+        return self.nnz / total if total else 0.0
+
+    @property
+    def sparsity(self):
+        return 1.0 - self.density
+
+    def mask_bits(self):
+        """Storage cost of the bitmask in bits (1 bit per element)."""
+        return int(np.prod(self.shape))
+
+    def value_bits(self, bits_per_value=8):
+        """Storage cost of the packed non-zero values in bits."""
+        return self.nnz * bits_per_value
+
+    def total_bytes(self, bits_per_value=8):
+        """Total footprint (mask + values) in bytes."""
+        return (self.mask_bits() + self.value_bits(bits_per_value)) / 8.0
+
+
+def encode(dense):
+    """Encode a dense array into :class:`BitmaskTensor`."""
+    dense = np.asarray(dense)
+    mask = dense != 0
+    return BitmaskTensor(mask=mask, values=dense[mask].copy(),
+                         shape=dense.shape)
+
+
+def decode(encoded):
+    """Reconstruct the dense array from a :class:`BitmaskTensor`."""
+    mask = np.asarray(encoded.mask, dtype=bool)
+    if mask.shape != tuple(encoded.shape):
+        raise SparsityError(
+            f"mask shape {mask.shape} does not match stored shape "
+            f"{tuple(encoded.shape)}"
+        )
+    if int(mask.sum()) != encoded.values.size:
+        raise SparsityError(
+            f"mask has {int(mask.sum())} non-zeros but "
+            f"{encoded.values.size} values are stored"
+        )
+    dense = np.zeros(encoded.shape, dtype=encoded.values.dtype
+                     if encoded.values.size else np.float64)
+    dense[mask] = encoded.values
+    return dense
+
+
+def zero_vector_fraction(dense, vector_size, axis=-1):
+    """Fraction of length-``vector_size`` vectors that are entirely zero.
+
+    This is the quantity the PU's skip logic exploits: a VMAC product-sum
+    is gated when one operand vector is all zeros (Sec. 7.3). Trailing
+    partial vectors are padded with zeros, matching the hardware's fixed
+    tiling.
+    """
+    dense = np.asarray(dense)
+    if vector_size <= 0:
+        raise SparsityError("vector_size must be positive")
+    moved = np.moveaxis(dense, axis, -1)
+    flat = moved.reshape(-1, moved.shape[-1])
+    length = flat.shape[1]
+    padded_len = -(-length // vector_size) * vector_size
+    if padded_len != length:
+        pad = np.zeros((flat.shape[0], padded_len - length), dtype=flat.dtype)
+        flat = np.concatenate([flat, pad], axis=1)
+    vectors = flat.reshape(-1, vector_size)
+    if vectors.size == 0:
+        return 0.0
+    return float((~vectors.any(axis=1)).mean())

@@ -1,0 +1,24 @@
+"""WordPiece-lite tokenizer and vocabulary."""
+
+from repro.tokenizer.tokenizer import Encoding, Tokenizer
+from repro.tokenizer.vocab import (
+    CLS_TOKEN,
+    MASK_TOKEN,
+    PAD_TOKEN,
+    SEP_TOKEN,
+    SPECIAL_TOKENS,
+    UNK_TOKEN,
+    Vocab,
+)
+
+__all__ = [
+    "Encoding",
+    "Tokenizer",
+    "Vocab",
+    "CLS_TOKEN",
+    "MASK_TOKEN",
+    "PAD_TOKEN",
+    "SEP_TOKEN",
+    "SPECIAL_TOKENS",
+    "UNK_TOKEN",
+]

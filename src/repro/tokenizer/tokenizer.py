@@ -1,0 +1,129 @@
+"""WordPiece-lite tokenizer and BERT-style pair encoding.
+
+Real BERT uses WordPiece; the synthetic corpora here are built from a
+closed lexicon, so whole words normally hit the vocabulary directly, but a
+greedy longest-prefix fallback ("##" continuation pieces) keeps behaviour
+faithful for out-of-lexicon words in user-supplied text.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TokenizationError
+from repro.tokenizer.vocab import Vocab
+
+_WORD_RE = re.compile(r"[a-z0-9]+|[^\sa-z0-9]")
+
+
+@dataclass
+class Encoding:
+    """Fixed-length encoded example ready for the model."""
+
+    input_ids: np.ndarray  # (seq_len,) int64
+    token_type_ids: np.ndarray  # (seq_len,) int64, 0 = sentence A, 1 = B
+    attention_mask: np.ndarray  # (seq_len,) int64, 1 = real token
+
+    @property
+    def length(self):
+        return int(self.attention_mask.sum())
+
+
+class Tokenizer:
+    """Lower-cases, splits words/punctuation, greedy-wordpieces unknowns."""
+
+    def __init__(self, vocab, max_word_chars=32):
+        self.vocab = vocab
+        self._max_word_chars = max_word_chars
+
+    def tokenize(self, text):
+        """Split ``text`` into vocabulary tokens (with ## continuations)."""
+        pieces = []
+        for word in _WORD_RE.findall(text.lower()):
+            pieces.extend(self._wordpiece(word))
+        return pieces
+
+    def _wordpiece(self, word):
+        if word in self.vocab:
+            return [word]
+        if len(word) > self._max_word_chars:
+            return ["[UNK]"]
+        pieces = []
+        start = 0
+        while start < len(word):
+            end = len(word)
+            piece = None
+            while end > start:
+                candidate = word[start:end]
+                if start > 0:
+                    candidate = "##" + candidate
+                if candidate in self.vocab:
+                    piece = candidate
+                    break
+                end -= 1
+            if piece is None:
+                return ["[UNK]"]
+            pieces.append(piece)
+            start = end
+        return pieces
+
+    def encode(self, text_a, text_b=None, max_seq_len=128):
+        """Encode one sentence or a sentence pair.
+
+        Layout follows BERT: ``[CLS] A... [SEP]`` or
+        ``[CLS] A... [SEP] B... [SEP]``, padded with [PAD] to
+        ``max_seq_len``. Sequences that would overflow are truncated from
+        the *end of the longer segment* (longest-first truncation).
+        """
+        if max_seq_len < 4:
+            raise TokenizationError("max_seq_len must be at least 4")
+        tokens_a = self.tokenize(text_a)
+        tokens_b = self.tokenize(text_b) if text_b is not None else []
+
+        budget = max_seq_len - 2 - (1 if tokens_b else 0)
+        while len(tokens_a) + len(tokens_b) > budget:
+            longer = tokens_a if len(tokens_a) >= len(tokens_b) else tokens_b
+            longer.pop()
+
+        ids = [self.vocab.cls_id]
+        types = [0]
+        for token in tokens_a:
+            ids.append(self.vocab.token_to_id(token))
+            types.append(0)
+        ids.append(self.vocab.sep_id)
+        types.append(0)
+        if tokens_b:
+            for token in tokens_b:
+                ids.append(self.vocab.token_to_id(token))
+                types.append(1)
+            ids.append(self.vocab.sep_id)
+            types.append(1)
+
+        mask = [1] * len(ids)
+        while len(ids) < max_seq_len:
+            ids.append(self.vocab.pad_id)
+            types.append(0)
+            mask.append(0)
+
+        return Encoding(
+            input_ids=np.asarray(ids, dtype=np.int64),
+            token_type_ids=np.asarray(types, dtype=np.int64),
+            attention_mask=np.asarray(mask, dtype=np.int64),
+        )
+
+    def encode_batch(self, pairs, max_seq_len=128):
+        """Encode a list of ``(text_a, text_b_or_None)`` into stacked arrays.
+
+        Returns ``(input_ids, token_type_ids, attention_mask)`` each of
+        shape (batch, max_seq_len).
+        """
+        encodings = [self.encode(a, b, max_seq_len=max_seq_len)
+                     for a, b in pairs]
+        return (
+            np.stack([e.input_ids for e in encodings]),
+            np.stack([e.token_type_ids for e in encodings]),
+            np.stack([e.attention_mask for e in encodings]),
+        )

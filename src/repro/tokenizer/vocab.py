@@ -1,0 +1,74 @@
+"""Vocabulary with BERT-style special tokens."""
+
+from __future__ import annotations
+
+from repro.errors import TokenizationError
+
+PAD_TOKEN = "[PAD]"
+CLS_TOKEN = "[CLS]"
+SEP_TOKEN = "[SEP]"
+UNK_TOKEN = "[UNK]"
+MASK_TOKEN = "[MASK]"
+
+SPECIAL_TOKENS = (PAD_TOKEN, CLS_TOKEN, SEP_TOKEN, UNK_TOKEN, MASK_TOKEN)
+
+
+class Vocab:
+    """Bidirectional token ↔ id mapping with fixed special-token ids.
+
+    Special tokens always occupy ids 0–4 in the order of
+    :data:`SPECIAL_TOKENS`, matching the assumptions of the synthetic data
+    pipeline and the embedding-pruning code (id 0 = [PAD]).
+    """
+
+    def __init__(self, tokens):
+        self._token_to_id = {}
+        self._id_to_token = []
+        for token in SPECIAL_TOKENS:
+            self._add(token)
+        for token in tokens:
+            if token not in self._token_to_id:
+                self._add(token)
+
+    def _add(self, token):
+        self._token_to_id[token] = len(self._id_to_token)
+        self._id_to_token.append(token)
+
+    def __len__(self):
+        return len(self._id_to_token)
+
+    def __contains__(self, token):
+        return token in self._token_to_id
+
+    @property
+    def pad_id(self):
+        return self._token_to_id[PAD_TOKEN]
+
+    @property
+    def cls_id(self):
+        return self._token_to_id[CLS_TOKEN]
+
+    @property
+    def sep_id(self):
+        return self._token_to_id[SEP_TOKEN]
+
+    @property
+    def unk_id(self):
+        return self._token_to_id[UNK_TOKEN]
+
+    @property
+    def mask_id(self):
+        return self._token_to_id[MASK_TOKEN]
+
+    def token_to_id(self, token):
+        """Map a token to its id (UNK when absent)."""
+        return self._token_to_id.get(token, self.unk_id)
+
+    def id_to_token(self, token_id):
+        if not 0 <= token_id < len(self._id_to_token):
+            raise TokenizationError(f"token id {token_id} out of range")
+        return self._id_to_token[token_id]
+
+    def tokens(self):
+        """All tokens in id order (specials first)."""
+        return list(self._id_to_token)

@@ -1,0 +1,15 @@
+"""Two-phase EdgeBERT fine-tuning."""
+
+from repro.training.trainer import (
+    EdgeBertTrainer,
+    TrainingHistory,
+    evaluate_accuracy,
+    train_teacher,
+)
+
+__all__ = [
+    "EdgeBertTrainer",
+    "TrainingHistory",
+    "evaluate_accuracy",
+    "train_teacher",
+]

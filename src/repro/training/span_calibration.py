@@ -1,0 +1,148 @@
+"""Sensitivity-based adaptive-span calibration.
+
+The paper learns per-head spans with a gradient penalty (Sukhbaatar et
+al.). At full BERT scale that works because the task loss pushes back
+through the span mask; at this reproduction's tiny scale the post-softmax
+mask (no renormalization) combined with layer-norm leaves the task
+gradient on ``z`` numerically negligible, and the penalty silently kills
+every head (see DESIGN.md). We therefore calibrate spans the way the
+head-redundancy literature the paper cites does (Michel et al.):
+
+1. measure each head's *loss sensitivity* — the calibration-set loss with
+   that single head fully masked;
+2. greedily turn off the least-sensitive heads while the joint loss stays
+   within the budget (the paper's "more than half of the attention heads
+   can be completely turned off with minimal accuracy loss");
+3. shrink the surviving heads to the smallest common span that still
+   meets the budget, then assign each survivor the smallest individual
+   span that does.
+
+The result lands in the model's span parameters exactly as if it had been
+learned, so every downstream consumer (workload builder, accelerator,
+Table 1 bench) is unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autograd import cross_entropy, no_grad, Tensor
+
+
+@dataclass
+class SpanCalibrationResult:
+    """Outcome of the calibration."""
+
+    spans: np.ndarray
+    heads_off: int
+    baseline_loss: float
+    final_loss: float
+    sensitivities: np.ndarray
+
+
+def _calibration_loss(model, dataset, batch_size=128):
+    """Mean final-off-ramp cross-entropy over the calibration split."""
+    total, count = 0.0, 0
+    with no_grad():
+        for start in range(0, len(dataset), batch_size):
+            sub = dataset.subset(np.arange(start, min(start + batch_size,
+                                                      len(dataset))))
+            logits = model(sub.input_ids, sub.token_type_ids,
+                           sub.attention_mask)[-1]
+            loss = cross_entropy(logits, sub.labels)
+            total += loss.item() * len(sub)
+            count += len(sub)
+    return total / max(count, 1)
+
+
+def calibrate_spans(model, dataset, loss_budget=0.05, min_active_heads=2,
+                    span_candidates=None, batch_size=128):
+    """Find per-head spans within a relative loss budget.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`AlbertModel` (modified in place).
+    dataset:
+        Calibration split (an :class:`EncodedDataset`).
+    loss_budget:
+        Maximum tolerated relative loss increase (0.05 = 5 %).
+    min_active_heads:
+        Never turn off more heads than this floor allows.
+    span_candidates:
+        Descending span values tried during shrinking (defaults to a
+        geometric ladder below the maximum sequence length).
+    """
+    span = model.shared_encoder.attention.span
+    if span is None:
+        raise ValueError("model has no adaptive-span module")
+    model.eval()
+    num_heads = span.num_heads
+    seq_len = dataset.input_ids.shape[1]
+    if span_candidates is None:
+        top = float(seq_len)
+        ladder = [top]
+        while ladder[-1] > span.ramp / 2:
+            ladder.append(ladder[-1] / 2.0)
+        span_candidates = ladder[1:]
+
+    baseline = _calibration_loss(model, dataset, batch_size)
+    ceiling = baseline * (1.0 + loss_budget)
+    original = span.z.data.copy()
+
+    # 1) per-head sensitivity: loss with head h fully off.
+    sensitivities = np.zeros(num_heads)
+    for head in range(num_heads):
+        span.z.data[:] = original
+        span.z.data[head] = 0.0
+        sensitivities[head] = _calibration_loss(model, dataset, batch_size)
+    span.z.data[:] = original
+
+    # 2) greedily disable the least harmful heads.
+    order = np.argsort(sensitivities)  # lowest post-off loss first
+    active = np.ones(num_heads, dtype=bool)
+    for head in order:
+        if active.sum() <= min_active_heads:
+            break
+        active[head] = False
+        span.z.data[:] = original
+        span.z.data[~active] = 0.0
+        if _calibration_loss(model, dataset, batch_size) > ceiling:
+            active[head] = True  # roll back — this head was load-bearing
+    span.z.data[:] = original
+    span.z.data[~active] = 0.0
+
+    # 3) shrink all survivors to the smallest common span within budget.
+    common = float(seq_len)
+    for candidate in span_candidates:
+        span.z.data[active] = candidate
+        if _calibration_loss(model, dataset, batch_size) <= ceiling:
+            common = candidate
+        else:
+            break
+    span.z.data[active] = common
+
+    # 4) per-head refinement: each survivor takes the smallest individual
+    #    span that keeps the joint loss within budget.
+    for head in np.flatnonzero(active):
+        best = common
+        for candidate in [c for c in span_candidates if c < common]:
+            previous = span.z.data[head].copy()
+            span.z.data[head] = candidate
+            if _calibration_loss(model, dataset, batch_size) <= ceiling:
+                best = candidate
+            else:
+                span.z.data[head] = previous
+                break
+        span.z.data[head] = best
+
+    final = _calibration_loss(model, dataset, batch_size)
+    return SpanCalibrationResult(
+        spans=span.spans().copy(),
+        heads_off=int((~active).sum()),
+        baseline_loss=baseline,
+        final_loss=final,
+        sensitivities=sensitivities,
+    )

@@ -1,0 +1,261 @@
+"""Two-phase EdgeBERT fine-tuning (paper Fig. 4, Sec. 6.1).
+
+Phase 1 — fine-tune the backbone on the target task with, simultaneously:
+
+* knowledge distillation from a task-tuned teacher (when provided),
+* one-shot magnitude pruning of the frozen shared embeddings,
+* movement (or magnitude) pruning of encoder weights on a cubic schedule,
+* adaptive attention-span learning (span penalty added to the loss).
+
+Phase 2 — freeze every backbone parameter and fine-tune the highway
+off-ramps so each layer's exit classifier is calibrated.
+
+Everything is deterministic given ``TrainConfig.seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.autograd import (
+    SGD,
+    AdamW,
+    clip_grad_global_norm,
+    cross_entropy,
+    distillation_kl,
+    no_grad,
+)
+from repro.config import TrainConfig
+from repro.pruning import PruningManager
+from repro.utils.rng import derive_seed
+
+
+@dataclass
+class TrainingHistory:
+    """Per-step scalars recorded during a training phase."""
+
+    losses: list = field(default_factory=list)
+    sparsities: list = field(default_factory=list)
+    average_spans: list = field(default_factory=list)
+
+    def last(self, key):
+        values = getattr(self, key)
+        return values[-1] if values else None
+
+
+def _batches_forever(dataset, batch_size, seed):
+    epoch = 0
+    while True:
+        yield from dataset.batches(batch_size, seed=derive_seed(seed, epoch))
+        epoch += 1
+
+
+class EdgeBertTrainer:
+    """Drives both fine-tuning phases on an :class:`AlbertModel`."""
+
+    def __init__(self, model, config=None, teacher=None):
+        self.model = model
+        self.config = config or TrainConfig()
+        self.teacher = teacher
+        self.pruning = None
+
+    # -- phase 1 ---------------------------------------------------------------
+
+    def train_phase1(self, train_data):
+        """KD + pruning + adaptive-span fine-tuning of the backbone."""
+        config = self.config
+        model = self.model
+        model.train()
+        if self.teacher is not None:
+            self.teacher.eval()
+
+        # The shared word embeddings are frozen and magnitude-pruned once.
+        model.embeddings.freeze_word_embeddings()
+        self.pruning = PruningManager(model, config.pruning,
+                                      total_steps=config.steps_phase1)
+        self.pruning.prune_embeddings_once()
+
+        span = model.shared_encoder.attention.span
+        span_param_ids = {id(span.z)} if span is not None else set()
+        params = [p for p in model.parameters()
+                  if p.requires_grad and id(p) not in span_param_ids]
+        params += self.pruning.score_parameters()
+        optimizer = AdamW(params, lr=config.learning_rate,
+                          weight_decay=config.weight_decay)
+        # Span z lives on a token-count scale; give it its own plain-SGD
+        # optimizer so its update magnitude follows the actual gradient
+        # balance between the task loss and the span penalty (Adam's
+        # normalized steps would march z to zero regardless).
+        span_optimizer = None
+        span_start = int(config.span_start_frac * config.steps_phase1)
+        # Late in phase 1, near-zero spans are snapped to exactly 0 (their
+        # masks become 100 % null → skippable heads) and frozen, and the
+        # backbone adapts to the final masks for the remaining steps.
+        span_snap_step = int(0.85 * config.steps_phase1)
+        if span is not None:
+            span_optimizer = SGD([span.z], lr=config.span_learning_rate)
+        history = TrainingHistory()
+        batches = _batches_forever(train_data, config.batch_size,
+                                   derive_seed(config.seed, "phase1"))
+        for step in range(config.steps_phase1):
+            batch = next(batches)
+            self.pruning.step(step)
+            optimizer.zero_grad()
+            if span_optimizer is not None:
+                span_optimizer.zero_grad()
+            all_logits = model(batch["input_ids"], batch["token_type_ids"],
+                               batch["attention_mask"])
+            final_logits = all_logits[-1]
+            loss = cross_entropy(final_logits, batch["labels"])
+            if self.teacher is not None:
+                with no_grad():
+                    teacher_logits = self.teacher(
+                        batch["input_ids"], batch["token_type_ids"],
+                        batch["attention_mask"])[-1]
+                kd = distillation_kl(final_logits, teacher_logits,
+                                     temperature=config.kd_temperature)
+                loss = (1.0 - config.kd_alpha) * loss + config.kd_alpha * kd
+            span_active = (span is not None and config.span_loss_coeff > 0.0
+                           and span_start <= step < span_snap_step)
+            if (span is not None and config.span_loss_coeff > 0.0
+                    and step == span_snap_step):
+                span.snap_()
+            if span_active:
+                loss = loss + config.span_loss_coeff * span.span_penalty()
+            loss.backward()
+            clip_grad_global_norm(optimizer.params, config.grad_clip)
+            optimizer.step()
+            if span_optimizer is not None and span_active:
+                span_optimizer.step()
+                span.clamp_()
+            history.losses.append(loss.item())
+            history.sparsities.append(self.pruning.encoder_sparsity())
+            if span is not None:
+                history.average_spans.append(span.average_span())
+        self.pruning.finalize()
+        model.eval()
+        return history
+
+    # -- phase 2 ---------------------------------------------------------------
+
+    def train_phase2(self, train_data):
+        """Off-ramp fine-tuning with the backbone frozen."""
+        config = self.config
+        model = self.model
+        model.freeze_backbone()
+        # The final off-ramp is the task classifier trained in phase 1;
+        # keep it frozen so the full-model accuracy is untouched.
+        for _, p in model.offramps[-1].named_parameters():
+            p.requires_grad = False
+        model.train()
+
+        params = [p for p in model.parameters() if p.requires_grad]
+        optimizer = AdamW(params, lr=config.learning_rate,
+                          weight_decay=config.weight_decay)
+        history = TrainingHistory()
+        batches = _batches_forever(train_data, config.batch_size,
+                                   derive_seed(config.seed, "phase2"))
+        for _ in range(config.steps_phase2):
+            batch = next(batches)
+            optimizer.zero_grad()
+            all_logits = model(batch["input_ids"], batch["token_type_ids"],
+                               batch["attention_mask"])
+            loss = None
+            for ramp_logits in all_logits[:-1]:
+                ramp_loss = cross_entropy(ramp_logits, batch["labels"])
+                loss = ramp_loss if loss is None else loss + ramp_loss
+            loss = loss * (1.0 / max(len(all_logits) - 1, 1))
+            loss.backward()
+            clip_grad_global_norm(optimizer.params, config.grad_clip)
+            optimizer.step()
+            history.losses.append(loss.item())
+        model.eval()
+        return history
+
+    def train_adaptation(self, train_data, steps, learning_rate=None):
+        """Brief backbone adaptation after span calibration.
+
+        Fine-tunes the (already pruned) backbone and final classifier with
+        the calibrated span masks applied, *preserving* the pruning masks:
+        the zero pattern captured at entry is re-imposed after every
+        optimizer step. Span parameters stay frozen.
+        """
+        config = self.config
+        model = self.model
+        model.train()
+        # Adaptation owns its trainable set explicitly: everything except
+        # the frozen shared embeddings and the calibrated span parameters
+        # (it may be invoked after other phases froze the backbone).
+        for p in model.parameters():
+            p.requires_grad = True
+        model.embeddings.freeze_word_embeddings()
+        span = model.shared_encoder.attention.span
+        if span is not None:
+            span.z.requires_grad = False
+        params = [p for p in model.parameters() if p.requires_grad]
+        zero_masks = [(p, p.data != 0) for p in params if p.data.ndim >= 2]
+        optimizer = AdamW(params, lr=learning_rate or config.learning_rate,
+                          weight_decay=config.weight_decay)
+        batches = _batches_forever(train_data, config.batch_size,
+                                   derive_seed(config.seed, "adapt"))
+        history = TrainingHistory()
+        for _ in range(int(steps)):
+            batch = next(batches)
+            optimizer.zero_grad()
+            logits = model(batch["input_ids"], batch["token_type_ids"],
+                           batch["attention_mask"])[-1]
+            loss = cross_entropy(logits, batch["labels"])
+            loss.backward()
+            clip_grad_global_norm(optimizer.params, config.grad_clip)
+            optimizer.step()
+            for param, mask in zero_masks:
+                param.data *= mask
+            history.losses.append(loss.item())
+        model.eval()
+        return history
+
+    def train(self, train_data):
+        """Run both phases; returns (phase1_history, phase2_history)."""
+        h1 = self.train_phase1(train_data)
+        h2 = self.train_phase2(train_data)
+        return h1, h2
+
+
+def evaluate_accuracy(model, dataset, batch_size=64, layer=None):
+    """Classification accuracy at one off-ramp (default: final layer)."""
+    correct = 0
+    with no_grad():
+        for start in range(0, len(dataset), batch_size):
+            sub = dataset.subset(np.arange(start,
+                                           min(start + batch_size,
+                                               len(dataset))))
+            all_logits = model(sub.input_ids, sub.token_type_ids,
+                               sub.attention_mask)
+            logits = all_logits[-1 if layer is None else layer - 1].data
+            correct += int((logits.argmax(-1) == sub.labels).sum())
+    return correct / len(dataset)
+
+
+def train_teacher(model, train_data, steps=200, batch_size=16, lr=1e-3,
+                  weight_decay=0.01, seed=0, grad_clip=1.0):
+    """Plain task fine-tuning (no compression) — the KD teacher."""
+    model.train()
+    params = [p for p in model.parameters() if p.requires_grad]
+    optimizer = AdamW(params, lr=lr, weight_decay=weight_decay)
+    batches = _batches_forever(train_data, batch_size,
+                               derive_seed(seed, "teacher"))
+    losses = []
+    for _ in range(steps):
+        batch = next(batches)
+        optimizer.zero_grad()
+        logits = model(batch["input_ids"], batch["token_type_ids"],
+                       batch["attention_mask"])[-1]
+        loss = cross_entropy(logits, batch["labels"])
+        loss.backward()
+        clip_grad_global_norm(optimizer.params, grad_clip)
+        optimizer.step()
+        losses.append(loss.item())
+    model.eval()
+    return losses

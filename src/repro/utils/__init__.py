@@ -1,0 +1,14 @@
+"""Shared utilities: deterministic RNG handling, text tables, serialization."""
+
+from repro.utils.rng import new_rng, spawn_rngs, derive_seed
+from repro.utils.tables import format_table
+from repro.utils.serialization import save_arrays, load_arrays
+
+__all__ = [
+    "new_rng",
+    "spawn_rngs",
+    "derive_seed",
+    "format_table",
+    "save_arrays",
+    "load_arrays",
+]

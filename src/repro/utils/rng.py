@@ -1,0 +1,46 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component in the library takes either an integer seed or a
+``numpy.random.Generator``. These helpers normalize between the two and
+derive independent child streams so that, e.g., fault-injection trials and
+weight initialization never share a stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def new_rng(seed=None):
+    """Return a ``numpy.random.Generator``.
+
+    Accepts ``None`` (fresh entropy), an integer seed, or an existing
+    generator (returned unchanged, *not* copied).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def derive_seed(base_seed, *labels):
+    """Derive a stable child seed from ``base_seed`` and string labels.
+
+    Uses BLAKE2 so the derivation is stable across processes and platforms
+    (unlike ``hash()``, which is salted per process).
+    """
+    h = hashlib.blake2b(digest_size=8)
+    h.update(str(int(base_seed)).encode("utf-8"))
+    for label in labels:
+        h.update(b"/")
+        h.update(str(label).encode("utf-8"))
+    return int.from_bytes(h.digest(), "little") % (2**63)
+
+
+def spawn_rngs(seed, count):
+    """Split ``seed`` into ``count`` independent generators."""
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]

@@ -1,0 +1,53 @@
+"""Array-dictionary serialization for model checkpoints and artifacts.
+
+Checkpoints are stored as ``.npz`` archives plus a JSON sidecar for
+structured metadata, keeping everything dependency-free and diffable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+
+def save_arrays(path, arrays, metadata=None):
+    """Save ``arrays`` (dict name -> ndarray) to ``path`` (.npz).
+
+    ``metadata`` (a JSON-serializable dict) is written next to the archive
+    as ``<path>.json``.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **{str(k): np.asarray(v) for k, v in arrays.items()})
+    if metadata is not None:
+        with open(_sidecar_path(path), "w", encoding="utf-8") as f:
+            json.dump(metadata, f, indent=2, sort_keys=True)
+
+
+def load_arrays(path):
+    """Load an archive saved by :func:`save_arrays`.
+
+    Returns ``(arrays, metadata)`` where metadata is ``{}`` when no sidecar
+    exists.
+    """
+    with np.load(_normalized(path)) as archive:
+        arrays = {name: archive[name] for name in archive.files}
+    metadata = {}
+    sidecar = _sidecar_path(path)
+    if os.path.exists(sidecar):
+        with open(sidecar, "r", encoding="utf-8") as f:
+            metadata = json.load(f)
+    return arrays, metadata
+
+
+def _normalized(path):
+    path = str(path)
+    if not path.endswith(".npz"):
+        path += ".npz"
+    return path
+
+
+def _sidecar_path(path):
+    return _normalized(path) + ".json"

@@ -1,0 +1,37 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harness reproduces the paper's tables as aligned monospace
+text so the rows can be eyeballed against the published numbers.
+"""
+
+from __future__ import annotations
+
+
+def _render_cell(value, floatfmt):
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(headers, rows, title=None, floatfmt=".2f"):
+    """Render ``rows`` (sequences of cells) under ``headers`` as text.
+
+    Returns a single string; floats are formatted with ``floatfmt``.
+    """
+    str_rows = [[_render_cell(cell, floatfmt) for cell in row] for row in rows]
+    str_headers = [str(h) for h in headers]
+    widths = [len(h) for h in str_headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells):
+        return " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(str_headers))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)

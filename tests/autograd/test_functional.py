@@ -1,0 +1,198 @@
+"""Unit tests for the NN functional ops."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Tensor,
+    cross_entropy,
+    distillation_kl,
+    dropout,
+    entropy_of_logits,
+    gelu,
+    layer_norm,
+    linear,
+    log_softmax,
+    parameter,
+    relu,
+    sigmoid,
+    softmax,
+)
+from repro.autograd.gradcheck import check_gradients
+
+
+def randt(shape, seed, scale=1.0, name=None):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(scale=scale, size=shape), requires_grad=True, name=name)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = randt((4, 7), 0)
+        np.testing.assert_allclose(softmax(x).data.sum(axis=-1), np.ones(4))
+
+    def test_stability_with_huge_logits(self):
+        x = Tensor([[1000.0, 1000.0, -1000.0]])
+        out = softmax(x).data
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out[0, :2], [0.5, 0.5])
+
+    def test_gradcheck(self):
+        x = randt((3, 5), 1, name="x")
+        check_gradients(lambda: (softmax(x) ** 2).sum(), [x])
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = randt((2, 6), 2)
+        np.testing.assert_allclose(
+            log_softmax(x).data, np.log(softmax(x).data), atol=1e-12
+        )
+
+    def test_log_softmax_gradcheck(self):
+        x = randt((3, 4), 3, name="x")
+        check_gradients(lambda: (log_softmax(x) * 0.3).sum(), [x])
+
+    def test_softmax_axis_argument(self):
+        x = randt((2, 3, 4), 4)
+        np.testing.assert_allclose(softmax(x, axis=1).data.sum(axis=1),
+                                   np.ones((2, 4)))
+
+
+class TestActivations:
+    def test_relu_forward(self):
+        np.testing.assert_allclose(relu(Tensor([-1.0, 2.0])).data, [0.0, 2.0])
+
+    def test_relu_gradcheck(self):
+        # Keep points away from the kink for the numerical check.
+        x = Tensor(np.array([-2.0, -0.7, 0.9, 1.5]), requires_grad=True)
+        check_gradients(lambda: (relu(x) * 3.0).sum(), [x])
+
+    def test_sigmoid_range_and_stability(self):
+        out = sigmoid(Tensor([-1000.0, 0.0, 1000.0])).data
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0], atol=1e-12)
+
+    def test_sigmoid_gradcheck(self):
+        x = randt((5,), 5, name="x")
+        check_gradients(lambda: sigmoid(x).sum(), [x])
+
+    def test_gelu_known_values(self):
+        # GELU(0) = 0 and GELU is ~x for large positive x.
+        out = gelu(Tensor([0.0, 10.0])).data
+        np.testing.assert_allclose(out, [0.0, 10.0], atol=1e-6)
+
+    def test_gelu_gradcheck(self):
+        x = randt((6,), 6, name="x")
+        check_gradients(lambda: gelu(x).sum(), [x])
+
+
+class TestLayerNorm:
+    def test_output_standardized_with_unit_gain(self):
+        x = randt((4, 8), 7)
+        gain = Tensor(np.ones(8))
+        bias = Tensor(np.zeros(8))
+        out = layer_norm(x, gain, bias).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(4), atol=1e-3)
+
+    def test_gradcheck_all_inputs(self):
+        x = randt((3, 6), 8, name="x")
+        gain = parameter(np.random.default_rng(9).normal(size=6) + 1.0, name="g")
+        bias = parameter(np.random.default_rng(10).normal(size=6), name="b")
+        check_gradients(lambda: (layer_norm(x, gain, bias) ** 2).sum(),
+                        [x, gain, bias])
+
+    def test_shift_invariance(self):
+        x = randt((2, 5), 11)
+        gain, bias = Tensor(np.ones(5)), Tensor(np.zeros(5))
+        shifted = Tensor(x.data + 100.0)
+        np.testing.assert_allclose(layer_norm(x, gain, bias).data,
+                                   layer_norm(shifted, gain, bias).data, atol=1e-8)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        x = randt((10,), 12)
+        out = dropout(x, 0.5, np.random.default_rng(0), training=False)
+        assert out is x
+
+    def test_zero_rate_is_identity(self):
+        x = randt((10,), 13)
+        assert dropout(x, 0.0, np.random.default_rng(0), training=True) is x
+
+    def test_scaling_preserves_expectation(self):
+        x = Tensor(np.ones(20000))
+        out = dropout(x, 0.25, np.random.default_rng(14), training=True)
+        assert abs(out.data.mean() - 1.0) < 0.02
+
+    def test_gradient_masks_match_forward(self):
+        x = Tensor(np.ones(100), requires_grad=True)
+        out = dropout(x, 0.5, np.random.default_rng(15), training=True)
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, out.data)
+
+
+class TestLosses:
+    def test_cross_entropy_matches_manual(self):
+        logits = Tensor([[2.0, 0.0], [0.0, 3.0]], requires_grad=True)
+        labels = np.array([0, 1])
+        loss = cross_entropy(logits, labels)
+        manual = -np.mean([
+            2.0 - np.log(np.exp(2.0) + 1.0),
+            3.0 - np.log(np.exp(3.0) + 1.0),
+        ])
+        assert abs(loss.item() - manual) < 1e-10
+
+    def test_cross_entropy_gradcheck(self):
+        logits = randt((4, 3), 16, name="logits")
+        labels = np.array([0, 2, 1, 1])
+        check_gradients(lambda: cross_entropy(logits, labels), [logits])
+
+    def test_perfect_prediction_low_loss(self):
+        logits = Tensor([[100.0, 0.0]], requires_grad=True)
+        assert cross_entropy(logits, np.array([0])).item() < 1e-6
+
+    def test_distillation_kl_zero_when_matching(self):
+        logits = randt((3, 4), 17)
+        loss = distillation_kl(logits, Tensor(logits.data.copy()), temperature=2.0)
+        assert abs(loss.item()) < 1e-10
+
+    def test_distillation_kl_positive_and_differentiable(self):
+        student = randt((3, 4), 18, name="student")
+        teacher = Tensor(np.random.default_rng(19).normal(size=(3, 4)))
+        loss = distillation_kl(student, teacher, temperature=2.0)
+        assert loss.item() > 0
+        check_gradients(lambda: distillation_kl(student, teacher, 2.0), [student])
+
+    def test_distillation_teacher_gets_no_gradient(self):
+        student = randt((2, 3), 20)
+        teacher = randt((2, 3), 21)
+        distillation_kl(student, teacher).backward()
+        assert teacher.grad is None
+
+
+class TestEntropy:
+    def test_uniform_logits_max_entropy(self):
+        logits = Tensor(np.zeros((1, 4)))
+        np.testing.assert_allclose(entropy_of_logits(logits).data,
+                                   [np.log(4.0)], atol=1e-12)
+
+    def test_confident_logits_near_zero_entropy(self):
+        logits = Tensor([[50.0, 0.0, 0.0]])
+        assert entropy_of_logits(logits).data[0] < 1e-12
+
+    def test_entropy_nonnegative(self):
+        logits = randt((16, 3), 22)
+        assert np.all(entropy_of_logits(logits).data >= 0)
+
+
+class TestLinear:
+    def test_linear_with_bias(self):
+        x = Tensor([[1.0, 2.0]])
+        w = Tensor([[1.0], [1.0]])
+        b = Tensor([0.5])
+        np.testing.assert_allclose(linear(x, w, b).data, [[3.5]])
+
+    def test_linear_gradcheck(self):
+        x = randt((2, 3), 23, name="x")
+        w = randt((3, 4), 24, name="w")
+        b = randt((4,), 25, name="b")
+        check_gradients(lambda: (linear(x, w, b) ** 2).sum(), [x, w, b])

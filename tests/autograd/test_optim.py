@@ -1,0 +1,111 @@
+"""Tests for SGD/AdamW optimizers and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import SGD, AdamW, Tensor, clip_grad_global_norm, parameter
+from repro.errors import ConfigError
+
+
+def quadratic_loss(p, target):
+    diff = p - Tensor(target)
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = parameter(np.array([5.0, -3.0]))
+        opt = SGD([p], lr=0.1)
+        target = np.array([1.0, 2.0])
+        for _ in range(100):
+            opt.zero_grad()
+            quadratic_loss(p, target).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-6)
+
+    def test_momentum_accelerates(self):
+        def losses_after(momentum, steps=20):
+            p = parameter(np.array([10.0]))
+            opt = SGD([p], lr=0.02, momentum=momentum)
+            for _ in range(steps):
+                opt.zero_grad()
+                quadratic_loss(p, np.array([0.0])).backward()
+                opt.step()
+            return abs(float(p.data[0]))
+
+        assert losses_after(0.9) < losses_after(0.0)
+
+    def test_weight_decay_shrinks_params(self):
+        p = parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()
+        opt.step()
+        assert float(p.data[0]) < 1.0
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ConfigError):
+            SGD([Tensor([1.0])], lr=0.1)  # requires_grad=False
+
+    def test_skips_params_without_grad(self):
+        p, q = parameter(np.array([1.0])), parameter(np.array([1.0]))
+        opt = SGD([p, q], lr=0.1)
+        opt.zero_grad()
+        (p * 2.0).sum().backward()
+        opt.step()
+        np.testing.assert_allclose(q.data, [1.0])
+
+
+class TestAdamW:
+    def test_converges_on_quadratic(self):
+        p = parameter(np.array([5.0, -3.0]))
+        opt = AdamW([p], lr=0.1)
+        target = np.array([1.0, 2.0])
+        for _ in range(300):
+            opt.zero_grad()
+            quadratic_loss(p, target).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-4)
+
+    def test_first_step_size_about_lr(self):
+        # With bias correction, Adam's first update magnitude is ~lr.
+        p = parameter(np.array([1.0]))
+        opt = AdamW([p], lr=0.01)
+        opt.zero_grad()
+        (p * 100.0).sum().backward()
+        opt.step()
+        assert abs(1.0 - float(p.data[0]) - 0.01) < 1e-6
+
+    def test_decoupled_weight_decay(self):
+        p = parameter(np.array([2.0]))
+        opt = AdamW([p], lr=0.1, weight_decay=0.1)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()
+        opt.step()
+        # Pure decay: p -= lr * wd * p
+        np.testing.assert_allclose(p.data, [2.0 - 0.1 * 0.1 * 2.0])
+
+
+class TestClipping:
+    def test_norm_reported(self):
+        p = parameter(np.array([3.0, 4.0]))
+        p.grad = np.array([3.0, 4.0])
+        norm = clip_grad_global_norm([p], max_norm=10.0)
+        assert abs(norm - 5.0) < 1e-12
+        np.testing.assert_allclose(p.grad, [3.0, 4.0])  # under limit: untouched
+
+    def test_clipping_rescales(self):
+        p = parameter(np.array([3.0, 4.0]))
+        p.grad = np.array([3.0, 4.0])
+        clip_grad_global_norm([p], max_norm=1.0)
+        assert abs(np.linalg.norm(p.grad) - 1.0) < 1e-6
+
+    def test_global_norm_spans_params(self):
+        p, q = parameter(np.array([1.0])), parameter(np.array([1.0]))
+        p.grad, q.grad = np.array([3.0]), np.array([4.0])
+        norm = clip_grad_global_norm([p, q], max_norm=100.0)
+        assert abs(norm - 5.0) < 1e-12
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ConfigError):
+            clip_grad_global_norm([], max_norm=0.0)

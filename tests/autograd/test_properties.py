@@ -1,0 +1,107 @@
+"""Hypothesis property tests for the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays, array_shapes
+
+from repro.autograd import Tensor, layer_norm, log_softmax, softmax
+from repro.autograd.tensor import _unbroadcast
+
+finite_floats = st.floats(min_value=-50.0, max_value=50.0,
+                          allow_nan=False, allow_infinity=False)
+
+
+def small_arrays(min_dims=1, max_dims=3):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=min_dims, max_dims=max_dims,
+                           min_side=1, max_side=5),
+        elements=finite_floats,
+    )
+
+
+@given(small_arrays())
+@settings(max_examples=50, deadline=None)
+def test_sum_gradient_is_ones(data):
+    x = Tensor(data, requires_grad=True)
+    x.sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones_like(data))
+
+
+@given(small_arrays())
+@settings(max_examples=50, deadline=None)
+def test_add_commutes(data):
+    x = Tensor(data)
+    y = Tensor(data[::-1].copy() if data.ndim == 1 else data.T.copy()
+               if data.ndim == 2 and data.shape[0] == data.shape[1] else data)
+    np.testing.assert_allclose((x + y).data, (y + x).data)
+
+
+@given(small_arrays(min_dims=2, max_dims=2))
+@settings(max_examples=50, deadline=None)
+def test_softmax_rows_are_distributions(data):
+    out = softmax(Tensor(data)).data
+    assert np.all(out >= 0)
+    np.testing.assert_allclose(out.sum(axis=-1), np.ones(data.shape[0]),
+                               atol=1e-9)
+
+
+@given(small_arrays(min_dims=2, max_dims=2), st.floats(1.0, 100.0))
+@settings(max_examples=50, deadline=None)
+def test_softmax_shift_invariance(data, shift):
+    base = softmax(Tensor(data)).data
+    shifted = softmax(Tensor(data + shift)).data
+    np.testing.assert_allclose(base, shifted, atol=1e-9)
+
+
+@given(small_arrays(min_dims=2, max_dims=2))
+@settings(max_examples=50, deadline=None)
+def test_log_softmax_upper_bound(data):
+    out = log_softmax(Tensor(data)).data
+    assert np.all(out <= 1e-12)
+
+
+@given(small_arrays(min_dims=2, max_dims=2))
+@settings(max_examples=30, deadline=None)
+def test_layer_norm_output_centered(data):
+    width = data.shape[-1]
+    if width < 2:
+        return
+    out = layer_norm(Tensor(data), Tensor(np.ones(width)),
+                     Tensor(np.zeros(width))).data
+    np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-8)
+
+
+@given(small_arrays(), small_arrays())
+@settings(max_examples=50, deadline=None)
+def test_mul_gradient_symmetry(a_data, b_data):
+    if a_data.shape != b_data.shape:
+        return
+    a = Tensor(a_data, requires_grad=True)
+    b = Tensor(b_data, requires_grad=True)
+    (a * b).sum().backward()
+    np.testing.assert_allclose(a.grad, b_data)
+    np.testing.assert_allclose(b.grad, a_data)
+
+
+@given(small_arrays(min_dims=2, max_dims=3))
+@settings(max_examples=50, deadline=None)
+def test_unbroadcast_recovers_reduced_shape(data):
+    # Broadcasting up then unbroadcasting a ones-gradient counts elements.
+    reduced_shape = (1,) + data.shape[1:]
+    grad = np.ones_like(data)
+    out = _unbroadcast(grad, reduced_shape)
+    assert out.shape == reduced_shape
+    np.testing.assert_allclose(out, np.full(reduced_shape, data.shape[0]))
+
+
+@given(small_arrays(min_dims=1, max_dims=2))
+@settings(max_examples=50, deadline=None)
+def test_double_backward_independent_runs_agree(data):
+    x = Tensor(data, requires_grad=True)
+    (x * 2.0).sum().backward()
+    first = x.grad.copy()
+    x.zero_grad()
+    (x * 2.0).sum().backward()
+    np.testing.assert_allclose(first, x.grad)

@@ -1,0 +1,255 @@
+"""Unit tests for the core Tensor mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, concat, embedding, no_grad, stack, where
+from repro.autograd.gradcheck import check_gradients
+from repro.errors import GradientError, ShapeError
+
+
+def t(data, requires_grad=True, name=None):
+    return Tensor(np.asarray(data, dtype=float), requires_grad=requires_grad, name=name)
+
+
+class TestArithmetic:
+    def test_add_forward(self):
+        out = t([1.0, 2.0]) + t([3.0, 4.0])
+        np.testing.assert_allclose(out.data, [4.0, 6.0])
+
+    def test_add_backward(self):
+        a, b = t([1.0, 2.0]), t([3.0, 4.0])
+        (a + b).backward(np.array([1.0, 1.0]))
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 1.0])
+
+    def test_add_scalar_promotes(self):
+        out = t([1.0]) + 2.0
+        np.testing.assert_allclose(out.data, [3.0])
+
+    def test_mul_backward(self):
+        a, b = t([2.0, 3.0]), t([4.0, 5.0])
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, [4.0, 5.0])
+        np.testing.assert_allclose(b.grad, [2.0, 3.0])
+
+    def test_sub_and_neg(self):
+        a, b = t([5.0]), t([3.0])
+        out = a - b
+        out.backward()
+        np.testing.assert_allclose(out.data, [2.0])
+        np.testing.assert_allclose(a.grad, [1.0])
+        np.testing.assert_allclose(b.grad, [-1.0])
+
+    def test_div_gradcheck(self):
+        a = t(np.random.default_rng(0).uniform(0.5, 2.0, (3, 4)), name="a")
+        b = t(np.random.default_rng(1).uniform(0.5, 2.0, (3, 4)), name="b")
+        check_gradients(lambda: (a / b).sum(), [a, b])
+
+    def test_pow_gradcheck(self):
+        a = t(np.random.default_rng(2).uniform(0.5, 2.0, (5,)), name="a")
+        check_gradients(lambda: (a**3).sum(), [a])
+
+    def test_rsub_rtruediv(self):
+        a = t([2.0])
+        np.testing.assert_allclose((1.0 - a).data, [-1.0])
+        np.testing.assert_allclose((4.0 / a).data, [2.0])
+
+    def test_tensor_exponent_rejected(self):
+        with pytest.raises(TypeError):
+            t([1.0]) ** t([2.0])
+
+
+class TestBroadcasting:
+    def test_add_broadcast_backward(self):
+        a = t(np.ones((3, 4)), name="a")
+        b = t(np.ones((4,)), name="b")
+        (a + b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        np.testing.assert_allclose(b.grad, [3.0] * 4)
+
+    def test_mul_keepdim_broadcast(self):
+        a = t(np.ones((2, 3)), name="a")
+        b = t(np.ones((2, 1)), name="b")
+        (a * b).sum().backward()
+        np.testing.assert_allclose(b.grad, [[3.0], [3.0]])
+
+    def test_broadcast_gradcheck(self):
+        rng = np.random.default_rng(3)
+        a = t(rng.normal(size=(2, 3, 4)), name="a")
+        b = t(rng.normal(size=(1, 4)), name="b")
+        check_gradients(lambda: (a * b + b).sum(), [a, b])
+
+
+class TestMatmul:
+    def test_matmul_forward(self):
+        a, b = t([[1.0, 2.0]]), t([[3.0], [4.0]])
+        np.testing.assert_allclose((a @ b).data, [[11.0]])
+
+    def test_matmul_gradcheck_2d(self):
+        rng = np.random.default_rng(4)
+        a = t(rng.normal(size=(3, 4)), name="a")
+        b = t(rng.normal(size=(4, 5)), name="b")
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_matmul_gradcheck_batched(self):
+        rng = np.random.default_rng(5)
+        a = t(rng.normal(size=(2, 3, 4)), name="a")
+        b = t(rng.normal(size=(2, 4, 5)), name="b")
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_matmul_broadcast_weight(self):
+        rng = np.random.default_rng(6)
+        a = t(rng.normal(size=(2, 3, 4)), name="a")
+        w = t(rng.normal(size=(4, 5)), name="w")
+        check_gradients(lambda: (a @ w).sum(), [a, w])
+
+
+class TestElementwise:
+    @pytest.mark.parametrize("op", ["exp", "log", "sqrt", "tanh", "abs"])
+    def test_gradcheck(self, op):
+        rng = np.random.default_rng(7)
+        data = rng.uniform(0.5, 2.0, (3, 3))
+        a = t(data, name=op)
+        check_gradients(lambda: getattr(a, op)().sum(), [a])
+
+    def test_clip_min(self):
+        a = t([-1.0, 0.5, 2.0])
+        out = a.clip_min(0.0)
+        out.sum().backward()
+        np.testing.assert_allclose(out.data, [0.0, 0.5, 2.0])
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 1.0])
+
+
+class TestReductions:
+    def test_sum_axis(self):
+        a = t(np.arange(6.0).reshape(2, 3))
+        out = a.sum(axis=0)
+        np.testing.assert_allclose(out.data, [3.0, 5.0, 7.0])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+    def test_sum_keepdims(self):
+        a = t(np.ones((2, 3)))
+        assert a.sum(axis=1, keepdims=True).shape == (2, 1)
+
+    def test_mean_gradient(self):
+        a = t(np.ones((4,)))
+        a.mean().backward()
+        np.testing.assert_allclose(a.grad, [0.25] * 4)
+
+    def test_max_axis_gradient_routes_to_argmax(self):
+        a = t([[1.0, 5.0, 2.0]])
+        a.max(axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0.0, 1.0, 0.0]])
+
+    def test_max_ties_split_gradient(self):
+        a = t([3.0, 3.0])
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, [0.5, 0.5])
+
+    def test_mean_axis_tuple(self):
+        a = t(np.ones((2, 3, 4)))
+        out = a.mean(axis=(0, 2))
+        np.testing.assert_allclose(out.data, np.ones(3))
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_gradient(self):
+        a = t(np.arange(6.0))
+        a.reshape(2, 3).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(6))
+
+    def test_transpose_gradcheck(self):
+        rng = np.random.default_rng(8)
+        a = t(rng.normal(size=(2, 3, 4)), name="a")
+        check_gradients(lambda: (a.transpose(2, 0, 1) * 2.0).sum(), [a])
+
+    def test_swapaxes(self):
+        a = t(np.zeros((2, 3, 4)))
+        assert a.swapaxes(1, 2).shape == (2, 4, 3)
+
+    def test_getitem_slice_gradient(self):
+        a = t(np.arange(5.0))
+        a[1:3].sum().backward()
+        np.testing.assert_allclose(a.grad, [0, 1, 1, 0, 0])
+
+    def test_getitem_fancy_index_repeats_accumulate(self):
+        a = t(np.arange(3.0))
+        a[np.array([0, 0, 2])].sum().backward()
+        np.testing.assert_allclose(a.grad, [2.0, 0.0, 1.0])
+
+
+class TestGraphMechanics:
+    def test_backward_on_nongrad_raises(self):
+        with pytest.raises(GradientError):
+            Tensor([1.0]).backward()
+
+    def test_bad_seed_shape_raises(self):
+        a = t([1.0, 2.0])
+        with pytest.raises(ShapeError):
+            a.backward(np.ones((3,)))
+
+    def test_no_grad_blocks_tape(self):
+        a = t([1.0])
+        with no_grad():
+            out = a * 2.0
+        assert not out.requires_grad
+
+    def test_detach_cuts_tape(self):
+        a = t([1.0])
+        out = a.detach() * 2.0
+        assert not out.requires_grad
+
+    def test_reused_node_accumulates_once_per_path(self):
+        a = t([2.0])
+        out = a * a  # two paths to the same parent
+        out.backward()
+        np.testing.assert_allclose(a.grad, [4.0])
+
+    def test_diamond_graph(self):
+        a = t([1.0])
+        b = a * 2.0
+        c = a * 3.0
+        (b + c).backward()
+        np.testing.assert_allclose(a.grad, [5.0])
+
+    def test_deep_chain_no_recursion_error(self):
+        a = t([1.0])
+        out = a
+        for _ in range(2000):
+            out = out + 1.0
+        out.backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+
+
+class TestCombinators:
+    def test_where_gradient(self):
+        cond = np.array([True, False])
+        a, b = t([1.0, 2.0]), t([3.0, 4.0])
+        where(cond, a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0])
+        np.testing.assert_allclose(b.grad, [0.0, 1.0])
+
+    def test_concat_gradient(self):
+        a, b = t([1.0, 2.0]), t([3.0])
+        out = concat([a, b])
+        np.testing.assert_allclose(out.data, [1.0, 2.0, 3.0])
+        (out * np.array([1.0, 2.0, 3.0])).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 2.0])
+        np.testing.assert_allclose(b.grad, [3.0])
+
+    def test_stack_gradient(self):
+        a, b = t([1.0, 2.0]), t([3.0, 4.0])
+        stack([a, b], axis=0).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+
+    def test_embedding_gather_and_scatter(self):
+        weight = t(np.arange(12.0).reshape(4, 3), name="emb")
+        ids = np.array([[0, 1], [1, 3]])
+        out = embedding(weight, ids)
+        assert out.shape == (2, 2, 3)
+        out.sum().backward()
+        np.testing.assert_allclose(weight.grad[1], [2.0, 2.0, 2.0])
+        np.testing.assert_allclose(weight.grad[2], [0.0, 0.0, 0.0])

@@ -1,0 +1,194 @@
+"""Tests for the latency-aware inference engine (Fig. 9 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.config import HwConfig, ModelConfig
+from repro.core import LatencyAwareEngine
+from repro.earlyexit import ExitPredictorLUT, entropy_from_logits
+from repro.errors import PipelineError
+
+CONFIG = ModelConfig.albert_base()
+MNLI_SPANS = np.array([20, 0, 0, 0, 0, 0, 36, 81, 0, 0, 0, 10], dtype=float)
+
+
+def make_layer_logits(n=40, num_layers=12, num_classes=2, seed=0):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(num_classes, size=n)
+    difficulty = rng.uniform(0, 1, n)
+    logits = np.zeros((num_layers, n, num_classes))
+    for layer in range(num_layers):
+        progress = (layer + 1) / num_layers
+        sharp = np.clip(10.0 * (progress - 0.9 * difficulty), -0.5, None)
+        logits[layer] = rng.normal(0, 0.2, (n, num_classes))
+        logits[layer, np.arange(n), labels] += sharp
+    return logits, entropy_from_logits(logits), labels
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return LatencyAwareEngine(CONFIG, HwConfig(mac_vector_size=16))
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_layer_logits()
+
+
+@pytest.fixture(scope="module")
+def lut(data):
+    _, entropies, _ = data
+    from repro.earlyexit import true_exit_layers
+
+    exits = true_exit_layers(entropies, 0.25)
+    return ExitPredictorLUT.from_samples(entropies[0], exits, 2, 12, margin=1)
+
+
+class TestBaselines:
+    def test_conventional_runs_all_layers(self, engine):
+        result = engine.run_conventional(prediction=1)
+        assert result.exit_layer == 12
+        assert result.vdd == 0.8
+
+    def test_conventional_latency_under_50ms(self, engine):
+        # 12 layers at n=16/1 GHz must fit the 50 ms real-time target.
+        result = engine.run_conventional(prediction=0)
+        assert result.latency_ms < 50.0
+
+    def test_early_exit_scales_energy_with_depth(self, engine):
+        shallow = engine.run_early_exit(3, prediction=0)
+        deep = engine.run_early_exit(9, prediction=0)
+        assert deep.energy_mj > 2.5 * shallow.energy_mj
+
+    def test_ee_energy_below_base(self, engine):
+        base = engine.run_conventional(0)
+        ee = engine.run_early_exit(6, 0)
+        assert ee.energy_mj < base.energy_mj
+
+
+class TestLatencyAware:
+    def test_immediate_exit_at_layer1(self, engine, lut):
+        entropies = np.full(12, 0.01)
+        result = engine.run_latency_aware(entropies, lut, 0.25, 50.0,
+                                          prediction_at=lambda layer: 0)
+        assert result.exit_layer == 1
+        assert result.vdd == 0.8  # layer 1 runs at nominal
+
+    def test_dvfs_scales_down_for_relaxed_target(self, engine, lut):
+        entropies = np.full(12, 0.6)  # never below threshold
+        result = engine.run_latency_aware(entropies, lut, 0.25, 100.0,
+                                          prediction_at=lambda layer: 0)
+        assert result.vdd < 0.8
+        assert result.met_target
+
+    def test_tighter_target_higher_voltage(self, engine, lut):
+        entropies = np.full(12, 0.6)
+        relaxed = engine.run_latency_aware(entropies, lut, 0.25, 100.0,
+                                           prediction_at=lambda l: 0)
+        tight = engine.run_latency_aware(entropies, lut, 0.25, 52.0,
+                                         prediction_at=lambda l: 0)
+        assert tight.vdd >= relaxed.vdd
+
+    def test_latency_within_target(self, engine, lut):
+        entropies = np.full(12, 0.6)
+        for target in (60.0, 75.0, 100.0):
+            result = engine.run_latency_aware(entropies, lut, 0.25, target,
+                                              prediction_at=lambda l: 0)
+            assert result.latency_ms <= target + 1e-9
+            assert result.met_target
+
+    def test_exit_bounded_by_prediction(self, engine, lut):
+        entropies = np.full(12, 0.6)
+        result = engine.run_latency_aware(entropies, lut, 0.25, 100.0,
+                                          prediction_at=lambda l: 0)
+        assert result.exit_layer <= result.predicted_layer
+
+    def test_entropy_crossing_exits_before_prediction(self, engine, lut):
+        entropies = np.full(12, 0.6)
+        entropies[3] = 0.01  # crosses at layer 4
+        result = engine.run_latency_aware(entropies, lut, 0.25, 100.0,
+                                          prediction_at=lambda l: 0)
+        assert result.exit_layer == 4
+
+    def test_wrong_entropy_length_raises(self, engine, lut):
+        with pytest.raises(PipelineError):
+            engine.run_latency_aware(np.ones(5), lut, 0.25, 50.0,
+                                     prediction_at=lambda l: 0)
+
+
+class TestDatasetSimulation:
+    def test_base_mode(self, engine, data):
+        logits, entropies, labels = data
+        report = engine.simulate_dataset("base", logits, entropies)
+        assert report.average_exit_layer == 12.0
+        assert report.accuracy(labels) > 0.7
+
+    def test_ee_mode_reduces_energy(self, engine, data):
+        logits, entropies, labels = data
+        base = engine.simulate_dataset("base", logits, entropies)
+        ee = engine.simulate_dataset("ee", logits, entropies,
+                                     entropy_threshold=0.25)
+        assert ee.average_energy_mj < base.average_energy_mj
+
+    def test_lai_mode_reduces_energy_below_ee(self, engine, data, lut):
+        logits, entropies, labels = data
+        ee = engine.simulate_dataset("ee", logits, entropies,
+                                     entropy_threshold=0.25)
+        lai = engine.simulate_dataset("lai", logits, entropies, lut=lut,
+                                      entropy_threshold=0.25, target_ms=75.0)
+        assert lai.average_energy_mj < ee.average_energy_mj
+        assert lai.average_vdd < 0.8
+
+    def test_paper_energy_ratios(self, engine, data, lut):
+        # Headline claim shape: LAI saves multiple x vs base, >1x vs EE.
+        logits, entropies, labels = data
+        base = engine.simulate_dataset("base", logits, entropies)
+        ee = engine.simulate_dataset("ee", logits, entropies,
+                                     entropy_threshold=0.25)
+        lai = engine.simulate_dataset("lai", logits, entropies, lut=lut,
+                                      entropy_threshold=0.25, target_ms=75.0)
+        vs_base = base.average_energy_mj / lai.average_energy_mj
+        vs_ee = ee.average_energy_mj / lai.average_energy_mj
+        assert vs_base > 2.0
+        assert vs_ee > 1.2
+
+    def test_lai_requires_lut(self, engine, data):
+        logits, entropies, _ = data
+        with pytest.raises(PipelineError):
+            engine.simulate_dataset("lai", logits, entropies,
+                                    entropy_threshold=0.25)
+
+    def test_ee_requires_threshold(self, engine, data):
+        logits, entropies, _ = data
+        with pytest.raises(PipelineError):
+            engine.simulate_dataset("ee", logits, entropies)
+
+    def test_unknown_mode(self, engine, data):
+        logits, entropies, _ = data
+        with pytest.raises(PipelineError):
+            engine.simulate_dataset("warp", logits, entropies,
+                                    entropy_threshold=0.2)
+
+    def test_no_violations_at_relaxed_target(self, engine, data, lut):
+        logits, entropies, _ = data
+        report = engine.simulate_dataset("lai", logits, entropies, lut=lut,
+                                         entropy_threshold=0.25,
+                                         target_ms=100.0)
+        assert report.target_violations == 0
+
+
+class TestOptimizationStacking:
+    def test_aas_and_sparse_reduce_energy(self, data, lut):
+        logits, entropies, _ = data
+        plain = LatencyAwareEngine(CONFIG, HwConfig(mac_vector_size=16))
+        optimized = LatencyAwareEngine(
+            CONFIG, HwConfig(mac_vector_size=16), spans=MNLI_SPANS,
+            use_adaptive_span=True, sparse_execution=True,
+            weight_density=0.5)
+        r_plain = plain.simulate_dataset("lai", logits, entropies, lut=lut,
+                                         entropy_threshold=0.25,
+                                         target_ms=75.0)
+        r_opt = optimized.simulate_dataset("lai", logits, entropies, lut=lut,
+                                           entropy_threshold=0.25,
+                                           target_ms=75.0)
+        assert r_opt.average_energy_mj < r_plain.average_energy_mj

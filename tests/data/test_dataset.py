@@ -1,0 +1,90 @@
+"""Tests for dataset encoding and batching."""
+
+import numpy as np
+import pytest
+
+from repro.data import build_tokenizer, encode_examples, make_task_data
+from repro.data.synthetic_glue import Example
+from repro.errors import ConfigError
+
+
+class TestMakeTaskData:
+    def test_shapes(self):
+        train, eval_split = make_task_data("sst2", train_size=20,
+                                           eval_size=10, max_seq_len=16)
+        assert train.input_ids.shape == (20, 16)
+        assert eval_split.input_ids.shape == (10, 16)
+        assert train.labels.shape == (20,)
+
+    def test_train_eval_disjoint_streams(self):
+        train, eval_split = make_task_data("sst2", train_size=50,
+                                           eval_size=50, max_seq_len=16)
+        # Generated from independent derived seeds: rows should differ.
+        assert not np.array_equal(train.input_ids[:50],
+                                  eval_split.input_ids[:50])
+
+    def test_deterministic(self):
+        a, _ = make_task_data("qnli", train_size=10, eval_size=5, seed=3,
+                              max_seq_len=24)
+        b, _ = make_task_data("qnli", train_size=10, eval_size=5, seed=3,
+                              max_seq_len=24)
+        np.testing.assert_array_equal(a.input_ids, b.input_ids)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_pair_task_has_segment_b(self):
+        train, _ = make_task_data("mnli", train_size=10, eval_size=5,
+                                  max_seq_len=32)
+        assert (train.token_type_ids == 1).any()
+
+
+class TestBatching:
+    def test_batches_cover_dataset(self):
+        train, _ = make_task_data("sst2", train_size=23, eval_size=5,
+                                  max_seq_len=16)
+        total = sum(len(b["labels"]) for b in train.batches(8))
+        assert total == 23
+
+    def test_drop_last(self):
+        train, _ = make_task_data("sst2", train_size=23, eval_size=5,
+                                  max_seq_len=16)
+        sizes = [len(b["labels"]) for b in train.batches(8, drop_last=True)]
+        assert sizes == [8, 8]
+
+    def test_shuffle_changes_order(self):
+        train, _ = make_task_data("sst2", train_size=32, eval_size=5,
+                                  max_seq_len=16)
+        first = next(train.batches(32, seed=1))["input_ids"]
+        second = next(train.batches(32, seed=2))["input_ids"]
+        assert not np.array_equal(first, second)
+
+    def test_no_seed_keeps_order(self):
+        train, _ = make_task_data("sst2", train_size=16, eval_size=5,
+                                  max_seq_len=16)
+        batch = next(train.batches(16))
+        np.testing.assert_array_equal(batch["input_ids"], train.input_ids)
+
+    def test_bad_batch_size_raises(self):
+        train, _ = make_task_data("sst2", train_size=8, eval_size=4,
+                                  max_seq_len=16)
+        with pytest.raises(ConfigError):
+            next(train.batches(0))
+
+
+class TestSubset:
+    def test_subset_selects_rows(self):
+        train, _ = make_task_data("sst2", train_size=10, eval_size=5,
+                                  max_seq_len=16)
+        sub = train.subset([1, 3, 5])
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.labels, train.labels[[1, 3, 5]])
+
+
+class TestEncodeExamples:
+    def test_empty_raises(self):
+        with pytest.raises(ConfigError):
+            encode_examples([], build_tokenizer())
+
+    def test_difficulty_carried(self):
+        examples = [Example("good film", None, 1, 0.25, "sst2")]
+        ds = encode_examples(examples, build_tokenizer(), max_seq_len=16)
+        assert ds.difficulty[0] == 0.25

@@ -1,0 +1,155 @@
+"""Tests for the synthetic GLUE generators."""
+
+import numpy as np
+import pytest
+
+from repro.config import GLUE_TASKS
+from repro.data import (
+    build_tokenizer,
+    build_vocab,
+    expected_num_labels,
+    generate_examples,
+    is_pair_task,
+    sample_difficulty,
+)
+from repro.data import lexicon
+from repro.errors import ConfigError
+from repro.utils.rng import new_rng
+
+
+class TestLexicon:
+    def test_all_words_unique(self):
+        words = lexicon.all_words()
+        assert len(words) == len(set(words))
+
+    def test_banks_disjoint_sentiment(self):
+        assert not set(lexicon.POSITIVE_WORDS) & set(lexicon.NEGATIVE_WORDS)
+
+    def test_synonym_map_symmetric(self):
+        table = lexicon.synonym_map()
+        for a, b in table.items():
+            assert table[b] == a
+
+    def test_antonym_map_symmetric(self):
+        table = lexicon.antonym_map()
+        for a, b in table.items():
+            assert table[b] == a
+
+    def test_noun_groups_cover_neutral_nouns(self):
+        grouped = [n for g in lexicon.NOUN_GROUPS for n in g]
+        assert grouped == list(lexicon.NEUTRAL_NOUNS)
+
+    def test_noun_group_index_complete(self):
+        index = lexicon.noun_group_index()
+        assert set(index) == set(lexicon.NEUTRAL_NOUNS)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("task", GLUE_TASKS)
+    def test_labels_in_range(self, task):
+        examples = generate_examples(task, 100, seed=0)
+        n = expected_num_labels(task)
+        assert all(0 <= e.label < n for e in examples)
+
+    @pytest.mark.parametrize("task", GLUE_TASKS)
+    def test_pair_structure(self, task):
+        examples = generate_examples(task, 20, seed=1)
+        if is_pair_task(task):
+            assert all(e.text_b is not None for e in examples)
+        else:
+            assert all(e.text_b is None for e in examples)
+
+    @pytest.mark.parametrize("task", GLUE_TASKS)
+    def test_deterministic(self, task):
+        a = generate_examples(task, 10, seed=42)
+        b = generate_examples(task, 10, seed=42)
+        assert [(e.text_a, e.text_b, e.label) for e in a] == \
+            [(e.text_a, e.text_b, e.label) for e in b]
+
+    @pytest.mark.parametrize("task", GLUE_TASKS)
+    def test_label_balance(self, task):
+        examples = generate_examples(task, 600, seed=2, label_noise=0.0)
+        labels = np.array([e.label for e in examples])
+        counts = np.bincount(labels, minlength=expected_num_labels(task))
+        assert counts.min() > 0.8 * counts.mean()
+
+    @pytest.mark.parametrize("task", GLUE_TASKS)
+    def test_all_words_tokenizable(self, task):
+        tokenizer = build_tokenizer()
+        vocab = build_vocab()
+        for e in generate_examples(task, 50, seed=3):
+            text = e.text_a + (" " + e.text_b if e.text_b else "")
+            for piece in tokenizer.tokenize(text):
+                assert piece in vocab, f"{piece!r} missing from vocab"
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(ConfigError):
+            generate_examples("cola", 5)
+
+    def test_label_noise_flips_some(self):
+        clean = generate_examples("sst2", 400, seed=4, label_noise=0.0)
+        noisy = generate_examples("sst2", 400, seed=4, label_noise=0.3)
+        flips = sum(c.label != n.label for c, n in zip(clean, noisy))
+        assert 60 < flips < 180  # ~30% of 400 with tolerance
+
+    def test_noise_produces_valid_labels(self):
+        for e in generate_examples("mnli", 200, seed=5, label_noise=0.5):
+            assert 0 <= e.label < 3
+
+    def test_fixed_difficulty_respected(self):
+        examples = generate_examples("sst2", 10, seed=6, difficulty=0.9)
+        assert all(e.difficulty == 0.9 for e in examples)
+
+
+class TestDifficultyDistribution:
+    def test_sample_range(self):
+        rng = new_rng(0)
+        samples = [sample_difficulty(rng) for _ in range(500)]
+        assert all(0.0 <= s <= 1.0 for s in samples)
+
+    def test_biased_toward_easy(self):
+        rng = new_rng(1)
+        samples = np.array([sample_difficulty(rng) for _ in range(2000)])
+        assert samples.mean() < 0.5  # easy-skewed (Beta(1.3, 1.7))
+
+
+class TestTaskStructure:
+    def test_qqp_easy_negatives_cross_topic(self):
+        groups = lexicon.noun_group_index()
+        examples = [e for e in generate_examples("qqp", 300, seed=7,
+                                                 label_noise=0.0)
+                    if e.label == 0 and e.difficulty < 0.7]
+        assert examples
+        for e in examples:
+            noun_a = e.text_a.split()[-1]
+            noun_b = e.text_b.split()[-1]
+            assert groups[noun_a] != groups[noun_b]
+
+    def test_qqp_easy_duplicates_identical_or_near(self):
+        examples = [e for e in generate_examples("qqp", 300, seed=8,
+                                                 label_noise=0.0)
+                    if e.label == 1 and e.difficulty < 0.2]
+        assert examples
+        for e in examples:
+            a, b = set(e.text_a.split()), set(e.text_b.split())
+            assert len(a & b) >= len(a) - 2
+
+    def test_mnli_contradiction_contains_negator_or_antonym(self):
+        antonyms = set(lexicon.antonym_map())
+        negators = set(lexicon.NEGATORS)
+        examples = [e for e in generate_examples("mnli", 300, seed=9,
+                                                 label_noise=0.0)
+                    if e.label == 2]
+        assert examples
+        for e in examples:
+            words = set(e.text_b.split())
+            assert words & (negators | antonyms)
+
+    def test_sst2_easy_positive_has_positive_words(self):
+        positive = set(lexicon.POSITIVE_WORDS)
+        examples = [e for e in generate_examples("sst2", 300, seed=10,
+                                                 label_noise=0.0)
+                    if e.label == 1 and e.difficulty < 0.3]
+        assert examples
+        for e in examples:
+            assert set(e.text_a.split()) & positive

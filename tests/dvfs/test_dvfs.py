@@ -1,0 +1,180 @@
+"""Tests for the DVFS subsystem (V/F table, LDO, ADPLL, controller)."""
+
+import numpy as np
+import pytest
+
+from repro.config import DvfsConfig
+from repro.dvfs import (
+    AdpllModel,
+    DvfsController,
+    LdoModel,
+    VoltageFrequencyTable,
+    VoltageTrace,
+    max_frequency_ghz,
+)
+from repro.errors import DvfsError
+
+
+class TestVfTable:
+    def test_nominal_point_is_1ghz(self):
+        assert max_frequency_ghz(0.8) == pytest.approx(1.0)
+
+    def test_frequency_monotone_in_voltage(self):
+        table = VoltageFrequencyTable()
+        assert np.all(np.diff(table.frequencies) > 0)
+
+    def test_13_operating_points(self):
+        # 0.5 V to 0.8 V in 25 mV steps.
+        assert len(VoltageFrequencyTable()) == 13
+
+    def test_below_threshold_raises(self):
+        with pytest.raises(DvfsError):
+            max_frequency_ghz(0.2)
+
+    def test_lowest_voltage_for_small_request(self):
+        table = VoltageFrequencyTable()
+        vdd, freq = table.lowest_voltage_for(0.1)
+        assert vdd == 0.5
+        assert freq >= 0.1
+
+    def test_lowest_voltage_exact_top(self):
+        table = VoltageFrequencyTable()
+        vdd, _ = table.lowest_voltage_for(1.0)
+        assert vdd == pytest.approx(0.8)
+
+    def test_infeasible_request_raises(self):
+        with pytest.raises(DvfsError):
+            VoltageFrequencyTable().lowest_voltage_for(1.5)
+
+    def test_lut_fits_in_aux_buffer(self):
+        assert VoltageFrequencyTable().size_bytes < 64
+
+
+class TestLdo:
+    def test_table4_slew(self):
+        ldo = LdoModel()
+        # Full 0.5 -> 0.8 V swing: 300 mV / 50 mV * 3.8 ns = 22.8 ns.
+        assert ldo.transition_time_ns(0.5, 0.8) == pytest.approx(22.8)
+
+    def test_settles_within_100ns(self):
+        # The paper: "the LDO stabilizes voltage transitions within 100ns".
+        ldo = LdoModel()
+        assert ldo.transition_time_ns(0.5, 0.8) < 100.0
+
+    def test_quantize_snaps_up_to_step(self):
+        ldo = LdoModel()
+        assert ldo.quantize(0.712) == pytest.approx(0.725)
+        assert ldo.quantize(0.725) == pytest.approx(0.725)
+
+    def test_quantize_clamps_range(self):
+        ldo = LdoModel()
+        assert ldo.quantize(0.3) == 0.5
+        assert ldo.quantize(0.95) == 0.8
+
+    def test_efficiency_near_peak(self):
+        ldo = LdoModel()
+        assert 0.95 < ldo.efficiency(0.5) <= ldo.efficiency(0.8) < 1.0
+
+    def test_overhead_energy_small(self):
+        ldo = LdoModel()
+        overhead = ldo.overhead_energy_pj(1000.0, 0.8)
+        assert 0.0 < overhead < 30.0
+
+    def test_trace_append_monotonic(self):
+        trace = VoltageTrace()
+        trace.append(0.0, 0.8)
+        trace.append(10.0, 0.5)
+        with pytest.raises(DvfsError):
+            trace.append(5.0, 0.8)
+
+    def test_trace_interpolation(self):
+        trace = VoltageTrace()
+        trace.append(0.0, 0.5)
+        trace.append(10.0, 0.7)
+        assert trace.voltage_at(5.0) == pytest.approx(0.6)
+
+
+class TestAdpll:
+    def test_table4_power(self):
+        assert AdpllModel().power_mw(1.0) == pytest.approx(2.46)
+
+    def test_power_linear_in_frequency(self):
+        adpll = AdpllModel()
+        assert adpll.power_mw(0.5) == pytest.approx(1.23)
+
+    def test_relock_zero_for_same_freq(self):
+        assert AdpllModel().relock_time_ns(1.0, 1.0) == 0.0
+
+    def test_relock_bounded(self):
+        adpll = AdpllModel()
+        assert adpll.relock_time_ns(1.0, 0.37) <= 100.0
+
+    def test_energy_is_power_times_time(self):
+        adpll = AdpllModel()
+        assert adpll.energy_pj(1.0, 1000.0) == pytest.approx(2460.0)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(DvfsError):
+            AdpllModel().relock_time_ns(0.0, 1.0)
+
+
+class TestController:
+    def test_plan_meets_relaxed_target(self):
+        controller = DvfsController()
+        # 5M cycles in 40 ms -> 0.125 GHz -> lowest voltage.
+        point = controller.plan(5e6, target_ns=50e6, elapsed_ns=10e6)
+        assert point.meets_target
+        assert point.vdd == 0.5
+
+    def test_plan_tight_target_higher_voltage(self):
+        controller = DvfsController()
+        relaxed = controller.plan(10e6, 50e6, 10e6)
+        tight = controller.plan(35e6, 50e6, 10e6)
+        assert tight.vdd > relaxed.vdd
+
+    def test_plan_infeasible_falls_back_nominal(self):
+        controller = DvfsController()
+        point = controller.plan(100e6, 50e6, 10e6)  # needs 2.5 GHz
+        assert not point.meets_target
+        assert point.vdd == 0.8
+
+    def test_plan_blown_budget(self):
+        controller = DvfsController()
+        point = controller.plan(1e6, 50e6, 60e6)
+        assert not point.meets_target
+
+    def test_plan_no_remaining_work(self):
+        point = DvfsController().plan(0, 50e6, 10e6)
+        assert point.meets_target
+
+    def test_frequency_sufficient_for_deadline(self):
+        controller = DvfsController()
+        remaining, target, elapsed = 8e6, 50e6, 5e6
+        point = controller.plan(remaining, target, elapsed)
+        finish = elapsed + remaining / point.freq_ghz
+        assert finish <= target + 1e-6
+
+    def test_transition_overhead_under_100ns(self):
+        controller = DvfsController()
+        overhead = controller.transition_overhead_ns(0.8, 0.5, 1.0, 0.37)
+        assert overhead < 100.0
+
+    def test_schedule_trace_shape(self):
+        controller = DvfsController()
+        plans = [
+            {"layer1_ns": 4e6, "opt_vdd": 0.7, "rest_ns": 30e6},
+            {"layer1_ns": 4e6, "opt_vdd": 0.65, "rest_ns": 25e6},
+        ]
+        trace = controller.schedule_trace(plans, target_ns=50e6)
+        times, volts = trace.as_arrays()
+        assert times[0] == 0.0
+        assert volts[0] == controller.ldo.standby_voltage
+        assert volts[-1] == controller.ldo.standby_voltage
+        assert volts.max() == pytest.approx(0.8)
+        assert times[-1] >= 100e6  # two sentence slots
+
+    def test_schedule_trace_visits_scaled_voltages(self):
+        controller = DvfsController()
+        plans = [{"layer1_ns": 4e6, "opt_vdd": 0.65, "rest_ns": 30e6}]
+        trace = controller.schedule_trace(plans, target_ns=50e6)
+        assert 0.65 in trace.volts

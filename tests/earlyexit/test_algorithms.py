@@ -1,0 +1,131 @@
+"""Tests for Algorithm 1 / Algorithm 2 exit policies and calibration."""
+
+import numpy as np
+import pytest
+
+from repro.earlyexit import (
+    ExitPredictorLUT,
+    calibrate_conventional,
+    calibrate_latency_aware,
+    conventional_early_exit,
+    conventional_inference,
+    latency_aware_inference,
+    predictions_at,
+)
+
+
+def make_logits(n=60, num_layers=6, num_classes=2, seed=0):
+    """Synthetic per-layer logits that grow more confident with depth.
+
+    Each sentence has a per-sentence 'difficulty' delaying confidence;
+    deeper layers predict the true label more sharply.
+    """
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(num_classes, size=n)
+    difficulty = rng.uniform(0.0, 1.0, size=n)
+    logits = np.zeros((num_layers, n, num_classes))
+    for layer in range(num_layers):
+        progress = (layer + 1) / num_layers
+        sharp = np.clip(8.0 * (progress - 0.8 * difficulty), -1.0, None)
+        noise = rng.normal(0, 0.3, size=(n, num_classes))
+        logits[layer] = noise
+        logits[layer, np.arange(n), labels] += sharp
+    from repro.earlyexit import entropy_from_logits
+
+    return logits, entropy_from_logits(logits), labels
+
+
+class TestConventional:
+    def test_base_runs_all_layers(self):
+        logits, entropies, labels = make_logits()
+        outcome = conventional_inference(logits)
+        assert outcome.average_exit_layer == 6.0
+
+    def test_early_exit_reduces_depth(self):
+        logits, entropies, labels = make_logits()
+        outcome = conventional_early_exit(logits, entropies, threshold=0.4)
+        assert outcome.average_exit_layer < 6.0
+
+    def test_larger_threshold_exits_earlier(self):
+        logits, entropies, labels = make_logits()
+        loose = conventional_early_exit(logits, entropies, 0.6)
+        tight = conventional_early_exit(logits, entropies, 0.1)
+        assert loose.average_exit_layer <= tight.average_exit_layer
+
+    def test_predictions_at_exit_layer(self):
+        logits, entropies, labels = make_logits()
+        exits = np.full(logits.shape[1], 3, dtype=np.int64)
+        preds = predictions_at(logits, exits)
+        np.testing.assert_array_equal(preds, logits[2].argmax(-1))
+
+    def test_accuracy_monotone_with_depth_cost(self):
+        logits, entropies, labels = make_logits()
+        base_acc = conventional_inference(logits).accuracy(labels)
+        loose = conventional_early_exit(logits, entropies, 0.68)
+        assert loose.accuracy(labels) <= base_acc + 0.05
+
+
+class TestLatencyAware:
+    def lut(self, entropies, threshold=0.3):
+        from repro.earlyexit import true_exit_layers
+
+        exits = true_exit_layers(entropies, threshold)
+        return ExitPredictorLUT.from_samples(entropies[0], exits,
+                                             num_labels=2,
+                                             num_layers=entropies.shape[0])
+
+    def test_exit_bounded_by_prediction(self):
+        logits, entropies, labels = make_logits()
+        lut = self.lut(entropies)
+        outcome = latency_aware_inference(logits, entropies, 0.3, lut)
+        assert np.all(outcome.exit_layers <= outcome.predicted_layers)
+
+    def test_layer1_confident_exits_immediately(self):
+        logits, entropies, labels = make_logits()
+        lut = self.lut(entropies)
+        outcome = latency_aware_inference(logits, entropies, 0.3, lut)
+        confident = entropies[0] < 0.3
+        assert np.all(outcome.exit_layers[confident] == 1)
+
+    def test_average_predicted_layer_reported(self):
+        logits, entropies, labels = make_logits()
+        lut = self.lut(entropies)
+        outcome = latency_aware_inference(logits, entropies, 0.3, lut)
+        assert outcome.average_predicted_layer is not None
+
+    def test_forced_termination_at_prediction(self):
+        logits, entropies, labels = make_logits()
+        # LUT that always predicts layer 2: every exit must be <= 2.
+        lut = ExitPredictorLUT(np.linspace(0, 0.7, 3), np.array([2, 2]), 6)
+        outcome = latency_aware_inference(logits, entropies, 0.05, lut)
+        assert outcome.exit_layers.max() <= 2
+
+
+class TestCalibration:
+    def test_threshold_respects_accuracy_budget(self):
+        logits, entropies, labels = make_logits(n=200)
+        result = calibrate_conventional(logits, entropies, labels,
+                                        max_drop_pct=2.0)
+        baseline = conventional_inference(logits).accuracy(labels)
+        assert result.accuracy >= baseline * 0.98 - 1e-9
+
+    def test_larger_budget_earlier_exits(self):
+        logits, entropies, labels = make_logits(n=200)
+        tight = calibrate_conventional(logits, entropies, labels, 1.0)
+        loose = calibrate_conventional(logits, entropies, labels, 5.0)
+        assert loose.average_exit_layer <= tight.average_exit_layer + 1e-9
+        assert loose.threshold >= tight.threshold
+
+    def test_latency_aware_calibration_returns_predictions(self):
+        logits, entropies, labels = make_logits(n=200)
+        lut = TestLatencyAware().lut(entropies)
+        result = calibrate_latency_aware(logits, entropies, labels, 2.0, lut)
+        assert result.average_predicted_layer is not None
+        assert result.average_exit_layer <= result.average_predicted_layer \
+            + 1e-9
+
+    def test_zero_budget_keeps_baseline(self):
+        logits, entropies, labels = make_logits(n=200)
+        result = calibrate_conventional(logits, entropies, labels, 0.0)
+        baseline = conventional_inference(logits).accuracy(labels)
+        assert result.accuracy >= baseline - 1e-12

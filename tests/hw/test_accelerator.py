@@ -1,0 +1,170 @@
+"""Tests for the accelerator model against the paper's Fig. 8/10 anchors."""
+
+import numpy as np
+import pytest
+
+from repro.config import HwConfig, ModelConfig
+from repro.hw import (
+    AcceleratorModel,
+    TaskSetting,
+    build_encoder_workload,
+    energy_optimal_vector_size,
+    sweep_design_space,
+)
+
+BASE = ModelConfig.albert_base()
+MNLI_SPANS = (20, 0, 0, 0, 0, 0, 36, 81, 0, 0, 0, 10)
+
+
+@pytest.fixture(scope="module")
+def n16():
+    return AcceleratorModel(HwConfig(mac_vector_size=16))
+
+
+@pytest.fixture(scope="module")
+def dense_workload():
+    return build_encoder_workload(BASE, 128, use_adaptive_span=False)
+
+
+class TestAreaAnchor:
+    def test_total_area_matches_fig10(self, n16):
+        # Paper: 1.39 mm² for the n=16 design.
+        assert n16.total_area_mm2() == pytest.approx(1.39, rel=0.05)
+
+    def test_block_areas(self, n16):
+        areas = n16.area_breakdown()
+        assert areas["pu_datapaths"] == pytest.approx(0.52, rel=0.1)
+        assert areas["sfu_datapaths"] == pytest.approx(0.21, rel=0.1)
+        assert areas["sram_buffers"] == pytest.approx(0.50, rel=0.1)
+        assert areas["reram_buffers"] == pytest.approx(0.15, rel=0.15)
+
+    def test_area_grows_with_n(self):
+        small = AcceleratorModel(HwConfig(mac_vector_size=8))
+        large = AcceleratorModel(HwConfig(mac_vector_size=32))
+        assert large.total_area_mm2() > small.total_area_mm2()
+
+
+class TestPowerAnchor:
+    def test_total_power_near_86mw(self, n16, dense_workload):
+        total = sum(n16.power_breakdown_mw(dense_workload).values())
+        assert total == pytest.approx(85.9, rel=0.15)
+
+    def test_block_power_ordering(self, n16, dense_workload):
+        power = n16.power_breakdown_mw(dense_workload)
+        # Fig. 10: PU > SRAM > SFU > ReRAM > ADPLL.
+        assert power["pu_datapaths"] > power["sram_buffers"] \
+            > power["sfu_datapaths"] > power["reram_buffers"] \
+            > power["adpll"]
+
+    def test_adpll_power_matches_table4(self, n16, dense_workload):
+        power = n16.power_breakdown_mw(dense_workload)
+        assert power["adpll"] == pytest.approx(2.46, rel=0.05)
+
+
+class TestLatencyBreakdown:
+    def test_macs_dominate(self, n16, dense_workload):
+        fractions = n16.latency_fractions(dense_workload)
+        # Paper Fig. 10a: MACs 90.7 % of latency.
+        assert fractions["macs"] == pytest.approx(0.907, abs=0.04)
+
+    def test_codec_shares(self, n16, dense_workload):
+        fractions = n16.latency_fractions(dense_workload)
+        assert fractions["bitmask_decode"] == pytest.approx(0.032, abs=0.015)
+        assert fractions["bitmask_encode"] == pytest.approx(0.032, abs=0.015)
+
+    def test_softmax_and_layernorm_small(self, n16, dense_workload):
+        fractions = n16.latency_fractions(dense_workload)
+        assert fractions["softmax"] < 0.03
+        ln = fractions["attn_layernorm"] + fractions["ffn_layernorm"]
+        assert ln < 0.03
+
+
+class TestEnergyBreakdown:
+    def test_macs_dominate_energy(self, n16, dense_workload):
+        fractions = n16.energy_fractions(dense_workload)
+        # Paper Fig. 10a: MACs 98.8 % of datapath energy.
+        assert fractions["macs"] == pytest.approx(0.988, abs=0.01)
+
+
+class TestVoltageScaling:
+    def test_energy_quadratic_in_vdd(self, n16, dense_workload):
+        high = n16.layer_metrics(dense_workload, vdd=0.8, freq_ghz=1.0)
+        low = n16.layer_metrics(dense_workload, vdd=0.5, freq_ghz=0.369)
+        ratio = high.energy_pj / low.energy_pj
+        # Near (0.8/0.5)² = 2.56, minus leakage/time corrections.
+        assert 2.0 < ratio < 2.8
+
+    def test_latency_inverse_in_frequency(self, n16, dense_workload):
+        fast = n16.layer_metrics(dense_workload, freq_ghz=1.0)
+        slow = n16.layer_metrics(dense_workload, freq_ghz=0.5)
+        assert slow.time_ns == pytest.approx(2 * fast.time_ns, rel=1e-6)
+        assert slow.cycles == fast.cycles
+
+
+class TestSparseExecution:
+    def test_energy_saving_in_paper_band(self, n16):
+        # Paper Sec. 7.3/8.2: 1.4-1.7x savings; QQP (80 % sparse) highest.
+        for density, low, high in ((0.5, 1.3, 1.6), (0.2, 1.5, 1.85)):
+            workload = build_encoder_workload(
+                BASE, 128, use_adaptive_span=False,
+                activation_density=0.6, weight_density=density)
+            dense = n16.layer_metrics(workload, sparse_execution=False)
+            sparse = n16.layer_metrics(workload, sparse_execution=True)
+            ratio = dense.energy_pj / sparse.energy_pj
+            assert low < ratio < high
+
+    def test_cycles_unchanged_by_sparsity(self, n16):
+        # Fixed scheduling: sparsity saves energy, not cycles.
+        workload = build_encoder_workload(BASE, 128, use_adaptive_span=False,
+                                          weight_density=0.3)
+        dense = n16.layer_metrics(workload, sparse_execution=False)
+        sparse = n16.layer_metrics(workload, sparse_execution=True)
+        assert dense.cycles == sparse.cycles
+
+
+class TestDesignSpace:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        setting = TaskSetting("mnli", MNLI_SPANS, encoder_density=0.5)
+        return sweep_design_space(BASE, setting, num_layers=12, seq_len=128)
+
+    def test_energy_optimal_is_16(self, sweep):
+        points, _ = sweep
+        assert energy_optimal_vector_size(points, mode="base") == 16
+        assert energy_optimal_vector_size(points, mode="aas_sparse") == 16
+
+    def test_latency_scaling_per_doubling(self, sweep):
+        # Paper: latency decreases ~3.5x per doubling of n (we measure
+        # 3.5-4.8x, closest at large n where SFU time is a real share).
+        points, _ = sweep
+        base = {p.vector_size: p.latency_ms for p in points
+                if p.mode == "base"}
+        for small, big in ((2, 4), (4, 8), (8, 16), (16, 32)):
+            ratio = base[small] / base[big]
+            assert 3.0 < ratio < 4.9
+
+    def test_aas_improves_latency_and_energy(self, sweep):
+        points, _ = sweep
+        base = {p.vector_size: p for p in points if p.mode == "base"}
+        aas = {p.vector_size: p for p in points if p.mode == "aas"}
+        for n in (8, 16):
+            assert aas[n].latency_ms < base[n].latency_ms
+            assert aas[n].energy_mj < base[n].energy_mj
+
+    def test_mgpu_energy_gap_roughly_53x(self, sweep):
+        # Paper: n=16 with all optimizations is ~53x below the mGPU.
+        points, mgpu = sweep
+        accel = next(p for p in points
+                     if p.vector_size == 16 and p.mode == "aas_sparse")
+        ratio = mgpu["aas"].energy_mj / accel.energy_mj
+        assert 30 < ratio < 80
+
+    def test_accelerator_beats_mgpu_latency_at_16(self, sweep):
+        # Paper: "starts to outperform the mGPU processing time with n=16".
+        points, mgpu = sweep
+        accel = next(p for p in points
+                     if p.vector_size == 16 and p.mode == "aas")
+        assert accel.latency_ms < mgpu["aas"].latency_ms
+        slower = next(p for p in points
+                      if p.vector_size == 4 and p.mode == "aas")
+        assert slower.latency_ms > mgpu["aas"].latency_ms

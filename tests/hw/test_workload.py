@@ -1,0 +1,117 @@
+"""Tests for the encoder workload builder (Fig. 5 inventory)."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.errors import HardwareError
+from repro.hw import (
+    MatmulOp,
+    build_embedding_workload,
+    build_encoder_workload,
+    encoder_gflops,
+    span_coverage,
+)
+
+BASE = ModelConfig.albert_base()
+
+#: Table 1 learned spans.
+MNLI_SPANS = np.array([20, 0, 0, 0, 0, 0, 36, 81, 0, 0, 0, 10], dtype=float)
+SST2_SPANS = np.array([31, 0, 0, 0, 0, 101, 14, 5, 0, 36, 0, 0], dtype=float)
+
+
+class TestGflopsAnchor:
+    def test_albert_base_matches_paper(self):
+        # Paper Sec. 7.1: 1.9 GFLOPs per encoder layer at T=128.
+        gflops = encoder_gflops(BASE, 128)
+        assert gflops == pytest.approx(1.9, abs=0.08)
+
+    def test_mnli_aas_flop_reduction(self):
+        # Paper Sec. 3.2: 1.22x for MNLI spans.
+        full = build_encoder_workload(BASE, 128, use_adaptive_span=False)
+        aas = build_encoder_workload(BASE, 128, spans=MNLI_SPANS)
+        assert full.flops / aas.flops == pytest.approx(1.22, abs=0.03)
+
+    def test_sst2_aas_flop_reduction(self):
+        # Paper Sec. 3.2: 1.18x for SST-2/QNLI spans.
+        full = build_encoder_workload(BASE, 128, use_adaptive_span=False)
+        aas = build_encoder_workload(BASE, 128, spans=SST2_SPANS)
+        assert full.flops / aas.flops == pytest.approx(1.18, abs=0.03)
+
+
+class TestSpanCoverage:
+    def test_zero_span_is_off(self):
+        assert span_coverage(0.0, 128, 16.0) == 0.0
+
+    def test_full_span_full_coverage(self):
+        assert span_coverage(128.0, 128, 16.0) == 1.0
+
+    def test_partial_monotone(self):
+        values = [span_coverage(s, 128, 16.0) for s in (10, 30, 60, 120)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_coverage_formula(self):
+        # span 64 over T=128: 1 - (64/128)^2 = 0.75
+        assert span_coverage(64.0, 128, 16.0) == pytest.approx(0.75)
+
+
+class TestWorkloadStructure:
+    def test_skipped_heads_remove_ops(self):
+        full = build_encoder_workload(BASE, 128, use_adaptive_span=False)
+        aas = build_encoder_workload(BASE, 128, spans=MNLI_SPANS)
+        assert len(aas.matmuls) < len(full.matmuls)
+
+    def test_qkv_counts_active_heads_only(self):
+        aas = build_encoder_workload(BASE, 128, spans=MNLI_SPANS)
+        qkv = next(op for op in aas.matmuls if op.name == "qkv_proj")
+        assert qkv.count == 4  # MNLI: 4 active heads
+
+    def test_output_projection_input_density_scaled(self):
+        aas = build_encoder_workload(BASE, 128, spans=MNLI_SPANS,
+                                     activation_density=0.6)
+        out = next(op for op in aas.matmuls if op.name == "attn_output")
+        assert out.input_density == pytest.approx(0.6 * 4 / 12)
+
+    def test_softmax_count_matches_active_heads(self):
+        aas = build_encoder_workload(BASE, 128, spans=MNLI_SPANS)
+        softmax = next(op for op in aas.sfu_ops if op.name == "softmax")
+        assert softmax.count == 4
+
+    def test_all_heads_off_leaves_ffn_only(self):
+        spans = np.zeros(12)
+        workload = build_encoder_workload(BASE, 128, spans=spans)
+        names = {op.name for op in workload.matmuls}
+        assert "ffn_in" in names and "ffn_out" in names
+        assert not any("attn_scores" in n for n in names)
+
+    def test_wrong_span_count_raises(self):
+        with pytest.raises(HardwareError):
+            build_encoder_workload(BASE, 128, spans=np.ones(5))
+
+    def test_embedding_workload(self):
+        wl = build_embedding_workload(BASE, 128)
+        proj = wl.matmuls[0]
+        assert (proj.m, proj.k, proj.n) == (128, 128, 768)
+
+
+class TestMatmulOp:
+    def test_mac_accounting(self):
+        op = MatmulOp("x", 4, 8, 2)
+        assert op.macs == 64
+        assert op.active_macs == 64
+
+    def test_density_reduces_active(self):
+        op = MatmulOp("x", 10, 10, 10, input_density=0.5, weight_density=0.4)
+        assert op.active_macs == 200
+
+    def test_coverage_reduces_scheduled(self):
+        op = MatmulOp("x", 10, 10, 10, coverage=0.5)
+        assert op.macs == 500
+
+    def test_invalid_dims(self):
+        with pytest.raises(HardwareError):
+            MatmulOp("x", 0, 4, 4)
+
+    def test_invalid_density(self):
+        with pytest.raises(HardwareError):
+            MatmulOp("x", 2, 2, 2, input_density=1.5)

@@ -1,0 +1,159 @@
+"""Tests for the ALBERT model (sharing, off-ramps, streaming exits)."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.model import AlbertModel
+
+
+def tiny_config(**kwargs):
+    defaults = dict(vocab_size=50, embedding_size=8, hidden_size=16,
+                    num_layers=3, num_heads=4, ffn_size=32, max_seq_len=12,
+                    num_labels=2)
+    defaults.update(kwargs)
+    return ModelConfig(**defaults)
+
+
+def batch(config, batch_size=2, seed=0):
+    rng = np.random.default_rng(seed)
+    ids = rng.integers(5, config.vocab_size, size=(batch_size,
+                                                   config.max_seq_len))
+    ids[:, 0] = 1  # [CLS]
+    mask = np.ones_like(ids)
+    mask[:, -3:] = 0
+    types = np.zeros_like(ids)
+    return ids, types, mask
+
+
+class TestSharing:
+    def test_albert_shares_encoder_parameters(self):
+        model = AlbertModel(tiny_config(share_parameters=True))
+        assert model.layers[0] is model.layers[1]
+
+    def test_bert_mode_has_distinct_layers(self):
+        model = AlbertModel(tiny_config(share_parameters=False))
+        assert model.layers[0] is not model.layers[1]
+
+    def test_albert_fewer_parameters_than_bert(self):
+        albert = AlbertModel(tiny_config(share_parameters=True))
+        bert = AlbertModel(tiny_config(share_parameters=False))
+        assert albert.num_parameters() < bert.num_parameters()
+
+    def test_shared_parameters_not_double_counted(self):
+        config = tiny_config()
+        model = AlbertModel(config)
+        names = [n for n, _ in model.named_parameters()]
+        assert len(names) == len(set(names))
+        # Only layers.0.* appears for the shared encoder.
+        assert not any(n.startswith("layers.1.") for n in names)
+
+
+class TestForward:
+    def test_offramp_logits_per_layer(self):
+        config = tiny_config()
+        model = AlbertModel(config)
+        ids, types, mask = batch(config)
+        logits = model(ids, types, mask)
+        assert len(logits) == config.num_layers
+        assert all(l.shape == (2, config.num_labels) for l in logits)
+
+    def test_padding_does_not_change_result(self):
+        config = tiny_config()
+        model = AlbertModel(config).eval()
+        ids, types, mask = batch(config)
+        out1 = model(ids, types, mask)[-1].data
+        ids2 = ids.copy()
+        ids2[mask == 0] = 3  # garbage in padded slots
+        out2 = model(ids2, types, mask)[-1].data
+        np.testing.assert_allclose(out1, out2, atol=1e-8)
+
+    def test_deterministic_given_seed(self):
+        config = tiny_config()
+        a = AlbertModel(config, seed=7)
+        b = AlbertModel(config, seed=7)
+        ids, types, mask = batch(config)
+        np.testing.assert_allclose(a(ids, types, mask)[-1].data,
+                                   b(ids, types, mask)[-1].data)
+
+    def test_final_logits_helper(self):
+        config = tiny_config()
+        model = AlbertModel(config)
+        ids, types, mask = batch(config)
+        np.testing.assert_allclose(model.final_logits(ids, types, mask),
+                                   model(ids, types, mask)[-1].data)
+
+
+class TestStreamingExit:
+    def test_iter_yields_layers_in_order(self):
+        config = tiny_config()
+        model = AlbertModel(config).eval()
+        ids, types, mask = batch(config)
+        indices = [i for i, _ in model.iter_layer_logits(ids, types, mask)]
+        assert indices == [1, 2, 3]
+
+    def test_streaming_matches_batch_forward(self):
+        config = tiny_config()
+        model = AlbertModel(config).eval()
+        ids, types, mask = batch(config)
+        full = [l.data for l in model(ids, types, mask)]
+        for i, logits in model.iter_layer_logits(ids, types, mask):
+            np.testing.assert_allclose(logits, full[i - 1], atol=1e-8)
+
+    def test_early_stop_consumes_partially(self):
+        config = tiny_config()
+        model = AlbertModel(config).eval()
+        ids, types, mask = batch(config)
+        gen = model.iter_layer_logits(ids, types, mask)
+        index, _ = next(gen)
+        assert index == 1
+        gen.close()  # no error; deeper layers never computed
+
+
+class TestEdgeBertSurface:
+    def test_attention_spans_shape(self):
+        config = tiny_config()
+        model = AlbertModel(config)
+        assert model.attention_spans().shape == (config.num_heads,)
+
+    def test_active_head_count_full_at_init(self):
+        config = tiny_config()
+        model = AlbertModel(config)
+        assert model.active_head_count(config.max_seq_len) == config.num_heads
+
+    def test_freeze_backbone_leaves_offramps_trainable(self):
+        model = AlbertModel(tiny_config())
+        model.freeze_backbone()
+        trainable = [n for n, p in model.named_parameters()
+                     if p.requires_grad]
+        assert trainable
+        assert all(n.startswith("offramps.") for n in trainable)
+
+    def test_offramp_parameters_disjoint_from_encoder(self):
+        model = AlbertModel(tiny_config())
+        encoder_ids = {id(p) for p in model.encoder_parameters()}
+        ramp_ids = {id(p) for p in model.offramp_parameters()}
+        assert not encoder_ids & ramp_ids
+
+    def test_no_adaptive_span_configuration(self):
+        model = AlbertModel(tiny_config(use_adaptive_span=False))
+        assert model.shared_encoder.attention.span is None
+        spans = model.attention_spans()
+        np.testing.assert_allclose(spans, 12.0)
+
+
+@pytest.mark.slow
+class TestFullSizeShapes:
+    def test_albert_base_parameter_count(self):
+        # ALBERT-base has ~12M parameters; ours adds off-ramps (+pooler
+        # per layer) so allow headroom but require the right magnitude.
+        model = AlbertModel(ModelConfig.albert_base())
+        count = model.num_parameters()
+        assert 10e6 < count < 25e6
+
+    def test_albert_base_forward_shape(self):
+        config = ModelConfig.albert_base()
+        model = AlbertModel(config).eval()
+        ids = np.ones((1, 128), dtype=np.int64)
+        logits = model(ids)
+        assert logits[-1].shape == (1, 2)

@@ -1,0 +1,90 @@
+"""Tests for multi-head attention with span masking."""
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.config import ModelConfig
+from repro.model.attention import MultiHeadSelfAttention
+from repro.utils.rng import new_rng
+
+
+def config(**kwargs):
+    defaults = dict(vocab_size=50, embedding_size=8, hidden_size=16,
+                    num_layers=2, num_heads=4, ffn_size=32, max_seq_len=10)
+    defaults.update(kwargs)
+    return ModelConfig(**defaults)
+
+
+def make_attention(cfg=None, seed=0):
+    cfg = cfg or config()
+    return MultiHeadSelfAttention(cfg, new_rng(seed)), cfg
+
+
+class TestForward:
+    def test_output_shape(self):
+        attn, cfg = make_attention()
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 10, 16)))
+        assert attn(x).shape == (2, 10, 16)
+
+    def test_probs_rows_sum_to_one_without_span(self):
+        cfg = config(use_adaptive_span=False)
+        attn, _ = make_attention(cfg)
+        x = Tensor(np.random.default_rng(1).normal(size=(1, 10, 16)))
+        _, probs = attn(x, return_probs=True)
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0, atol=1e-9)
+
+    def test_padding_mask_blocks_keys(self):
+        attn, cfg = make_attention()
+        x = Tensor(np.random.default_rng(2).normal(size=(1, 10, 16)))
+        mask = np.ones((1, 10))
+        mask[0, 7:] = 0
+        _, probs = attn(x, attention_mask=mask, return_probs=True)
+        assert np.abs(probs[..., 7:]).max() < 1e-9
+
+    def test_span_mask_modulates_probs(self):
+        attn, cfg = make_attention()
+        attn.eval()
+        attn.span.z.data[:] = 2.0  # narrow all spans
+        x = Tensor(np.random.default_rng(3).normal(size=(1, 10, 16)))
+        _, probs = attn(x, return_probs=True)
+        # distance >= span + ramp = 18 > seq: partially open; check decay
+        # at max distance the mask is (2 - 9)/16 + 1 = 0.5625
+        assert probs[0, :, 0, 9].max() <= 0.5625 + 1e-9
+
+    def test_eval_mode_kills_zero_span_heads(self):
+        attn, cfg = make_attention()
+        attn.eval()
+        attn.span.z.data[0] = -cfg.span_ramp
+        x = Tensor(np.random.default_rng(4).normal(size=(1, 10, 16)))
+        _, probs = attn(x, return_probs=True)
+        assert np.abs(probs[0, 0]).max() == 0.0
+        assert np.abs(probs[0, 1]).max() > 0.0
+
+    def test_gradients_reach_all_projections(self):
+        attn, cfg = make_attention()
+        x = Tensor(np.random.default_rng(5).normal(size=(1, 10, 16)),
+                   requires_grad=True)
+        out = attn(x)
+        (out * out).sum().backward()
+        for proj in (attn.query, attn.key, attn.value, attn.output):
+            assert proj.weight.grad is not None
+            assert np.abs(proj.weight.grad).max() > 0
+        assert x.grad is not None
+
+
+class TestActiveHeads:
+    def test_all_active_by_default(self):
+        attn, cfg = make_attention()
+        assert attn.active_heads(10).sum() == cfg.num_heads
+
+    def test_closed_head_reported_inactive(self):
+        attn, cfg = make_attention()
+        attn.span.z.data[2] = -cfg.span_ramp
+        active = attn.active_heads(10)
+        assert not active[2]
+        assert active.sum() == cfg.num_heads - 1
+
+    def test_no_span_module_all_active(self):
+        cfg = config(use_adaptive_span=False)
+        attn, _ = make_attention(cfg)
+        assert attn.active_heads(10).all()

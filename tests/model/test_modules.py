@@ -1,0 +1,130 @@
+"""Tests for the Module system (parameter discovery, state dicts)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.model.modules import Embedding, LayerNorm, Linear, Module
+from repro.utils.rng import new_rng
+
+
+class Tiny(Module):
+    def __init__(self):
+        super().__init__()
+        rng = new_rng(0)
+        self.lin = Linear(4, 3, rng, name="lin")
+        self.norm = LayerNorm(3, name="norm")
+        self.blocks = [Linear(3, 3, rng, name=f"b{i}") for i in range(2)]
+
+    def forward(self, x):
+        return self.norm(self.blocks[1](self.blocks[0](self.lin(x))))
+
+
+class TestParameterDiscovery:
+    def test_counts_all_parameters(self):
+        model = Tiny()
+        # lin: 12+3, norm: 3+3, blocks: 2*(9+3)
+        assert model.num_parameters() == 12 + 3 + 3 + 3 + 2 * 12
+
+    def test_named_parameters_unique_names(self):
+        names = [n for n, _ in Tiny().named_parameters()]
+        assert len(names) == len(set(names))
+
+    def test_list_modules_discovered(self):
+        names = {n for n, _ in Tiny().named_parameters()}
+        assert "blocks.0.weight" in names
+        assert "blocks.1.bias" in names
+
+    def test_frozen_parameters_still_listed(self):
+        model = Tiny()
+        model.lin.weight.requires_grad = False
+        names = {n for n, _ in model.named_parameters()}
+        assert "lin.weight" in names
+
+    def test_private_attributes_skipped(self):
+        model = Tiny()
+        model._hidden_tensor = Tensor(np.zeros(3), requires_grad=True)
+        names = {n for n, _ in model.named_parameters()}
+        assert not any("_hidden" in n for n in names)
+
+
+class TestTrainEvalMode:
+    def test_recursive_mode_switch(self):
+        model = Tiny()
+        model.eval()
+        assert not model.training
+        assert not model.blocks[0].training
+        model.train()
+        assert model.blocks[1].training
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = Tiny(), Tiny()
+        b.lin.weight.data += 1.0
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(b.lin.weight.data, a.lin.weight.data)
+
+    def test_missing_key_raises(self):
+        model = Tiny()
+        state = model.state_dict()
+        state.pop("lin.weight")
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        model = Tiny()
+        state = model.state_dict()
+        state["bogus"] = np.zeros(3)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        model = Tiny()
+        state = model.state_dict()
+        state["lin.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_state_dict_copies(self):
+        model = Tiny()
+        state = model.state_dict()
+        state["lin.weight"][:] = 99.0
+        assert not np.any(model.lin.weight.data == 99.0)
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        lin = Linear(4, 3, new_rng(0))
+        out = lin(Tensor(np.ones((2, 4))))
+        assert out.shape == (2, 3)
+
+    def test_no_bias_option(self):
+        lin = Linear(4, 3, new_rng(0), bias=False)
+        assert lin.bias is None
+        assert lin(Tensor(np.zeros((1, 4)))).data.sum() == 0.0
+
+    def test_weight_hook_applied(self):
+        lin = Linear(2, 2, new_rng(0))
+        lin.set_weight_hook(lambda w: w * 0.0)
+        out = lin(Tensor(np.ones((1, 2))))
+        np.testing.assert_allclose(out.data, np.broadcast_to(lin.bias.data,
+                                                             (1, 2)))
+
+    def test_weight_hook_cleared(self):
+        lin = Linear(2, 2, new_rng(0))
+        lin.set_weight_hook(lambda w: w * 0.0)
+        lin.set_weight_hook(None)
+        assert lin.effective_weight() is lin.weight
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = Embedding(10, 4, new_rng(0))
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_rows_match_weight(self):
+        emb = Embedding(10, 4, new_rng(0))
+        out = emb(np.array([[5]]))
+        np.testing.assert_allclose(out.data[0, 0], emb.weight.data[5])

@@ -1,0 +1,133 @@
+"""Tests for adaptive attention span masks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor
+from repro.model.span import AdaptiveSpanMask, clip01, distance_matrix
+
+
+class TestClip01:
+    def test_identity_inside(self):
+        x = Tensor(np.array([0.0, 0.5, 1.0]))
+        np.testing.assert_allclose(clip01(x).data, [0.0, 0.5, 1.0])
+
+    def test_clamps_outside(self):
+        x = Tensor(np.array([-2.0, 3.0]))
+        np.testing.assert_allclose(clip01(x).data, [0.0, 1.0])
+
+    def test_gradient_only_inside(self):
+        x = Tensor(np.array([-1.0, 0.5, 2.0]), requires_grad=True)
+        clip01(x).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    @given(st.floats(-10, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_range_property(self, value):
+        out = float(clip01(Tensor(np.array([value]))).data[0])
+        assert 0.0 <= out <= 1.0
+
+
+class TestDistanceMatrix:
+    def test_symmetric_zero_diagonal(self):
+        d = distance_matrix(5)
+        np.testing.assert_allclose(d, d.T)
+        np.testing.assert_allclose(np.diag(d), np.zeros(5))
+
+    def test_values(self):
+        d = distance_matrix(3)
+        np.testing.assert_allclose(d, [[0, 1, 2], [1, 0, 1], [2, 1, 0]])
+
+
+class TestAdaptiveSpanMask:
+    def test_full_span_mask_all_ones(self):
+        span = AdaptiveSpanMask(4, max_span=32, ramp=8.0, init_span=40.0)
+        np.testing.assert_allclose(span.mask_array(16), np.ones((4, 16, 16)))
+
+    def test_default_init_is_local(self):
+        # Spans start at one ramp (Sukhbaatar-style small init) and grow
+        # only where the task needs reach.
+        span = AdaptiveSpanMask(4, max_span=32, ramp=8.0)
+        np.testing.assert_allclose(span.spans(), 8.0)
+
+    def test_zero_span_head_fully_off_at_eval(self):
+        span = AdaptiveSpanMask(2, max_span=32, ramp=8.0, init_span=40.0)
+        span.z.data[0] = 0.0
+        mask = span.mask_array(16)
+        np.testing.assert_allclose(mask[0], np.zeros((16, 16)))
+        np.testing.assert_allclose(mask[1], np.ones((16, 16)))
+
+    def test_training_and_eval_masks_agree(self):
+        span = AdaptiveSpanMask(2, max_span=32, ramp=8.0)
+        span.z.data[0] = 5.0
+        span.z.data[1] = 0.0
+        np.testing.assert_allclose(span.mask(16).data, span.mask_array(16))
+
+    def test_ramp_shape(self):
+        span = AdaptiveSpanMask(1, max_span=32, ramp=8.0)
+        span.z.data[0] = 8.0
+        row = span.mask_array(16)[0, 0]
+        assert row[0] == 1.0  # d=0 fully open at z=R
+        assert row[4] == 0.5  # mid-ramp
+        assert row[8] == 0.0  # mask exactly zero at d=z
+
+    def test_mask_monotone_in_distance(self):
+        span = AdaptiveSpanMask(1, max_span=64, ramp=16.0)
+        span.z.data[0] = 10.0
+        row = span.mask_array(64)[0, 0]
+        assert np.all(np.diff(row) <= 1e-12)
+
+    def test_spans_reported_nonnegative(self):
+        span = AdaptiveSpanMask(3, max_span=32)
+        span.z.data[:] = np.array([[-5.0], [0.0], [12.0]]).reshape(3, 1, 1)
+        np.testing.assert_allclose(span.spans(), [0.0, 0.0, 12.0])
+
+    def test_average_span(self):
+        span = AdaptiveSpanMask(2, max_span=32)
+        span.z.data[0] = 10.0
+        span.z.data[1] = 30.0
+        assert span.average_span() == pytest.approx(20.0)
+
+    def test_active_heads(self):
+        span = AdaptiveSpanMask(3, max_span=32, ramp=8.0)
+        span.z.data[:] = np.array([[-8.0], [0.0], [5.0]]).reshape(3, 1, 1)
+        active = span.active_heads(16)
+        assert list(active) == [False, False, True]
+
+    def test_clamp_restricts_range(self):
+        span = AdaptiveSpanMask(1, max_span=32, ramp=8.0)
+        span.z.data[0] = 100.0
+        span.clamp_()
+        assert span.z.data.reshape(-1)[0] == 40.0  # max_span + ramp
+        span.z.data[0] = -50.0
+        span.clamp_()
+        # Learning floor keeps a sliver of mask alive (dead-head trap).
+        assert span.z.data.reshape(-1)[0] == AdaptiveSpanMask.LEARNING_FLOOR
+
+    def test_snap_zeroes_small_spans(self):
+        span = AdaptiveSpanMask(3, max_span=32, ramp=8.0)
+        span.z.data[:] = np.array([[0.5], [1.9], [12.0]]).reshape(3, 1, 1)
+        span.snap_()  # default threshold R/4 = 2
+        np.testing.assert_allclose(span.spans(), [0.0, 0.0, 12.0])
+        assert list(span.active_heads(16)) == [False, False, True]
+
+    def test_penalty_zero_when_spans_closed(self):
+        span = AdaptiveSpanMask(2, max_span=32)
+        span.z.data[:] = -1.0
+        assert span.span_penalty().item() == 0.0
+
+    def test_penalty_gradient_proportional_to_span(self):
+        span = AdaptiveSpanMask(2, max_span=32)
+        span.z.data[:] = np.array([[8.0], [16.0]]).reshape(2, 1, 1)
+        span.span_penalty().backward()
+        grads = span.z.grad.reshape(-1)
+        assert grads[1] == pytest.approx(2 * grads[0])
+
+    def test_mask_gradient_flows_to_z(self):
+        span = AdaptiveSpanMask(1, max_span=32, ramp=8.0)
+        span.z.data[0] = 4.0
+        span.mask(16).sum().backward()
+        assert span.z.grad is not None
+        assert float(np.abs(span.z.grad).sum()) > 0

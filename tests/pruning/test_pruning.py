@@ -1,0 +1,191 @@
+"""Tests for magnitude/movement pruning and the pruning manager."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.config import ModelConfig, PruningConfig
+from repro.errors import ScheduleError, SparsityError
+from repro.model import AlbertModel
+from repro.pruning import (
+    PruningManager,
+    actual_sparsity,
+    cubic_sparsity,
+    magnitude_keep_mask,
+    masked_by_scores,
+    measured_embedding_density,
+    measured_encoder_sparsity,
+    prune_by_magnitude,
+    prune_embeddings,
+    topk_keep_mask,
+)
+from repro.pruning.movement import MovementScore
+
+
+def tiny_model():
+    config = ModelConfig(vocab_size=60, embedding_size=8, hidden_size=16,
+                         num_layers=2, num_heads=4, ffn_size=32,
+                         max_seq_len=10, num_labels=2)
+    return AlbertModel(config, seed=0), config
+
+
+class TestMagnitude:
+    def test_exact_drop_count(self):
+        values = np.arange(1.0, 11.0)
+        mask = magnitude_keep_mask(values, 0.3)
+        assert mask.sum() == 7
+
+    def test_smallest_dropped(self):
+        values = np.array([5.0, 0.1, 3.0, 0.2])
+        pruned = prune_by_magnitude(values, 0.5)
+        np.testing.assert_array_equal(pruned, [5.0, 0.0, 3.0, 0.0])
+
+    def test_sign_ignored(self):
+        values = np.array([-5.0, 0.1])
+        mask = magnitude_keep_mask(values, 0.5)
+        np.testing.assert_array_equal(mask, [True, False])
+
+    def test_zero_sparsity_keeps_all(self):
+        assert magnitude_keep_mask(np.ones(5), 0.0).all()
+
+    def test_invalid_sparsity(self):
+        with pytest.raises(SparsityError):
+            magnitude_keep_mask(np.ones(5), 1.0)
+
+    def test_actual_sparsity(self):
+        assert actual_sparsity(np.array([0.0, 1.0, 0.0, 2.0])) == 0.5
+
+    def test_prune_embeddings_hits_target(self):
+        model, _ = tiny_model()
+        prune_embeddings(model, 0.6)
+        density = measured_embedding_density(model)
+        assert density == pytest.approx(0.4, abs=0.01)
+
+
+class TestCubicSchedule:
+    def test_zero_before_begin(self):
+        assert cubic_sparsity(5, 100, 0.5, 0.2, 0.8) == 0.0
+
+    def test_final_after_end(self):
+        assert cubic_sparsity(90, 100, 0.5, 0.2, 0.8) == 0.5
+
+    def test_monotone(self):
+        values = [cubic_sparsity(s, 100, 0.6) for s in range(101)]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_cubic_shape_fast_early(self):
+        # Half-way through the ramp the cubic is already at 7/8 target.
+        mid = cubic_sparsity(50, 100, 0.8, 0.2, 0.8)
+        assert mid == pytest.approx(0.8 * 0.875, rel=1e-6)
+
+    def test_invalid_total(self):
+        with pytest.raises(ScheduleError):
+            cubic_sparsity(0, 0, 0.5)
+
+    def test_invalid_fracs(self):
+        with pytest.raises(ScheduleError):
+            cubic_sparsity(0, 10, 0.5, 0.9, 0.1)
+
+
+class TestMovement:
+    def test_topk_keeps_highest_scores(self):
+        scores = np.array([0.9, -0.5, 0.1, 0.7])
+        mask = topk_keep_mask(scores, 0.5)
+        np.testing.assert_array_equal(mask, [True, False, False, True])
+
+    def test_masked_forward(self):
+        w = Tensor(np.array([1.0, 2.0, 3.0, 4.0]), requires_grad=True)
+        s = Tensor(np.array([0.1, 0.9, 0.2, 0.8]), requires_grad=True)
+        out = masked_by_scores(w, s, 0.5)
+        np.testing.assert_array_equal(out.data, [0.0, 2.0, 0.0, 4.0])
+
+    def test_weight_gradient_masked(self):
+        w = Tensor(np.ones(4), requires_grad=True)
+        s = Tensor(np.array([0.1, 0.9, 0.2, 0.8]), requires_grad=True)
+        masked_by_scores(w, s, 0.5).sum().backward()
+        np.testing.assert_array_equal(w.grad, [0.0, 1.0, 0.0, 1.0])
+
+    def test_score_gradient_straight_through(self):
+        # dL/dS = grad * W over ALL entries (Sanh et al.).
+        w = Tensor(np.array([2.0, 3.0, 4.0, 5.0]), requires_grad=True)
+        s = Tensor(np.array([0.1, 0.9, 0.2, 0.8]), requires_grad=True)
+        masked_by_scores(w, s, 0.5).sum().backward()
+        np.testing.assert_array_equal(s.grad, w.data)
+
+    def test_movement_score_finalize(self):
+        w = Tensor(np.arange(1.0, 5.0), requires_grad=True)
+        score = MovementScore(w)
+        score.scores.data[:] = np.array([0.9, 0.1, 0.8, 0.2])
+        score.sparsity = 0.5
+        score.finalize()
+        np.testing.assert_array_equal(w.data, [1.0, 0.0, 3.0, 0.0])
+
+    def test_movement_beats_magnitude_when_weights_move(self):
+        # Weights that grew during "fine-tuning" have high movement scores
+        # even if small; movement pruning keeps them, magnitude drops them.
+        w = Tensor(np.array([0.05, 0.9, 0.04, 0.8]), requires_grad=True)
+        scores = np.array([5.0, -1.0, 4.0, -2.0])  # first/third moved up
+        score = MovementScore(w)
+        score.scores.data[:] = scores
+        score.sparsity = 0.5
+        keep_movement = score.keep_mask()
+        keep_magnitude = magnitude_keep_mask(w.data, 0.5)
+        assert list(keep_movement) == [True, False, True, False]
+        assert list(keep_magnitude) == [False, True, False, True]
+
+
+class TestPruningManager:
+    def test_movement_scores_registered(self):
+        model, _ = tiny_model()
+        manager = PruningManager(model, PruningConfig(), total_steps=100)
+        assert manager.score_parameters()
+
+    def test_shared_layers_pruned_once(self):
+        model, _ = tiny_model()
+        manager = PruningManager(model, PruningConfig(), total_steps=100)
+        # ALBERT shares encoder weights: 6 Linear matrices (qkv,o,ffn x2).
+        assert len(manager.score_parameters()) == 6
+
+    def test_finalize_reaches_target_sparsity(self):
+        model, _ = tiny_model()
+        config = PruningConfig(encoder_sparsity=0.5)
+        manager = PruningManager(model, config, total_steps=10)
+        manager.step(9)  # schedule at final sparsity
+        manager.finalize()
+        assert measured_encoder_sparsity(model) == pytest.approx(0.5,
+                                                                 abs=0.02)
+
+    def test_magnitude_method(self):
+        model, _ = tiny_model()
+        config = PruningConfig(encoder_sparsity=0.4,
+                               encoder_method="magnitude")
+        manager = PruningManager(model, config, total_steps=10)
+        assert not manager.score_parameters()
+        manager.step(9)
+        manager.finalize()
+        assert measured_encoder_sparsity(model) >= 0.39
+
+    def test_embedding_prune_once(self):
+        model, _ = tiny_model()
+        manager = PruningManager(model, PruningConfig(embedding_sparsity=0.6),
+                                 total_steps=10)
+        manager.prune_embeddings_once()
+        assert manager.embedding_sparsity() == pytest.approx(0.6, abs=0.01)
+
+    def test_summary_keys(self):
+        model, _ = tiny_model()
+        manager = PruningManager(model, PruningConfig(), total_steps=10)
+        summary = manager.summary()
+        assert set(summary) == {"embedding_sparsity", "encoder_sparsity",
+                                "method"}
+
+    def test_forward_respects_movement_mask_during_training(self):
+        model, config = tiny_model()
+        manager = PruningManager(model, PruningConfig(encoder_sparsity=0.5),
+                                 total_steps=10)
+        manager.step(9)  # full sparsity via hooks
+        linear = model.shared_encoder.ffn_in
+        effective = linear.effective_weight().data
+        assert (effective == 0).mean() == pytest.approx(0.5, abs=0.02)
+        # Underlying weights untouched until finalize.
+        assert (linear.weight.data == 0).mean() < 0.1

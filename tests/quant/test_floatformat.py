@@ -1,0 +1,164 @@
+"""Tests for the FP8 float format: quantization and bit encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuantizationError
+from repro.quant import FloatFormat, search_exponent_bits
+
+FP8 = FloatFormat(total_bits=8, exponent_bits=4)
+
+
+class TestFormatBasics:
+    def test_paper_format_fields(self):
+        assert FP8.mantissa_bits == 3
+        assert FP8.standard_bias == 7
+
+    def test_invalid_exponent_bits(self):
+        with pytest.raises(QuantizationError):
+            FloatFormat(total_bits=8, exponent_bits=7)  # no mantissa left
+
+    def test_max_value(self):
+        # (2 - 2^-3) * 2^(15-7) = 1.875 * 256 = 480
+        assert FP8.max_value() == pytest.approx(480.0)
+
+    def test_min_subnormal(self):
+        # 2^(1-7-3) = 2^-9
+        assert FP8.min_subnormal() == pytest.approx(2.0**-9)
+
+
+class TestQuantize:
+    def test_exact_values_preserved(self):
+        values = np.array([0.0, 1.0, -1.5, 2.0, 0.25])
+        np.testing.assert_array_equal(FP8.quantize(values), values)
+
+    def test_rounds_to_grid(self):
+        # Between 1.0 and 1.125 (step 1/8 at exponent 0).
+        assert FP8.quantize(np.array([1.06]))[0] in (1.0, 1.125)
+
+    def test_overflow_clamps(self):
+        assert FP8.quantize(np.array([1e9]))[0] == FP8.max_value()
+        assert FP8.quantize(np.array([-1e9]))[0] == -FP8.max_value()
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=200)
+        once = FP8.quantize(values)
+        np.testing.assert_array_equal(FP8.quantize(once), once)
+
+    def test_subnormal_flush_behaviour(self):
+        tiny = np.array([FP8.min_subnormal() * 0.4])
+        assert FP8.quantize(tiny)[0] == 0.0
+        representable = np.array([FP8.min_subnormal()])
+        assert FP8.quantize(representable)[0] == FP8.min_subnormal()
+
+    def test_sign_symmetry(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=100)
+        np.testing.assert_array_equal(FP8.quantize(values),
+                                      -FP8.quantize(-values))
+
+    @given(st.floats(-400, 400, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_error_bounded_by_half_step(self, value):
+        q = float(FP8.quantize(np.array([value]))[0])
+        if abs(value) < FP8.min_subnormal():
+            return
+        # Relative error of a m-bit mantissa is at most 2^-(m+1).
+        assert abs(q - value) <= abs(value) * 2.0**-4 + 1e-12
+
+
+class TestAdaptiveBias:
+    def test_covers_large_values(self):
+        values = np.array([1000.0, -500.0])
+        bias = FP8.adaptive_bias(values)
+        assert FP8.max_value(bias) >= 1000.0
+
+    def test_small_tensor_gets_resolution(self):
+        values = np.array([0.001, 0.002])
+        bias = FP8.adaptive_bias(values)
+        err_adaptive = FP8.quantization_error(values, bias)
+        err_standard = FP8.quantization_error(values)
+        assert err_adaptive <= err_standard
+
+    def test_zero_tensor_standard_bias(self):
+        assert FP8.adaptive_bias(np.zeros(4)) == FP8.standard_bias
+
+    def test_dynamic_range_beats_int8_on_outliers(self):
+        # The paper's Sec. 3.4 argument: FP handles outlier-heavy NLP
+        # weights better than symmetric int8.
+        from repro.quant import int8_symmetric_quantize
+        rng = np.random.default_rng(2)
+        weights = rng.normal(0, 0.02, size=4000)
+        weights[:4] = np.array([2.0, -1.5, 1.0, -2.5])  # outliers
+        bias = FP8.adaptive_bias(weights)
+        fp8_err = np.abs(weights - FP8.quantize(weights, bias)).mean()
+        int8_err = np.abs(weights - int8_symmetric_quantize(weights)[0]).mean()
+        assert fp8_err < int8_err
+
+
+class TestBitEncoding:
+    def test_roundtrip_on_grid(self):
+        rng = np.random.default_rng(3)
+        values = FP8.quantize(rng.normal(size=500))
+        bias = FP8.standard_bias
+        words = FP8.encode_bits(values, bias)
+        np.testing.assert_array_equal(FP8.decode_bits(words, bias), values)
+
+    def test_roundtrip_with_adaptive_bias(self):
+        rng = np.random.default_rng(4)
+        raw = rng.normal(0, 0.05, size=500)
+        bias = FP8.adaptive_bias(raw)
+        values = FP8.quantize(raw, bias)
+        words = FP8.encode_bits(values, bias)
+        np.testing.assert_array_equal(FP8.decode_bits(words, bias), values)
+
+    def test_words_fit_in_total_bits(self):
+        rng = np.random.default_rng(5)
+        words = FP8.encode_bits(rng.normal(size=100))
+        assert int(words.max()) < 2**8
+
+    def test_zero_encodes_to_zero_word(self):
+        assert FP8.encode_bits(np.array([0.0]))[0] == 0
+
+    def test_sign_bit_is_msb(self):
+        word_pos = FP8.encode_bits(np.array([1.0]))[0]
+        word_neg = FP8.encode_bits(np.array([-1.0]))[0]
+        assert word_neg - word_pos == 128
+
+    @given(st.integers(0, 255))
+    @settings(max_examples=100, deadline=None)
+    def test_decode_encode_identity_on_words(self, word):
+        value = FP8.decode_bits(np.array([word], dtype=np.uint32))[0]
+        # -0.0 encodes back to +0.0's word; skip the negative-zero word.
+        if word == 128:
+            return
+        back = FP8.encode_bits(np.array([value]))[0]
+        assert int(back) == word
+
+
+class TestExponentSearch:
+    def test_returns_valid_width(self):
+        rng = np.random.default_rng(6)
+        bits, err = search_exponent_bits(rng.normal(size=300), total_bits=8)
+        assert 1 <= bits <= 6
+        assert err >= 0.0
+
+    def test_paper_choice_on_nlp_like_weights(self):
+        # Mixture with order-of-magnitude outliers (layer-norm gains vs.
+        # tiny attention weights) favors a wide exponent (the paper: 4).
+        rng = np.random.default_rng(7)
+        weights = np.concatenate([
+            rng.normal(0, 0.01, 2000),
+            rng.normal(0, 1.0, 50),
+            rng.normal(0, 10.0, 5),
+        ])
+        bits, _ = search_exponent_bits(weights, total_bits=8)
+        assert bits >= 3
+
+    def test_uniform_values_prefer_mantissa(self):
+        values = np.random.default_rng(8).uniform(0.9, 1.1, 500)
+        bits, _ = search_exponent_bits(values, total_bits=8)
+        assert bits <= 3

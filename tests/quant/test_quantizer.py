@@ -1,0 +1,78 @@
+"""Tests for model-level quantization."""
+
+import numpy as np
+
+from repro.config import ModelConfig, QuantConfig
+from repro.model import AlbertModel
+from repro.quant import (
+    Quantizer,
+    default_skip_predicate,
+    quantize_model_for_eval,
+)
+
+
+def tiny_model():
+    config = ModelConfig(vocab_size=40, embedding_size=8, hidden_size=16,
+                         num_layers=2, num_heads=4, ffn_size=32,
+                         max_seq_len=10, num_labels=2)
+    return AlbertModel(config, seed=0), config
+
+
+class TestQuantizer:
+    def test_quantize_array_returns_bias(self):
+        quantizer = Quantizer()
+        values = np.random.default_rng(0).normal(0, 0.02, 100)
+        quantized, bias = quantizer.quantize_array(values)
+        assert quantized.shape == values.shape
+        assert isinstance(bias, int)
+
+    def test_per_tensor_bias_disabled(self):
+        quantizer = Quantizer(QuantConfig(per_tensor_bias=False))
+        bias = quantizer.bias_for(np.array([100.0]))
+        assert bias == quantizer.fmt.standard_bias
+
+    def test_activation_hook_quantizes(self):
+        hook = Quantizer().activation_hook()
+        values = np.random.default_rng(1).normal(size=50)
+        out = hook(values)
+        np.testing.assert_array_equal(hook(out), out)  # idempotent
+
+
+class TestModelQuantization:
+    def test_all_weights_on_grid(self):
+        model, _ = tiny_model()
+        biases = quantize_model_for_eval(model)
+        quantizer = Quantizer()
+        for name, param in model.named_parameters():
+            if default_skip_predicate(name):
+                continue
+            requantized, _ = quantizer.quantize_array(param.data)
+            np.testing.assert_array_equal(requantized, param.data,
+                                          err_msg=name)
+        assert biases
+
+    def test_span_parameters_skipped(self):
+        model, _ = tiny_model()
+        model.shared_encoder.attention.span.z.data[:] = 7.3  # off-grid
+        quantize_model_for_eval(model)
+        np.testing.assert_allclose(
+            model.shared_encoder.attention.span.z.data, 7.3)
+
+    def test_model_still_functional_after_quantization(self):
+        model, config = tiny_model()
+        ids = np.ones((2, config.max_seq_len), dtype=np.int64)
+        before = model.final_logits(ids)
+        quantize_model_for_eval(model)
+        after = model.final_logits(ids)
+        assert np.all(np.isfinite(after))
+        # Quantization perturbs but does not destroy the outputs.
+        assert np.abs(after - before).max() < 10.0
+
+    def test_accuracy_preserving_on_trained_logits(self):
+        # FP8 with per-tensor bias keeps argmax decisions mostly stable.
+        rng = np.random.default_rng(2)
+        logits = rng.normal(size=(200, 3)) * 3.0
+        quantizer = Quantizer()
+        quantized, _ = quantizer.quantize_array(logits)
+        agreement = (logits.argmax(-1) == quantized.argmax(-1)).mean()
+        assert agreement > 0.95

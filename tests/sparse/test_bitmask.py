@@ -1,0 +1,107 @@
+"""Tests for the bitmask sparse encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays, array_shapes
+
+from repro.errors import SparsityError
+from repro.sparse import BitmaskTensor, decode, encode, zero_vector_fraction
+
+
+class TestRoundTrip:
+    def test_simple(self):
+        dense = np.array([[1.0, 0.0], [0.0, 2.0]])
+        np.testing.assert_array_equal(decode(encode(dense)), dense)
+
+    def test_all_zero(self):
+        dense = np.zeros((3, 4))
+        encoded = encode(dense)
+        assert encoded.nnz == 0
+        np.testing.assert_array_equal(decode(encoded), dense)
+
+    def test_all_dense(self):
+        dense = np.arange(1.0, 7.0).reshape(2, 3)
+        encoded = encode(dense)
+        assert encoded.density == 1.0
+        np.testing.assert_array_equal(decode(encoded), dense)
+
+    @given(arrays(np.float64,
+                  array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=6),
+                  elements=st.sampled_from([0.0, 1.0, -2.5, 7.0])))
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_property(self, dense):
+        np.testing.assert_array_equal(decode(encode(dense)), dense)
+
+
+class TestAccounting:
+    def test_density_and_sparsity(self):
+        dense = np.array([0.0, 1.0, 0.0, 2.0])
+        encoded = encode(dense)
+        assert encoded.density == 0.5
+        assert encoded.sparsity == 0.5
+
+    def test_mask_bits_equal_elements(self):
+        assert encode(np.zeros((4, 8))).mask_bits() == 32
+
+    def test_value_bits(self):
+        encoded = encode(np.array([1.0, 0.0, 3.0]))
+        assert encoded.value_bits(bits_per_value=8) == 16
+
+    def test_total_bytes(self):
+        encoded = encode(np.array([1.0, 0.0, 3.0, 0.0]))
+        # 4 mask bits + 2 values * 8 bits = 20 bits = 2.5 bytes
+        assert encoded.total_bytes(8) == pytest.approx(2.5)
+
+    def test_compression_wins_at_high_sparsity(self):
+        rng = np.random.default_rng(0)
+        dense = rng.normal(size=(64, 64))
+        dense[rng.random(dense.shape) < 0.8] = 0.0
+        encoded = encode(dense)
+        dense_bytes = dense.size  # FP8 storage
+        assert encoded.total_bytes(8) < dense_bytes / 2
+
+
+class TestValidation:
+    def test_mask_shape_mismatch(self):
+        bad = BitmaskTensor(mask=np.ones((2, 2), dtype=bool),
+                            values=np.ones(4), shape=(4, 4))
+        with pytest.raises(SparsityError):
+            decode(bad)
+
+    def test_value_count_mismatch(self):
+        bad = BitmaskTensor(mask=np.ones((2, 2), dtype=bool),
+                            values=np.ones(3), shape=(2, 2))
+        with pytest.raises(SparsityError):
+            decode(bad)
+
+
+class TestZeroVectorFraction:
+    def test_all_zero(self):
+        assert zero_vector_fraction(np.zeros((4, 8)), 4) == 1.0
+
+    def test_no_zero_vectors(self):
+        assert zero_vector_fraction(np.ones((4, 8)), 4) == 0.0
+
+    def test_partial(self):
+        dense = np.ones((1, 8))
+        dense[0, :4] = 0.0
+        assert zero_vector_fraction(dense, 4) == 0.5
+
+    def test_padding_counts_as_zero(self):
+        # Length 6 with vector 4 → padded to 8; second vector half real.
+        dense = np.array([[1.0, 1.0, 1.0, 1.0, 0.0, 0.0]])
+        assert zero_vector_fraction(dense, 4) == 0.5
+
+    def test_invalid_vector_size(self):
+        with pytest.raises(SparsityError):
+            zero_vector_fraction(np.ones(4), 0)
+
+    @given(st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_fraction_in_unit_range(self, vec):
+        rng = np.random.default_rng(vec)
+        dense = rng.normal(size=(5, 13)) * (rng.random((5, 13)) < 0.5)
+        frac = zero_vector_fraction(dense, vec)
+        assert 0.0 <= frac <= 1.0

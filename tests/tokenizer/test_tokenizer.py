@@ -1,0 +1,119 @@
+"""Tests for the WordPiece-lite tokenizer and vocabulary."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TokenizationError
+from repro.tokenizer import SPECIAL_TOKENS, Tokenizer, Vocab
+
+
+def make_vocab():
+    return Vocab(["hello", "world", "good", "film", "un", "##believ",
+                  "##able", "a"])
+
+
+class TestVocab:
+    def test_specials_occupy_first_ids(self):
+        vocab = make_vocab()
+        for i, token in enumerate(SPECIAL_TOKENS):
+            assert vocab.token_to_id(token) == i
+
+    def test_pad_is_zero(self):
+        assert make_vocab().pad_id == 0
+
+    def test_unknown_maps_to_unk(self):
+        vocab = make_vocab()
+        assert vocab.token_to_id("xyzzy") == vocab.unk_id
+
+    def test_roundtrip(self):
+        vocab = make_vocab()
+        idx = vocab.token_to_id("film")
+        assert vocab.id_to_token(idx) == "film"
+
+    def test_duplicate_tokens_ignored(self):
+        vocab = Vocab(["a", "a", "b"])
+        assert len(vocab) == len(SPECIAL_TOKENS) + 2
+
+    def test_bad_id_raises(self):
+        with pytest.raises(TokenizationError):
+            make_vocab().id_to_token(9999)
+
+    def test_contains(self):
+        vocab = make_vocab()
+        assert "hello" in vocab
+        assert "missing" not in vocab
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        tok = Tokenizer(make_vocab())
+        assert tok.tokenize("Hello WORLD") == ["hello", "world"]
+
+    def test_wordpiece_fallback(self):
+        tok = Tokenizer(make_vocab())
+        assert tok.tokenize("unbelievable") == ["un", "##believ", "##able"]
+
+    def test_unknown_word_is_unk(self):
+        tok = Tokenizer(make_vocab())
+        assert tok.tokenize("zzz") == ["[UNK]"]
+
+    def test_punctuation_separated(self):
+        tok = Tokenizer(make_vocab())
+        pieces = tok.tokenize("hello, world")
+        assert pieces[0] == "hello"
+        assert "world" in pieces
+
+    def test_overlong_word_is_unk(self):
+        tok = Tokenizer(make_vocab(), max_word_chars=5)
+        assert tok.tokenize("aaaaaaaaaa") == ["[UNK]"]
+
+
+class TestEncode:
+    def test_single_sentence_layout(self):
+        tok = Tokenizer(make_vocab())
+        enc = tok.encode("hello world", max_seq_len=8)
+        vocab = tok.vocab
+        assert enc.input_ids[0] == vocab.cls_id
+        assert enc.input_ids[3] == vocab.sep_id
+        assert enc.input_ids[4] == vocab.pad_id
+        np.testing.assert_array_equal(enc.attention_mask[:4], 1)
+        np.testing.assert_array_equal(enc.attention_mask[4:], 0)
+
+    def test_pair_token_types(self):
+        tok = Tokenizer(make_vocab())
+        enc = tok.encode("hello", "world", max_seq_len=8)
+        # [CLS] hello [SEP] world [SEP]
+        np.testing.assert_array_equal(enc.token_type_ids[:3], 0)
+        np.testing.assert_array_equal(enc.token_type_ids[3:5], 1)
+
+    def test_fixed_length_output(self):
+        tok = Tokenizer(make_vocab())
+        enc = tok.encode("hello", max_seq_len=16)
+        assert enc.input_ids.shape == (16,)
+        assert enc.token_type_ids.shape == (16,)
+        assert enc.attention_mask.shape == (16,)
+
+    def test_truncation_longest_first(self):
+        tok = Tokenizer(make_vocab())
+        enc = tok.encode("hello world good film a", "good", max_seq_len=8)
+        assert enc.length == 8  # fully used, no overflow
+        # Second segment survives truncation.
+        sep_positions = np.where(enc.input_ids == tok.vocab.sep_id)[0]
+        assert len(sep_positions) == 2
+
+    def test_too_small_max_len_raises(self):
+        tok = Tokenizer(make_vocab())
+        with pytest.raises(TokenizationError):
+            tok.encode("hello", max_seq_len=2)
+
+    def test_encode_batch_stacks(self):
+        tok = Tokenizer(make_vocab())
+        ids, types, mask = tok.encode_batch(
+            [("hello", None), ("world", "good")], max_seq_len=10)
+        assert ids.shape == (2, 10)
+        assert types.shape == (2, 10)
+        assert mask.shape == (2, 10)
+
+    def test_length_property(self):
+        tok = Tokenizer(make_vocab())
+        assert tok.encode("hello world", max_seq_len=10).length == 4

@@ -1,0 +1,114 @@
+"""Integration tests for the two-phase trainer (tiny scale, fast)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import default_dtype
+from repro.config import ModelConfig, PruningConfig, TrainConfig
+from repro.data import build_vocab, make_task_data
+from repro.model import AlbertModel
+from repro.pruning import measured_embedding_density, measured_encoder_sparsity
+from repro.training import EdgeBertTrainer, evaluate_accuracy, train_teacher
+from repro.training.span_calibration import calibrate_spans
+
+
+@pytest.fixture(scope="module")
+def setup():
+    """A small trained student shared by the tests in this module."""
+    with default_dtype("float32"):
+        vocab = build_vocab()
+        train, eval_split = make_task_data("sst2", train_size=320,
+                                           eval_size=120, seed=0,
+                                           max_seq_len=32)
+        config = ModelConfig(vocab_size=len(vocab), max_seq_len=32,
+                             num_layers=3, num_labels=2, hidden_size=48,
+                             num_heads=6, ffn_size=96, embedding_size=24)
+        student = AlbertModel(config, seed=0)
+        student.shared_encoder.attention.span.z.data[:] = 32 + 16.0
+        tc = TrainConfig(steps_phase1=400, steps_phase2=80, batch_size=8,
+                         learning_rate=5e-4, span_loss_coeff=0.0,
+                         pruning=PruningConfig(embedding_sparsity=0.5,
+                                               encoder_sparsity=0.4))
+        trainer = EdgeBertTrainer(student, tc)
+        h1 = trainer.train_phase1(train)
+        h2 = trainer.train_phase2(train)
+        return {
+            "student": student, "trainer": trainer, "train": train,
+            "eval": eval_split, "h1": h1, "h2": h2, "config": config,
+        }
+
+
+class TestPhase1(object):
+    def test_loss_decreases(self, setup):
+        losses = setup["h1"].losses
+        assert np.mean(losses[-20:]) < np.mean(losses[:20])
+
+    def test_encoder_sparsity_reached(self, setup):
+        assert measured_encoder_sparsity(setup["student"]) == \
+            pytest.approx(0.4, abs=0.03)
+
+    def test_embedding_density_reached(self, setup):
+        assert measured_embedding_density(setup["student"]) == \
+            pytest.approx(0.5, abs=0.03)
+
+    def test_word_embeddings_frozen(self, setup):
+        assert not setup["student"].embeddings.word.weight.requires_grad
+
+    def test_student_learns_task(self, setup):
+        accuracy = evaluate_accuracy(setup["student"], setup["eval"])
+        assert accuracy > 0.68
+
+    def test_history_lengths(self, setup):
+        assert len(setup["h1"].losses) == 400
+        assert len(setup["h2"].losses) == 80
+
+
+class TestPhase2(object):
+    def test_offramps_better_than_chance(self, setup):
+        eval_split = setup["eval"]
+        majority = max(np.bincount(eval_split.labels)) / len(eval_split)
+        accuracy = evaluate_accuracy(setup["student"], eval_split, layer=2)
+        assert accuracy >= majority - 0.05
+
+    def test_backbone_unchanged_by_phase2(self, setup):
+        # Phase 2 freezes everything but the off-ramps; the encoder's
+        # sparsity pattern must be exactly preserved.
+        assert measured_encoder_sparsity(setup["student"]) == \
+            pytest.approx(0.4, abs=0.03)
+
+
+class TestSpanCalibration(object):
+    def test_calibration_turns_heads_off(self, setup):
+        student = setup["student"]
+        calib = setup["train"].subset(np.arange(64))
+        with default_dtype("float32"):
+            result = calibrate_spans(student, calib, loss_budget=0.10)
+        assert result.heads_off >= 1
+        assert result.final_loss <= result.baseline_loss * 1.10 + 1e-6
+
+    def test_spans_in_valid_range(self, setup):
+        spans = setup["student"].attention_spans()
+        assert np.all(spans >= 0)
+        assert np.all(spans <= setup["config"].max_seq_len)
+
+    def test_adaptation_preserves_sparsity(self, setup):
+        with default_dtype("float32"):
+            setup["trainer"].train_adaptation(setup["train"], steps=10)
+        assert measured_encoder_sparsity(setup["student"]) == \
+            pytest.approx(0.4, abs=0.03)
+
+
+class TestTeacher(object):
+    def test_teacher_losses_decrease(self):
+        with default_dtype("float32"):
+            vocab = build_vocab()
+            train, _ = make_task_data("sst2", train_size=96, eval_size=16,
+                                      seed=1, max_seq_len=24)
+            config = ModelConfig(vocab_size=len(vocab), max_seq_len=24,
+                                 num_layers=2, num_labels=2, hidden_size=32,
+                                 num_heads=4, ffn_size=64, embedding_size=16,
+                                 use_adaptive_span=False)
+            model = AlbertModel(config, seed=2)
+            losses = train_teacher(model, train, steps=80, batch_size=8,
+                                   lr=1e-3)
+        assert np.mean(losses[-10:]) < np.mean(losses[:10])

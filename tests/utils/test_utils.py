@@ -1,0 +1,85 @@
+"""Tests for utility modules (rng, tables, serialization)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    derive_seed,
+    format_table,
+    load_arrays,
+    new_rng,
+    save_arrays,
+    spawn_rngs,
+)
+
+
+class TestRng:
+    def test_new_rng_from_int(self):
+        a, b = new_rng(5), new_rng(5)
+        assert a.random() == b.random()
+
+    def test_new_rng_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert new_rng(rng) is rng
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(1, "a", "b") == derive_seed(1, "a", "b")
+
+    def test_derive_seed_label_sensitive(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_derive_seed_base_sensitive(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_spawn_rngs_independent(self):
+        rngs = spawn_rngs(0, 3)
+        values = [r.random() for r in rngs]
+        assert len(set(values)) == 3
+
+
+class TestFormatTable:
+    def test_contains_headers_and_rows(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [3, 4.25]])
+        assert "a" in text and "bb" in text
+        assert "2.50" in text and "4.25" in text
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="Table 9")
+        assert text.startswith("Table 9")
+
+    def test_floatfmt(self):
+        text = format_table(["x"], [[1.23456]], floatfmt=".4f")
+        assert "1.2346" in text
+
+    def test_alignment_width(self):
+        text = format_table(["name"], [["a-very-long-cell"]])
+        header, sep, row = text.splitlines()
+        assert len(header) == len(sep) == len(row)
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        path = os.path.join(tmp_path, "ckpt")
+        arrays = {"w": np.arange(6.0).reshape(2, 3), "b": np.zeros(3)}
+        save_arrays(path, arrays, metadata={"task": "sst2"})
+        loaded, metadata = load_arrays(path)
+        np.testing.assert_array_equal(loaded["w"], arrays["w"])
+        assert metadata["task"] == "sst2"
+
+    def test_no_metadata(self, tmp_path):
+        path = os.path.join(tmp_path, "plain")
+        save_arrays(path, {"x": np.ones(2)})
+        _, metadata = load_arrays(path)
+        assert metadata == {}
+
+    def test_extension_normalization(self, tmp_path):
+        path = os.path.join(tmp_path, "ext")
+        save_arrays(path, {"x": np.ones(1)})
+        loaded, _ = load_arrays(path + ".npz")
+        assert "x" in loaded
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_arrays(os.path.join(tmp_path, "absent"))
