@@ -35,8 +35,7 @@ def main():
     # The stored eNVM image: bitmask in SLC, non-zero FP8 values in MLC2.
     store = EnvmEmbeddingStore(reference, MLC2)
     print(f"\neNVM image: {store.footprint_bytes() / 1024:.1f} KB "
-          f"({store.area_mm2() * 1000:.1f} mikro-mm2... "
-          f"{store.area_mm2():.4f} mm2), "
+          f"({store.area_mm2():.4f} mm2), "
           f"read {store.read_energy_pj() / 1e3:.1f} nJ")
 
     comparison = power_on_embedding_cost(

@@ -14,6 +14,20 @@ Four execution modes reproduce Fig. 9's bars:
 * ``lai`` — Algorithm 2 with sentence-level DVFS;
 * ``lai`` with AAS + sparse — the same plus adaptive-span predication and
   compressed sparse execution in the datapath.
+
+Two pricing paths produce those bars:
+
+* a **vectorized batch kernel** (the default): stateless module-level
+  functions (:func:`price_base_batch`, :func:`price_early_exit_batch`,
+  :func:`price_latency_aware_batch`) that price all N sentences with
+  array operations — the exit search, the DVFS plan
+  (:meth:`repro.dvfs.DvfsController.plan_batch`) and the per-layer
+  energy/latency accumulation all run over the whole batch at once,
+  against per-operating-point layer costs precomputed once per engine
+  (:class:`PricingTables`);
+* the original **scalar reference path** (``vectorized=False`` or the
+  ``run_*`` methods), kept as the oracle the batch kernels are tested
+  against to 1e-9.
 """
 
 from __future__ import annotations
@@ -24,6 +38,8 @@ import numpy as np
 
 from repro.config import HwConfig
 from repro.dvfs import DvfsController
+from repro.earlyexit.algorithms import bounded_exit_layers
+from repro.earlyexit.predictor import true_exit_layers
 from repro.errors import PipelineError
 from repro.hw.accelerator import AcceleratorModel
 from repro.hw.memories import ReramBufferModel
@@ -52,6 +68,20 @@ class EngineReport:
 
     def append(self, result):
         self.results.append(result)
+
+    def extend(self, results):
+        self.results.extend(results)
+
+    def __len__(self):
+        return len(self.results)
+
+    @property
+    def total_energy_mj(self):
+        return float(np.sum([r.energy_mj for r in self.results]))
+
+    @property
+    def total_latency_ms(self):
+        return float(np.sum([r.latency_ms for r in self.results]))
 
     @property
     def average_energy_mj(self):
@@ -84,6 +114,143 @@ class EngineReport:
     def accuracy(self, labels):
         predictions = np.array([r.prediction for r in self.results])
         return float((predictions == np.asarray(labels)).mean())
+
+
+@dataclass(frozen=True)
+class PricingTables:
+    """Precomputed per-operating-point layer costs for the batch kernels.
+
+    Everything the vectorized pricing needs, frozen after one pass over
+    the V/F table: the nominal front-end costs and, for every LDO step,
+    the scaled encoder-layer time/energy (``point_time_ns[i]`` /
+    ``point_energy_pj[i]`` correspond to row ``i`` of the controller's
+    :class:`~repro.dvfs.VoltageFrequencyTable`, which is exactly what
+    :meth:`~repro.dvfs.DvfsController.plan_batch` indexes with
+    ``table_index``).
+    """
+
+    num_layers: int
+    nominal_vdd: float
+    nominal_freq_ghz: float
+    embed_time_ns: float
+    embed_energy_pj: float
+    embedding_read_pj: float
+    layer_time_ns: float
+    layer_energy_pj: float
+    layer_cycles: int
+    point_time_ns: np.ndarray
+    point_energy_pj: np.ndarray
+
+
+# -- stateless batch pricing kernels ----------------------------------------------
+
+
+def price_base_batch(tables, n):
+    """Vectorized ``base`` pricing: N identical full-depth inferences."""
+    num_layers = tables.num_layers
+    energy = (tables.embed_energy_pj + tables.embedding_read_pj
+              + num_layers * tables.layer_energy_pj)
+    time_ns = tables.embed_time_ns + num_layers * tables.layer_time_ns
+    ones = np.ones(n)
+    return {
+        "exit_layer": np.full(n, num_layers, dtype=np.int64),
+        "predicted_layer": np.full(n, num_layers, dtype=np.int64),
+        "latency_ms": ones * (time_ns * 1e-6),
+        "energy_mj": ones * (energy * 1e-9),
+        "vdd": ones * tables.nominal_vdd,
+        "freq_ghz": ones * tables.nominal_freq_ghz,
+        "met_target": np.ones(n, dtype=bool),
+    }
+
+
+def price_early_exit_batch(tables, exit_layers):
+    """Vectorized ``ee`` pricing from per-sentence exit layers."""
+    exits = np.asarray(exit_layers, dtype=np.int64)
+    energy = (tables.embed_energy_pj + tables.embedding_read_pj
+              + exits * tables.layer_energy_pj)
+    time_ns = tables.embed_time_ns + exits * tables.layer_time_ns
+    n = exits.size
+    return {
+        "exit_layer": exits,
+        "predicted_layer": exits.copy(),
+        "latency_ms": time_ns * 1e-6,
+        "energy_mj": energy * 1e-9,
+        "vdd": np.full(n, tables.nominal_vdd),
+        "freq_ghz": np.full(n, tables.nominal_freq_ghz),
+        "met_target": np.ones(n, dtype=bool),
+    }
+
+
+def price_latency_aware_batch(tables, dvfs, entropies, lut,
+                              entropy_threshold, target_ms):
+    """Vectorized Algorithm 2 over all N sentences at once.
+
+    The per-sentence loop of :meth:`LatencyAwareEngine.run_latency_aware`
+    becomes four array passes: (1) the layer-1 immediate-exit test, (2)
+    the LUT prediction + batch DVFS plan, (3) the bounded first-below-
+    threshold exit search, (4) closed-form accumulation of the scaled
+    layers' time/energy via the precomputed per-row costs.
+    """
+    entropies = np.asarray(entropies, dtype=np.float64)
+    num_layers, n = entropies.shape
+    if num_layers != tables.num_layers:
+        raise PipelineError(
+            f"expected {tables.num_layers} entropies, got {num_layers}")
+    target_ns = target_ms * 1e6
+
+    front_time = tables.embed_time_ns + tables.layer_time_ns
+    front_energy = (tables.embed_energy_pj + tables.embedding_read_pj
+                    + tables.layer_energy_pj)
+    exit1 = entropies[0] < entropy_threshold
+
+    predicted = np.clip(np.asarray(lut.predict(entropies[0]),
+                                   dtype=np.int64), 1, num_layers)
+    remaining = (predicted - 1) * tables.layer_cycles
+    plan = dvfs.plan_batch(remaining, target_ns, front_time)
+    transition = dvfs.transition_overhead_ns_batch(
+        tables.nominal_vdd, plan.vdd, tables.nominal_freq_ghz, plan.freq_ghz)
+
+    scaled_time = plan.gather(tables.point_time_ns, tables.layer_time_ns)
+    scaled_energy = plan.gather(tables.point_energy_pj,
+                                tables.layer_energy_pj)
+
+    exit_layer = bounded_exit_layers(entropies, entropy_threshold, predicted)
+    scaled_layers = exit_layer - 1  # layers 2..exit run at the planned point
+    elapsed = front_time + transition + scaled_layers * scaled_time
+    energy = (front_energy + scaled_layers * scaled_energy
+              + dvfs.ldo.overhead_energy_pj(scaled_energy * 0.02, plan.vdd))
+    met = (elapsed <= target_ns + 1e-6) & plan.meets_target
+
+    # Sentences whose layer-1 entropy already cleared the threshold never
+    # consult the predictor or the DVFS controller; they still miss an
+    # infeasible target (the front end ran at nominal V/F regardless).
+    front_met = front_time <= target_ns + 1e-6
+    return {
+        "exit_layer": np.where(exit1, 1, exit_layer),
+        "predicted_layer": np.where(exit1, 1, predicted),
+        "latency_ms": np.where(exit1, front_time, elapsed) * 1e-6,
+        "energy_mj": np.where(exit1, front_energy, energy) * 1e-9,
+        "vdd": np.where(exit1, tables.nominal_vdd, plan.vdd),
+        "freq_ghz": np.where(exit1, tables.nominal_freq_ghz, plan.freq_ghz),
+        "met_target": np.where(exit1, front_met, met),
+    }
+
+
+def results_from_arrays(priced, predictions):
+    """Zip per-sentence pricing arrays into :class:`SentenceResult` rows."""
+    return [
+        SentenceResult(
+            exit_layer=int(priced["exit_layer"][i]),
+            predicted_layer=int(priced["predicted_layer"][i]),
+            prediction=int(predictions[i]),
+            latency_ms=float(priced["latency_ms"][i]),
+            energy_mj=float(priced["energy_mj"][i]),
+            vdd=float(priced["vdd"][i]),
+            freq_ghz=float(priced["freq_ghz"][i]),
+            met_target=bool(priced["met_target"][i]),
+        )
+        for i in range(priced["exit_layer"].size)
+    ]
 
 
 class LatencyAwareEngine:
@@ -120,6 +287,7 @@ class LatencyAwareEngine:
         self._embed_nominal = self.accelerator.layer_metrics(
             self.embed_workload, vdd=nominal_vdd, freq_ghz=nominal_freq,
             sparse_execution=sparse_execution)
+        self._pricing_tables = None
 
     # -- building blocks ---------------------------------------------------------
 
@@ -139,7 +307,39 @@ class LatencyAwareEngine:
     def layer_cycles(self):
         return self._layer_nominal.cycles
 
-    # -- execution modes -----------------------------------------------------------
+    def pricing_tables(self):
+        """Precomputed :class:`PricingTables` for the batch kernels.
+
+        Built lazily on first vectorized call: one
+        :meth:`~repro.hw.accelerator.AcceleratorModel.layer_metrics`
+        evaluation per V/F-table row (≈13 rows) replaces the per-sentence
+        evaluation of the scalar path.
+        """
+        if self._pricing_tables is None:
+            rows = self.dvfs.table.rows()
+            point_time = np.empty(len(rows))
+            point_energy = np.empty(len(rows))
+            for i, (vdd, freq) in enumerate(rows):
+                metrics = self._layer_at(vdd, freq)
+                point_time[i] = metrics.time_ns
+                point_energy[i] = metrics.energy_pj
+            nominal_vdd, nominal_freq = self._nominal
+            self._pricing_tables = PricingTables(
+                num_layers=self.model_config.num_layers,
+                nominal_vdd=nominal_vdd,
+                nominal_freq_ghz=nominal_freq,
+                embed_time_ns=self._embed_nominal.time_ns,
+                embed_energy_pj=self._embed_nominal.energy_pj,
+                embedding_read_pj=self._embedding_read_energy_pj(),
+                layer_time_ns=self._layer_nominal.time_ns,
+                layer_energy_pj=self._layer_nominal.energy_pj,
+                layer_cycles=self._layer_nominal.cycles,
+                point_time_ns=point_time,
+                point_energy_pj=point_energy,
+            )
+        return self._pricing_tables
+
+    # -- execution modes (scalar reference path) ---------------------------------
 
     def run_conventional(self, prediction):
         """Full 12-layer inference at nominal V/F (Fig. 1a)."""
@@ -171,7 +371,7 @@ class LatencyAwareEngine:
 
     def run_latency_aware(self, entropies, lut, entropy_threshold,
                           target_ms, prediction_at):
-        """Algorithm 2 for one sentence.
+        """Algorithm 2 for one sentence (scalar reference).
 
         ``entropies`` is the sentence's per-layer entropy vector (layer 1
         first); ``prediction_at(layer)`` returns the class predicted at a
@@ -192,11 +392,14 @@ class LatencyAwareEngine:
                      + self._embedding_read_energy_pj()
                      + self._layer_nominal.energy_pj)
         if entropies[0] < entropy_threshold:
+            # Even an immediate exit misses an infeasible target: the
+            # front end already ran at nominal V/F before the check.
             return SentenceResult(
                 exit_layer=1, predicted_layer=1,
                 prediction=int(prediction_at(1)),
                 latency_ms=elapsed_ns * 1e-6, energy_mj=energy_pj * 1e-9,
-                vdd=nominal_vdd, freq_ghz=nominal_freq, met_target=True)
+                vdd=nominal_vdd, freq_ghz=nominal_freq,
+                met_target=elapsed_ns <= target_ns + 1e-6)
 
         predicted = int(np.clip(lut.predict(entropies[0]), 1, num_layers))
         remaining_cycles = (predicted - 1) * self._layer_nominal.cycles
@@ -227,37 +430,81 @@ class LatencyAwareEngine:
     # -- dataset-level simulation ----------------------------------------------------
 
     def simulate_dataset(self, mode, layer_logits, entropies, lut=None,
-                         entropy_threshold=None, target_ms=None):
+                         entropy_threshold=None, target_ms=None,
+                         vectorized=True):
         """Price a whole dataset from precomputed per-layer logits.
 
         ``layer_logits`` is (L, N, C); ``entropies`` (L, N) — both from
         :func:`repro.earlyexit.collect_layer_outputs` on the trained
         model, so the algorithmic behaviour is the real model's.
+
+        ``vectorized=True`` (the default) prices all N sentences with the
+        batch kernels; ``vectorized=False`` walks the original
+        per-sentence loop. Both produce the same per-sentence
+        :class:`SentenceResult` rows (equivalence is tested to 1e-9).
         """
         num_layers, n, _ = layer_logits.shape
-        report = EngineReport()
+        if num_layers != self.model_config.num_layers:
+            raise PipelineError(
+                f"expected {self.model_config.num_layers} layers of "
+                f"logits, got {num_layers}")
         predictions = layer_logits.argmax(axis=-1)  # (L, N)
         if mode == "base":
-            for i in range(n):
-                report.append(self.run_conventional(predictions[-1, i]))
-            return report
+            if not vectorized:
+                return self._simulate_scalar_base(n, predictions)
+            priced = price_base_batch(self.pricing_tables(), n)
+            return self._report(priced, predictions)
         if entropy_threshold is None:
             raise PipelineError(f"mode {mode!r} needs an entropy threshold")
-        below = entropies < entropy_threshold
-        first_below = np.argmax(below, axis=0) + 1
-        first_below[~below.any(axis=0)] = num_layers
         if mode == "ee":
-            for i in range(n):
-                exit_layer = int(first_below[i])
-                report.append(self.run_early_exit(
-                    exit_layer, predictions[exit_layer - 1, i]))
-            return report
+            first_below = true_exit_layers(entropies, entropy_threshold,
+                                           num_layers)
+            if not vectorized:
+                return self._simulate_scalar_ee(first_below, predictions)
+            priced = price_early_exit_batch(self.pricing_tables(),
+                                            first_below)
+            return self._report(priced, predictions)
         if mode == "lai":
             if lut is None or target_ms is None:
                 raise PipelineError("lai mode needs a LUT and latency target")
-            for i in range(n):
-                report.append(self.run_latency_aware(
-                    entropies[:, i], lut, entropy_threshold, target_ms,
-                    prediction_at=lambda layer, i=i: predictions[layer - 1, i]))
-            return report
+            if not vectorized:
+                return self._simulate_scalar_lai(
+                    entropies, lut, entropy_threshold, target_ms, predictions)
+            priced = price_latency_aware_batch(
+                self.pricing_tables(), self.dvfs, entropies, lut,
+                entropy_threshold, target_ms)
+            return self._report(priced, predictions)
         raise PipelineError(f"unknown mode {mode!r}")
+
+    def _report(self, priced, predictions):
+        exits = priced["exit_layer"]
+        n = exits.size
+        taken = predictions[exits - 1, np.arange(n)]
+        report = EngineReport()
+        report.extend(results_from_arrays(priced, taken))
+        return report
+
+    # -- scalar reference loops (the oracle the kernels are tested against) ------
+
+    def _simulate_scalar_base(self, n, predictions):
+        report = EngineReport()
+        for i in range(n):
+            report.append(self.run_conventional(predictions[-1, i]))
+        return report
+
+    def _simulate_scalar_ee(self, first_below, predictions):
+        report = EngineReport()
+        for i in range(first_below.size):
+            exit_layer = int(first_below[i])
+            report.append(self.run_early_exit(
+                exit_layer, predictions[exit_layer - 1, i]))
+        return report
+
+    def _simulate_scalar_lai(self, entropies, lut, entropy_threshold,
+                             target_ms, predictions):
+        report = EngineReport()
+        for i in range(entropies.shape[1]):
+            report.append(self.run_latency_aware(
+                entropies[:, i], lut, entropy_threshold, target_ms,
+                prediction_at=lambda layer, i=i: predictions[layer - 1, i]))
+        return report

@@ -1,12 +1,13 @@
 """Sentence-level DVFS: V/F table, LDO, ADPLL, controller."""
 
 from repro.dvfs.adpll import AdpllModel
-from repro.dvfs.controller import DvfsController, OperatingPoint
+from repro.dvfs.controller import BatchPlan, DvfsController, OperatingPoint
 from repro.dvfs.ldo import LdoModel, VoltageTrace
 from repro.dvfs.vf_table import VoltageFrequencyTable, max_frequency_ghz
 
 __all__ = [
     "AdpllModel",
+    "BatchPlan",
     "DvfsController",
     "OperatingPoint",
     "LdoModel",

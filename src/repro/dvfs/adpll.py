@@ -7,6 +7,8 @@ roughly linearly with output frequency.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.config import DvfsConfig
 from repro.errors import DvfsError
 
@@ -29,6 +31,17 @@ class AdpllModel:
             return 0.0
         fraction = abs(f_to_ghz - f_from_ghz) / self.config.freq_max_ghz
         return self.config.adpll_relock_ns * min(fraction, 1.0)
+
+    def relock_time_ns_batch(self, f_from_ghz, f_to_ghz):
+        """Vectorized :meth:`relock_time_ns` over frequency arrays."""
+        f_from = np.asarray(f_from_ghz, dtype=np.float64)
+        f_to = np.asarray(f_to_ghz, dtype=np.float64)
+        if np.any(f_from <= 0) or np.any(f_to <= 0):
+            raise DvfsError("frequencies must be positive")
+        fraction = np.abs(f_to - f_from) / self.config.freq_max_ghz
+        return np.where(f_from == f_to, 0.0,
+                        self.config.adpll_relock_ns
+                        * np.minimum(fraction, 1.0))
 
     def power_mw(self, freq_ghz):
         """ADPLL power draw at ``freq_ghz`` (linear in frequency)."""

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.config import DvfsConfig
 from repro.dvfs.adpll import AdpllModel
 from repro.dvfs.ldo import LdoModel, VoltageTrace
@@ -34,6 +36,45 @@ class OperatingPoint:
     @property
     def is_nominal(self):
         return not self.meets_target or self.requested_freq_ghz <= 0
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """Vectorized DVFS decisions for a batch of sentences.
+
+    Mirrors :class:`OperatingPoint` field-for-field with one addition:
+    ``table_index`` holds the V/F-table row backing each decision, or −1
+    where the controller fell back to the nominal point (no remaining
+    work, blown budget, or infeasible request) — callers can use it to
+    index precomputed per-row layer metrics without matching floats.
+    """
+
+    vdd: np.ndarray
+    freq_ghz: np.ndarray
+    meets_target: np.ndarray
+    requested_freq_ghz: np.ndarray
+    table_index: np.ndarray
+
+    def __len__(self):
+        return self.vdd.size
+
+    def point(self, i):
+        """The ``i``-th decision as a scalar :class:`OperatingPoint`."""
+        return OperatingPoint(float(self.vdd[i]), float(self.freq_ghz[i]),
+                              bool(self.meets_target[i]),
+                              float(self.requested_freq_ghz[i]))
+
+    def gather(self, per_row_values, nominal_value):
+        """Per-decision values from a per-table-row array.
+
+        Decisions backed by a table row take that row's entry; nominal
+        fallbacks (``table_index == -1``) take ``nominal_value``. Keeps
+        the sentinel encoding private to :class:`BatchPlan`.
+        """
+        values = np.asarray(per_row_values)
+        hit = self.table_index >= 0
+        return np.where(hit, values[np.maximum(self.table_index, 0)],
+                        nominal_value)
 
 
 class DvfsController:
@@ -68,10 +109,53 @@ class DvfsController:
                                   freq_request)
         return OperatingPoint(vdd, freq, True, freq_request)
 
+    def plan_batch(self, remaining_cycles, target_ns, elapsed_ns):
+        """Vectorized :meth:`plan` over arrays of sentences.
+
+        ``remaining_cycles`` is an (N,) array; ``target_ns`` and
+        ``elapsed_ns`` broadcast against it (typically scalars: every
+        sentence starts from the same nominal front end). Semantics match
+        the scalar planner decision-for-decision; see :class:`BatchPlan`
+        for the fallback encoding.
+        """
+        remaining, target, elapsed = np.broadcast_arrays(
+            np.asarray(remaining_cycles, dtype=np.float64),
+            np.asarray(target_ns, dtype=np.float64),
+            np.asarray(elapsed_ns, dtype=np.float64))
+        nominal_vdd, nominal_freq = self.table.nominal_point()
+        slack = target - elapsed
+
+        active = remaining > 0
+        blown = active & (slack <= 0)
+        planned = active & (slack > 0)
+
+        request = np.zeros_like(remaining)
+        request[blown] = np.inf
+        with np.errstate(divide="ignore", invalid="ignore"):
+            request[planned] = remaining[planned] / slack[planned]
+
+        idx = np.full(remaining.shape, -1, dtype=np.int64)
+        row = self.table.row_index_for(request[planned])
+        feasible_rows = row < len(self.table)
+        idx[planned] = np.where(feasible_rows, row, -1)
+
+        hit = idx >= 0
+        safe = np.maximum(idx, 0)
+        vdd = np.where(hit, self.table.voltages[safe], nominal_vdd)
+        freq = np.where(hit, self.table.frequencies[safe], nominal_freq)
+        meets = hit | ~active
+        return BatchPlan(vdd=vdd, freq_ghz=freq, meets_target=meets,
+                         requested_freq_ghz=request, table_index=idx)
+
     def transition_overhead_ns(self, v_from, v_to, f_from, f_to):
         """Settling time before compute may resume (LDO ∥ ADPLL)."""
         return max(self.ldo.transition_time_ns(v_from, v_to),
                    self.adpll.relock_time_ns(f_from, f_to))
+
+    def transition_overhead_ns_batch(self, v_from, v_to, f_from, f_to):
+        """Vectorized :meth:`transition_overhead_ns` over V/F arrays."""
+        return np.maximum(self.ldo.transition_time_ns(v_from, v_to),
+                          self.adpll.relock_time_ns_batch(f_from, f_to))
 
     def schedule_trace(self, sentence_plans, target_ns, standby_gap_ns=100.0):
         """Fig. 7-style V(t) trace over consecutive sentence inferences.

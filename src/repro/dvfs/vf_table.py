@@ -69,6 +69,19 @@ class VoltageFrequencyTable:
         idx = int(np.argmax(feasible))
         return float(self.voltages[idx]), float(self.frequencies[idx])
 
+    def row_index_for(self, freq_ghz):
+        """Vectorized row lookup: index of the lowest feasible voltage.
+
+        ``freq_ghz`` is an array of frequency requests; the result holds,
+        per request, the index of the first table row whose f_max meets it
+        (the same row :meth:`lowest_voltage_for` returns), or ``len(self)``
+        where the request exceeds f_max at vdd_max (infeasible).
+        """
+        req = np.asarray(freq_ghz, dtype=np.float64)
+        # frequencies are strictly increasing in vdd, so the first feasible
+        # row is a sorted insertion point.
+        return np.searchsorted(self.frequencies, req - 1e-12, side="left")
+
     def nominal_point(self):
         """(vdd_nominal, freq at nominal) — where every sentence starts."""
         return (self.config.vdd_nominal,

@@ -2,6 +2,7 @@
 
 from repro.earlyexit.algorithms import (
     ExitOutcome,
+    bounded_exit_layers,
     collect_layer_outputs,
     conventional_early_exit,
     conventional_inference,
@@ -30,6 +31,7 @@ from repro.earlyexit.predictor import (
 
 __all__ = [
     "ExitOutcome",
+    "bounded_exit_layers",
     "collect_layer_outputs",
     "conventional_early_exit",
     "conventional_inference",

@@ -90,6 +90,20 @@ def conventional_early_exit(logits, entropies, threshold):
                        predictions=predictions_at(logits, exits))
 
 
+def bounded_exit_layers(entropies, threshold, predicted_layers):
+    """Algorithm 2's exit rule, vectorized over sentences.
+
+    ``min(first-layer-below-threshold, predicted cap)`` per column of
+    ``entropies`` — the cap is where termination is forced, preserving
+    the timing guarantee. Sentences that never cross the threshold
+    before their cap exit exactly at the cap. Callers that treat layer-1
+    exits specially (the engine prices them at nominal V/F) mask them
+    separately; here a layer-1 crossing simply yields 1.
+    """
+    first = true_exit_layers(entropies, threshold)
+    return np.minimum(first, np.asarray(predicted_layers))
+
+
 def latency_aware_inference(logits, entropies, threshold, lut):
     """Algorithm 2 (vectorized): predictor-bounded early exit.
 
@@ -99,10 +113,9 @@ def latency_aware_inference(logits, entropies, threshold, lut):
     entropy never crossed the threshold.
     """
     num_layers = entropies.shape[0]
-    first_below = true_exit_layers(entropies, threshold)
     predicted = lut.predict(entropies[0]).astype(np.int64)
     predicted = np.clip(predicted, 1, num_layers)
-    exits = np.minimum(first_below, predicted)
+    exits = bounded_exit_layers(entropies, threshold, predicted)
     # Layer-1 immediate exits keep exit layer 1 regardless of prediction.
     exits[entropies[0] < threshold] = 1
     return ExitOutcome(

@@ -53,5 +53,9 @@ class PipelineError(ReproError):
     """End-to-end EdgeBERT pipeline failed a consistency check."""
 
 
+class ServingError(ReproError):
+    """The multi-task serving layer was configured or driven inconsistently."""
+
+
 class ArtifactError(ReproError):
     """A trained-model artifact is missing or failed validation."""

@@ -1,0 +1,94 @@
+"""Serving smoke target: ``python -m repro.serving --smoke``.
+
+One command that exercises the whole serving path — synthetic four-task
+traffic through the scheduler and server on the vectorized kernels, with
+a scalar-oracle cross-check — and exits non-zero on any regression.
+Intended as the cheap CI gate for the serving/engine stack.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.config import GLUE_TASKS
+from repro.errors import ReproError, ServingError
+from repro.serving import Server, synthetic_registry, synthetic_traffic
+
+
+def _check(condition, message):
+    # Explicit check (not assert): the smoke gate must still gate under
+    # ``python -O``, which strips assert statements.
+    if not condition:
+        raise ServingError(f"smoke check failed: {message}")
+
+
+def run_smoke(num_requests=200, n_sentences=128, seed=0, verbose=True):
+    """End-to-end pass + vectorized-vs-scalar cross-check.
+
+    Returns the vectorized run's :class:`~repro.serving.ServingReport`;
+    raises on any mismatch or accounting inconsistency.
+    """
+    registry = synthetic_registry(GLUE_TASKS, n=n_sentences, seed=seed)
+    trace = synthetic_traffic(registry, num_requests, seed=seed)
+
+    reports = {}
+    for vectorized in (True, False):
+        server = Server(registry, mode="lai", vectorized=vectorized)
+        server.submit_many(trace)
+        reports[vectorized] = server.run()
+
+    fast, slow = reports[True], reports[False]
+    _check(fast.num_requests == slow.num_requests == num_requests,
+           "request count mismatch")
+    for a, b in zip(fast.results, slow.results):
+        _check(a.request.request_id == b.request.request_id,
+               "result ordering diverged")
+        for name in ("exit_layer", "predicted_layer", "prediction",
+                     "met_target"):
+            _check(getattr(a.result, name) == getattr(b.result, name),
+                   f"{name} mismatch on request {a.request.request_id}")
+        for name in ("latency_ms", "energy_mj", "vdd", "freq_ghz"):
+            delta = abs(getattr(a.result, name) - getattr(b.result, name))
+            _check(delta <= 1e-9,
+                   f"{name} off by {delta} on request "
+                   f"{a.request.request_id}")
+    _check(fast.task_switches <= len(GLUE_TASKS), "excess task switches")
+    _check(fast.total_energy_mj > 0 and fast.simulated_time_ms > 0,
+           "degenerate accounting totals")
+
+    if verbose:
+        summary = fast.summary()
+        summary["scalar_pricing_sentences_per_s"] = \
+            slow.pricing_sentences_per_s
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    return fast
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serving",
+        description="EdgeBERT multi-task serving driver")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the self-checking serving smoke pass")
+    parser.add_argument("--requests", type=int, default=200,
+                        help="trace length for the smoke pass")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("nothing to do; pass --smoke")
+    try:
+        run_smoke(num_requests=args.requests, seed=args.seed,
+                  verbose=not args.quiet)
+    except (AssertionError, ReproError) as exc:
+        print(f"SMOKE FAILED: {exc}", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print("serving smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

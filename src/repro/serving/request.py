@@ -1,0 +1,64 @@
+"""Request and batch types for the multi-task serving layer.
+
+A :class:`Request` asks the server to price one sentence inference for a
+registered task under a latency target (the SLO class). The scheduler
+groups compatible requests into :class:`Batch` objects — same task, same
+latency-target class — which is the unit the vectorized engine kernels
+price in one shot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ServingError
+
+
+@dataclass(frozen=True)
+class Request:
+    """One sentence inference to serve.
+
+    ``sentence`` indexes the task profile's precomputed per-layer
+    logits/entropies (the serving layer prices inference; the heavy
+    forward pass was captured once by
+    :func:`repro.earlyexit.collect_layer_outputs`).
+    """
+
+    request_id: int
+    task: str
+    sentence: int
+    target_ms: float
+    arrival_ms: float = 0.0
+
+    def __post_init__(self):
+        if self.sentence < 0:
+            raise ServingError("sentence index must be non-negative")
+        if self.target_ms <= 0:
+            raise ServingError("target_ms must be positive")
+
+
+@dataclass(frozen=True)
+class Batch:
+    """A schedulable group: one task, one latency-target class."""
+
+    task: str
+    target_ms: float
+    requests: tuple = field(default_factory=tuple)
+
+    def __len__(self):
+        return len(self.requests)
+
+    @property
+    def sentence_indices(self):
+        """Column indices into the task's (L, N) entropy/logit arrays."""
+        return np.array([r.sentence for r in self.requests], dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class RequestResult:
+    """A served request paired with its priced outcome."""
+
+    request: Request
+    result: object  # repro.core.SentenceResult

@@ -1,0 +1,57 @@
+"""Batching scheduler for mixed-task traffic.
+
+Groups the submitted queue by (task, latency-target class), preserving
+FIFO order within a group, then emits batches task-by-task so the number
+of encoder-weight swaps is the minimum possible for the grouping: one
+switch per distinct task run, not one per request.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ServingError
+from repro.serving.request import Batch
+
+
+class Scheduler:
+    """Groups requests into same-task, same-SLO batches."""
+
+    def __init__(self, max_batch_size=256):
+        if max_batch_size < 1:
+            raise ServingError("max_batch_size must be >= 1")
+        self.max_batch_size = int(max_batch_size)
+
+    def build_batches(self, requests):
+        """Order-preserving grouping of ``requests`` into batches.
+
+        Tasks appear in first-arrival order; within a task, latency
+        classes appear in first-arrival order; within a class, requests
+        keep their submission order and are chunked at
+        ``max_batch_size``. Consecutive batches of the same task share
+        the resident encoder weights, so the server pays one task switch
+        per task run.
+        """
+        groups = {}  # task -> {target_ms -> [requests]}, insertion-ordered
+        for request in requests:
+            per_task = groups.setdefault(request.task, {})
+            per_task.setdefault(float(request.target_ms), []).append(request)
+
+        batches = []
+        for task, per_task in groups.items():
+            for target_ms, members in per_task.items():
+                for start in range(0, len(members), self.max_batch_size):
+                    chunk = members[start:start + self.max_batch_size]
+                    batches.append(Batch(task=task, target_ms=target_ms,
+                                         requests=tuple(chunk)))
+        return batches
+
+    @staticmethod
+    def count_task_switches(batches, initial_task=None):
+        """Encoder swaps a batch sequence incurs (first load included
+        unless ``initial_task`` already matches)."""
+        switches = 0
+        resident = initial_task
+        for batch in batches:
+            if batch.task != resident:
+                switches += 1
+                resident = batch.task
+        return switches

@@ -1,0 +1,249 @@
+"""The serving facade: submit requests, run the priced simulation.
+
+``Server`` drains its queue through the :class:`Scheduler`, prices each
+batch with the engine's vectorized kernels (one
+:meth:`~repro.core.LatencyAwareEngine.simulate_dataset` call per batch),
+charges an encoder-weight swap whenever the resident task changes, and
+returns a :class:`ServingReport` with per-request results plus aggregate
+throughput / energy / SLO-violation statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.errors import ServingError
+from repro.serving.request import Request, RequestResult
+from repro.serving.scheduler import Scheduler
+
+#: Execution modes the server can price (see the engine's module docs).
+SERVING_MODES = ("base", "ee", "lai")
+
+
+@dataclass
+class ServingReport:
+    """Outcome of one ``Server.run``: per-request results + aggregates."""
+
+    mode: str
+    results: list = field(default_factory=list)  # RequestResult rows
+    num_batches: int = 0
+    task_switches: int = 0
+    switch_latency_ms: float = 0.0
+    switch_energy_mj: float = 0.0
+    compute_latency_ms: float = 0.0
+    compute_energy_mj: float = 0.0
+    wall_seconds: float = 0.0
+
+    @property
+    def num_requests(self):
+        return len(self.results)
+
+    @property
+    def slo_violations(self):
+        return sum(not r.result.met_target for r in self.results)
+
+    @property
+    def total_energy_mj(self):
+        return self.compute_energy_mj + self.switch_energy_mj
+
+    @property
+    def simulated_time_ms(self):
+        """Accelerator-occupancy time: sequential sentences + swaps."""
+        return self.compute_latency_ms + self.switch_latency_ms
+
+    @property
+    def simulated_sentences_per_s(self):
+        """Modeled hardware throughput over the simulated timeline."""
+        if self.simulated_time_ms <= 0:
+            return 0.0
+        return self.num_requests / (self.simulated_time_ms * 1e-3)
+
+    @property
+    def pricing_sentences_per_s(self):
+        """Host-side pricing throughput (what the batch kernels speed up)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.num_requests / self.wall_seconds
+
+    def result_for(self, request_id):
+        for row in self.results:
+            if row.request.request_id == request_id:
+                return row.result
+        raise ServingError(f"no result for request id {request_id}")
+
+    def per_task(self):
+        """Per-task aggregates: count, mean energy/latency, violations."""
+        out = {}
+        for row in self.results:
+            stats = out.setdefault(row.request.task, {
+                "requests": 0, "energy_mj": 0.0, "latency_ms": 0.0,
+                "slo_violations": 0, "exit_layers": 0.0})
+            stats["requests"] += 1
+            stats["energy_mj"] += row.result.energy_mj
+            stats["latency_ms"] += row.result.latency_ms
+            stats["exit_layers"] += row.result.exit_layer
+            stats["slo_violations"] += int(not row.result.met_target)
+        for stats in out.values():
+            n = stats["requests"]
+            stats["avg_energy_mj"] = stats.pop("energy_mj") / n
+            stats["avg_latency_ms"] = stats.pop("latency_ms") / n
+            stats["avg_exit_layer"] = stats.pop("exit_layers") / n
+        return out
+
+    def summary(self):
+        """JSON-friendly aggregate view."""
+        return {
+            "mode": self.mode,
+            "requests": self.num_requests,
+            "batches": self.num_batches,
+            "task_switches": self.task_switches,
+            "slo_violations": self.slo_violations,
+            "total_energy_mj": self.total_energy_mj,
+            "switch_energy_mj": self.switch_energy_mj,
+            "simulated_time_ms": self.simulated_time_ms,
+            "simulated_sentences_per_s": self.simulated_sentences_per_s,
+            "pricing_sentences_per_s": self.pricing_sentences_per_s,
+            "per_task": self.per_task(),
+        }
+
+
+class Server:
+    """Multi-task serving facade over a :class:`TaskRegistry`."""
+
+    def __init__(self, registry, scheduler=None, mode="lai",
+                 vectorized=True):
+        if mode not in SERVING_MODES:
+            raise ServingError(
+                f"unknown mode {mode!r}; expected one of {SERVING_MODES}")
+        self.registry = registry
+        self.scheduler = scheduler or Scheduler()
+        self.mode = mode
+        self.vectorized = vectorized
+        self._queue = []
+        self._queued_ids = set()
+        self._next_id = 0
+
+    @property
+    def pending(self):
+        return len(self._queue)
+
+    def submit(self, request=None, *, task=None, sentence=None,
+               target_ms=50.0, arrival_ms=0.0):
+        """Queue a request (or build one from keyword fields).
+
+        Returns the queued :class:`Request`; ids are assigned
+        monotonically when built here.
+        """
+        if request is None:
+            if task is None or sentence is None:
+                raise ServingError("submit needs a Request or task+sentence")
+            request = Request(request_id=self._next_id, task=task,
+                              sentence=int(sentence), target_ms=target_ms,
+                              arrival_ms=arrival_ms)
+        # Ids must be unique within a run (result_for looks them up) —
+        # reject external duplicates and keep auto-assigned ids ahead of
+        # externally supplied ones.
+        if request.request_id in self._queued_ids:
+            raise ServingError(
+                f"request id {request.request_id} already queued")
+        self._next_id = max(self._next_id, request.request_id + 1)
+        profile = self.registry.profile(request.task)
+        if request.sentence >= profile.num_sentences:
+            raise ServingError(
+                f"sentence {request.sentence} out of range for task "
+                f"{request.task!r} ({profile.num_sentences} sentences)")
+        # Fail at submission, not mid-run: lai needs a LUT, and both
+        # exit modes need a calibrated entropy threshold.
+        if self.mode == "lai" and profile.lut is None:
+            raise ServingError(
+                f"task {request.task!r} has no exit-predictor LUT; "
+                "required for lai mode")
+        if self.mode in ("ee", "lai") and profile.entropy_threshold is None:
+            raise ServingError(
+                f"task {request.task!r} has no entropy threshold; "
+                f"required for {self.mode} mode")
+        self._queue.append(request)
+        self._queued_ids.add(request.request_id)
+        return request
+
+    def submit_many(self, requests):
+        """Queue a sequence of requests atomically.
+
+        If any request is invalid, none of the sequence stays queued, so
+        the caller can correct and resubmit the whole list.
+        """
+        checkpoint = len(self._queue)
+        try:
+            for request in requests:
+                self.submit(request)
+        except Exception:
+            for queued in self._queue[checkpoint:]:
+                self._queued_ids.discard(queued.request_id)
+            del self._queue[checkpoint:]
+            raise
+        return self.pending
+
+    def run(self):
+        """Drain the queue and price it; returns a :class:`ServingReport`.
+
+        The first batch pays a task switch too (cold encoder buffers);
+        after that, switches occur only when the scheduler changes task.
+        """
+        if not self._queue:
+            raise ServingError("no pending requests; submit() first")
+        started = time.perf_counter()
+        # The queue is drained only after pricing succeeds, so a mid-run
+        # failure leaves every request queued and resubmittable.
+        batches = self.scheduler.build_batches(self._queue)
+        report = ServingReport(mode=self.mode, num_batches=len(batches))
+
+        resident = None
+        for batch in batches:
+            profile = self.registry.profile(batch.task)
+            if batch.task != resident:
+                cost = self.registry.switch_cost(resident, batch.task)
+                report.task_switches += 1
+                report.switch_latency_ms += cost.latency_ms
+                report.switch_energy_mj += cost.energy_mj
+                resident = batch.task
+            engine_report = self._price_batch(profile, batch)
+            for request, result in zip(batch.requests,
+                                       engine_report.results):
+                report.results.append(RequestResult(request, result))
+            report.compute_latency_ms += engine_report.total_latency_ms
+            report.compute_energy_mj += engine_report.total_energy_mj
+
+        self._queue = []
+        self._queued_ids = set()
+        report.wall_seconds = time.perf_counter() - started
+        return report
+
+    def _price_batch(self, profile, batch):
+        idx = batch.sentence_indices
+        logits = profile.logits[:, idx]
+        entropies = profile.entropies[:, idx]
+        if self.mode == "lai":
+            return profile.engine.simulate_dataset(
+                "lai", logits, entropies, lut=profile.lut,
+                entropy_threshold=profile.entropy_threshold,
+                target_ms=batch.target_ms, vectorized=self.vectorized)
+        if self.mode == "base":
+            report = profile.engine.simulate_dataset(
+                "base", logits, entropies, vectorized=self.vectorized)
+        else:
+            report = profile.engine.simulate_dataset(
+                "ee", logits, entropies,
+                entropy_threshold=profile.entropy_threshold,
+                vectorized=self.vectorized)
+        # The base/ee engine modes have no latency-target concept (they
+        # always report met_target=True); the serving SLO is judged here
+        # against the batch's target so violations stay visible.
+        report.results = [
+            r if r.latency_ms <= batch.target_ms + 1e-9
+            else replace(r, met_target=False)
+            for r in report.results
+        ]
+        return report

@@ -66,8 +66,13 @@ class TestQuantize:
         q = float(FP8.quantize(np.array([value]))[0])
         if abs(value) < FP8.min_subnormal():
             return
-        # Relative error of a m-bit mantissa is at most 2^-(m+1).
-        assert abs(q - value) <= abs(value) * 2.0**-4 + 1e-12
+        # Normal range: relative error of an m-bit mantissa is at most
+        # 2^-(m+1). Below min_normal the grid spacing is the *fixed*
+        # subnormal step (there is no hidden bit to keep the error
+        # relative), so the bound there is half that absolute step.
+        relative_bound = abs(value) * 2.0**-4
+        subnormal_bound = 0.5 * FP8.min_subnormal()
+        assert abs(q - value) <= max(relative_bound, subnormal_bound) + 1e-12
 
 
 class TestAdaptiveBias:

@@ -1,0 +1,109 @@
+"""Scheduler and registry unit tests: batching, switches, SLO classes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.serving import (
+    Request,
+    Scheduler,
+    TaskRegistry,
+    synthetic_embedding_table,
+    synthetic_registry,
+)
+
+
+def req(i, task, sentence=0, target_ms=50.0, arrival_ms=None):
+    return Request(request_id=i, task=task, sentence=sentence,
+                   target_ms=target_ms,
+                   arrival_ms=float(i) if arrival_ms is None else arrival_ms)
+
+
+class TestBatching:
+    def test_groups_by_task(self):
+        trace = [req(0, "sst2"), req(1, "mnli"), req(2, "sst2"),
+                 req(3, "mnli"), req(4, "sst2")]
+        batches = Scheduler().build_batches(trace)
+        assert [(b.task, len(b)) for b in batches] == \
+            [("sst2", 3), ("mnli", 2)]
+
+    def test_groups_by_latency_class_within_task(self):
+        trace = [req(0, "sst2", target_ms=50.0),
+                 req(1, "sst2", target_ms=100.0),
+                 req(2, "sst2", target_ms=50.0)]
+        batches = Scheduler().build_batches(trace)
+        assert [(b.task, b.target_ms, len(b)) for b in batches] == \
+            [("sst2", 50.0, 2), ("sst2", 100.0, 1)]
+
+    def test_fifo_within_group(self):
+        trace = [req(i, "qqp") for i in range(5)]
+        (batch,) = Scheduler().build_batches(trace)
+        assert [r.request_id for r in batch.requests] == [0, 1, 2, 3, 4]
+
+    def test_max_batch_size_chunks(self):
+        trace = [req(i, "qnli") for i in range(10)]
+        batches = Scheduler(max_batch_size=4).build_batches(trace)
+        assert [len(b) for b in batches] == [4, 4, 2]
+
+    def test_interleaved_trace_minimizes_switches(self):
+        # Fully interleaved arrivals would pay a switch per request; the
+        # scheduler reduces it to one per distinct task.
+        tasks = ("mnli", "qqp", "sst2")
+        trace = [req(i, tasks[i % 3]) for i in range(30)]
+        batches = Scheduler().build_batches(trace)
+        naive = Scheduler.count_task_switches(trace)
+        assert naive == 30
+        assert Scheduler.count_task_switches(batches) == 3
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ServingError):
+            Scheduler(max_batch_size=0)
+
+
+class TestTaskSwitchAccounting:
+    @pytest.fixture(scope="class")
+    def registry(self):
+        return synthetic_registry(("sst2", "mnli"), n=16, seed=0)
+
+    def test_same_task_is_free(self, registry):
+        cost = registry.switch_cost("sst2", "sst2")
+        assert cost.latency_ns == 0.0
+        assert cost.energy_pj == 0.0
+
+    def test_cross_task_prices_encoder_swap(self, registry):
+        cost = registry.switch_cost("sst2", "mnli")
+        assert cost.latency_ns > 0
+        # The swap streams roughly the encoder byte count from DRAM.
+        nbytes = registry.profile("mnli").weight_bytes
+        assert cost.energy_pj > nbytes  # > 1 pJ/byte just from DRAM
+
+    def test_conventional_switch_pays_embedding_reload(self, registry):
+        edgebert = registry.switch_cost("sst2", "mnli")
+        conventional = registry.conventional_switch_cost("sst2", "mnli")
+        assert conventional.energy_pj > edgebert.energy_pj
+        assert conventional.latency_ns > edgebert.latency_ns
+        assert registry.embedding_image_bytes > 0
+
+    def test_unknown_task_raises(self, registry):
+        with pytest.raises(ServingError):
+            registry.switch_cost("sst2", "warp")
+
+    def test_duplicate_registration_raises(self, registry):
+        with pytest.raises(ServingError):
+            registry.register(registry.profile("sst2"))
+
+    def test_shared_mask_enforced(self):
+        table = synthetic_embedding_table(seed=0)
+        registry = TaskRegistry(embedding_table=table)
+        profile = synthetic_registry(("qqp",), n=8).profile("qqp")
+        other = synthetic_embedding_table(seed=99)
+        with pytest.raises(ServingError):
+            registry.register(profile, embedding_table=other)
+
+    def test_matching_mask_accepted(self):
+        table = synthetic_embedding_table(seed=0)
+        registry = TaskRegistry(embedding_table=table)
+        profile = synthetic_registry(("qqp",), n=8).profile("qqp")
+        # Scaling preserves the sparsity mask — still "shared".
+        registry.register(profile, embedding_table=table * 2.0)
+        assert "qqp" in registry
