@@ -1,0 +1,62 @@
+"""Discrete-event multi-accelerator serving simulation.
+
+Where :mod:`repro.serving` drains a static queue on one accelerator,
+this subsystem models the traffic dynamics of a pool (the ROADMAP's
+multi-accelerator sharding + async-ingestion items in one layer):
+
+* :class:`EventLoop` — a deterministic heap of typed events
+  (:class:`Arrival`, :class:`BatchTimeout`, :class:`BatchDone`);
+* :class:`BatchFormer` / :class:`PendingBatch` — per-(task, SLO class,
+  mode) dynamic batching with size and timeout triggers;
+* :class:`AcceleratorSim` — one priced accelerator with a resident task
+  (encoder swaps charged per device) and a busy-until horizon;
+* :class:`FifoPolicy` / :class:`FewestSwapsPolicy` / :class:`EdfPolicy`
+  — pluggable dispatchers, EDF preempting long ``base`` batches with
+  tight-SLO ``lai`` traffic;
+* :class:`ClusterSimulator` — ``run(trace)`` →
+  :class:`ClusterReport`, which composes the serving layer's
+  :class:`~repro.serving.ServingReport` aggregates with queueing delay,
+  time-in-system, per-accelerator utilization, and an SLO-violation
+  breakdown (compute vs. queueing misses).
+
+``python -m repro.cluster --smoke`` runs the self-checking gate.
+"""
+
+from repro.cluster.accelerator import (
+    AcceleratorSim,
+    AcceleratorStats,
+    ActiveRun,
+)
+from repro.cluster.batcher import BatchFormer, PendingBatch
+from repro.cluster.events import Arrival, BatchDone, BatchTimeout, EventLoop
+from repro.cluster.policies import (
+    POLICIES,
+    EdfPolicy,
+    FewestSwapsPolicy,
+    FifoPolicy,
+    SchedulingPolicy,
+    make_policy,
+)
+from repro.cluster.report import ClusterRecord, ClusterReport
+from repro.cluster.simulator import ClusterSimulator
+
+__all__ = [
+    "AcceleratorSim",
+    "AcceleratorStats",
+    "ActiveRun",
+    "Arrival",
+    "BatchDone",
+    "BatchFormer",
+    "BatchTimeout",
+    "ClusterRecord",
+    "ClusterReport",
+    "ClusterSimulator",
+    "EdfPolicy",
+    "EventLoop",
+    "FewestSwapsPolicy",
+    "FifoPolicy",
+    "POLICIES",
+    "PendingBatch",
+    "SchedulingPolicy",
+    "make_policy",
+]

@@ -1,0 +1,149 @@
+"""Cluster smoke target: ``python -m repro.cluster --smoke``.
+
+One command that exercises the whole discrete-event path — arrival-aware
+batching, all three scheduling policies, multi-accelerator placement,
+EDF preemption — with self-checks on conservation, queueing accounting,
+determinism, and the scaling claim (a 4-accelerator affinity cluster
+beats the single-accelerator FIFO baseline on both throughput and
+end-to-end SLO violations). Exits non-zero on any regression; the cheap
+CI gate for the cluster stack, mirroring ``python -m repro.serving``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.cluster import ClusterSimulator
+from repro.config import GLUE_TASKS
+from repro.errors import ClusterError, ReproError
+from repro.serving import Request, synthetic_registry, synthetic_traffic
+
+
+def _check(condition, message):
+    # Explicit check (not assert): the smoke gate must still gate under
+    # ``python -O``, which strips assert statements.
+    if not condition:
+        raise ClusterError(f"smoke check failed: {message}")
+
+
+def _run(registry, trace, **kwargs):
+    return ClusterSimulator(registry, **kwargs).run(trace)
+
+
+def _check_accounting(report, trace):
+    _check(report.num_requests == len(trace), "request count mismatch")
+    served = sorted(rec.request.request_id for rec in report.records)
+    _check(served == sorted(r.request_id for r in trace),
+           "served ids diverge from the trace")
+    for rec in report.records:
+        _check(rec.queueing_delay_ms >= -1e-9,
+               f"negative queueing delay on {rec.request.request_id}")
+        _check(rec.time_in_system_ms >= rec.result.latency_ms - 1e-9,
+               "time in system below compute latency")
+    breakdown = report.violation_breakdown()
+    _check(sum(breakdown.values()) == report.num_requests,
+           "violation breakdown does not partition the trace")
+    _check(breakdown["compute"] + breakdown["queueing"]
+           == report.deadline_violations, "violation totals disagree")
+    util = report.per_accelerator()
+    _check(all(0.0 <= u["utilization"] <= 1.0 + 1e-9
+               for u in util.values()), "utilization out of range")
+
+
+def _preemption_trace(registry):
+    """A crafted trace that must preempt under EDF on one accelerator.
+
+    A large relaxed-deadline ``base`` batch arrives first and occupies
+    the accelerator; tight-deadline ``lai`` singles arrive mid-run.
+    """
+    trace = [Request(request_id=i, task="sst2", sentence=i,
+                     target_ms=1000.0, arrival_ms=0.0, mode="base")
+             for i in range(32)]
+    trace += [Request(request_id=100 + i, task="sst2", sentence=i,
+                      target_ms=8.0, arrival_ms=10.0 + i, mode="lai")
+              for i in range(4)]
+    return trace
+
+
+def run_smoke(num_requests=400, n_sentences=64, seed=0, verbose=True):
+    """End-to-end cluster pass with self-checks; returns the summaries."""
+    registry = synthetic_registry(GLUE_TASKS, n=n_sentences, seed=seed)
+    trace = synthetic_traffic(registry, num_requests, seed=seed,
+                              mean_interarrival_ms=1.0)
+
+    summaries = {}
+    for policy, pool in (("fifo", 1), ("fifo", 4), ("affinity", 4)):
+        report = _run(registry, trace, num_accelerators=pool,
+                      policy=policy)
+        _check_accounting(report, trace)
+        summaries[f"{policy}x{pool}"] = report.summary()
+
+    # EDF runs on mixed-criticality traffic (per-request mode overrides
+    # drawn by the trace generator) — the workload it exists to reorder.
+    mixed = synthetic_traffic(registry, num_requests, seed=seed + 1,
+                              mean_interarrival_ms=1.0,
+                              modes=("base", "lai"))
+    _check(any(r.mode == "base" for r in mixed)
+           and any(r.mode == "lai" for r in mixed),
+           "mode mix missing from the generated trace")
+    edf_mixed = _run(registry, mixed, num_accelerators=2, policy="edf")
+    _check_accounting(edf_mixed, mixed)
+    summaries["edfx2"] = edf_mixed.summary()
+
+    # Determinism: the same trace, pool and policy replay identically.
+    again = _run(registry, trace, num_accelerators=4, policy="affinity")
+    _check(json.dumps(again.summary(), sort_keys=True)
+           == json.dumps(summaries["affinityx4"], sort_keys=True),
+           "simulation is not deterministic")
+
+    # The scaling claim: 4 accelerators with affinity routing beat the
+    # single-accelerator FIFO baseline on throughput AND SLO violations.
+    base, scaled = summaries["fifox1"], summaries["affinityx4"]
+    _check(scaled["throughput_rps"] > base["throughput_rps"],
+           "4-accelerator affinity throughput does not beat 1x FIFO")
+    _check(scaled["deadline_violations"] < base["deadline_violations"],
+           "4-accelerator affinity violations not below 1x FIFO")
+    # Affinity routing exists to save swaps relative to FIFO at equal pool.
+    _check(summaries["affinityx4"]["task_switches"]
+           <= summaries["fifox4"]["task_switches"],
+           "affinity routing pays more swaps than FIFO")
+
+    # EDF must actually preempt on the crafted mixed-criticality trace.
+    edf = _run(registry, _preemption_trace(registry), num_accelerators=1,
+               policy="edf", max_batch_size=32, batch_timeout_ms=2.0)
+    _check(edf.preemptions > 0, "EDF never preempted the base batch")
+    summaries["edf_preemption"] = edf.summary()
+
+    if verbose:
+        print(json.dumps(summaries, indent=2, sort_keys=True))
+    return summaries
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster",
+        description="EdgeBERT multi-accelerator cluster simulator driver")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the self-checking cluster smoke pass")
+    parser.add_argument("--requests", type=int, default=400,
+                        help="trace length for the smoke pass")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("nothing to do; pass --smoke")
+    try:
+        run_smoke(num_requests=args.requests, seed=args.seed,
+                  verbose=not args.quiet)
+    except (AssertionError, ReproError) as exc:
+        print(f"SMOKE FAILED: {exc}", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print("cluster smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,158 @@
+"""One simulated accelerator: resident task, busy horizon, active run.
+
+Each :class:`AcceleratorSim` wraps the pricing side of one
+:class:`~repro.core.LatencyAwareEngine`-backed device: a batch placed on
+it first pays the encoder-weight swap (when the resident task changes),
+then executes its sentences sequentially — the per-sentence latencies
+come from the vectorized batch kernels, so the simulator knows every
+sentence's absolute finish time up front. That schedule is what makes
+preemption well-defined: preempting at time *t* keeps the sentences that
+finished by *t*, wastes the partial one, and requeues the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ClusterError
+
+
+@dataclass
+class ActiveRun:
+    """A batch executing on an accelerator, with its finish schedule."""
+
+    pending: object  # PendingBatch
+    results: list  # SentenceResult per request, batch order
+    start_ms: float  # dispatch time (swap starts here)
+    swap_ms: float
+    swap_energy_mj: float
+    finish_ms: np.ndarray  # absolute per-request completion times
+    run_id: int
+    accel_id: int
+
+    @property
+    def end_ms(self):
+        return float(self.finish_ms[-1])
+
+    def completed_by(self, now_ms):
+        """Index count of sentences fully finished at ``now_ms``."""
+        return int(np.searchsorted(self.finish_ms, now_ms + 1e-9,
+                                   side="right"))
+
+    def in_swap_at(self, now_ms):
+        """True while the encoder-weight load is still streaming."""
+        return self.swap_ms > 0 and \
+            now_ms < self.start_ms + self.swap_ms - 1e-9
+
+
+@dataclass
+class AcceleratorStats:
+    """Per-accelerator accounting the :class:`ClusterReport` exposes."""
+
+    accel_id: int
+    busy_ms: float = 0.0
+    batches: int = 0
+    requests: int = 0
+    swaps: int = 0
+    swap_latency_ms: float = 0.0
+    swap_energy_mj: float = 0.0
+    preemptions_suffered: int = 0
+
+    def utilization(self, makespan_ms):
+        if makespan_ms <= 0:
+            return 0.0
+        return self.busy_ms / makespan_ms
+
+
+class AcceleratorSim:
+    """Busy-until bookkeeping for one accelerator in the pool."""
+
+    def __init__(self, accel_id):
+        self.accel_id = int(accel_id)
+        self.resident_task = None
+        self.run = None
+        self._next_run_id = 0
+        self.stats = AcceleratorStats(accel_id=self.accel_id)
+
+    @property
+    def idle(self):
+        return self.run is None
+
+    @property
+    def busy_until_ms(self):
+        return 0.0 if self.run is None else self.run.end_ms
+
+    def begin(self, pending, results, latencies_ms, now_ms, swap_cost):
+        """Start executing ``pending`` at ``now_ms``; returns the run.
+
+        ``swap_cost`` is the registry's :class:`~repro.serving.SwitchCost`
+        for moving the resident task to the batch's (zero-cost when they
+        already match). The per-sentence ``latencies_ms`` turn into an
+        absolute finish schedule: swap first, then sentences back-to-back.
+        """
+        if self.run is not None:
+            raise ClusterError(
+                f"accelerator {self.accel_id} is busy until "
+                f"{self.busy_until_ms} ms")
+        swap_ms = swap_energy = 0.0
+        if pending.task != self.resident_task:
+            swap_ms = swap_cost.latency_ms
+            swap_energy = swap_cost.energy_mj
+            self.stats.swaps += 1
+            self.stats.swap_latency_ms += swap_ms
+            self.stats.swap_energy_mj += swap_energy
+            self.resident_task = pending.task
+        finish = now_ms + swap_ms + np.cumsum(
+            np.asarray(latencies_ms, dtype=np.float64))
+        self.run = ActiveRun(pending=pending, results=list(results),
+                             start_ms=float(now_ms), swap_ms=swap_ms,
+                             swap_energy_mj=swap_energy, finish_ms=finish,
+                             run_id=self._next_run_id,
+                             accel_id=self.accel_id)
+        self._next_run_id += 1
+        return self.run
+
+    def complete(self, now_ms):
+        """Finish the active run; returns it with the accelerator idle."""
+        run = self._take_run(now_ms)
+        self.stats.requests += len(run.results)
+        return run
+
+    def preempt(self, now_ms):
+        """Abort the active run at ``now_ms``.
+
+        Returns ``(run, n_completed)``: the first ``n_completed`` results
+        finished and stand; the rest (including the partially executed
+        sentence, whose work is wasted) must be requeued by the caller.
+
+        An abort inside the swap window keeps the swap *attempt* counted
+        but refunds the never-elapsed remainder of the up-front
+        latency/energy charge, and drops the residency — the partial
+        load leaves the weight buffers inconsistent, so the next batch
+        (whatever its task) pays a full swap.
+        """
+        run = self.run
+        if run is not None and run.completed_by(now_ms) == 0 \
+                and run.in_swap_at(now_ms):
+            elapsed = max(0.0, now_ms - run.start_ms)
+            self.stats.swap_latency_ms -= run.swap_ms - elapsed
+            self.stats.swap_energy_mj -= run.swap_energy_mj * (
+                1.0 - elapsed / run.swap_ms)
+            self.resident_task = None
+        run = self._take_run(now_ms, end_ms=now_ms)
+        n_done = run.completed_by(now_ms)
+        self.stats.requests += n_done
+        self.stats.preemptions_suffered += 1
+        return run, n_done
+
+    def _take_run(self, now_ms, end_ms=None):
+        if self.run is None:
+            raise ClusterError(f"accelerator {self.accel_id} is idle")
+        run = self.run
+        self.run = None
+        self.stats.busy_ms += (run.end_ms if end_ms is None
+                               else end_ms) - run.start_ms
+        self.stats.batches += 1
+        return run

@@ -1,0 +1,113 @@
+"""Arrival-aware dynamic batch formation.
+
+One :class:`BatchFormer` per (task, latency-target class, mode): the
+first arrival opens the window and arms a timeout; the window closes —
+becoming a dispatchable :class:`PendingBatch` — when either the size
+trigger (``max_batch_size`` requests) or the timeout trigger
+(``timeout_ms`` after opening) fires first. This is the classic dynamic
+batching trade: larger batches amortize encoder swaps and pricing, but
+every extra ms the window stays open is queueing delay charged to the
+first request in it.
+
+Timeout events carry the former's ``generation``; a window that closed
+early by size (or drained) bumps the generation, so the stale timer is
+ignored when it fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ClusterError
+from repro.serving.request import Batch
+
+
+@dataclass(frozen=True)
+class PendingBatch:
+    """A closed batch waiting for an accelerator.
+
+    ``deadline_ms`` is the earliest member's absolute deadline (arrival +
+    target) — the quantity EDF orders on; ``seq`` is the close-order
+    tie-breaker that keeps every policy deterministic.
+    """
+
+    batch: Batch
+    mode: str
+    ready_ms: float
+    deadline_ms: float
+    seq: int
+
+    def __len__(self):
+        return len(self.batch)
+
+    @property
+    def task(self):
+        return self.batch.task
+
+
+class BatchFormer:
+    """Collects same-(task, SLO class, mode) requests into batches."""
+
+    def __init__(self, key, max_batch_size=32, timeout_ms=5.0):
+        if max_batch_size < 1:
+            raise ClusterError("max_batch_size must be >= 1")
+        if timeout_ms < 0:
+            raise ClusterError("timeout_ms must be non-negative")
+        self.key = key
+        self.task, self.target_ms, self.mode = key
+        self.max_batch_size = int(max_batch_size)
+        self.timeout_ms = float(timeout_ms)
+        self.generation = 0
+        self.opened_ms = None
+        self._pending = []
+
+    def __len__(self):
+        return len(self._pending)
+
+    @property
+    def is_open(self):
+        return bool(self._pending)
+
+    def add(self, request, now_ms):
+        """Admit one request; returns the closed request tuple on the
+        size trigger, else None.
+
+        Opening a window bumps ``generation`` — the caller schedules a
+        :class:`~repro.cluster.events.BatchTimeout` carrying it.
+        """
+        if not self._pending:
+            self.generation += 1
+            self.opened_ms = float(now_ms)
+        self._pending.append(request)
+        if len(self._pending) >= self.max_batch_size:
+            return self._close()
+        return None
+
+    def on_timeout(self, generation, now_ms):
+        """Timeout trigger: close the window iff the timer isn't stale."""
+        if generation != self.generation or not self._pending:
+            return None
+        return self._close()
+
+    def timeout_deadline_ms(self):
+        """When the armed timeout for the current window fires."""
+        if self.opened_ms is None:
+            raise ClusterError("former has never opened")
+        return self.opened_ms + self.timeout_ms
+
+    def _close(self):
+        members = tuple(self._pending)
+        self._pending = []
+        self.opened_ms = None
+        # Invalidate the armed timer for the window that just closed.
+        self.generation += 1
+        return members
+
+    def make_pending(self, members, now_ms, seq):
+        """Wrap closed ``members`` as a dispatchable :class:`PendingBatch`."""
+        batch = Batch(task=self.task, target_ms=self.target_ms,
+                      requests=members)
+        deadline = min(r.deadline_ms for r in members)
+        return PendingBatch(batch=batch, mode=self.mode,
+                            ready_ms=float(now_ms), deadline_ms=deadline,
+                            seq=seq)

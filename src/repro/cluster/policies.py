@@ -1,0 +1,142 @@
+"""Pluggable scheduling policies for the dispatcher.
+
+A policy answers one question — given the pending closed batches and the
+accelerator pool at simulated time *t*, which placement happens next? —
+plus, for preemptive policies, whether an urgent batch may evict a
+running one. Three are built in:
+
+* :class:`FifoPolicy` — batches run in close order on the lowest-id free
+  accelerator; the baseline every paper plot starts from.
+* :class:`FewestSwapsPolicy` — affinity routing: prefer (batch,
+  accelerator) pairs whose resident task already matches, so the pool
+  amortizes encoder-weight swaps the way `repro.serving`'s scheduler
+  does for a single queue.
+* :class:`EdfPolicy` — earliest-deadline-first across SLO classes, with
+  preemption of long ``base``-mode batches by tighter-deadline ``lai``
+  traffic (the ROADMAP's cross-class dynamic-batching item).
+
+All tie-breaks are on (deadline/seq, accel_id) so every policy is
+deterministic given the same trace.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ClusterError
+
+
+class SchedulingPolicy:
+    """Base policy: picks placements; non-preemptive by default."""
+
+    name = "base"
+    preemptive = False
+
+    def next_placement(self, pending, free_accels, now_ms):
+        """Choose ``(pending_batch, accelerator)`` or None to wait.
+
+        ``pending`` and ``free_accels`` are both non-empty when called.
+        """
+        raise NotImplementedError
+
+    def preemption(self, pending, accelerators, now_ms):
+        """Choose ``(pending_batch, victim_accelerator)`` or None.
+
+        Called only when no accelerator is free. Non-preemptive policies
+        never evict.
+        """
+        return None
+
+
+class FifoPolicy(SchedulingPolicy):
+    """Close-order dispatch onto the lowest-id free accelerator."""
+
+    name = "fifo"
+
+    def next_placement(self, pending, free_accels, now_ms):
+        batch = min(pending, key=lambda pb: pb.seq)
+        accel = min(free_accels, key=lambda a: a.accel_id)
+        return batch, accel
+
+
+class FewestSwapsPolicy(SchedulingPolicy):
+    """Affinity routing: route batches to task-matching accelerators.
+
+    In close order, a batch whose task is already resident on a free
+    accelerator is placed there (no swap). When nothing matches, the
+    oldest batch prefers a *cold* accelerator — loading into an empty
+    device costs the same swap but preserves every warm residency for
+    the traffic that still wants it — and only then evicts the lowest-id
+    warm one. That is what pins tasks to accelerators under steady
+    mixed-task load.
+    """
+
+    name = "affinity"
+
+    def next_placement(self, pending, free_accels, now_ms):
+        for pb in sorted(pending, key=lambda pb: pb.seq):
+            matches = [a for a in free_accels
+                       if a.resident_task == pb.task]
+            if matches:
+                return pb, min(matches, key=lambda a: a.accel_id)
+        pb = min(pending, key=lambda pb: pb.seq)
+        return pb, min(free_accels,
+                       key=lambda a: (a.resident_task is not None,
+                                      a.accel_id))
+
+
+class EdfPolicy(SchedulingPolicy):
+    """Earliest-deadline-first with base-by-lai preemption.
+
+    Placement picks the earliest-deadline batch and prefers a resident-
+    task match among free accelerators (deadline pressure first, swap
+    avoidance second). Preemption triggers when every accelerator is
+    busy, the most urgent waiter is ``lai`` traffic, and some accelerator
+    is running a ``base``-mode batch with a strictly later deadline — the
+    victim with the slackest deadline is evicted.
+    """
+
+    name = "edf"
+    preemptive = True
+
+    def next_placement(self, pending, free_accels, now_ms):
+        pb = min(pending, key=lambda pb: (pb.deadline_ms, pb.seq))
+        matches = [a for a in free_accels if a.resident_task == pb.task]
+        pool = matches or free_accels
+        return pb, min(pool, key=lambda a: a.accel_id)
+
+    def preemption(self, pending, accelerators, now_ms):
+        urgent = [pb for pb in pending if pb.mode == "lai"]
+        if not urgent:
+            return None
+        pb = min(urgent, key=lambda pb: (pb.deadline_ms, pb.seq))
+        victims = [
+            a for a in accelerators
+            if a.run is not None
+            and a.run.pending.mode == "base"
+            and a.run.pending.deadline_ms > pb.deadline_ms + 1e-9
+        ]
+        if not victims:
+            return None
+        victim = max(victims,
+                     key=lambda a: (a.run.pending.deadline_ms, a.accel_id))
+        return pb, victim
+
+
+#: Registry of built-in policies (aliases included).
+POLICIES = {
+    "fifo": FifoPolicy,
+    "affinity": FewestSwapsPolicy,
+    "fewest-swaps": FewestSwapsPolicy,
+    "edf": EdfPolicy,
+}
+
+
+def make_policy(policy):
+    """Resolve a policy name (or pass an instance through)."""
+    if isinstance(policy, SchedulingPolicy):
+        return policy
+    try:
+        return POLICIES[policy]()
+    except KeyError:
+        raise ClusterError(
+            f"unknown policy {policy!r}; expected one of "
+            f"{tuple(sorted(set(POLICIES)))}") from None

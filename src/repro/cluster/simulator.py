@@ -1,0 +1,249 @@
+"""The discrete-event multi-accelerator serving simulator.
+
+``ClusterSimulator.run(requests)`` plays a request trace through time:
+
+1. **Arrival** — at ``Request.arrival_ms`` the request joins its
+   (task, SLO class, mode) batch former; the window closes on a size or
+   timeout trigger (:mod:`repro.cluster.batcher`).
+2. **Dispatch** — closed batches wait for the scheduling policy
+   (:mod:`repro.cluster.policies`) to place them on a free accelerator;
+   placement pays the encoder-weight swap when the resident task
+   changes, then prices the batch with the same vectorized kernels the
+   single-node :class:`~repro.serving.Server` uses
+   (:func:`repro.serving.price_batch`).
+3. **Completion / preemption** — per-sentence finish times are known at
+   placement, so completions are exact events; preemptive policies may
+   abort a running ``base`` batch at a sentence boundary, wasting the
+   partial sentence and requeueing the rest.
+
+Everything is deterministic: no wall-clock, no RNG — the same trace,
+pool and policy always produce the same :class:`ClusterReport`.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import ClusterError
+from repro.serving.request import SERVING_MODES, Batch
+from repro.serving.server import price_batch, validate_request
+
+from repro.cluster.accelerator import AcceleratorSim
+from repro.cluster.batcher import BatchFormer, PendingBatch
+from repro.cluster.events import Arrival, BatchDone, BatchTimeout, EventLoop
+from repro.cluster.policies import make_policy
+from repro.cluster.report import ClusterRecord, ClusterReport
+
+
+class ClusterSimulator:
+    """A pool of priced accelerators behind arrival-aware batching."""
+
+    def __init__(self, registry, num_accelerators=1, policy="fifo",
+                 mode="lai", max_batch_size=32, batch_timeout_ms=5.0,
+                 vectorized=True):
+        if num_accelerators < 1:
+            raise ClusterError("num_accelerators must be >= 1")
+        if mode not in SERVING_MODES:
+            raise ClusterError(
+                f"unknown mode {mode!r}; expected one of {SERVING_MODES}")
+        if max_batch_size < 1:
+            raise ClusterError("max_batch_size must be >= 1")
+        if batch_timeout_ms < 0:
+            raise ClusterError("batch_timeout_ms must be non-negative")
+        self.registry = registry
+        self.num_accelerators = int(num_accelerators)
+        self.policy = make_policy(policy)
+        self.mode = mode
+        self.max_batch_size = int(max_batch_size)
+        self.batch_timeout_ms = float(batch_timeout_ms)
+        self.vectorized = vectorized
+
+    # -- public API --------------------------------------------------------------
+
+    def run(self, requests):
+        """Simulate the trace; returns a :class:`ClusterReport`."""
+        requests = list(requests)
+        if not requests:
+            raise ClusterError("no requests to simulate")
+        seen = set()
+        for request in requests:
+            if request.request_id in seen:
+                raise ClusterError(
+                    f"duplicate request id {request.request_id}")
+            seen.add(request.request_id)
+            validate_request(self.registry, request,
+                             self._resolve_mode(request))
+
+        started = time.perf_counter()
+        self._loop = EventLoop()
+        self._loop.on(Arrival, self._on_arrival)
+        self._loop.on(BatchTimeout, self._on_timeout)
+        self._loop.on(BatchDone, self._on_done)
+        self._accels = [AcceleratorSim(i)
+                        for i in range(self.num_accelerators)]
+        self._formers = {}
+        self._pending = []
+        self._batch_seq = 0
+        self._report = ClusterReport(
+            policy=self.policy.name, mode=self.mode,
+            num_accelerators=self.num_accelerators)
+
+        for request in requests:
+            self._loop.schedule(request.arrival_ms, Arrival(request))
+        self._loop.run()
+
+        report = self._report
+        report.accelerators = [a.stats for a in self._accels]
+        report.makespan_ms = max(
+            (rec.completion_ms for rec in report.records), default=0.0)
+        report.wall_seconds = time.perf_counter() - started
+        # Conservation: every submitted request served exactly once.
+        served = sorted(rec.request.request_id for rec in report.records)
+        if served != sorted(seen) or self._pending \
+                or any(not a.idle for a in self._accels) \
+                or any(f.is_open for f in self._formers.values()):
+            raise ClusterError(
+                "simulation ended with unserved or duplicated requests")
+        return report
+
+    # -- event handlers ----------------------------------------------------------
+
+    def _resolve_mode(self, request):
+        return request.mode if request.mode is not None else self.mode
+
+    def _on_arrival(self, event):
+        request = event.request
+        now = self._loop.now_ms
+        key = (request.task, float(request.target_ms),
+               self._resolve_mode(request))
+        former = self._formers.get(key)
+        if former is None:
+            former = self._formers[key] = BatchFormer(
+                key, max_batch_size=self.max_batch_size,
+                timeout_ms=self.batch_timeout_ms)
+        was_open = former.is_open
+        closed = former.add(request, now)
+        if closed is not None:
+            self._enqueue(former.make_pending(closed, now,
+                                              self._next_batch_seq()))
+        elif not was_open:
+            self._loop.schedule(former.timeout_deadline_ms(),
+                                BatchTimeout(key, former.generation))
+        self._dispatch()
+
+    def _on_timeout(self, event):
+        former = self._formers[event.key]
+        closed = former.on_timeout(event.generation, self._loop.now_ms)
+        if closed is not None:
+            self._enqueue(former.make_pending(closed, self._loop.now_ms,
+                                              self._next_batch_seq()))
+            self._dispatch()
+
+    def _on_done(self, event):
+        accel = self._accels[event.accel_id]
+        if accel.run is None or accel.run.run_id != event.run_id:
+            return  # stale completion from a preempted run
+        run = accel.complete(self._loop.now_ms)
+        self._record_run(run, len(run.results))
+        self._dispatch()
+
+    # -- dispatcher --------------------------------------------------------------
+
+    def _next_batch_seq(self):
+        seq = self._batch_seq
+        self._batch_seq += 1
+        return seq
+
+    def _enqueue(self, pending_batch):
+        self._pending.append(pending_batch)
+
+    def _dispatch(self):
+        """Place pending batches until the policy has nothing to do."""
+        while self._pending:
+            free = [a for a in self._accels if a.idle]
+            if free:
+                placement = self.policy.next_placement(
+                    self._pending, free, self._loop.now_ms)
+                if placement is None:
+                    return
+                pending_batch, accel = placement
+                self._pending.remove(pending_batch)
+                self._start(pending_batch, accel)
+                continue
+            decision = self.policy.preemption(
+                self._pending, self._accels, self._loop.now_ms)
+            if decision is None:
+                return
+            pending_batch, victim = decision
+            self._preempt(victim)
+            self._pending.remove(pending_batch)
+            self._start(pending_batch, victim)
+
+    def _start(self, pending_batch, accel):
+        """Price the batch and occupy the accelerator with its schedule."""
+        now = self._loop.now_ms
+        batch = pending_batch.batch
+        profile = self.registry.profile(batch.task)
+        swap_cost = self.registry.switch_cost(accel.resident_task,
+                                              batch.task)
+        engine_report = price_batch(profile, batch, pending_batch.mode,
+                                    vectorized=self.vectorized)
+        latencies = [r.latency_ms for r in engine_report.results]
+        run = accel.begin(pending_batch, engine_report.results, latencies,
+                          now, swap_cost)
+        self._report.num_batches += 1
+        self._loop.schedule(run.end_ms, BatchDone(accel.accel_id,
+                                                  run.run_id))
+
+    def _preempt(self, victim):
+        """Evict the victim's running batch at the current instant.
+
+        Sentences that already finished stand; the partially executed one
+        is wasted (time and prorated energy); the remainder requeues as a
+        fresh pending batch that keeps its original deadline.
+        """
+        now = self._loop.now_ms
+        mid_swap = victim.run.completed_by(now) == 0 \
+            and victim.run.in_swap_at(now)
+        run, n_done = victim.preempt(now)
+        self._record_run(run, n_done)
+        self._report.preemptions += 1
+
+        if mid_swap:
+            # Aborted inside the encoder-weight load: the partial
+            # streaming is the wasted work (the accelerator already
+            # refunded the unspent remainder of the swap charge and
+            # dropped its residency).
+            self._report.wasted_compute_ms += max(0.0, now - run.start_ms)
+        else:
+            # Waste on the aborted sentence: elapsed time since the last
+            # boundary, energy prorated by the completed fraction.
+            boundary = (run.finish_ms[n_done - 1] if n_done
+                        else run.start_ms + run.swap_ms)
+            elapsed = max(0.0, now - boundary)
+            self._report.wasted_compute_ms += elapsed
+            if n_done < len(run.results):
+                aborted = run.results[n_done]
+                if aborted.latency_ms > 0:
+                    self._report.wasted_energy_mj += (
+                        aborted.energy_mj
+                        * min(1.0, elapsed / aborted.latency_ms))
+
+        remainder = run.pending.batch.requests[n_done:]
+        if remainder:
+            batch = Batch(task=run.pending.task,
+                          target_ms=run.pending.batch.target_ms,
+                          requests=remainder)
+            self._enqueue(PendingBatch(
+                batch=batch, mode=run.pending.mode, ready_ms=now,
+                deadline_ms=min(r.deadline_ms for r in remainder),
+                seq=self._next_batch_seq()))
+
+    def _record_run(self, run, n_done):
+        """Record the first ``n_done`` completed requests of ``run``."""
+        for request, result, finish in zip(
+                run.pending.batch.requests[:n_done],
+                run.results[:n_done], run.finish_ms[:n_done]):
+            self._report.records.append(ClusterRecord(
+                request=request, result=result, accel_id=run.accel_id,
+                dispatch_ms=run.start_ms, completion_ms=float(finish)))

@@ -165,7 +165,62 @@ class DvfsController:
         compute time at the scaled point). Each sentence slot is padded to
         ``target_ns`` (the real-time arrival period), then the trace drops
         to standby after the last sentence.
+
+        The whole trace is built with NumPy array ops — the per-sentence
+        point layout is fixed (seven points per slot), and the only
+        sequential dependency, the slot start times, is a cumulative sum
+        of per-slot durations clamped to the arrival period. The original
+        per-sentence loop survives as :meth:`schedule_trace_scalar`, the
+        oracle the tests hold this path to at 1e-9.
         """
+        if not sentence_plans:
+            return self.schedule_trace_scalar(sentence_plans, target_ns,
+                                              standby_gap_ns)
+        layer1 = np.array([float(p["layer1_ns"]) for p in sentence_plans])
+        opt_vdd = np.array([float(p["opt_vdd"]) for p in sentence_plans])
+        rest = np.array([float(p["rest_ns"]) for p in sentence_plans])
+
+        nominal_vdd, _ = self.table.nominal_point()
+        settle_in = self.ldo.transition_time_ns(self.ldo.standby_voltage,
+                                                nominal_vdd)
+        down = self.ldo.transition_time_ns(nominal_vdd, opt_vdd)
+        up = self.ldo.transition_time_ns(opt_vdd, nominal_vdd)
+
+        # Slot i occupies [start_i, start_i + max(duration_i, target)).
+        duration = layer1 + down + rest + up
+        slot = np.maximum(duration, target_ns)
+        start = np.concatenate([[0.0], np.cumsum(slot)[:-1]])
+        t_layer1 = start + layer1
+        t_scaled = t_layer1 + down
+        t_rest = t_scaled + rest
+        t_back = t_rest + up
+        t_hold = start + slot
+        # Seven points per sentence, matching the scalar path exactly
+        # (extend_trace re-appends the current point before each ramp).
+        times = np.column_stack([t_layer1, t_layer1, t_scaled, t_rest,
+                                 t_rest, t_back, t_hold]).ravel()
+        # start+slot and the chained per-point sums can disagree by a few
+        # 1e-8 ns at long-trace magnitudes; clamp the rounding jitter so
+        # coincident points stay exactly non-decreasing.
+        times = np.maximum.accumulate(times)
+        nominal = np.full(len(sentence_plans), nominal_vdd)
+        volts = np.column_stack([nominal, nominal, opt_vdd, opt_vdd,
+                                 opt_vdd, nominal, nominal]).ravel()
+
+        t_end = float(times[-1])  # post-clamp, so the tail never reverses
+        settle_out = self.ldo.transition_time_ns(nominal_vdd,
+                                                 self.ldo.standby_voltage)
+        times = np.concatenate([
+            [0.0, settle_in], times,
+            [t_end + standby_gap_ns, t_end + standby_gap_ns + settle_out]])
+        volts = np.concatenate([
+            [self.ldo.standby_voltage, nominal_vdd], volts,
+            [nominal_vdd, self.ldo.standby_voltage]])
+        return VoltageTrace.from_arrays(times, volts)
+
+    def schedule_trace_scalar(self, sentence_plans, target_ns,
+                              standby_gap_ns=100.0):
+        """Per-sentence reference implementation of :meth:`schedule_trace`."""
         trace = VoltageTrace()
         nominal_vdd, _ = self.table.nominal_point()
         t = 0.0

@@ -32,6 +32,25 @@ class VoltageTrace:
         self.times_ns.append(float(t_ns))
         self.volts.append(float(v))
 
+    @classmethod
+    def from_arrays(cls, times_ns, volts):
+        """Build a trace from full arrays with one vectorized check.
+
+        Same non-decreasing-time contract as point-wise :meth:`append`,
+        validated in a single pass — the constructor the vectorized
+        schedule builder uses.
+        """
+        times = np.asarray(times_ns, dtype=np.float64)
+        volts = np.asarray(volts, dtype=np.float64)
+        if times.shape != volts.shape or times.ndim != 1:
+            raise DvfsError("times and volts must be matching 1-D arrays")
+        if times.size and np.any(np.diff(times) < -1e-9):
+            raise DvfsError("voltage trace times must be non-decreasing")
+        trace = cls()
+        trace.times_ns = times.tolist()
+        trace.volts = volts.tolist()
+        return trace
+
     def as_arrays(self):
         return np.asarray(self.times_ns), np.asarray(self.volts)
 

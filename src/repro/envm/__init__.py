@@ -6,8 +6,12 @@ from repro.envm.fault_injection import (
     FaultInjectionReport,
     inject_cell_faults,
     merge_cells,
+    merge_cells_scalar,
     run_fault_trials,
+    scatter_row_values,
+    scatter_row_values_scalar,
     split_into_cells,
+    split_into_cells_scalar,
 )
 
 __all__ = [
@@ -19,6 +23,10 @@ __all__ = [
     "FaultInjectionReport",
     "inject_cell_faults",
     "merge_cells",
+    "merge_cells_scalar",
     "run_fault_trials",
+    "scatter_row_values",
+    "scatter_row_values_scalar",
     "split_into_cells",
+    "split_into_cells_scalar",
 ]

@@ -30,14 +30,37 @@ from repro.quant import FloatFormat
 from repro.utils.rng import spawn_rngs
 
 
+def _cell_layout(total_bits, bits_per_cell):
+    """Per-cell (width, shift) arrays for the MSB-first packing.
+
+    Cells stream MSB-first, so the first cell always holds the word's
+    top ``bits_per_cell`` bits; when the width is not a multiple of
+    ``bits_per_cell``, the leftover *low* bits land in a narrower final
+    cell (8 bits at 3 b/cell packs as widths 3/3/2).
+    """
+    cells_per_word = -(-total_bits // bits_per_cell)
+    remaining = total_bits - np.arange(cells_per_word) * bits_per_cell
+    width = np.minimum(bits_per_cell, remaining)
+    shift = remaining - width
+    return width, shift
+
+
 def split_into_cells(words, total_bits, bits_per_cell):
     """Split integer words into per-cell level values, MSB-first.
 
     Returns an int array of shape ``(num_words, cells_per_word)`` where
-    each entry is in ``[0, 2^bits_per_cell)``. Words whose width is not a
-    multiple of ``bits_per_cell`` put the *leftover high bits* in the first
-    cell (matching how a packer would stream MSB-first).
+    each entry is in ``[0, 2^bits_per_cell)``. One broadcast shift-and-
+    mask over the whole (words x cells) grid; the original per-cell scan
+    survives as :func:`split_into_cells_scalar`, the tests' oracle.
     """
+    words = np.asarray(words, dtype=np.uint32)
+    width, shift = _cell_layout(total_bits, bits_per_cell)
+    flat = words.reshape(-1).astype(np.int64)
+    return (flat[:, None] >> shift) & ((1 << width) - 1)
+
+
+def split_into_cells_scalar(words, total_bits, bits_per_cell):
+    """Per-cell reference loop for :func:`split_into_cells`."""
     words = np.asarray(words, dtype=np.uint32)
     cells_per_word = -(-total_bits // bits_per_cell)
     out = np.empty((words.size,) + (cells_per_word,), dtype=np.int64)
@@ -52,7 +75,16 @@ def split_into_cells(words, total_bits, bits_per_cell):
 
 
 def merge_cells(cells, total_bits, bits_per_cell):
-    """Inverse of :func:`split_into_cells`."""
+    """Inverse of :func:`split_into_cells` (vectorized; scalar oracle in
+    :func:`merge_cells_scalar`)."""
+    cells = np.asarray(cells, dtype=np.int64)
+    width, shift = _cell_layout(total_bits, bits_per_cell)
+    contributions = (cells & ((1 << width) - 1)) << shift
+    return contributions.sum(axis=1).astype(np.uint32)
+
+
+def merge_cells_scalar(cells, total_bits, bits_per_cell):
+    """Per-cell reference loop for :func:`merge_cells`."""
     cells = np.asarray(cells, dtype=np.int64)
     words = np.zeros(cells.shape[0], dtype=np.uint32)
     remaining = total_bits
@@ -82,6 +114,49 @@ def inject_cell_faults(cells, bits_per_cell, error_rate, rng):
     faulted = np.where(faulted < 0, 1, faulted)
     faulted = np.where(faulted > top, top - 1, faulted)
     return faulted, int(faults.sum())
+
+
+def scatter_row_values(corrupt_mask, values, true_counts):
+    """Rebuild dense rows from a (possibly corrupted) bitmask, vectorized.
+
+    ``values`` holds the packed non-zero stream in row-major order of the
+    *true* mask (``true_counts[r]`` values belong to row ``r``); a
+    corrupted mask desynchronizes each row's stream, so row ``r`` takes
+    its first ``min(popcount(corrupt row), true_counts[r])`` values at
+    the corrupt mask's set positions — exactly the row loop of the
+    scalar oracle (:func:`scatter_row_values_scalar`), done with one
+    ``nonzero`` + rank computation over the whole table.
+    """
+    corrupt_mask = np.asarray(corrupt_mask, dtype=bool)
+    values = np.asarray(values, dtype=np.float64)
+    true_counts = np.asarray(true_counts, dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(true_counts)])
+    counts = corrupt_mask.sum(axis=1)
+    take = np.minimum(counts, true_counts)
+
+    rows, cols = np.nonzero(corrupt_mask)
+    starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    rank = np.arange(rows.size) - np.repeat(starts, counts)
+    keep = rank < take[rows]
+
+    dense = np.zeros(corrupt_mask.shape, dtype=np.float64)
+    dense[rows[keep], cols[keep]] = values[offsets[rows[keep]]
+                                           + rank[keep]]
+    return dense
+
+
+def scatter_row_values_scalar(corrupt_mask, values, true_counts):
+    """Row-by-row reference loop for :func:`scatter_row_values`."""
+    corrupt_mask = np.asarray(corrupt_mask, dtype=bool)
+    true_counts = np.asarray(true_counts, dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(true_counts)])
+    dense = np.zeros(corrupt_mask.shape, dtype=np.float64)
+    for row in range(corrupt_mask.shape[0]):
+        row_values = values[offsets[row]:offsets[row + 1]]
+        positions = np.flatnonzero(corrupt_mask[row])
+        take = min(positions.size, row_values.size)
+        dense[row, positions[:take]] = row_values[:take]
+    return dense
 
 
 @dataclass
@@ -159,25 +234,18 @@ class EnvmEmbeddingStore:
                             self.data_cell.bits_per_cell)
         values = self.fmt.decode_bits(words, self.bias)
 
-        mask = self.mask.copy()
-        mask_flat = mask.reshape(mask.shape[0], -1)
+        mask_flat = self.mask.reshape(self.shape[0], -1)
         flip = rng.random(mask_flat.shape) < self.mask_cell.level_error_rate
         n_mask = int(flip.sum())
-        dense = np.zeros(self.shape, dtype=np.float64)
         if n_mask == 0:
-            dense[mask] = values
+            dense = np.zeros(self.shape, dtype=np.float64)
+            dense[self.mask] = values
         else:
             # A mask flip desynchronizes the value stream for the rest of
-            # that row: rebuild row-by-row with the corrupted mask.
-            mask_flat ^= flip
-            counts_true = self.mask.reshape(mask.shape[0], -1).sum(axis=1)
-            offsets = np.concatenate([[0], np.cumsum(counts_true)])
-            dense_flat = dense.reshape(mask.shape[0], -1)
-            for row in range(mask_flat.shape[0]):
-                row_values = values[offsets[row]:offsets[row + 1]]
-                positions = np.flatnonzero(mask_flat[row])
-                take = min(positions.size, row_values.size)
-                dense_flat[row, positions[:take]] = row_values[:take]
+            # that row: rebuild every row against the corrupted mask.
+            dense = scatter_row_values(
+                mask_flat ^ flip, values,
+                mask_flat.sum(axis=1)).reshape(self.shape)
         return FaultInjectionReport(table=dense, data_faults=n_data,
                                     mask_faults=n_mask)
 

@@ -57,5 +57,9 @@ class ServingError(ReproError):
     """The multi-task serving layer was configured or driven inconsistently."""
 
 
+class ClusterError(ReproError):
+    """The cluster simulator was configured or driven inconsistently."""
+
+
 class ArtifactError(ReproError):
     """A trained-model artifact is missing or failed validation."""

@@ -23,9 +23,14 @@ from repro.serving.registry import (
     TaskRegistry,
     encoder_weight_bytes,
 )
-from repro.serving.request import Batch, Request, RequestResult
+from repro.serving.request import SERVING_MODES, Batch, Request, RequestResult
 from repro.serving.scheduler import Scheduler
-from repro.serving.server import SERVING_MODES, Server, ServingReport
+from repro.serving.server import (
+    Server,
+    ServingReport,
+    price_batch,
+    validate_request,
+)
 from repro.serving.synthetic import (
     synthetic_embedding_table,
     synthetic_layer_outputs,
@@ -47,6 +52,8 @@ __all__ = [
     "TaskProfile",
     "TaskRegistry",
     "encoder_weight_bytes",
+    "price_batch",
+    "validate_request",
     "synthetic_embedding_table",
     "synthetic_layer_outputs",
     "synthetic_registry",

@@ -15,6 +15,11 @@ import numpy as np
 
 from repro.errors import ServingError
 
+#: Execution modes a request can be priced in (see the engine's module
+#: docs). Lives here (not in ``server``) so the request type can validate
+#: its own ``mode`` override without a circular import.
+SERVING_MODES = ("base", "ee", "lai")
+
 
 @dataclass(frozen=True)
 class Request:
@@ -24,6 +29,12 @@ class Request:
     logits/entropies (the serving layer prices inference; the heavy
     forward pass was captured once by
     :func:`repro.earlyexit.collect_layer_outputs`).
+
+    ``mode`` optionally overrides the serving layer's execution mode for
+    this request (the :class:`~repro.serving.Server` ignores it — its
+    constructor mode applies to the whole queue — but the cluster
+    simulator honors it, which is what lets tight-SLO ``lai`` traffic
+    preempt long ``base`` batches).
     """
 
     request_id: int
@@ -31,12 +42,22 @@ class Request:
     sentence: int
     target_ms: float
     arrival_ms: float = 0.0
+    mode: str | None = None
 
     def __post_init__(self):
         if self.sentence < 0:
             raise ServingError("sentence index must be non-negative")
         if self.target_ms <= 0:
             raise ServingError("target_ms must be positive")
+        if self.mode is not None and self.mode not in SERVING_MODES:
+            raise ServingError(
+                f"unknown mode {self.mode!r}; expected one of "
+                f"{SERVING_MODES}")
+
+    @property
+    def deadline_ms(self):
+        """Absolute completion deadline (arrival + latency target)."""
+        return self.arrival_ms + self.target_ms
 
 
 @dataclass(frozen=True)

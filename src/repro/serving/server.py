@@ -16,11 +16,69 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.errors import ServingError
-from repro.serving.request import Request, RequestResult
+from repro.serving.request import SERVING_MODES, Request, RequestResult
 from repro.serving.scheduler import Scheduler
 
-#: Execution modes the server can price (see the engine's module docs).
-SERVING_MODES = ("base", "ee", "lai")
+
+def validate_request(registry, request, mode):
+    """Check that ``request`` is serveable in ``mode``; return its profile.
+
+    Fails at submission, not mid-run: the sentence index must exist, lai
+    needs a LUT, and both exit modes need a calibrated entropy threshold.
+    Shared by :meth:`Server.submit` and the cluster simulator's intake.
+    """
+    if mode not in SERVING_MODES:
+        raise ServingError(
+            f"unknown mode {mode!r}; expected one of {SERVING_MODES}")
+    profile = registry.profile(request.task)
+    if request.sentence >= profile.num_sentences:
+        raise ServingError(
+            f"sentence {request.sentence} out of range for task "
+            f"{request.task!r} ({profile.num_sentences} sentences)")
+    if mode == "lai" and profile.lut is None:
+        raise ServingError(
+            f"task {request.task!r} has no exit-predictor LUT; "
+            "required for lai mode")
+    if mode in ("ee", "lai") and profile.entropy_threshold is None:
+        raise ServingError(
+            f"task {request.task!r} has no entropy threshold; "
+            f"required for {mode} mode")
+    return profile
+
+
+def price_batch(profile, batch, mode, vectorized=True):
+    """Price one same-task batch against its profile (pure function).
+
+    Returns the engine's :class:`~repro.core.engine.EngineReport` with one
+    :class:`~repro.core.SentenceResult` per request, in batch order. This
+    is the single pricing entry point both the queue-draining
+    :class:`Server` and the event-driven cluster simulator call.
+    """
+    idx = batch.sentence_indices
+    logits = profile.logits[:, idx]
+    entropies = profile.entropies[:, idx]
+    if mode == "lai":
+        return profile.engine.simulate_dataset(
+            "lai", logits, entropies, lut=profile.lut,
+            entropy_threshold=profile.entropy_threshold,
+            target_ms=batch.target_ms, vectorized=vectorized)
+    if mode == "base":
+        report = profile.engine.simulate_dataset(
+            "base", logits, entropies, vectorized=vectorized)
+    else:
+        report = profile.engine.simulate_dataset(
+            "ee", logits, entropies,
+            entropy_threshold=profile.entropy_threshold,
+            vectorized=vectorized)
+    # The base/ee engine modes have no latency-target concept (they
+    # always report met_target=True); the serving SLO is judged here
+    # against the batch's target so violations stay visible.
+    report.results = [
+        r if r.latency_ms <= batch.target_ms + 1e-9
+        else replace(r, met_target=False)
+        for r in report.results
+    ]
+    return report
 
 
 @dataclass
@@ -150,21 +208,7 @@ class Server:
             raise ServingError(
                 f"request id {request.request_id} already queued")
         self._next_id = max(self._next_id, request.request_id + 1)
-        profile = self.registry.profile(request.task)
-        if request.sentence >= profile.num_sentences:
-            raise ServingError(
-                f"sentence {request.sentence} out of range for task "
-                f"{request.task!r} ({profile.num_sentences} sentences)")
-        # Fail at submission, not mid-run: lai needs a LUT, and both
-        # exit modes need a calibrated entropy threshold.
-        if self.mode == "lai" and profile.lut is None:
-            raise ServingError(
-                f"task {request.task!r} has no exit-predictor LUT; "
-                "required for lai mode")
-        if self.mode in ("ee", "lai") and profile.entropy_threshold is None:
-            raise ServingError(
-                f"task {request.task!r} has no entropy threshold; "
-                f"required for {self.mode} mode")
+        validate_request(self.registry, request, self.mode)
         self._queue.append(request)
         self._queued_ids.add(request.request_id)
         return request
@@ -222,28 +266,5 @@ class Server:
         return report
 
     def _price_batch(self, profile, batch):
-        idx = batch.sentence_indices
-        logits = profile.logits[:, idx]
-        entropies = profile.entropies[:, idx]
-        if self.mode == "lai":
-            return profile.engine.simulate_dataset(
-                "lai", logits, entropies, lut=profile.lut,
-                entropy_threshold=profile.entropy_threshold,
-                target_ms=batch.target_ms, vectorized=self.vectorized)
-        if self.mode == "base":
-            report = profile.engine.simulate_dataset(
-                "base", logits, entropies, vectorized=self.vectorized)
-        else:
-            report = profile.engine.simulate_dataset(
-                "ee", logits, entropies,
-                entropy_threshold=profile.entropy_threshold,
-                vectorized=self.vectorized)
-        # The base/ee engine modes have no latency-target concept (they
-        # always report met_target=True); the serving SLO is judged here
-        # against the batch's target so violations stay visible.
-        report.results = [
-            r if r.latency_ms <= batch.target_ms + 1e-9
-            else replace(r, met_target=False)
-            for r in report.results
-        ]
-        return report
+        return price_batch(profile, batch, self.mode,
+                           vectorized=self.vectorized)

@@ -99,13 +99,18 @@ def synthetic_registry(tasks=GLUE_TASKS, n=256, num_layers=12, seed=0,
 
 
 def synthetic_traffic(registry, num_requests, targets_ms=(50.0, 75.0, 100.0),
-                      seed=0, mean_interarrival_ms=10.0):
+                      seed=0, mean_interarrival_ms=10.0, modes=None):
     """A mixed-task request trace over ``registry``'s tasks.
 
     Tasks and latency classes are drawn uniformly; arrivals accumulate
     exponential gaps (a Poisson process), so the trace interleaves tasks
     the way real assistant traffic would — worst case for a naive
     per-request switcher, exactly what the scheduler's grouping fixes.
+
+    ``modes``, when given, is a tuple of execution modes sampled uniformly
+    per request (e.g. ``("base", "lai")`` for the cluster simulator's
+    mixed-criticality traffic); by default requests carry no mode override
+    and inherit the server's.
     """
     if num_requests <= 0:
         raise ServingError("num_requests must be positive")
@@ -124,6 +129,8 @@ def synthetic_traffic(registry, num_requests, targets_ms=(50.0, 75.0, 100.0),
             sentence=int(rng.integers(profile.num_sentences)),
             target_ms=float(targets_ms[int(rng.integers(len(targets_ms)))]),
             arrival_ms=float(arrivals[i]),
+            mode=(None if modes is None
+                  else modes[int(rng.integers(len(modes)))]),
         ))
     return requests
 

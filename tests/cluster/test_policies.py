@@ -1,0 +1,136 @@
+"""Scheduling-policy unit tests: ordering, affinity, EDF preemption."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.cluster import (
+    AcceleratorSim,
+    EdfPolicy,
+    FewestSwapsPolicy,
+    FifoPolicy,
+    PendingBatch,
+    make_policy,
+)
+from repro.errors import ClusterError
+from repro.serving import Batch, Request
+
+
+def pending(seq, task="sst2", deadline_ms=100.0, mode="lai",
+            target_ms=50.0):
+    request = Request(request_id=seq, task=task, sentence=0,
+                      target_ms=target_ms,
+                      arrival_ms=max(0.0, deadline_ms - target_ms))
+    batch = Batch(task=task, target_ms=target_ms, requests=(request,))
+    return PendingBatch(batch=batch, mode=mode, ready_ms=0.0,
+                        deadline_ms=deadline_ms, seq=seq)
+
+
+def accel(accel_id, resident=None):
+    sim = AcceleratorSim(accel_id)
+    sim.resident_task = resident
+    return sim
+
+
+def busy(accel_id, task, deadline_ms, mode):
+    """A stand-in busy accelerator exposing what preemption() reads."""
+    run = SimpleNamespace(pending=pending(0, task=task,
+                                          deadline_ms=deadline_ms,
+                                          mode=mode))
+    return SimpleNamespace(accel_id=accel_id, run=run)
+
+
+class TestFifo:
+    def test_close_order_lowest_id(self):
+        policy = FifoPolicy()
+        queue = [pending(2), pending(0), pending(1)]
+        free = [accel(1), accel(0)]
+        pb, a = policy.next_placement(queue, free, 0.0)
+        assert pb.seq == 0
+        assert a.accel_id == 0
+
+
+class TestAffinity:
+    def test_prefers_resident_match(self):
+        policy = FewestSwapsPolicy()
+        queue = [pending(0, task="mnli"), pending(1, task="sst2")]
+        free = [accel(0, resident="qqp"), accel(1, resident="sst2")]
+        pb, a = policy.next_placement(queue, free, 0.0)
+        # mnli (older) has no match; sst2 does — affinity wins the swap.
+        assert pb.task == "sst2"
+        assert a.accel_id == 1
+
+    def test_no_match_prefers_cold_accelerator(self):
+        policy = FewestSwapsPolicy()
+        queue = [pending(0, task="mnli")]
+        # Loading into the cold device preserves accel 0's warm
+        # residency for traffic that may still want it.
+        free = [accel(0, resident="qqp"), accel(1)]
+        pb, a = policy.next_placement(queue, free, 0.0)
+        assert pb.seq == 0
+        assert a.accel_id == 1
+
+    def test_falls_back_to_oldest_batch(self):
+        policy = FewestSwapsPolicy()
+        queue = [pending(1, task="mnli"), pending(0, task="qqp")]
+        free = [accel(0)]
+        pb, _ = policy.next_placement(queue, free, 0.0)
+        assert pb.seq == 0
+
+
+class TestEdf:
+    def test_places_earliest_deadline_first(self):
+        policy = EdfPolicy()
+        queue = [pending(0, deadline_ms=300.0), pending(1, deadline_ms=50.0)]
+        pb, _ = policy.next_placement(queue, [accel(0)], 0.0)
+        assert pb.deadline_ms == 50.0
+
+    def test_deadline_tie_broken_by_seq(self):
+        policy = EdfPolicy()
+        queue = [pending(1, deadline_ms=50.0), pending(0, deadline_ms=50.0)]
+        pb, _ = policy.next_placement(queue, [accel(0)], 0.0)
+        assert pb.seq == 0
+
+    def test_preempts_slackest_base_victim(self):
+        policy = EdfPolicy()
+        queue = [pending(0, deadline_ms=20.0, mode="lai")]
+        accels = [busy(0, "sst2", deadline_ms=500.0, mode="base"),
+                  busy(1, "sst2", deadline_ms=900.0, mode="base"),
+                  busy(2, "sst2", deadline_ms=50.0, mode="lai")]
+        pb, victim = policy.preemption(queue, accels, 0.0)
+        assert pb.seq == 0
+        assert victim.accel_id == 1  # the base run with the most slack
+
+    def test_never_preempts_for_base_traffic(self):
+        policy = EdfPolicy()
+        queue = [pending(0, deadline_ms=20.0, mode="base")]
+        accels = [busy(0, "sst2", deadline_ms=500.0, mode="base")]
+        assert policy.preemption(queue, accels, 0.0) is None
+
+    def test_never_preempts_lai_runs(self):
+        policy = EdfPolicy()
+        queue = [pending(0, deadline_ms=20.0, mode="lai")]
+        accels = [busy(0, "sst2", deadline_ms=500.0, mode="lai")]
+        assert policy.preemption(queue, accels, 0.0) is None
+
+    def test_never_preempts_tighter_deadline_runs(self):
+        policy = EdfPolicy()
+        queue = [pending(0, deadline_ms=100.0, mode="lai")]
+        accels = [busy(0, "sst2", deadline_ms=60.0, mode="base")]
+        assert policy.preemption(queue, accels, 0.0) is None
+
+
+class TestFactory:
+    def test_resolves_names_and_aliases(self):
+        assert make_policy("fifo").name == "fifo"
+        assert make_policy("affinity").name == "affinity"
+        assert make_policy("fewest-swaps").name == "affinity"
+        assert make_policy("edf").preemptive
+
+    def test_passes_instances_through(self):
+        policy = FifoPolicy()
+        assert make_policy(policy) is policy
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ClusterError):
+            make_policy("warp")

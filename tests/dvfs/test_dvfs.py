@@ -178,3 +178,60 @@ class TestController:
         plans = [{"layer1_ns": 4e6, "opt_vdd": 0.65, "rest_ns": 30e6}]
         trace = controller.schedule_trace(plans, target_ns=50e6)
         assert 0.65 in trace.volts
+
+
+class TestScheduleTraceVectorization:
+    @staticmethod
+    def random_plans(n, seed, table):
+        rng = np.random.default_rng(seed)
+        voltages = table.voltages
+        return [
+            {"layer1_ns": float(rng.uniform(1e6, 8e6)),
+             "opt_vdd": float(voltages[rng.integers(len(voltages))]),
+             "rest_ns": float(rng.uniform(5e6, 60e6))}
+            for _ in range(n)
+        ]
+
+    @pytest.mark.parametrize("n,seed", [(1, 0), (7, 1), (200, 2)])
+    def test_matches_scalar_oracle(self, n, seed):
+        controller = DvfsController()
+        plans = self.random_plans(n, seed, controller.table)
+        for target_ns in (50e6, 20e6):  # padded slots and overrun slots
+            fast = controller.schedule_trace(plans, target_ns=target_ns)
+            slow = controller.schedule_trace_scalar(plans,
+                                                    target_ns=target_ns)
+            t_fast, v_fast = fast.as_arrays()
+            t_slow, v_slow = slow.as_arrays()
+            assert t_fast.shape == t_slow.shape
+            # Times are O(1e8) ns sums, so the bound is relative there;
+            # voltages are O(1) and held to the absolute 1e-9.
+            np.testing.assert_allclose(t_fast, t_slow, rtol=1e-12,
+                                       atol=1e-9)
+            np.testing.assert_allclose(v_fast, v_slow, atol=1e-9)
+
+    def test_zero_standby_gap_long_trace(self):
+        # Regression: the tail points start from the post-clamp end time,
+        # so a zero gap after overrun slots must not reverse the trace.
+        controller = DvfsController()
+        plans = self.random_plans(300, 6, controller.table)
+        fast = controller.schedule_trace(plans, target_ns=20e6,
+                                         standby_gap_ns=0.0)
+        slow = controller.schedule_trace_scalar(plans, target_ns=20e6,
+                                                standby_gap_ns=0.0)
+        np.testing.assert_allclose(fast.as_arrays()[0],
+                                   slow.as_arrays()[0],
+                                   rtol=1e-12, atol=1e-9)
+
+    def test_empty_plan_list_matches_scalar(self):
+        controller = DvfsController()
+        fast = controller.schedule_trace([], target_ns=50e6)
+        slow = controller.schedule_trace_scalar([], target_ns=50e6)
+        assert fast.times_ns == slow.times_ns
+        assert fast.volts == slow.volts
+
+    def test_from_arrays_rejects_time_reversal(self):
+        from repro.dvfs import VoltageTrace
+        with pytest.raises(DvfsError):
+            VoltageTrace.from_arrays([0.0, 10.0, 5.0], [0.5, 0.6, 0.5])
+        with pytest.raises(DvfsError):
+            VoltageTrace.from_arrays([0.0, 1.0], [0.5])

@@ -1,0 +1,92 @@
+"""Serving on a *trained* artifact, not a synthetic profile.
+
+The ROADMAP's cached-artifact item: every other serving test runs on
+generated logits; this one trains (once — the artifact caches under
+``.artifacts/``, so reruns load in milliseconds) a quick 4-layer SST-2
+model, builds its :class:`TaskProfile` through the real
+``task_profile_from_artifact`` path (threshold calibration + LUT
+distillation), and serves traffic through both the queue-draining
+``Server`` and the discrete-event cluster simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSimulator
+from repro.core.artifacts import ArtifactConfig, load_task_artifact
+from repro.serving import (
+    Request,
+    Server,
+    TaskRegistry,
+    task_profile_from_artifact,
+)
+
+TARGET_MS = 200.0  # generous: the SLO story is covered elsewhere
+
+
+@pytest.fixture(scope="module")
+def profile():
+    artifact = load_task_artifact("sst2", ArtifactConfig.quick())
+    return task_profile_from_artifact(artifact), artifact
+
+
+@pytest.fixture(scope="module")
+def registry(profile):
+    task_profile, _ = profile
+    registry = TaskRegistry()
+    registry.register(task_profile)
+    return registry
+
+
+class TestArtifactProfile:
+    def test_calibration_produced_a_complete_profile(self, profile):
+        task_profile, artifact = profile
+        assert task_profile.lut is not None
+        assert task_profile.entropy_threshold > 0
+        assert task_profile.num_sentences == artifact.eval_labels.size
+        assert task_profile.logits.shape[0] == \
+            artifact.model_config.num_layers
+
+    def test_server_prices_artifact_traffic(self, registry, profile):
+        task_profile, artifact = profile
+        n = min(32, task_profile.num_sentences)
+        server = Server(registry, mode="lai")
+        for i in range(n):
+            server.submit(task="sst2", sentence=i, target_ms=TARGET_MS)
+        report = server.run()
+        assert report.num_requests == n
+        layers = artifact.model_config.num_layers
+        for row in report.results:
+            assert 1 <= row.result.exit_layer <= layers
+            assert row.result.energy_mj > 0
+        # Early exit on a trained model must beat full depth on average.
+        assert report.per_task()["sst2"]["avg_exit_layer"] < layers
+
+    def test_served_predictions_score_like_the_artifact(self, registry,
+                                                        profile):
+        task_profile, artifact = profile
+        n = task_profile.num_sentences
+        server = Server(registry, mode="lai")
+        for i in range(n):
+            server.submit(task="sst2", sentence=i, target_ms=TARGET_MS)
+        report = server.run()
+        predictions = np.array(
+            [report.result_for(i).prediction for i in range(n)])
+        accuracy = float((predictions == artifact.eval_labels).mean())
+        # The calibrated threshold grants ~1% accuracy budget vs the
+        # final off-ramp; allow slack for the quick recipe's noise.
+        assert accuracy >= artifact.baseline_accuracy - 0.05
+
+    def test_cluster_serves_artifact_traffic(self, registry, profile):
+        task_profile, _ = profile
+        n = min(48, task_profile.num_sentences)
+        trace = [Request(request_id=i, task="sst2",
+                         sentence=i % task_profile.num_sentences,
+                         target_ms=TARGET_MS, arrival_ms=float(i))
+                 for i in range(n)]
+        report = ClusterSimulator(registry, num_accelerators=2,
+                                  policy="affinity").run(trace)
+        assert report.num_requests == n
+        assert all(rec.queueing_delay_ms >= -1e-9
+                   for rec in report.records)
+        assert report.serving.task_switches >= 1  # cold encoder load
