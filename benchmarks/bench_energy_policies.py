@@ -1,0 +1,139 @@
+"""Energy-policy bench: joules vs SLO across cluster placement policies.
+
+Plays the reference mixed-SLO, mixed-criticality workload (400 requests,
+four GLUE tasks, base+lai modes) through the discrete-event simulator on
+the reference 4-device heterogeneous pool (mac vector sizes 32/16/16/8)
+under FIFO, affinity, EDF and the :class:`~repro.energy.EnergyGovernor`,
+recording total cluster energy with its compute/swap/idle/transition
+breakdown, SLO violations, preemptions and makespan per policy in
+``benchmarks/results/energy_policies.json``.
+
+Gates (fail the bench before any reporting does):
+
+* the energy-aware governor uses **no more total joules than FIFO** at
+  an **equal-or-better SLO violation count** on the reference workload
+  (the ISSUE-3 acceptance criterion);
+* every policy's per-accelerator energy breakdowns sum to its cluster
+  total within 1e-9 and reconcile with the serving aggregates;
+* every policy serves the whole trace.
+
+Run:  pytest benchmarks/bench_energy_policies.py -s
+ or:  python benchmarks/bench_energy_policies.py
+"""
+
+import json
+import os
+
+from conftest import RESULTS_DIR, emit
+from repro.cluster import ClusterSimulator
+from repro.energy.__main__ import reference_pool, reference_workload
+from repro.utils import format_table
+
+NUM_REQUESTS = 400
+N_SENTENCES = 64
+POLICIES = ("fifo", "affinity", "edf", "energy")
+
+
+def _require(condition, message):
+    # Explicit check (not assert): the gate must still fire under -O.
+    if not condition:
+        raise AssertionError(message)
+
+
+def run_benchmark(num_requests=NUM_REQUESTS, seed=0):
+    """Sweep the policies on one trace; returns the JSON record."""
+    registry, trace = reference_workload(num_requests=num_requests,
+                                         n_sentences=N_SENTENCES,
+                                         seed=seed)
+    pool = reference_pool()
+    rows = []
+    for policy in POLICIES:
+        report = ClusterSimulator(registry, policy=policy,
+                                  hw_configs=pool).run(trace)
+        energy = report.energy
+        _require(report.num_requests == len(trace),
+                 f"{policy} failed to serve the whole trace")
+        _require(abs(energy.total_mj
+                     - sum(d.total_mj for d in energy.devices)) <= 1e-9,
+                 f"{policy} per-device energy does not sum to the total")
+        energy.reconcile(report.serving, tol=1e-9)
+        rows.append({
+            "policy": policy,
+            "total_energy_mj": energy.total_mj,
+            "compute_mj": energy.compute_mj,
+            "swap_mj": energy.swap_mj,
+            "idle_mj": energy.idle_mj,
+            "transition_mj": energy.transition_mj,
+            "deadline_violations": report.deadline_violations,
+            "task_switches": report.serving.task_switches,
+            "preemptions": report.preemptions,
+            "makespan_ms": report.makespan_ms,
+            "mean_queueing_delay_ms": report.mean_queueing_delay_ms,
+            "wall_seconds": report.wall_seconds,
+        })
+    return {
+        "num_requests": num_requests,
+        "pool_mac_vector_sizes": [hw.mac_vector_size for hw in pool],
+        "rows": rows,
+    }
+
+
+def _row_for(record, policy):
+    for row in record["rows"]:
+        if row["policy"] == policy:
+            return row
+    raise AssertionError(f"no row for policy {policy!r}")
+
+
+def _check_gates(record):
+    fifo = _row_for(record, "fifo")
+    governor = _row_for(record, "energy")
+    _require(governor["total_energy_mj"] <= fifo["total_energy_mj"],
+             "energy policy burns more joules than FIFO: "
+             f"{governor['total_energy_mj']:.6f} vs "
+             f"{fifo['total_energy_mj']:.6f} mJ")
+    _require(governor["deadline_violations"]
+             <= fifo["deadline_violations"],
+             "energy policy misses more SLOs than FIFO: "
+             f"{governor['deadline_violations']} vs "
+             f"{fifo['deadline_violations']}")
+
+
+def _write_result(record):
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "energy_policies.json")
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(record, f, indent=2, sort_keys=True)
+    return path
+
+
+def _build_table(record):
+    rows = [
+        [row["policy"], f"{row['total_energy_mj']:.4f}",
+         f"{row['compute_mj']:.4f}", f"{row['swap_mj']:.4f}",
+         f"{row['idle_mj']:.4f}", str(row["deadline_violations"]),
+         str(row["task_switches"]), f"{row['makespan_ms']:.0f}"]
+        for row in record["rows"]
+    ]
+    sizes = "/".join(str(n) for n in record["pool_mac_vector_sizes"])
+    return format_table(
+        ["Policy", "Total (mJ)", "Compute", "Swap", "Idle", "SLO miss",
+         "Swaps", "Makespan (ms)"],
+        rows,
+        title=f"Energy policies — {record['num_requests']} requests on "
+              f"a heterogeneous n={sizes} pool")
+
+
+def test_energy_policies():
+    record = run_benchmark()
+    _check_gates(record)
+    _write_result(record)
+    emit("energy_policies", _build_table(record))
+
+
+if __name__ == "__main__":
+    result = run_benchmark()
+    _check_gates(result)
+    path = _write_result(result)
+    print(_build_table(result))
+    print(f"\nwrote {path}")

@@ -16,19 +16,34 @@ multi-accelerator sharding + async-ingestion items in one layer):
 * :class:`ClusterSimulator` — ``run(trace)`` →
   :class:`ClusterReport`, which composes the serving layer's
   :class:`~repro.serving.ServingReport` aggregates with queueing delay,
-  time-in-system, per-accelerator utilization, and an SLO-violation
-  breakdown (compute vs. queueing misses).
+  time-in-system, per-accelerator utilization, an SLO-violation
+  breakdown (compute vs. queueing misses), and the
+  :class:`~repro.energy.EnergyReport` device ledgers.
 
-``python -m repro.cluster --smoke`` runs the self-checking gate.
+Heterogeneous pools pass per-accelerator ``hw_configs`` (per-device
+pricing tables); the :mod:`repro.energy` subsystem supplies the
+``"energy"`` placement policy, per-device DVFS/idle accounting and the
+cluster-wide joules/sec budget; :mod:`repro.cluster.trace` replays
+measured CSV/JSONL request logs instead of synthetic arrivals.
+
+``python -m repro.cluster --smoke`` runs the self-checking gate;
+``python -m repro.cluster --trace FILE`` replays a trace file.
 """
 
 from repro.cluster.accelerator import (
     AcceleratorSim,
     AcceleratorStats,
     ActiveRun,
+    PlacementEstimate,
 )
 from repro.cluster.batcher import BatchFormer, PendingBatch
-from repro.cluster.events import Arrival, BatchDone, BatchTimeout, EventLoop
+from repro.cluster.events import (
+    Arrival,
+    BatchDone,
+    BatchTimeout,
+    DispatchRetry,
+    EventLoop,
+)
 from repro.cluster.policies import (
     POLICIES,
     EdfPolicy,
@@ -39,6 +54,13 @@ from repro.cluster.policies import (
 )
 from repro.cluster.report import ClusterRecord, ClusterReport
 from repro.cluster.simulator import ClusterSimulator
+from repro.cluster.trace import (
+    load_trace,
+    load_trace_csv,
+    load_trace_jsonl,
+    save_trace_csv,
+    save_trace_jsonl,
+)
 
 __all__ = [
     "AcceleratorSim",
@@ -51,12 +73,19 @@ __all__ = [
     "ClusterRecord",
     "ClusterReport",
     "ClusterSimulator",
+    "DispatchRetry",
     "EdfPolicy",
     "EventLoop",
     "FewestSwapsPolicy",
     "FifoPolicy",
     "POLICIES",
     "PendingBatch",
+    "PlacementEstimate",
     "SchedulingPolicy",
+    "load_trace",
+    "load_trace_csv",
+    "load_trace_jsonl",
     "make_policy",
+    "save_trace_csv",
+    "save_trace_jsonl",
 ]

@@ -1,12 +1,18 @@
-"""Cluster smoke target: ``python -m repro.cluster --smoke``.
+"""Cluster drivers: ``--smoke`` self-checks and ``--trace`` replay.
 
-One command that exercises the whole discrete-event path — arrival-aware
-batching, all three scheduling policies, multi-accelerator placement,
-EDF preemption — with self-checks on conservation, queueing accounting,
-determinism, and the scaling claim (a 4-accelerator affinity cluster
-beats the single-accelerator FIFO baseline on both throughput and
-end-to-end SLO violations). Exits non-zero on any regression; the cheap
-CI gate for the cluster stack, mirroring ``python -m repro.serving``.
+``python -m repro.cluster --smoke`` exercises the whole discrete-event
+path — arrival-aware batching, the scheduling policies, multi-
+accelerator placement, EDF preemption — with self-checks on
+conservation, queueing accounting, determinism, and the scaling claim
+(a 4-accelerator affinity cluster beats the single-accelerator FIFO
+baseline on both throughput and end-to-end SLO violations). Exits
+non-zero on any regression; the cheap CI gate for the cluster stack,
+mirroring ``python -m repro.serving``.
+
+``python -m repro.cluster --trace FILE`` replays a measured CSV/JSONL
+request log (:mod:`repro.cluster.trace`) through a chosen policy and
+pool size and prints the report summary — the experiment driver for
+real traffic instead of synthetic Poisson arrivals.
 """
 
 from __future__ import annotations
@@ -15,7 +21,7 @@ import argparse
 import json
 import sys
 
-from repro.cluster import ClusterSimulator
+from repro.cluster import ClusterSimulator, load_trace
 from repro.config import GLUE_TASKS
 from repro.errors import ClusterError, ReproError
 from repro.serving import Request, synthetic_registry, synthetic_traffic
@@ -121,26 +127,64 @@ def run_smoke(num_requests=400, n_sentences=64, seed=0, verbose=True):
     return summaries
 
 
+def run_trace(path, policy="fifo", num_accelerators=4, seed=0,
+              mode="lai", verbose=True):
+    """Replay a trace file through the simulator; returns the summary.
+
+    The registry is synthesized over the GLUE task set with enough
+    sentences per task to cover every index the trace references (real
+    deployments would register trained artifacts instead).
+    """
+    trace = load_trace(path)
+    unknown = sorted({r.task for r in trace} - set(GLUE_TASKS))
+    if unknown:
+        raise ClusterError(
+            f"trace references unregistered task(s) {unknown}; "
+            f"known tasks: {GLUE_TASKS}")
+    n_sentences = max(r.sentence for r in trace) + 1
+    registry = synthetic_registry(GLUE_TASKS, n=max(8, n_sentences),
+                                  seed=seed)
+    report = ClusterSimulator(registry, num_accelerators=num_accelerators,
+                              policy=policy, mode=mode).run(trace)
+    summary = report.summary()
+    if verbose:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    return summary
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.cluster",
         description="EdgeBERT multi-accelerator cluster simulator driver")
     parser.add_argument("--smoke", action="store_true",
                         help="run the self-checking cluster smoke pass")
+    parser.add_argument("--trace", metavar="FILE",
+                        help="replay a CSV/JSONL request log")
+    parser.add_argument("--policy", default="fifo",
+                        help="scheduling policy for --trace replay")
+    parser.add_argument("--accelerators", type=int, default=4,
+                        help="pool size for --trace replay")
+    parser.add_argument("--mode", default="lai",
+                        help="default execution mode for --trace replay")
     parser.add_argument("--requests", type=int, default=400,
                         help="trace length for the smoke pass")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
-    if not args.smoke:
-        parser.error("nothing to do; pass --smoke")
+    if not args.smoke and not args.trace:
+        parser.error("nothing to do; pass --smoke or --trace FILE")
     try:
-        run_smoke(num_requests=args.requests, seed=args.seed,
-                  verbose=not args.quiet)
-    except (AssertionError, ReproError) as exc:
-        print(f"SMOKE FAILED: {exc}", file=sys.stderr)
+        if args.smoke:
+            run_smoke(num_requests=args.requests, seed=args.seed,
+                      verbose=not args.quiet)
+        if args.trace:
+            run_trace(args.trace, policy=args.policy,
+                      num_accelerators=args.accelerators, seed=args.seed,
+                      mode=args.mode, verbose=not args.quiet)
+    except (AssertionError, ReproError, OSError) as exc:
+        print(f"RUN FAILED: {exc}", file=sys.stderr)
         return 1
-    if not args.quiet:
+    if not args.quiet and args.smoke:
         print("cluster smoke: OK")
     return 0
 

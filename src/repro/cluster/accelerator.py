@@ -8,6 +8,16 @@ come from the vectorized batch kernels, so the simulator knows every
 sentence's absolute finish time up front. That schedule is what makes
 preemption well-defined: preempting at time *t* keeps the sentences that
 finished by *t*, wastes the partial one, and requeues the rest.
+
+Heterogeneous pools give each device its own ``hw_config`` (the
+simulator prices batches against per-device
+:class:`~repro.core.engine.PricingTables` via
+:meth:`~repro.serving.TaskRegistry.profile_for`) and a
+:class:`~repro.energy.DeviceEnergyModel` that tracks the parked DVFS
+point, idle leakage and wake transitions. Policies that reason about
+cost — the :class:`~repro.energy.EnergyGovernor` and EDF's preemption
+feasibility test — call :meth:`AcceleratorSim.estimate`, which the
+simulator backs with its cached per-device pricing.
 """
 
 from __future__ import annotations
@@ -17,6 +27,36 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ClusterError
+
+
+@dataclass(frozen=True)
+class PlacementEstimate:
+    """Predicted cost of placing one pending batch on one device.
+
+    ``latency_ms``/``energy_mj`` are the batch's sequential compute
+    totals on the device's hardware (``first_latency_ms`` the leading
+    sentence's alone — the batch's ``deadline_ms`` belongs to its
+    earliest member, which completes first); swap terms assume the
+    device's current residency (post-eviction residency for a busy
+    victim); the transition terms are the DVFS wake cost from the
+    parked point — energy-only in the schedule, so predicted completion
+    is ``now + swap_ms + latency_ms``, exactly what the simulator
+    executes.
+    """
+
+    latency_ms: float
+    first_latency_ms: float
+    energy_mj: float
+    swap_ms: float
+    swap_energy_mj: float
+    transition_ms: float
+    transition_energy_mj: float
+
+    @property
+    def total_energy_mj(self):
+        """Everything the placement is predicted to burn."""
+        return (self.energy_mj + self.swap_energy_mj
+                + self.transition_energy_mj)
 
 
 @dataclass
@@ -46,6 +86,16 @@ class ActiveRun:
         return self.swap_ms > 0 and \
             now_ms < self.start_ms + self.swap_ms - 1e-9
 
+    def aborts_mid_swap(self, now_ms):
+        """Would a preemption at ``now_ms`` abort inside the swap?
+
+        The single definition of the mid-swap boundary — the refund
+        logic, the simulator's waste accounting and the placement
+        estimator all call this, so predicted and executed swap costs
+        can never drift apart.
+        """
+        return self.completed_by(now_ms) == 0 and self.in_swap_at(now_ms)
+
 
 @dataclass
 class AcceleratorStats:
@@ -58,6 +108,10 @@ class AcceleratorStats:
     swaps: int = 0
     swap_latency_ms: float = 0.0
     swap_energy_mj: float = 0.0
+    swap_refunds: int = 0
+    swap_energy_refunded_mj: float = 0.0
+    compute_energy_mj: float = 0.0  # served sentences + wasted fractions
+    wasted_energy_mj: float = 0.0  # the wasted share of the above
     preemptions_suffered: int = 0
 
     def utilization(self, makespan_ms):
@@ -69,11 +123,14 @@ class AcceleratorStats:
 class AcceleratorSim:
     """Busy-until bookkeeping for one accelerator in the pool."""
 
-    def __init__(self, accel_id):
+    def __init__(self, accel_id, hw_config=None, energy_model=None):
         self.accel_id = int(accel_id)
+        self.hw_config = hw_config
+        self.energy = energy_model  # repro.energy.DeviceEnergyModel | None
         self.resident_task = None
         self.run = None
         self._next_run_id = 0
+        self._estimator = None
         self.stats = AcceleratorStats(accel_id=self.accel_id)
 
     @property
@@ -83,6 +140,27 @@ class AcceleratorSim:
     @property
     def busy_until_ms(self):
         return 0.0 if self.run is None else self.run.end_ms
+
+    # -- cost estimation (policy-facing) ------------------------------------------
+
+    def attach_estimator(self, estimator):
+        """Install the simulator's pricing-backed estimate callable."""
+        self._estimator = estimator
+
+    def estimate(self, pending_batch, now_ms):
+        """Predict the cost of running ``pending_batch`` on this device.
+
+        Returns a :class:`PlacementEstimate`; requires the simulator to
+        have attached its estimator (policies running outside a
+        simulation have no pricing to consult).
+        """
+        if self._estimator is None:
+            raise ClusterError(
+                f"accelerator {self.accel_id} has no cost estimator "
+                "attached")
+        return self._estimator(self, pending_batch, now_ms)
+
+    # -- run lifecycle ------------------------------------------------------------
 
     def begin(self, pending, results, latencies_ms, now_ms, swap_cost):
         """Start executing ``pending`` at ``now_ms``; returns the run.
@@ -104,6 +182,8 @@ class AcceleratorSim:
             self.stats.swap_latency_ms += swap_ms
             self.stats.swap_energy_mj += swap_energy
             self.resident_task = pending.task
+        if self.energy is not None:
+            self.energy.on_run_begin(now_ms)
         finish = now_ms + swap_ms + np.cumsum(
             np.asarray(latencies_ms, dtype=np.float64))
         self.run = ActiveRun(pending=pending, results=list(results),
@@ -118,6 +198,7 @@ class AcceleratorSim:
         """Finish the active run; returns it with the accelerator idle."""
         run = self._take_run(now_ms)
         self.stats.requests += len(run.results)
+        self._park_after(run, len(run.results), now_ms)
         return run
 
     def preempt(self, now_ms):
@@ -134,18 +215,35 @@ class AcceleratorSim:
         (whatever its task) pays a full swap.
         """
         run = self.run
-        if run is not None and run.completed_by(now_ms) == 0 \
-                and run.in_swap_at(now_ms):
+        if run is not None and run.aborts_mid_swap(now_ms):
             elapsed = max(0.0, now_ms - run.start_ms)
+            refund_mj = run.swap_energy_mj * (1.0 - elapsed / run.swap_ms)
             self.stats.swap_latency_ms -= run.swap_ms - elapsed
-            self.stats.swap_energy_mj -= run.swap_energy_mj * (
-                1.0 - elapsed / run.swap_ms)
+            self.stats.swap_energy_mj -= refund_mj
+            self.stats.swap_refunds += 1
+            self.stats.swap_energy_refunded_mj += refund_mj
             self.resident_task = None
         run = self._take_run(now_ms, end_ms=now_ms)
         n_done = run.completed_by(now_ms)
         self.stats.requests += n_done
         self.stats.preemptions_suffered += 1
+        self._park_after(run, n_done, now_ms)
         return run, n_done
+
+    def _park_after(self, run, n_done, now_ms):
+        """Park the device's rail where the run left it.
+
+        The last *completed* sentence's operating point is where the
+        supply sits; a run aborted before any sentence finished never
+        left the nominal front end.
+        """
+        if self.energy is None:
+            return
+        if n_done > 0:
+            last = run.results[n_done - 1]
+            self.energy.on_run_end(now_ms, last.vdd, last.freq_ghz)
+        else:
+            self.energy.on_run_end(now_ms)
 
     def _take_run(self, now_ms, end_ms=None):
         if self.run is None:

@@ -6,13 +6,15 @@ events at the same simulated instant always fire in schedule order and a
 run is bit-for-bit reproducible. Events are plain frozen dataclasses;
 the loop dispatches each to the handler registered for its type.
 
-Three event types drive the simulation:
+Four event types drive the simulation:
 
 * :class:`Arrival` — a request becomes visible at ``Request.arrival_ms``;
 * :class:`BatchTimeout` — a batch former's timeout trigger fires (stale
   timers are invalidated by the former's generation counter);
 * :class:`BatchDone` — an accelerator finishes its active run (stale
-  completions from preempted runs are invalidated by ``run_id``).
+  completions from preempted runs are invalidated by ``run_id``);
+* :class:`DispatchRetry` — the energy-budget window has recovered and
+  the dispatcher should try admission again.
 """
 
 from __future__ import annotations
@@ -44,6 +46,16 @@ class BatchDone:
 
     accel_id: int
     run_id: int
+
+
+@dataclass(frozen=True)
+class DispatchRetry:
+    """Re-run the dispatcher after an energy-budget stall.
+
+    Scheduled at the instant the rolling budget window frees enough
+    headroom for admission to resume; the simulator arms at most one at
+    a time, so the event needs no staleness guard.
+    """
 
 
 class EventLoop:

@@ -12,11 +12,14 @@ running one. Three are built in:
   amortizes encoder-weight swaps the way `repro.serving`'s scheduler
   does for a single queue.
 * :class:`EdfPolicy` — earliest-deadline-first across SLO classes, with
-  preemption of long ``base``-mode batches by tighter-deadline ``lai``
-  traffic (the ROADMAP's cross-class dynamic-batching item).
+  feasibility-gated preemption of long ``base``-mode batches by
+  tighter-deadline ``lai`` traffic (the ROADMAP's cross-class
+  dynamic-batching item).
 
-All tie-breaks are on (deadline/seq, accel_id) so every policy is
-deterministic given the same trace.
+A fourth, the energy/deadline-scoring
+:class:`~repro.energy.EnergyGovernor`, lives in :mod:`repro.energy` and
+registers here under ``"energy"``. All tie-breaks are on (deadline/seq,
+accel_id) so every policy is deterministic given the same trace.
 """
 
 from __future__ import annotations
@@ -29,6 +32,9 @@ class SchedulingPolicy:
 
     name = "base"
     preemptive = False
+
+    def reset(self):
+        """Clear per-run state; the simulator calls this at run start."""
 
     def next_placement(self, pending, free_accels, now_ms):
         """Choose ``(pending_batch, accelerator)`` or None to wait.
@@ -84,7 +90,7 @@ class FewestSwapsPolicy(SchedulingPolicy):
 
 
 class EdfPolicy(SchedulingPolicy):
-    """Earliest-deadline-first with base-by-lai preemption.
+    """Earliest-deadline-first with feasibility-gated base-by-lai preemption.
 
     Placement picks the earliest-deadline batch and prefers a resident-
     task match among free accelerators (deadline pressure first, swap
@@ -92,16 +98,50 @@ class EdfPolicy(SchedulingPolicy):
     busy, the most urgent waiter is ``lai`` traffic, and some accelerator
     is running a ``base``-mode batch with a strictly later deadline — the
     victim with the slackest deadline is evicted.
+
+    Before evicting, the policy runs a **feasibility test** (the
+    ROADMAP's preemption-aware admission): the urgent batch's predicted
+    completion on the victim — ``now + swap + compute``, from the
+    victim's :meth:`~repro.cluster.AcceleratorSim.estimate` — must still
+    meet its deadline. A doomed request would only waste the victim's
+    completed base-mode work, so the preemption is skipped instead
+    (``infeasible_skips`` counts them). Victims without an attached
+    estimator (bare policy unit tests) skip the test and preempt as
+    before.
     """
 
     name = "edf"
     preemptive = True
+
+    def __init__(self, feasibility_check=True):
+        self.feasibility_check = feasibility_check
+        #: Dispatcher passes in which every candidate victim failed the
+        #: feasibility test (a stalled doomed batch recounts on each
+        #: event until it runs). Reset per simulation run.
+        self.infeasible_skips = 0
+
+    def reset(self):
+        self.infeasible_skips = 0
 
     def next_placement(self, pending, free_accels, now_ms):
         pb = min(pending, key=lambda pb: (pb.deadline_ms, pb.seq))
         matches = [a for a in free_accels if a.resident_task == pb.task]
         pool = matches or free_accels
         return pb, min(pool, key=lambda a: a.accel_id)
+
+    def _feasible_after_eviction(self, pb, victim, now_ms):
+        """Would ``pb`` still meet its deadline if ``victim`` is evicted?"""
+        if not self.feasibility_check \
+                or getattr(victim, "estimate", None) is None:
+            return True
+        try:
+            est = victim.estimate(pb, now_ms)
+        except ClusterError:
+            return True  # no estimator attached: keep legacy eagerness
+        # The batch's deadline belongs to its earliest member, which is
+        # also its leading sentence — judge that sentence's completion.
+        finish = now_ms + est.swap_ms + est.first_latency_ms
+        return finish <= pb.deadline_ms + 1e-9
 
     def preemption(self, pending, accelerators, now_ms):
         urgent = [pb for pb in pending if pb.mode == "lai"]
@@ -116,17 +156,35 @@ class EdfPolicy(SchedulingPolicy):
         ]
         if not victims:
             return None
-        victim = max(victims,
-                     key=lambda a: (a.run.pending.deadline_ms, a.accel_id))
-        return pb, victim
+        # Slackest victim first; if evicting it cannot save the urgent
+        # batch (e.g. a swap it would have to pay), try the next one —
+        # a less-slack or task-matching device may still be feasible.
+        victims.sort(key=lambda a: (a.run.pending.deadline_ms,
+                                    a.accel_id), reverse=True)
+        for victim in victims:
+            if self._feasible_after_eviction(pb, victim, now_ms):
+                return pb, victim
+        self.infeasible_skips += 1
+        return None
 
 
-#: Registry of built-in policies (aliases included).
+def _energy_governor():
+    # Imported lazily: repro.energy subclasses SchedulingPolicy from this
+    # module, so a module-level import would be circular.
+    from repro.energy.governor import EnergyGovernor
+    return EnergyGovernor()
+
+
+#: Registry of built-in policies (aliases included). Values are
+#: zero-argument callables returning a policy instance (classes or
+#: lazy factories alike).
 POLICIES = {
     "fifo": FifoPolicy,
     "affinity": FewestSwapsPolicy,
     "fewest-swaps": FewestSwapsPolicy,
     "edf": EdfPolicy,
+    "energy": _energy_governor,
+    "governor": _energy_governor,
 }
 
 

@@ -8,6 +8,12 @@ queueing delay and time-in-system, per-accelerator utilization, and an
 SLO-violation breakdown that separates *compute* misses (the engine
 could not meet the target even in isolation) from *queueing* misses
 (the sentence priced fine but waited too long for an accelerator).
+
+The energy side of the run — per-device compute/swap/idle/transition
+ledgers, energy per request by SLO class, budget accounting — composes
+in through the ``energy`` property (an
+:class:`~repro.energy.EnergyReport` over the ``device_energy``
+breakdowns the simulator fills in).
 """
 
 from __future__ import annotations
@@ -55,6 +61,8 @@ class ClusterReport:
     num_accelerators: int
     records: list = field(default_factory=list)  # ClusterRecord rows
     accelerators: list = field(default_factory=list)  # AcceleratorStats
+    device_energy: list = field(default_factory=list)  # DeviceEnergyBreakdown
+    budget: object = None  # repro.energy.BudgetStats | None
     num_batches: int = 0
     preemptions: int = 0
     wasted_compute_ms: float = 0.0
@@ -95,6 +103,23 @@ class ClusterReport:
             report.wall_seconds = self.wall_seconds
             self._serving = report
         return self._serving
+
+    @property
+    def energy(self):
+        """The run's :class:`~repro.energy.EnergyReport`.
+
+        Per-accelerator compute/swap/idle/transition breakdowns,
+        energy-per-request by (task, SLO class, mode), and budget
+        accounting — built once from the device ledgers and cached. The
+        compute/swap columns reconcile with :attr:`serving` to 1e-9
+        (``self.energy.reconcile(self.serving)``).
+        """
+        if not hasattr(self, "_energy"):
+            # Imported here: repro.energy.report is dependency-free, but
+            # the report type composes cluster runs, not vice versa.
+            from repro.energy.report import EnergyReport
+            self._energy = EnergyReport.from_cluster(self)
+        return self._energy
 
     # -- queueing / latency statistics -------------------------------------------
 
@@ -163,6 +188,10 @@ class ClusterReport:
                 "swaps": a.swaps,
                 "swap_latency_ms": a.swap_latency_ms,
                 "swap_energy_mj": a.swap_energy_mj,
+                "swap_refunds": a.swap_refunds,
+                "swap_energy_refunded_mj": a.swap_energy_refunded_mj,
+                "compute_energy_mj": a.compute_energy_mj,
+                "wasted_energy_mj": a.wasted_energy_mj,
                 "preemptions_suffered": a.preemptions_suffered,
             }
             for a in self.accelerators
@@ -195,4 +224,5 @@ class ClusterReport:
             "wasted_compute_ms": self.wasted_compute_ms,
             "per_accelerator": self.per_accelerator(),
             "per_task": self.serving.per_task(),
+            "energy": self.energy.summary(),
         }

@@ -10,11 +10,23 @@
    placement pays the encoder-weight swap when the resident task
    changes, then prices the batch with the same vectorized kernels the
    single-node :class:`~repro.serving.Server` uses
-   (:func:`repro.serving.price_batch`).
+   (:func:`repro.serving.price_batch`) — against the *device's own*
+   pricing tables when the pool is heterogeneous (per-accelerator
+   ``hw_configs``).
 3. **Completion / preemption** — per-sentence finish times are known at
    placement, so completions are exact events; preemptive policies may
    abort a running ``base`` batch at a sentence boundary, wasting the
    partial sentence and requeueing the rest.
+
+Energy is a first-class signal (the :mod:`repro.energy` subsystem):
+every accelerator carries a
+:class:`~repro.energy.DeviceEnergyModel` tracking its parked DVFS
+point, idle leakage and wake transitions; policies can consult
+per-device cost predictions through
+:meth:`~repro.cluster.AcceleratorSim.estimate`; and an optional
+cluster-wide :class:`~repro.energy.EnergyBudget` (``energy_budget_mw``)
+throttles admission while the rolling joules/sec window is exhausted.
+The resulting ledger lands in ``ClusterReport.energy``.
 
 Everything is deterministic: no wall-clock, no RNG — the same trace,
 pool and policy always produce the same :class:`ClusterReport`.
@@ -24,13 +36,22 @@ from __future__ import annotations
 
 import time
 
+from repro.energy.budget import EnergyBudget
+from repro.energy.device import DeviceEnergyModel
+from repro.energy.report import DeviceEnergyBreakdown
 from repro.errors import ClusterError
 from repro.serving.request import SERVING_MODES, Batch
 from repro.serving.server import price_batch, validate_request
 
-from repro.cluster.accelerator import AcceleratorSim
+from repro.cluster.accelerator import AcceleratorSim, PlacementEstimate
 from repro.cluster.batcher import BatchFormer, PendingBatch
-from repro.cluster.events import Arrival, BatchDone, BatchTimeout, EventLoop
+from repro.cluster.events import (
+    Arrival,
+    BatchDone,
+    BatchTimeout,
+    DispatchRetry,
+    EventLoop,
+)
 from repro.cluster.policies import make_policy
 from repro.cluster.report import ClusterRecord, ClusterReport
 
@@ -38,11 +59,10 @@ from repro.cluster.report import ClusterRecord, ClusterReport
 class ClusterSimulator:
     """A pool of priced accelerators behind arrival-aware batching."""
 
-    def __init__(self, registry, num_accelerators=1, policy="fifo",
+    def __init__(self, registry, num_accelerators=None, policy="fifo",
                  mode="lai", max_batch_size=32, batch_timeout_ms=5.0,
-                 vectorized=True):
-        if num_accelerators < 1:
-            raise ClusterError("num_accelerators must be >= 1")
+                 vectorized=True, hw_configs=None, energy_budget_mw=None,
+                 budget_window_ms=100.0):
         if mode not in SERVING_MODES:
             raise ClusterError(
                 f"unknown mode {mode!r}; expected one of {SERVING_MODES}")
@@ -50,6 +70,22 @@ class ClusterSimulator:
             raise ClusterError("max_batch_size must be >= 1")
         if batch_timeout_ms < 0:
             raise ClusterError("batch_timeout_ms must be non-negative")
+        if hw_configs is not None:
+            hw_configs = tuple(hw_configs)
+            if not hw_configs:
+                raise ClusterError("hw_configs must not be empty")
+            if num_accelerators is None:
+                num_accelerators = len(hw_configs)
+            elif num_accelerators != len(hw_configs):
+                # An explicit pool size must match exactly — silently
+                # preferring either number corrupts sweeps.
+                raise ClusterError(
+                    f"hw_configs has {len(hw_configs)} entries for "
+                    f"{num_accelerators} accelerators")
+        if num_accelerators is None:
+            num_accelerators = 1
+        if num_accelerators < 1:
+            raise ClusterError("num_accelerators must be >= 1")
         self.registry = registry
         self.num_accelerators = int(num_accelerators)
         self.policy = make_policy(policy)
@@ -57,6 +93,11 @@ class ClusterSimulator:
         self.max_batch_size = int(max_batch_size)
         self.batch_timeout_ms = float(batch_timeout_ms)
         self.vectorized = vectorized
+        self.hw_configs = hw_configs
+        if energy_budget_mw is not None and energy_budget_mw <= 0:
+            raise ClusterError("energy_budget_mw must be positive")
+        self.energy_budget_mw = energy_budget_mw
+        self.budget_window_ms = float(budget_window_ms)
 
     # -- public API --------------------------------------------------------------
 
@@ -75,15 +116,23 @@ class ClusterSimulator:
                              self._resolve_mode(request))
 
         started = time.perf_counter()
+        self.policy.reset()
         self._loop = EventLoop()
         self._loop.on(Arrival, self._on_arrival)
         self._loop.on(BatchTimeout, self._on_timeout)
         self._loop.on(BatchDone, self._on_done)
-        self._accels = [AcceleratorSim(i)
-                        for i in range(self.num_accelerators)]
+        self._loop.on(DispatchRetry, self._on_dispatch_retry)
+        self._accels = self._build_pool()
         self._formers = {}
         self._pending = []
         self._batch_seq = 0
+        self._price_cache = {}
+        self._hw_variants = {a.hw_config for a in self._accels}
+        self._budget = None
+        self._budget_retry_armed = False
+        if self.energy_budget_mw is not None:
+            self._budget = EnergyBudget(self.energy_budget_mw,
+                                        self.budget_window_ms)
         self._report = ClusterReport(
             policy=self.policy.name, mode=self.mode,
             num_accelerators=self.num_accelerators)
@@ -96,6 +145,25 @@ class ClusterSimulator:
         report.accelerators = [a.stats for a in self._accels]
         report.makespan_ms = max(
             (rec.completion_ms for rec in report.records), default=0.0)
+        for accel in self._accels:
+            accel.energy.finalize(report.makespan_ms)
+        report.device_energy = [
+            DeviceEnergyBreakdown(
+                accel_id=a.accel_id,
+                mac_vector_size=a.energy.hw_config.mac_vector_size,
+                compute_mj=a.stats.compute_energy_mj,
+                swap_mj=a.stats.swap_energy_mj,
+                idle_mj=a.energy.idle_energy_mj,
+                transition_mj=a.energy.transition_energy_mj,
+                idle_ms=a.energy.idle_ms,
+                transition_ms=a.energy.transition_ms,
+                transitions=a.energy.transitions,
+                parked_vdd=a.energy.parked_vdd,
+            )
+            for a in self._accels
+        ]
+        if self._budget is not None:
+            report.budget = self._budget.stats
         report.wall_seconds = time.perf_counter() - started
         # Conservation: every submitted request served exactly once.
         served = sorted(rec.request.request_id for rec in report.records)
@@ -105,6 +173,25 @@ class ClusterSimulator:
             raise ClusterError(
                 "simulation ended with unserved or duplicated requests")
         return report
+
+    # -- pool construction -------------------------------------------------------
+
+    def _default_hw_config(self):
+        """Hardware for homogeneous pools: the registry's pricing HW."""
+        return self.registry.profile(self.registry.tasks[0]) \
+            .engine.hw_config
+
+    def _build_pool(self):
+        default_hw = None if self.hw_configs else self._default_hw_config()
+        accels = []
+        estimator = self._estimate_placement
+        for i in range(self.num_accelerators):
+            hw = self.hw_configs[i] if self.hw_configs else None
+            energy = DeviceEnergyModel(hw or default_hw)
+            accel = AcceleratorSim(i, hw_config=hw, energy_model=energy)
+            accel.attach_estimator(estimator)
+            accels.append(accel)
+        return accels
 
     # -- event handlers ----------------------------------------------------------
 
@@ -147,6 +234,60 @@ class ClusterSimulator:
         self._record_run(run, len(run.results))
         self._dispatch()
 
+    def _on_dispatch_retry(self, event):
+        self._budget_retry_armed = False
+        self._dispatch()
+
+    # -- per-device pricing ------------------------------------------------------
+
+    def _price(self, pending_batch, accel):
+        """Price ``pending_batch`` on ``accel``'s hardware (cached).
+
+        The cache is keyed by (batch seq, device HwConfig): distinct
+        PendingBatch objects always carry distinct seqs, and every
+        device sharing a hardware profile prices identically — so the
+        governor scoring k devices and the eventual placement share one
+        engine call per hardware variant. Entries are evicted when
+        their batch starts (:meth:`_start`), so the footprint stays
+        O(pending batches x hardware variants) on long traces.
+        """
+        key = (pending_batch.seq, accel.hw_config)
+        report = self._price_cache.get(key)
+        if report is None:
+            profile = self.registry.profile_for(pending_batch.task,
+                                                accel.hw_config)
+            report = price_batch(profile, pending_batch.batch,
+                                 pending_batch.mode,
+                                 vectorized=self.vectorized)
+            self._price_cache[key] = report
+        return report
+
+    def _estimate_placement(self, accel, pending_batch, now_ms):
+        """Back :meth:`AcceleratorSim.estimate` with cached pricing."""
+        engine_report = self._price(pending_batch, accel)
+        latency_ms = float(sum(r.latency_ms
+                               for r in engine_report.results))
+        first_latency_ms = float(engine_report.results[0].latency_ms) \
+            if engine_report.results else 0.0
+        energy_mj = float(sum(r.energy_mj
+                              for r in engine_report.results))
+        resident = accel.resident_task
+        if accel.run is not None and accel.run.aborts_mid_swap(now_ms):
+            resident = None  # an eviction now would drop the residency
+        swap_ms = swap_energy = 0.0
+        if resident != pending_batch.task:
+            cost = self.registry.switch_cost(resident, pending_batch.task)
+            swap_ms, swap_energy = cost.latency_ms, cost.energy_mj
+        transition_ms = transition_mj = 0.0
+        if accel.energy is not None:
+            transition_ms, transition_mj = \
+                accel.energy.estimate_transition()
+        return PlacementEstimate(
+            latency_ms=latency_ms, first_latency_ms=first_latency_ms,
+            energy_mj=energy_mj, swap_ms=swap_ms,
+            swap_energy_mj=swap_energy, transition_ms=transition_ms,
+            transition_energy_mj=transition_mj)
+
     # -- dispatcher --------------------------------------------------------------
 
     def _next_batch_seq(self):
@@ -157,9 +298,25 @@ class ClusterSimulator:
     def _enqueue(self, pending_batch):
         self._pending.append(pending_batch)
 
+    def _budget_throttled(self):
+        """True while admission must stall; arms the retry event."""
+        if self._budget is None:
+            return False
+        now = self._loop.now_ms
+        if not self._budget.exhausted(now):
+            return False
+        if not self._budget_retry_armed:
+            relief = self._budget.next_relief_ms(now)
+            self._budget.note_throttle(now, relief)
+            self._loop.schedule(max(relief, now), DispatchRetry())
+            self._budget_retry_armed = True
+        return True
+
     def _dispatch(self):
         """Place pending batches until the policy has nothing to do."""
         while self._pending:
+            if self._budget_throttled():
+                return
             free = [a for a in self._accels if a.idle]
             if free:
                 placement = self.policy.next_placement(
@@ -183,14 +340,26 @@ class ClusterSimulator:
         """Price the batch and occupy the accelerator with its schedule."""
         now = self._loop.now_ms
         batch = pending_batch.batch
-        profile = self.registry.profile(batch.task)
         swap_cost = self.registry.switch_cost(accel.resident_task,
                                               batch.task)
-        engine_report = price_batch(profile, batch, pending_batch.mode,
-                                    vectorized=self.vectorized)
+        engine_report = self._price(pending_batch, accel)
         latencies = [r.latency_ms for r in engine_report.results]
+        if self._budget is not None:
+            # Commit the placement's predicted energy against the
+            # rolling window: compute + swap (when actually paid) +
+            # the wake transition the device charges at begin.
+            committed = float(sum(r.energy_mj
+                                  for r in engine_report.results))
+            if accel.resident_task != batch.task:
+                committed += swap_cost.energy_mj
+            committed += accel.energy.estimate_transition()[1]
+            self._budget.commit(now, committed)
         run = accel.begin(pending_batch, engine_report.results, latencies,
                           now, swap_cost)
+        # The batch is placed; its priced variants can never be needed
+        # again (requeued remainders get fresh seqs).
+        for hw in self._hw_variants:
+            self._price_cache.pop((pending_batch.seq, hw), None)
         self._report.num_batches += 1
         self._loop.schedule(run.end_ms, BatchDone(accel.accel_id,
                                                   run.run_id))
@@ -203,8 +372,7 @@ class ClusterSimulator:
         fresh pending batch that keeps its original deadline.
         """
         now = self._loop.now_ms
-        mid_swap = victim.run.completed_by(now) == 0 \
-            and victim.run.in_swap_at(now)
+        mid_swap = victim.run.aborts_mid_swap(now)
         run, n_done = victim.preempt(now)
         self._record_run(run, n_done)
         self._report.preemptions += 1
@@ -225,9 +393,11 @@ class ClusterSimulator:
             if n_done < len(run.results):
                 aborted = run.results[n_done]
                 if aborted.latency_ms > 0:
-                    self._report.wasted_energy_mj += (
-                        aborted.energy_mj
-                        * min(1.0, elapsed / aborted.latency_ms))
+                    wasted_mj = (aborted.energy_mj
+                                 * min(1.0, elapsed / aborted.latency_ms))
+                    self._report.wasted_energy_mj += wasted_mj
+                    victim.stats.compute_energy_mj += wasted_mj
+                    victim.stats.wasted_energy_mj += wasted_mj
 
         remainder = run.pending.batch.requests[n_done:]
         if remainder:
@@ -241,9 +411,11 @@ class ClusterSimulator:
 
     def _record_run(self, run, n_done):
         """Record the first ``n_done`` completed requests of ``run``."""
+        stats = self._accels[run.accel_id].stats
         for request, result, finish in zip(
                 run.pending.batch.requests[:n_done],
                 run.results[:n_done], run.finish_ms[:n_done]):
+            stats.compute_energy_mj += result.energy_mj
             self._report.records.append(ClusterRecord(
                 request=request, result=result, accel_id=run.accel_id,
                 dispatch_ms=run.start_ms, completion_ms=float(finish)))

@@ -1,0 +1,170 @@
+"""Trace replay: load timestamped request logs for the simulator.
+
+Synthetic Poisson arrivals (:func:`repro.serving.synthetic_traffic`)
+exercise the machinery, but real experiments want measured traffic.
+This module loads request traces from the two formats assistants
+actually log — CSV and JSON Lines — into the
+:class:`~repro.serving.Request` rows ``ClusterSimulator.run`` consumes,
+and writes them back out so synthetic traces can be frozen into
+replayable files.
+
+Both formats carry one request per row/line with the fields
+
+    ``task`` (required), ``sentence`` (required), ``arrival_ms``,
+    ``target_ms``, ``request_id``, ``mode``
+
+where ``request_id`` defaults to the row's position, ``arrival_ms`` to
+0, ``target_ms`` to ``default_target_ms`` and ``mode`` to inherit the
+simulator's. Rows are returned in arrival order (the event loop sorts
+by time anyway; sorting here keeps file order irrelevant and diffs
+stable). ``python -m repro.cluster --trace FILE`` replays a file
+end-to-end.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+
+from repro.errors import ClusterError, ServingError
+from repro.serving.request import Request
+
+#: Recognized extensions per format.
+_CSV_EXTENSIONS = (".csv",)
+_JSONL_EXTENSIONS = (".jsonl", ".ndjson", ".json")
+
+#: Columns written by the savers (and accepted by the loaders).
+TRACE_FIELDS = ("request_id", "task", "sentence", "arrival_ms",
+                "target_ms", "mode")
+
+
+def _request_from_row(row, index, default_target_ms):
+    """Build one :class:`Request` from a parsed mapping."""
+    if not isinstance(row, dict):
+        raise ClusterError(
+            f"trace row {index} is not a mapping: {row!r}")
+    missing = [name for name in ("task", "sentence")
+               if row.get(name) in (None, "")]
+    if missing:
+        raise ClusterError(
+            f"trace row {index} is missing required field(s) "
+            f"{missing}: {row!r}")
+    mode = row.get("mode")
+    if mode in ("", None):
+        mode = None
+
+    def value_or(name, default):
+        # Explicit absent test: 0 is a legal request_id/arrival_ms (and
+        # `or` would coerce it to the default — differently per format,
+        # since CSV yields the truthy string "0").
+        value = row.get(name)
+        return default if value in (None, "") else value
+
+    try:
+        return Request(
+            request_id=int(value_or("request_id", index)),
+            task=str(row["task"]),
+            sentence=int(row["sentence"]),
+            target_ms=float(value_or("target_ms", default_target_ms)),
+            arrival_ms=float(value_or("arrival_ms", 0.0)),
+            mode=mode,
+        )
+    except (TypeError, ValueError, ServingError) as exc:
+        # ServingError covers Request's own validation (non-positive
+        # target, negative sentence, unknown mode) — keep the row
+        # number so a bad line in a large log is findable.
+        raise ClusterError(
+            f"trace row {index} has malformed values: {exc}") from None
+
+
+def load_trace_csv(path, default_target_ms=50.0):
+    """Load a CSV request log (header row required)."""
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise ClusterError(f"trace {path!r} is empty")
+        rows = [_request_from_row(row, i, default_target_ms)
+                for i, row in enumerate(reader)]
+    if not rows:
+        raise ClusterError(f"trace {path!r} has a header but no rows")
+    return sorted(rows, key=lambda r: (r.arrival_ms, r.request_id))
+
+
+def load_trace_jsonl(path, default_target_ms=50.0):
+    """Load a JSON-Lines request log (one JSON object per line).
+
+    A plain ``.json`` file holding one top-level array of row objects —
+    the other shape request logs commonly take — is accepted too.
+    """
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    if text.lstrip().startswith("["):
+        try:
+            parsed_rows = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ClusterError(
+                f"trace {path!r} is not a valid JSON array: "
+                f"{exc}") from None
+        rows = [_request_from_row(parsed, i, default_target_ms)
+                for i, parsed in enumerate(parsed_rows)]
+    else:
+        rows = []
+        for i, line in enumerate(text.splitlines()):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                parsed = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ClusterError(
+                    f"trace {path!r} line {i + 1} is not valid JSON: "
+                    f"{exc}") from None
+            rows.append(_request_from_row(parsed, i, default_target_ms))
+    if not rows:
+        raise ClusterError(f"trace {path!r} has no rows")
+    return sorted(rows, key=lambda r: (r.arrival_ms, r.request_id))
+
+
+def load_trace(path, default_target_ms=50.0):
+    """Load a request trace, dispatching on the file extension."""
+    ext = os.path.splitext(path)[1].lower()
+    if ext in _CSV_EXTENSIONS:
+        return load_trace_csv(path, default_target_ms)
+    if ext in _JSONL_EXTENSIONS:
+        return load_trace_jsonl(path, default_target_ms)
+    raise ClusterError(
+        f"unknown trace format {ext!r} for {path!r}; expected one of "
+        f"{_CSV_EXTENSIONS + _JSONL_EXTENSIONS}")
+
+
+def _row_of(request):
+    return {
+        "request_id": request.request_id,
+        "task": request.task,
+        "sentence": request.sentence,
+        "arrival_ms": request.arrival_ms,
+        "target_ms": request.target_ms,
+        "mode": request.mode,
+    }
+
+
+def save_trace_csv(requests, path):
+    """Write requests as a replayable CSV log; returns ``path``."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(TRACE_FIELDS))
+        writer.writeheader()
+        for request in requests:
+            row = _row_of(request)
+            row["mode"] = "" if row["mode"] is None else row["mode"]
+            writer.writerow(row)
+    return path
+
+
+def save_trace_jsonl(requests, path):
+    """Write requests as a replayable JSON-Lines log; returns ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for request in requests:
+            handle.write(json.dumps(_row_of(request), sort_keys=True))
+            handle.write("\n")
+    return path

@@ -262,6 +262,15 @@ class LatencyAwareEngine:
                  sparse_execution=False, seq_len=None, tech=None):
         self.model_config = model_config
         self.hw_config = hw_config or HwConfig.energy_optimal()
+        # Everything needed to re-price the same workload on different
+        # hardware (heterogeneous pools re-instantiate the engine per
+        # device HwConfig via with_hw_config).
+        self._variant_kwargs = dict(
+            spans=spans, activation_density=activation_density,
+            weight_density=weight_density,
+            embedding_density=embedding_density,
+            use_adaptive_span=use_adaptive_span,
+            sparse_execution=sparse_execution, seq_len=seq_len, tech=tech)
         self.accelerator = AcceleratorModel(self.hw_config, tech=tech)
         self.dvfs = DvfsController(self.hw_config.dvfs)
         self.reram = ReramBufferModel()
@@ -306,6 +315,20 @@ class LatencyAwareEngine:
     @property
     def layer_cycles(self):
         return self._layer_nominal.cycles
+
+    def with_hw_config(self, hw_config):
+        """An engine pricing the *same* workload on different hardware.
+
+        Rebuilds the accelerator/DVFS models (and hence the per-device
+        :class:`PricingTables`) around ``hw_config`` while keeping the
+        model architecture, spans and densities — the per-accelerator
+        pricing a heterogeneous cluster pool needs. Returns ``self``
+        when the hardware already matches.
+        """
+        if hw_config is None or hw_config == self.hw_config:
+            return self
+        return type(self)(self.model_config, hw_config,
+                          **self._variant_kwargs)
 
     def pricing_tables(self):
         """Precomputed :class:`PricingTables` for the batch kernels.

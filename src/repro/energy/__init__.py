@@ -1,0 +1,41 @@
+"""Energy as a first-class cluster signal (the EdgeBERT north star).
+
+The cluster simulator of :mod:`repro.cluster` optimized latency and
+swap count, tallying energy after the fact. This subsystem makes energy
+*actionable*:
+
+* :class:`DeviceEnergyModel` — per-accelerator DVFS ledger: the parked
+  (vdd, freq) operating point, idle leakage between batches, and wake
+  transition costs (LDO slew ∥ ADPLL relock dead time);
+* :class:`EnergyGovernor` — a scheduling policy scoring candidate
+  (batch, device) pairs by predicted joules under a deadline-
+  feasibility constraint, so relaxed-SLO traffic flows to cheap/parked
+  devices and tight-SLO ``lai`` traffic to big ones (heterogeneous
+  pools via per-accelerator ``HwConfig`` → per-device pricing tables);
+* :class:`EnergyBudget` — a cluster-wide joules/sec cap over a rolling
+  window that throttles admission Camel-style while exhausted;
+* :class:`EnergyReport` / :class:`DeviceEnergyBreakdown` — where every
+  millijoule went (compute / swap / idle / transition per device,
+  energy per request by SLO class, budget accounting), reconciling with
+  the serving aggregates to 1e-9.
+
+``python -m repro.energy --smoke`` runs the self-checking gate: on a
+4-device heterogeneous pool the governor must serve the reference
+mixed-SLO workload with less total energy than FIFO at no worse an SLO
+violation count, budget throttling must kick in and recover, and every
+breakdown must sum exactly.
+"""
+
+from repro.energy.budget import BudgetStats, EnergyBudget
+from repro.energy.device import DeviceEnergyModel
+from repro.energy.report import DeviceEnergyBreakdown, EnergyReport
+from repro.energy.governor import EnergyGovernor
+
+__all__ = [
+    "BudgetStats",
+    "DeviceEnergyBreakdown",
+    "DeviceEnergyModel",
+    "EnergyBudget",
+    "EnergyGovernor",
+    "EnergyReport",
+]

@@ -1,0 +1,132 @@
+"""Cluster-wide rolling-window energy budget (Camel-style admission).
+
+Edge deployments cap the power envelope, not just per-request latency:
+Camel (arXiv:2508.09173) schedules LLM inference under an explicit
+energy budget and throttles admission when it is exhausted. The
+:class:`EnergyBudget` models that as a joules-per-second cap enforced
+over a rolling window: every batch the dispatcher admits *commits* its
+predicted energy (compute + swap + wake transition) at its start time;
+while the committed energy inside the trailing window has reached the
+cap, the dispatcher stops placing batches and re-arms at the instant
+the oldest commitment slides out of the window.
+
+Semantics chosen for determinism and liveness:
+
+* admission is gated on *exhausted*, not *would-exceed*: a batch is
+  admitted whenever the window still has headroom, even if its own
+  energy overshoots the cap — otherwise a batch larger than the whole
+  window budget could never run. Each such overshoot is counted
+  (``overshoots``) as a budget violation.
+* preempted work is **not** refunded: the energy was committed at
+  admission, and the re-queued remainder commits again on re-dispatch —
+  a conservative double charge that keeps the ledger append-only.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import EnergyError
+
+
+@dataclass
+class BudgetStats:
+    """What the budget did during one run (for the EnergyReport)."""
+
+    power_mw: float
+    window_ms: float
+    spent_mj: float = 0.0
+    admitted: int = 0
+    throttle_events: int = 0
+    throttled_ms: float = 0.0
+    overshoots: int = 0
+
+    @property
+    def cap_mj(self):
+        """Energy allowance of one full window (mW * ms = µJ → mJ)."""
+        return self.power_mw * self.window_ms * 1e-3
+
+    def summary(self):
+        return {
+            "power_mw": self.power_mw,
+            "window_ms": self.window_ms,
+            "cap_mj_per_window": self.cap_mj,
+            "spent_mj": self.spent_mj,
+            "admitted": self.admitted,
+            "throttle_events": self.throttle_events,
+            "throttled_ms": self.throttled_ms,
+            "overshoots": self.overshoots,
+        }
+
+
+class EnergyBudget:
+    """Joules/sec cap over a rolling window of committed batch energy."""
+
+    def __init__(self, power_mw, window_ms=100.0):
+        if power_mw <= 0:
+            raise EnergyError("energy budget power must be positive")
+        if window_ms <= 0:
+            raise EnergyError("energy budget window must be positive")
+        self.power_mw = float(power_mw)
+        self.window_ms = float(window_ms)
+        self.cap_mj = self.power_mw * self.window_ms * 1e-3
+        self._ledger = deque()  # (commit_ms, energy_mj), time-ordered
+        self._window_mj = 0.0
+        self.stats = BudgetStats(power_mw=self.power_mw,
+                                 window_ms=self.window_ms)
+
+    def _expire(self, now_ms):
+        cutoff = now_ms - self.window_ms
+        while self._ledger and self._ledger[0][0] <= cutoff + 1e-12:
+            _, energy = self._ledger.popleft()
+            self._window_mj -= energy
+        if not self._ledger:
+            self._window_mj = 0.0  # squash float drift at empty window
+
+    def window_spent_mj(self, now_ms):
+        """Committed energy inside the trailing window at ``now_ms``."""
+        self._expire(now_ms)
+        return self._window_mj
+
+    def exhausted(self, now_ms):
+        """True while admission must stall (window spend at the cap)."""
+        return self.window_spent_mj(now_ms) >= self.cap_mj - 1e-12
+
+    def commit(self, now_ms, energy_mj):
+        """Record an admitted batch's predicted energy at ``now_ms``."""
+        energy_mj = float(energy_mj)
+        if energy_mj < 0:
+            raise EnergyError("cannot commit negative energy")
+        if self._ledger and now_ms < self._ledger[-1][0] - 1e-9:
+            raise EnergyError("budget commits must be time-ordered")
+        self._expire(now_ms)
+        self._ledger.append((float(now_ms), energy_mj))
+        self._window_mj += energy_mj
+        self.stats.spent_mj += energy_mj
+        self.stats.admitted += 1
+        if self._window_mj > self.cap_mj + 1e-12:
+            self.stats.overshoots += 1
+
+    def next_relief_ms(self, now_ms):
+        """Earliest instant the window stops being exhausted.
+
+        That is when enough of the oldest commitments slide out of the
+        window for spend to drop below the cap — the dispatcher's retry
+        timestamp while throttled.
+        """
+        self._expire(now_ms)
+        if not self.exhausted(now_ms):
+            return float(now_ms)
+        running = self._window_mj
+        for commit_ms, energy_mj in self._ledger:
+            running -= energy_mj
+            if running < self.cap_mj - 1e-12:
+                return commit_ms + self.window_ms
+        # Unreachable: dropping every commitment empties the window.
+        return self._ledger[-1][0] + self.window_ms
+
+    def note_throttle(self, now_ms, until_ms):
+        """Record one dispatcher stall for the report."""
+        self.stats.throttle_events += 1
+        self.stats.throttled_ms += max(0.0, float(until_ms) - float(now_ms))

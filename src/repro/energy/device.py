@@ -1,0 +1,139 @@
+"""Per-accelerator energy governor state: the device-side DVFS ledger.
+
+The cluster simulator knows *when* a device computes; this model knows
+what the device's supply rail is doing the rest of the time. Each
+:class:`DeviceEnergyModel` tracks the **parked operating point** — the
+(vdd, freq) the last batch left the rail at, starting from the LDO's
+standby/retention voltage — and charges the two energy terms the
+post-hoc ``swap + compute`` sums of PR 2 ignored:
+
+* **idle/leakage energy** — while the device waits for work it burns
+  static power at the parked voltage (V³-scaled leakage of the device's
+  own :class:`~repro.hw.accelerator.AcceleratorModel`; compute-time
+  leakage is already inside the engine's per-layer energy, so idle
+  accrual runs strictly between runs);
+* **DVFS transition energy** — waking a parked device back to the
+  nominal point (every batch's front end runs at nominal V/F) burns
+  dead time at the higher rail: leakage plus ADPLL power over the
+  LDO-slew ∥ ADPLL-relock settle window.
+
+The settle window itself (≲ a few hundred ns) is three to four orders
+of magnitude below per-sentence latencies, so — like the paper's Fig. 7
+argument — it is charged as energy only and never perturbs the event
+schedule; a cluster run with energy tracking is event-for-event
+identical to one without.
+
+Everything here is deterministic and observable: the
+:class:`~repro.energy.EnergyGovernor` reads ``parked_vdd`` and
+:meth:`estimate_transition` when scoring placements, and the final
+totals flow into the per-accelerator
+:class:`~repro.energy.DeviceEnergyBreakdown`.
+"""
+
+from __future__ import annotations
+
+from repro.config import HwConfig
+from repro.dvfs import DvfsController
+from repro.dvfs.vf_table import max_frequency_ghz
+from repro.errors import EnergyError
+from repro.hw.accelerator import AcceleratorModel
+
+
+class DeviceEnergyModel:
+    """Parked-operating-point, idle and transition accounting."""
+
+    def __init__(self, hw_config=None, start_ms=0.0):
+        self.hw_config = hw_config or HwConfig.energy_optimal()
+        self.accelerator = AcceleratorModel(self.hw_config)
+        self.dvfs = DvfsController(self.hw_config.dvfs)
+        self.nominal_vdd, self.nominal_freq_ghz = \
+            self.dvfs.table.nominal_point()
+        # Devices power up parked at the retention point: standby
+        # voltage, and the fastest clock that voltage sustains.
+        self.parked_vdd = self.dvfs.ldo.standby_voltage
+        self.parked_freq_ghz = max_frequency_ghz(self.parked_vdd,
+                                                 self.hw_config.dvfs)
+        self._idle_since_ms = float(start_ms)
+        self._busy = False
+        self._finalized_ms = None
+
+        self.idle_energy_mj = 0.0
+        self.idle_ms = 0.0
+        self.transition_energy_mj = 0.0
+        self.transition_ms = 0.0
+        self.transitions = 0
+
+    # -- power laws ---------------------------------------------------------------
+
+    def idle_power_mw(self, vdd=None):
+        """Static power while parked (clock-gated: leakage only)."""
+        return self.accelerator.leakage_mw(
+            self.parked_vdd if vdd is None else vdd)
+
+    def estimate_transition(self, to_vdd=None, to_freq_ghz=None):
+        """(settle_ms, energy_mj) of moving the parked rail to a point.
+
+        Defaults to the nominal point — the move every batch start pays.
+        The settle window is dead time at the *higher* of the two rails
+        (the LDO header charges before compute resumes) with the ADPLL
+        burning its relock power at the target frequency.
+        """
+        to_vdd = self.nominal_vdd if to_vdd is None else to_vdd
+        to_freq = self.nominal_freq_ghz if to_freq_ghz is None \
+            else to_freq_ghz
+        settle_ns = self.dvfs.transition_overhead_ns(
+            self.parked_vdd, to_vdd, self.parked_freq_ghz, to_freq)
+        power_mw = (self.accelerator.leakage_mw(max(self.parked_vdd,
+                                                    to_vdd))
+                    + self.dvfs.adpll.power_mw(to_freq))
+        return settle_ns * 1e-6, power_mw * settle_ns * 1e-9  # ms, mJ
+
+    # -- run lifecycle hooks (driven by AcceleratorSim) ---------------------------
+
+    def on_run_begin(self, now_ms):
+        """Close the idle interval and wake the rail to nominal."""
+        if self._busy:
+            raise EnergyError("device energy model saw begin while busy")
+        self._accrue_idle(now_ms)
+        settle_ms, energy_mj = self.estimate_transition()
+        if settle_ms > 0.0 or energy_mj > 0.0:
+            self.transition_ms += settle_ms
+            self.transition_energy_mj += energy_mj
+            self.transitions += 1
+        self.parked_vdd = self.nominal_vdd
+        self.parked_freq_ghz = self.nominal_freq_ghz
+        self._busy = True
+
+    def on_run_end(self, now_ms, vdd=None, freq_ghz=None):
+        """Park the rail where the run left it; idle accrual resumes."""
+        if not self._busy:
+            raise EnergyError("device energy model saw end while idle")
+        self.parked_vdd = self.nominal_vdd if vdd is None else float(vdd)
+        self.parked_freq_ghz = self.nominal_freq_ghz if freq_ghz is None \
+            else float(freq_ghz)
+        self._idle_since_ms = float(now_ms)
+        self._busy = False
+
+    def finalize(self, end_ms):
+        """Accrue the tail idle interval up to the run's makespan."""
+        if self._busy:
+            raise EnergyError("cannot finalize a busy device")
+        self._accrue_idle(end_ms)
+        self._finalized_ms = float(end_ms)
+
+    def _accrue_idle(self, now_ms):
+        interval_ms = float(now_ms) - self._idle_since_ms
+        if interval_ms < -1e-9:
+            raise EnergyError(
+                f"idle accrual moving backwards: {self._idle_since_ms} ->"
+                f" {now_ms} ms")
+        interval_ms = max(0.0, interval_ms)
+        # mW * ms = µJ; scale to mJ.
+        self.idle_energy_mj += self.idle_power_mw() * interval_ms * 1e-3
+        self.idle_ms += interval_ms
+        self._idle_since_ms = float(now_ms)
+
+    @property
+    def overhead_energy_mj(self):
+        """Idle + transition energy (everything beyond compute/swap)."""
+        return self.idle_energy_mj + self.transition_energy_mj

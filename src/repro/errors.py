@@ -61,5 +61,9 @@ class ClusterError(ReproError):
     """The cluster simulator was configured or driven inconsistently."""
 
 
+class EnergyError(ReproError):
+    """The energy governor/budget subsystem was driven inconsistently."""
+
+
 class ArtifactError(ReproError):
     """A trained-model artifact is missing or failed validation."""

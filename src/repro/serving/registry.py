@@ -73,6 +73,24 @@ class TaskProfile:
     def num_sentences(self):
         return self.entropies.shape[1]
 
+    def for_hw(self, hw_config):
+        """This task's profile re-priced on different hardware.
+
+        Shares the logits/entropies/LUT/threshold (the *algorithmic*
+        artifacts are hardware-independent); only the engine — and with
+        it the per-device pricing tables — is rebuilt. Returns ``self``
+        when the hardware already matches.
+        """
+        engine = self.engine.with_hw_config(hw_config)
+        if engine is self.engine:
+            return self
+        return TaskProfile(task=self.task, engine=engine,
+                           logits=self.logits, entropies=self.entropies,
+                           lut=self.lut,
+                           entropy_threshold=self.entropy_threshold,
+                           labels=self.labels,
+                           weight_bytes=self.weight_bytes)
+
 
 @dataclass(frozen=True)
 class SwitchCost:
@@ -101,6 +119,7 @@ class TaskRegistry:
 
     def __post_init__(self):
         self._profiles = {}
+        self._hw_variants = {}
         self.embedding_store = None
         if self.embedding_table is not None:
             self.embedding_store = EnvmEmbeddingStore(self.embedding_table,
@@ -149,6 +168,24 @@ class TaskRegistry:
             raise ServingError(
                 f"unknown task {task!r}; registered: {self.tasks}")
         return self._profiles[task]
+
+    def profile_for(self, task, hw_config=None):
+        """The task's profile priced for a specific device's hardware.
+
+        ``hw_config=None`` (or the profile's own hardware) returns the
+        registered profile; anything else returns a cached per-(task,
+        HwConfig) variant whose engine builds that device's pricing
+        tables — the lookup the heterogeneous cluster pool makes on
+        every placement.
+        """
+        profile = self.profile(task)
+        if hw_config is None or hw_config == profile.engine.hw_config:
+            return profile
+        key = (task, hw_config)
+        variant = self._hw_variants.get(key)
+        if variant is None:
+            variant = self._hw_variants[key] = profile.for_hw(hw_config)
+        return variant
 
     # -- task-switch pricing -----------------------------------------------------
 

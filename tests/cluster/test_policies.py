@@ -10,6 +10,7 @@ from repro.cluster import (
     FewestSwapsPolicy,
     FifoPolicy,
     PendingBatch,
+    PlacementEstimate,
     make_policy,
 )
 from repro.errors import ClusterError
@@ -118,6 +119,75 @@ class TestEdf:
         queue = [pending(0, deadline_ms=100.0, mode="lai")]
         accels = [busy(0, "sst2", deadline_ms=60.0, mode="base")]
         assert policy.preemption(queue, accels, 0.0) is None
+
+
+def estimating(victim, latency_ms, swap_ms=0.0):
+    """Attach a canned :class:`PlacementEstimate` to a stub victim."""
+    victim.estimate = lambda pb, now_ms: PlacementEstimate(
+        latency_ms=latency_ms, first_latency_ms=latency_ms,
+        energy_mj=0.0, swap_ms=swap_ms, swap_energy_mj=0.0,
+        transition_ms=0.0, transition_energy_mj=0.0)
+    return victim
+
+
+class TestEdfFeasibility:
+    def test_skips_doomed_preemption(self):
+        # Evicting cannot save a request whose deadline is already
+        # unreachable — the base run keeps its completed work.
+        policy = EdfPolicy()
+        queue = [pending(0, deadline_ms=20.0, mode="lai")]
+        victim = estimating(busy(0, "sst2", deadline_ms=500.0,
+                                 mode="base"), latency_ms=15.0)
+        assert policy.preemption(queue, [victim], 10.0) is None
+        assert policy.infeasible_skips == 1
+
+    def test_preempts_when_still_feasible(self):
+        policy = EdfPolicy()
+        queue = [pending(0, deadline_ms=20.0, mode="lai")]
+        victim = estimating(busy(0, "sst2", deadline_ms=500.0,
+                                 mode="base"), latency_ms=5.0)
+        pb, chosen = policy.preemption(queue, [victim], 10.0)
+        assert chosen is victim
+        assert policy.infeasible_skips == 0
+
+    def test_swap_counts_against_feasibility(self):
+        policy = EdfPolicy()
+        queue = [pending(0, deadline_ms=20.0, mode="lai")]
+        victim = estimating(busy(0, "mnli", deadline_ms=500.0,
+                                 mode="base"), latency_ms=8.0,
+                            swap_ms=5.0)
+        assert policy.preemption(queue, [victim], 10.0) is None
+
+    def test_feasibility_check_can_be_disabled(self):
+        policy = EdfPolicy(feasibility_check=False)
+        queue = [pending(0, deadline_ms=20.0, mode="lai")]
+        victim = estimating(busy(0, "sst2", deadline_ms=500.0,
+                                 mode="base"), latency_ms=999.0)
+        pb, chosen = policy.preemption(queue, [victim], 10.0)
+        assert chosen is victim
+
+    def test_falls_through_to_a_feasible_victim(self):
+        # The slackest victim would force a swap that dooms the urgent
+        # batch; a less-slack victim resident on the task is feasible
+        # and must be chosen instead of giving up.
+        policy = EdfPolicy()
+        queue = [pending(0, deadline_ms=20.0, mode="lai", task="sst2")]
+        slackest = estimating(busy(0, "mnli", deadline_ms=900.0,
+                                   mode="base"), latency_ms=8.0,
+                              swap_ms=5.0)
+        matching = estimating(busy(1, "sst2", deadline_ms=500.0,
+                                   mode="base"), latency_ms=8.0)
+        pb, chosen = policy.preemption(queue, [slackest, matching], 10.0)
+        assert chosen is matching
+        assert policy.infeasible_skips == 0
+
+    def test_victims_without_estimator_preempt_eagerly(self):
+        # Bare stubs (no simulator attached) keep the legacy behaviour.
+        policy = EdfPolicy()
+        queue = [pending(0, deadline_ms=20.0, mode="lai")]
+        victim = busy(0, "sst2", deadline_ms=500.0, mode="base")
+        pb, chosen = policy.preemption(queue, [victim], 10.0)
+        assert chosen is victim
 
 
 class TestFactory:

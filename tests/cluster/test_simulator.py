@@ -191,7 +191,8 @@ class TestEdfPreemption:
 
     def test_mid_swap_preemption_resets_residency(self, registry):
         # The base batch closes via timeout at t=2.0 and starts its
-        # encoder swap (~0.013 ms); the lai single (arrived at t=0.005)
+        # encoder swap (~0.013 ms); the lai single (arrived at t=0.005,
+        # 6 ms target — still comfortably feasible after the eviction)
         # times out at t=2.005, inside the swap window. The aborted load
         # must waste the partial swap time and cost the device its
         # residency, so the re-dispatched work pays the swap again.
@@ -199,7 +200,7 @@ class TestEdfPreemption:
                          target_ms=1000.0, arrival_ms=0.0, mode="base")
                  for i in range(8)]
         trace += [Request(request_id=100, task="sst2", sentence=0,
-                          target_ms=1.0, arrival_ms=0.005, mode="lai")]
+                          target_ms=6.0, arrival_ms=0.005, mode="lai")]
         report = ClusterSimulator(registry, num_accelerators=1,
                                   policy="edf", batch_timeout_ms=2.0,
                                   ).run(trace)
@@ -215,6 +216,28 @@ class TestEdfPreemption:
         assert accel.swap_latency_ms == pytest.approx(
             0.005 + (accel.swaps - 1) * swap.latency_ms)
         assert accel.swap_energy_mj < accel.swaps * swap.energy_mj
+        # The refund ledger records exactly the unspent fraction.
+        assert accel.swap_refunds == 1
+        assert accel.swap_energy_refunded_mj == pytest.approx(
+            swap.energy_mj * (1.0 - 0.005 / swap.latency_ms))
+
+    def test_doomed_lai_request_does_not_preempt(self, registry):
+        # Same shape, but the lai single's deadline (t=1.005) is long
+        # gone by the time the dispatcher could evict (t=2.005): the
+        # feasibility test must skip the pointless preemption and let
+        # the base batch keep its completed work.
+        trace = [Request(request_id=i, task="sst2", sentence=i,
+                         target_ms=1000.0, arrival_ms=0.0, mode="base")
+                 for i in range(8)]
+        trace += [Request(request_id=100, task="sst2", sentence=0,
+                          target_ms=1.0, arrival_ms=0.005, mode="lai")]
+        sim = ClusterSimulator(registry, num_accelerators=1,
+                               policy="edf", batch_timeout_ms=2.0)
+        report = sim.run(trace)
+        assert report.preemptions == 0
+        assert report.wasted_compute_ms == 0.0
+        assert sim.policy.infeasible_skips > 0
+        assert report.num_requests == len(trace)  # still served, late
 
     def test_mixed_mode_synthetic_traffic_runs_under_edf(self, registry):
         trace = synthetic_traffic(registry, 60, seed=7,

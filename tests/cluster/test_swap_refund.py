@@ -1,0 +1,136 @@
+"""Direct unit tests for the prorated swap refund at the abort boundary.
+
+The ISSUE-3 satellite: an :class:`~repro.cluster.AcceleratorSim` whose
+run is preempted *inside* the encoder-weight load must refund exactly
+the unspent fraction of the up-front swap charge — no more, no less —
+keep its totals non-negative, and stay consistent with the simulator's
+``wasted_energy_mj`` accounting. These tests drive the accelerator
+directly (no event loop) so every boundary instant is exact.
+"""
+
+import pytest
+
+from repro.cluster import AcceleratorSim, PendingBatch
+from repro.serving import Batch, Request, SwitchCost
+
+SWAP = SwitchCost(latency_ns=2_000_000.0, energy_pj=5_000_000.0)
+# => 2.0 ms / 0.005 mJ, round numbers for exact fractions.
+
+
+def make_pending(n_requests=3, task="sst2", target_ms=100.0):
+    requests = tuple(
+        Request(request_id=i, task=task, sentence=i, target_ms=target_ms)
+        for i in range(n_requests))
+    batch = Batch(task=task, target_ms=target_ms, requests=requests)
+    return PendingBatch(batch=batch, mode="base", ready_ms=0.0,
+                        deadline_ms=target_ms, seq=0)
+
+
+def started_accel(n_requests=3, latency_ms=4.0, now_ms=0.0):
+    """An accelerator mid-run: swap 2 ms, then sentences of 4 ms each."""
+    accel = AcceleratorSim(0)
+    pending = make_pending(n_requests)
+    results = [object()] * n_requests  # results are opaque to the sim
+    accel.begin(pending, results, [latency_ms] * n_requests, now_ms,
+                SWAP)
+    return accel
+
+
+class TestMidSwapRefund:
+    @pytest.mark.parametrize("fraction", [0.25, 0.5, 0.9])
+    def test_refund_is_exactly_the_unspent_fraction(self, fraction):
+        accel = started_accel()
+        accel.preempt(SWAP.latency_ms * fraction)
+        assert accel.stats.swap_latency_ms == pytest.approx(
+            SWAP.latency_ms * fraction, abs=1e-12)
+        assert accel.stats.swap_energy_mj == pytest.approx(
+            SWAP.energy_mj * fraction, abs=1e-12)
+        assert accel.stats.swap_refunds == 1
+        assert accel.stats.swap_energy_refunded_mj == pytest.approx(
+            SWAP.energy_mj * (1.0 - fraction), abs=1e-12)
+        # Charge + refund == the original debit, to the last bit.
+        assert accel.stats.swap_energy_mj \
+            + accel.stats.swap_energy_refunded_mj \
+            == pytest.approx(SWAP.energy_mj, abs=1e-15)
+
+    def test_abort_at_swap_start_refunds_everything(self):
+        accel = started_accel()
+        accel.preempt(0.0)
+        assert accel.stats.swap_latency_ms == pytest.approx(0.0, abs=1e-12)
+        assert accel.stats.swap_energy_mj == pytest.approx(0.0, abs=1e-12)
+        assert accel.stats.swap_energy_mj >= 0.0
+        assert accel.stats.swap_latency_ms >= 0.0
+        assert accel.stats.swaps == 1  # the attempt still counts
+
+    def test_abort_at_swap_end_boundary_refunds_nothing(self):
+        # At exactly start + swap the load has landed: full charge, no
+        # refund, and the residency survives.
+        accel = started_accel()
+        run, n_done = accel.preempt(SWAP.latency_ms)
+        assert n_done == 0
+        assert accel.stats.swap_refunds == 0
+        assert accel.stats.swap_energy_mj == pytest.approx(SWAP.energy_mj)
+        assert accel.stats.swap_latency_ms == pytest.approx(
+            SWAP.latency_ms)
+        assert accel.resident_task == "sst2"
+
+    def test_mid_swap_abort_drops_residency(self):
+        accel = started_accel()
+        accel.preempt(SWAP.latency_ms * 0.5)
+        assert accel.resident_task is None
+        # The next batch pays a full swap again — no double refund.
+        accel.begin(make_pending(), [object()] * 3, [4.0] * 3, 10.0, SWAP)
+        assert accel.stats.swaps == 2
+        assert accel.stats.swap_energy_mj == pytest.approx(
+            SWAP.energy_mj * 1.5)
+
+    def test_refund_never_fires_after_a_sentence_completed(self):
+        accel = started_accel()
+        # First sentence done at swap + 4.0 = 6.0 ms; abort at 7.5 ms.
+        run, n_done = accel.preempt(7.5)
+        assert n_done == 1
+        assert accel.stats.swap_refunds == 0
+        assert accel.stats.swap_energy_mj == pytest.approx(SWAP.energy_mj)
+
+    def test_same_task_run_has_no_swap_to_refund(self):
+        accel = started_accel()
+        run, _ = accel.preempt(SWAP.latency_ms + 4.0)  # after sentence 1
+        accel.begin(make_pending(), [object()] * 3, [4.0] * 3, 10.0,
+                    SWAP)  # same resident task: zero-cost swap
+        assert accel.stats.swaps == 1
+        run, n_done = accel.preempt(10.5)
+        assert n_done == 0
+        assert accel.stats.swap_refunds == 0
+        assert accel.stats.swap_energy_mj == pytest.approx(SWAP.energy_mj)
+
+
+class TestSimulatorConsistency:
+    def test_totals_stay_consistent_with_wasted_energy(self):
+        # Replays the crafted mid-swap preemption end-to-end and checks
+        # the identity the satellite demands: switch totals are net of
+        # the refund, wasted_energy covers only compute fractions, and
+        # the grand total (energy report vs serving view) reconciles.
+        from repro.cluster import ClusterSimulator
+        from repro.serving import synthetic_registry
+
+        registry = synthetic_registry(("sst2",), n=16, seed=0)
+        trace = [Request(request_id=i, task="sst2", sentence=i,
+                         target_ms=1000.0, arrival_ms=0.0, mode="base")
+                 for i in range(8)]
+        trace += [Request(request_id=100, task="sst2", sentence=0,
+                          target_ms=6.0, arrival_ms=0.005, mode="lai")]
+        report = ClusterSimulator(registry, num_accelerators=1,
+                                  policy="edf",
+                                  batch_timeout_ms=2.0).run(trace)
+        accel = report.accelerators[0]
+        assert accel.swap_refunds == 1
+        assert accel.swap_energy_mj >= 0.0
+        assert accel.swap_latency_ms >= 0.0
+        # A mid-swap abort wastes time, not sentence energy.
+        assert report.wasted_energy_mj == 0.0
+        assert accel.wasted_energy_mj == 0.0
+        swap = registry.switch_cost(None, "sst2")
+        spent_fraction = 0.005 / swap.latency_ms
+        assert accel.swap_energy_mj == pytest.approx(
+            swap.energy_mj * (spent_fraction + (accel.swaps - 1)))
+        report.energy.reconcile(report.serving, tol=1e-9)

@@ -1,0 +1,96 @@
+"""EnergyBudget unit tests: rolling window, relief times, stats."""
+
+import pytest
+
+from repro.energy import EnergyBudget
+from repro.errors import EnergyError
+
+
+def budget(power_mw=10.0, window_ms=100.0):
+    return EnergyBudget(power_mw, window_ms)  # cap = 1.0 mJ / window
+
+
+class TestWindow:
+    def test_cap_is_power_times_window(self):
+        assert budget().cap_mj == pytest.approx(1.0)
+
+    def test_fresh_budget_is_not_exhausted(self):
+        assert not budget().exhausted(0.0)
+
+    def test_commits_accumulate_within_the_window(self):
+        b = budget()
+        b.commit(0.0, 0.4)
+        b.commit(10.0, 0.4)
+        assert b.window_spent_mj(10.0) == pytest.approx(0.8)
+        assert not b.exhausted(10.0)
+        b.commit(20.0, 0.4)
+        assert b.exhausted(20.0)
+
+    def test_old_commits_slide_out(self):
+        b = budget()
+        b.commit(0.0, 1.0)
+        assert b.exhausted(50.0)
+        assert not b.exhausted(100.5)
+        assert b.window_spent_mj(100.5) == pytest.approx(0.0)
+
+    def test_relief_is_when_the_oldest_spend_expires(self):
+        b = budget()
+        b.commit(0.0, 0.6)
+        b.commit(30.0, 0.6)
+        assert b.exhausted(40.0)
+        # Dropping the t=0 commit leaves 0.6 < 1.0 in the window.
+        assert b.next_relief_ms(40.0) == pytest.approx(100.0)
+        assert not b.exhausted(b.next_relief_ms(40.0))
+
+    def test_relief_is_now_when_not_exhausted(self):
+        b = budget()
+        b.commit(0.0, 0.1)
+        assert b.next_relief_ms(5.0) == pytest.approx(5.0)
+
+
+class TestStats:
+    def test_spent_and_admitted_accumulate_forever(self):
+        b = budget()
+        for t in (0.0, 200.0, 400.0):
+            b.commit(t, 0.5)
+        assert b.stats.spent_mj == pytest.approx(1.5)
+        assert b.stats.admitted == 3
+        assert b.stats.overshoots == 0
+
+    def test_overshoot_is_counted_as_violation(self):
+        b = budget()
+        b.commit(0.0, 0.9)
+        b.commit(1.0, 0.9)  # admitted (window had headroom), overshoots
+        assert b.stats.overshoots == 1
+        assert b.exhausted(1.0)
+
+    def test_throttle_notes_accumulate(self):
+        b = budget()
+        b.note_throttle(10.0, 35.0)
+        b.note_throttle(40.0, 45.0)
+        assert b.stats.throttle_events == 2
+        assert b.stats.throttled_ms == pytest.approx(30.0)
+
+    def test_summary_is_json_friendly(self):
+        import json
+        b = budget()
+        b.commit(0.0, 0.5)
+        json.dumps(b.stats.summary())
+
+
+class TestValidation:
+    def test_bad_configuration_raises(self):
+        with pytest.raises(EnergyError):
+            EnergyBudget(0.0)
+        with pytest.raises(EnergyError):
+            EnergyBudget(10.0, window_ms=0.0)
+
+    def test_negative_commit_raises(self):
+        with pytest.raises(EnergyError):
+            budget().commit(0.0, -1.0)
+
+    def test_time_reversed_commit_raises(self):
+        b = budget()
+        b.commit(10.0, 0.1)
+        with pytest.raises(EnergyError):
+            b.commit(5.0, 0.1)

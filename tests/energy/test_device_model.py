@@ -1,0 +1,109 @@
+"""DeviceEnergyModel unit tests: parking, idle accrual, transitions."""
+
+import pytest
+
+from repro.config import HwConfig
+from repro.energy import DeviceEnergyModel
+from repro.errors import EnergyError
+
+
+@pytest.fixture()
+def device():
+    return DeviceEnergyModel(HwConfig(mac_vector_size=16))
+
+
+class TestParkedPoint:
+    def test_powers_up_at_standby(self, device):
+        assert device.parked_vdd == pytest.approx(
+            device.dvfs.ldo.standby_voltage)
+        assert device.parked_freq_ghz < device.nominal_freq_ghz
+
+    def test_run_begin_wakes_to_nominal(self, device):
+        device.on_run_begin(10.0)
+        assert device.parked_vdd == pytest.approx(device.nominal_vdd)
+        assert device.parked_freq_ghz == pytest.approx(
+            device.nominal_freq_ghz)
+
+    def test_run_end_parks_where_the_run_left_it(self, device):
+        device.on_run_begin(0.0)
+        device.on_run_end(5.0, 0.55, 0.2)
+        assert device.parked_vdd == pytest.approx(0.55)
+        assert device.parked_freq_ghz == pytest.approx(0.2)
+
+
+class TestIdleAccrual:
+    def test_idle_energy_is_leakage_times_interval(self, device):
+        power_mw = device.idle_power_mw()
+        device.on_run_begin(40.0)  # 40 ms parked at standby
+        assert device.idle_ms == pytest.approx(40.0)
+        assert device.idle_energy_mj == pytest.approx(
+            power_mw * 40.0 * 1e-3)
+
+    def test_low_park_is_cheaper_to_idle(self, device):
+        # V^3 leakage: a device parked at standby burns less than one
+        # parked at nominal over the same interval.
+        low = device.idle_power_mw(device.dvfs.ldo.standby_voltage)
+        high = device.idle_power_mw(device.nominal_vdd)
+        assert low < high
+
+    def test_no_idle_accrual_while_busy(self, device):
+        device.on_run_begin(0.0)
+        device.on_run_end(30.0, 0.8, 1.0)
+        assert device.idle_ms == pytest.approx(0.0)
+        device.finalize(50.0)
+        assert device.idle_ms == pytest.approx(20.0)
+
+    def test_finalize_while_busy_raises(self, device):
+        device.on_run_begin(0.0)
+        with pytest.raises(EnergyError):
+            device.finalize(10.0)
+
+
+class TestTransitions:
+    def test_wake_from_standby_costs_energy_and_time(self, device):
+        settle_ms, energy_mj = device.estimate_transition()
+        assert settle_ms > 0
+        assert energy_mj > 0
+        device.on_run_begin(0.0)
+        assert device.transitions == 1
+        assert device.transition_ms == pytest.approx(settle_ms)
+        assert device.transition_energy_mj == pytest.approx(energy_mj)
+
+    def test_wake_from_nominal_is_free(self, device):
+        device.on_run_begin(0.0)
+        device.on_run_end(1.0, device.nominal_vdd,
+                          device.nominal_freq_ghz)
+        device.on_run_begin(1.0)
+        assert device.transitions == 1  # only the cold wake counted
+
+    def test_deeper_park_costs_a_bigger_wake(self, device):
+        shallow = DeviceEnergyModel(device.hw_config)
+        shallow.parked_vdd = 0.775
+        shallow.parked_freq_ghz = shallow.nominal_freq_ghz
+        _, deep_mj = device.estimate_transition()
+        _, shallow_mj = shallow.estimate_transition()
+        assert deep_mj > shallow_mj
+
+
+class TestLifecycleGuards:
+    def test_double_begin_raises(self, device):
+        device.on_run_begin(0.0)
+        with pytest.raises(EnergyError):
+            device.on_run_begin(1.0)
+
+    def test_end_while_idle_raises(self, device):
+        with pytest.raises(EnergyError):
+            device.on_run_end(1.0, 0.8, 1.0)
+
+    def test_time_cannot_move_backwards(self, device):
+        device.on_run_begin(10.0)
+        device.on_run_end(20.0, 0.8, 1.0)
+        with pytest.raises(EnergyError):
+            device.finalize(5.0)
+
+
+class TestHardwareScaling:
+    def test_bigger_device_leaks_more(self):
+        small = DeviceEnergyModel(HwConfig(mac_vector_size=8))
+        big = DeviceEnergyModel(HwConfig(mac_vector_size=32))
+        assert big.idle_power_mw() > small.idle_power_mw()
