@@ -36,7 +36,7 @@ from repro.cluster.accelerator import (
     ActiveRun,
     PlacementEstimate,
 )
-from repro.cluster.batcher import BatchFormer, PendingBatch
+from repro.cluster.batcher import AdaptiveTimeout, BatchFormer, PendingBatch
 from repro.cluster.events import (
     Arrival,
     BatchDone,
@@ -64,6 +64,7 @@ from repro.cluster.trace import (
 
 __all__ = [
     "AcceleratorSim",
+    "AdaptiveTimeout",
     "AcceleratorStats",
     "ActiveRun",
     "Arrival",

@@ -12,6 +12,16 @@ first request in it.
 Timeout events carry the former's ``generation``; a window that closed
 early by size (or drained) bumps the generation, so the stale timer is
 ignored when it fires.
+
+The window length itself can adapt: an :class:`AdaptiveTimeout`
+controller per (task, SLO class, mode) tracks the dispatch delay its
+batches actually observe (an EWMA) and retunes the timeout between
+windows — shrinking it under light load, when waiting buys nothing but
+latency, and growing it toward a share of the SLO slack under
+saturation, when batches queue anyway and a longer window amortizes
+swaps and pricing over more requests. The static timeout stays the
+default; the controller only engages behind the simulator's
+``adaptive_timeout`` flag.
 """
 
 from __future__ import annotations
@@ -20,6 +30,54 @@ from dataclasses import dataclass
 
 from repro.errors import ClusterError
 from repro.serving.request import Batch
+
+
+class AdaptiveTimeout:
+    """EWMA batch-window controller for one (task, SLO class, mode).
+
+    ``observe_dispatch_delay`` feeds the delay between a batch closing
+    and starting on an accelerator; the next window's timeout is
+    ``gain`` times the smoothed delay, clamped to
+    ``[floor_ms, slack_share * target_ms]``. Idle pools drive the EWMA
+    — and the timeout — to the floor; a saturated pool drives it toward
+    the SLO-slack cap. Deterministic: state advances only on
+    observations, and the timeout is read once per window when the
+    timer is armed.
+    """
+
+    def __init__(self, base_ms, target_ms, alpha=0.3, gain=2.0,
+                 floor_ms=0.25, slack_share=0.2):
+        if base_ms < 0:
+            raise ClusterError("base_ms must be non-negative")
+        if target_ms <= 0:
+            raise ClusterError("target_ms must be positive")
+        if not 0.0 < alpha <= 1.0:
+            raise ClusterError("alpha must be in (0, 1]")
+        if gain <= 0:
+            raise ClusterError("gain must be positive")
+        if floor_ms < 0:
+            raise ClusterError("floor_ms must be non-negative")
+        if not 0.0 < slack_share <= 1.0:
+            raise ClusterError("slack_share must be in (0, 1]")
+        self.alpha = float(alpha)
+        self.gain = float(gain)
+        self.floor_ms = float(floor_ms)
+        self.cap_ms = max(self.floor_ms, float(slack_share) * float(target_ms))
+        self.timeout_ms = min(max(float(base_ms), self.floor_ms),
+                              self.cap_ms)
+        self.ewma_delay_ms = None
+        self.observations = 0
+
+    def observe_dispatch_delay(self, delay_ms):
+        """Fold one close-to-dispatch delay into the controller."""
+        delay = max(0.0, float(delay_ms))
+        if self.ewma_delay_ms is None:
+            self.ewma_delay_ms = delay
+        else:
+            self.ewma_delay_ms += self.alpha * (delay - self.ewma_delay_ms)
+        self.observations += 1
+        self.timeout_ms = min(max(self.gain * self.ewma_delay_ms,
+                                  self.floor_ms), self.cap_ms)
 
 
 @dataclass(frozen=True)
@@ -48,7 +106,8 @@ class PendingBatch:
 class BatchFormer:
     """Collects same-(task, SLO class, mode) requests into batches."""
 
-    def __init__(self, key, max_batch_size=32, timeout_ms=5.0):
+    def __init__(self, key, max_batch_size=32, timeout_ms=5.0,
+                 timeout_controller=None):
         if max_batch_size < 1:
             raise ClusterError("max_batch_size must be >= 1")
         if timeout_ms < 0:
@@ -57,6 +116,10 @@ class BatchFormer:
         self.task, self.target_ms, self.mode = key
         self.max_batch_size = int(max_batch_size)
         self.timeout_ms = float(timeout_ms)
+        #: Optional :class:`AdaptiveTimeout`; when present, its current
+        #: value (read once per window, at arming time) replaces the
+        #: static ``timeout_ms``.
+        self.timeout_controller = timeout_controller
         self.generation = 0
         self.opened_ms = None
         self._pending = []
@@ -89,11 +152,22 @@ class BatchFormer:
             return None
         return self._close()
 
+    def current_timeout_ms(self):
+        """The window length in force right now (adaptive or static)."""
+        if self.timeout_controller is not None:
+            return self.timeout_controller.timeout_ms
+        return self.timeout_ms
+
+    def observe_dispatch_delay(self, delay_ms):
+        """Report one batch's close-to-dispatch delay to the controller."""
+        if self.timeout_controller is not None:
+            self.timeout_controller.observe_dispatch_delay(delay_ms)
+
     def timeout_deadline_ms(self):
         """When the armed timeout for the current window fires."""
         if self.opened_ms is None:
             raise ClusterError("former has never opened")
-        return self.opened_ms + self.timeout_ms
+        return self.opened_ms + self.current_timeout_ms()
 
     def _close(self):
         members = tuple(self._pending)

@@ -12,7 +12,12 @@
    single-node :class:`~repro.serving.Server` uses
    (:func:`repro.serving.price_batch`) — against the *device's own*
    pricing tables when the pool is heterogeneous (per-accelerator
-   ``hw_configs``).
+   ``hw_configs``). With ``deadline_aware=True``, ``lai`` batches are
+   DVFS-planned against their *actual remaining slack* at dispatch —
+   earliest member deadline minus the current instant minus the swap —
+   so compute adapts to time already lost in queue
+   (:mod:`repro.dvfs.deadline`); ``adaptive_timeout=True`` additionally
+   retunes each batch former's window from observed dispatch delay.
 3. **Completion / preemption** — per-sentence finish times are known at
    placement, so completions are exact events; preemptive policies may
    abort a running ``base`` batch at a sentence boundary, wasting the
@@ -34,6 +39,7 @@ pool and policy always produce the same :class:`ClusterReport`.
 
 from __future__ import annotations
 
+import math
 import time
 
 from repro.energy.budget import EnergyBudget
@@ -44,7 +50,7 @@ from repro.serving.request import SERVING_MODES, Batch
 from repro.serving.server import price_batch, validate_request
 
 from repro.cluster.accelerator import AcceleratorSim, PlacementEstimate
-from repro.cluster.batcher import BatchFormer, PendingBatch
+from repro.cluster.batcher import AdaptiveTimeout, BatchFormer, PendingBatch
 from repro.cluster.events import (
     Arrival,
     BatchDone,
@@ -62,7 +68,8 @@ class ClusterSimulator:
     def __init__(self, registry, num_accelerators=None, policy="fifo",
                  mode="lai", max_batch_size=32, batch_timeout_ms=5.0,
                  vectorized=True, hw_configs=None, energy_budget_mw=None,
-                 budget_window_ms=100.0):
+                 budget_window_ms=100.0, deadline_aware=False,
+                 adaptive_timeout=False, standby_timeout_ms=None):
         if mode not in SERVING_MODES:
             raise ClusterError(
                 f"unknown mode {mode!r}; expected one of {SERVING_MODES}")
@@ -70,6 +77,13 @@ class ClusterSimulator:
             raise ClusterError("max_batch_size must be >= 1")
         if batch_timeout_ms < 0:
             raise ClusterError("batch_timeout_ms must be non-negative")
+        if standby_timeout_ms is not None and standby_timeout_ms < 0:
+            raise ClusterError("standby_timeout_ms must be non-negative")
+        if deadline_aware and not vectorized:
+            # Fail at construction, not mid-simulation: the deadline
+            # path is batch-level and has no scalar reference loop.
+            raise ClusterError(
+                "deadline_aware pricing needs the vectorized kernels")
         if hw_configs is not None:
             hw_configs = tuple(hw_configs)
             if not hw_configs:
@@ -98,6 +112,19 @@ class ClusterSimulator:
             raise ClusterError("energy_budget_mw must be positive")
         self.energy_budget_mw = energy_budget_mw
         self.budget_window_ms = float(budget_window_ms)
+        #: Plan lai batches against their remaining deadline slack at
+        #: dispatch time (deadline − queueing delay − swap) instead of
+        #: per-sentence targets. Default off: per-sentence planning.
+        self.deadline_aware = bool(deadline_aware)
+        #: Retune batch-former timeouts per (task, SLO class, mode) from
+        #: observed dispatch delay (:class:`~repro.cluster.batcher.
+        #: AdaptiveTimeout`); the static ``batch_timeout_ms`` seeds it.
+        self.adaptive_timeout = bool(adaptive_timeout)
+        #: Idle interval after which a device's rail drops to the
+        #: standby/retention point (None = park forever, the legacy
+        #: behavior); see :class:`~repro.energy.DeviceEnergyModel`.
+        self.standby_timeout_ms = (None if standby_timeout_ms is None
+                                   else float(standby_timeout_ms))
 
     # -- public API --------------------------------------------------------------
 
@@ -127,7 +154,6 @@ class ClusterSimulator:
         self._pending = []
         self._batch_seq = 0
         self._price_cache = {}
-        self._hw_variants = {a.hw_config for a in self._accels}
         self._budget = None
         self._budget_retry_armed = False
         if self.energy_budget_mw is not None:
@@ -187,7 +213,9 @@ class ClusterSimulator:
         estimator = self._estimate_placement
         for i in range(self.num_accelerators):
             hw = self.hw_configs[i] if self.hw_configs else None
-            energy = DeviceEnergyModel(hw or default_hw)
+            energy = DeviceEnergyModel(
+                hw or default_hw,
+                standby_timeout_ms=self.standby_timeout_ms)
             accel = AcceleratorSim(i, hw_config=hw, energy_model=energy)
             accel.attach_estimator(estimator)
             accels.append(accel)
@@ -205,9 +233,14 @@ class ClusterSimulator:
                self._resolve_mode(request))
         former = self._formers.get(key)
         if former is None:
+            controller = None
+            if self.adaptive_timeout:
+                controller = AdaptiveTimeout(
+                    base_ms=self.batch_timeout_ms, target_ms=key[1])
             former = self._formers[key] = BatchFormer(
                 key, max_batch_size=self.max_batch_size,
-                timeout_ms=self.batch_timeout_ms)
+                timeout_ms=self.batch_timeout_ms,
+                timeout_controller=controller)
         was_open = former.is_open
         closed = former.add(request, now)
         if closed is not None:
@@ -240,48 +273,92 @@ class ClusterSimulator:
 
     # -- per-device pricing ------------------------------------------------------
 
-    def _price(self, pending_batch, accel):
+    #: Grid (ms) the deadline slack is floored to before planning. The
+    #: planner is conservative under flooring (understating slack only
+    #: tightens the plan), and a coarse grid is what lets repeated
+    #: policy estimates of the same pending batch across nearby events
+    #: hit the price cache instead of re-pricing per event.
+    DEADLINE_SLACK_GRID_MS = 0.5
+
+    def _swap_for(self, pending_batch, accel, now_ms):
+        """(latency_ms, energy_mj) of the swap this device pays first.
+
+        The single definition of the placement-time residency rule: an
+        eviction inside the swap window drops the residency, so the
+        batch pays a full swap. Shared by the slack derivation and the
+        placement estimator so predicted swap and planned slack can
+        never disagree.
+        """
+        resident = accel.resident_task
+        if accel.run is not None and accel.run.aborts_mid_swap(now_ms):
+            resident = None
+        if resident == pending_batch.task:
+            return 0.0, 0.0
+        cost = self.registry.switch_cost(resident, pending_batch.task)
+        return cost.latency_ms, cost.energy_mj
+
+    def _deadline_budget_ms(self, pending_batch, accel, now_ms):
+        """The slack the deadline planner gets for this placement.
+
+        The batch's actual remaining budget at dispatch time: its
+        earliest member's absolute deadline, minus the current instant
+        (so window time and dispatcher queueing already spent come off
+        the top), minus the encoder swap this device would pay first —
+        floored to :data:`DEADLINE_SLACK_GRID_MS` and clamped at zero
+        (an already-late batch plans per-sentence). Returns None when
+        deadline-aware planning is off or the batch is not ``lai``-mode.
+        """
+        if not self.deadline_aware or pending_batch.mode != "lai":
+            return None
+        swap_ms, _ = self._swap_for(pending_batch, accel, now_ms)
+        slack = pending_batch.deadline_ms - now_ms - swap_ms
+        grid = self.DEADLINE_SLACK_GRID_MS
+        return max(math.floor(slack / grid) * grid, 0.0)
+
+    def _price(self, pending_batch, accel, now_ms):
         """Price ``pending_batch`` on ``accel``'s hardware (cached).
 
-        The cache is keyed by (batch seq, device HwConfig): distinct
-        PendingBatch objects always carry distinct seqs, and every
-        device sharing a hardware profile prices identically — so the
-        governor scoring k devices and the eventual placement share one
-        engine call per hardware variant. Entries are evicted when
-        their batch starts (:meth:`_start`), so the footprint stays
-        O(pending batches x hardware variants) on long traces.
+        The cache is keyed by batch seq, then (device HwConfig, deadline
+        budget): distinct PendingBatch objects always carry distinct
+        seqs, and every device sharing a hardware profile *and* seeing
+        the same remaining slack prices identically — so the governor
+        scoring k devices and the eventual placement share one engine
+        call per variant. A batch's entries are evicted wholesale when
+        it starts (:meth:`_start`), so the footprint stays
+        O(pending batches x variants) on long traces.
         """
-        key = (pending_batch.seq, accel.hw_config)
-        report = self._price_cache.get(key)
+        deadline_ms = self._deadline_budget_ms(pending_batch, accel,
+                                               now_ms)
+        key = (accel.hw_config, deadline_ms)
+        cache = self._price_cache.setdefault(pending_batch.seq, {})
+        report = cache.get(key)
         if report is None:
             profile = self.registry.profile_for(pending_batch.task,
                                                 accel.hw_config)
             report = price_batch(profile, pending_batch.batch,
                                  pending_batch.mode,
-                                 vectorized=self.vectorized)
-            self._price_cache[key] = report
+                                 vectorized=self.vectorized,
+                                 deadline_ms=deadline_ms)
+            cache[key] = report
         return report
 
     def _estimate_placement(self, accel, pending_batch, now_ms):
         """Back :meth:`AcceleratorSim.estimate` with cached pricing."""
-        engine_report = self._price(pending_batch, accel)
+        engine_report = self._price(pending_batch, accel, now_ms)
         latency_ms = float(sum(r.latency_ms
                                for r in engine_report.results))
         first_latency_ms = float(engine_report.results[0].latency_ms) \
             if engine_report.results else 0.0
         energy_mj = float(sum(r.energy_mj
                               for r in engine_report.results))
-        resident = accel.resident_task
-        if accel.run is not None and accel.run.aborts_mid_swap(now_ms):
-            resident = None  # an eviction now would drop the residency
-        swap_ms = swap_energy = 0.0
-        if resident != pending_batch.task:
-            cost = self.registry.switch_cost(resident, pending_batch.task)
-            swap_ms, swap_energy = cost.latency_ms, cost.energy_mj
+        swap_ms, swap_energy = self._swap_for(pending_batch, accel,
+                                              now_ms)
         transition_ms = transition_mj = 0.0
         if accel.energy is not None:
+            # now_ms lets a standby-capable device price the wake from
+            # its retention point once the idle timeout has elapsed.
             transition_ms, transition_mj = \
-                accel.energy.estimate_transition()
+                accel.energy.estimate_transition(now_ms=now_ms)
         return PlacementEstimate(
             latency_ms=latency_ms, first_latency_ms=first_latency_ms,
             energy_mj=energy_mj, swap_ms=swap_ms,
@@ -342,7 +419,7 @@ class ClusterSimulator:
         batch = pending_batch.batch
         swap_cost = self.registry.switch_cost(accel.resident_task,
                                               batch.task)
-        engine_report = self._price(pending_batch, accel)
+        engine_report = self._price(pending_batch, accel, now)
         latencies = [r.latency_ms for r in engine_report.results]
         if self._budget is not None:
             # Commit the placement's predicted energy against the
@@ -352,14 +429,17 @@ class ClusterSimulator:
                                   for r in engine_report.results))
             if accel.resident_task != batch.task:
                 committed += swap_cost.energy_mj
-            committed += accel.energy.estimate_transition()[1]
+            committed += accel.energy.estimate_transition(now_ms=now)[1]
             self._budget.commit(now, committed)
+        former = self._formers.get((batch.task, float(batch.target_ms),
+                                    pending_batch.mode))
+        if former is not None:
+            former.observe_dispatch_delay(now - pending_batch.ready_ms)
         run = accel.begin(pending_batch, engine_report.results, latencies,
                           now, swap_cost)
         # The batch is placed; its priced variants can never be needed
         # again (requeued remainders get fresh seqs).
-        for hw in self._hw_variants:
-            self._price_cache.pop((pending_batch.seq, hw), None)
+        self._price_cache.pop(pending_batch.seq, None)
         self._report.num_batches += 1
         self._loop.schedule(run.end_ms, BatchDone(accel.accel_id,
                                                   run.run_id))

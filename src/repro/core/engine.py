@@ -127,6 +127,14 @@ class PricingTables:
     :class:`~repro.dvfs.VoltageFrequencyTable`, which is exactly what
     :meth:`~repro.dvfs.DvfsController.plan_batch` indexes with
     ``table_index``).
+
+    The deadline-aware pricing path additionally needs the *front end*
+    (embedding stage + encoder layer 1) per operating point —
+    ``front_point_time_ns[i]`` / ``front_point_energy_pj[i]`` — because a
+    batch planned against a shared deadline runs every front end after
+    the first on the batch rail instead of sprinting it at nominal V/F.
+    The eNVM embedding read (``embedding_read_pj``) stays a per-sentence
+    constant: memory energy does not scale with the logic rail.
     """
 
     num_layers: int
@@ -140,6 +148,8 @@ class PricingTables:
     layer_cycles: int
     point_time_ns: np.ndarray
     point_energy_pj: np.ndarray
+    front_point_time_ns: np.ndarray
+    front_point_energy_pj: np.ndarray
 
 
 # -- stateless batch pricing kernels ----------------------------------------------
@@ -233,6 +243,80 @@ def price_latency_aware_batch(tables, dvfs, entropies, lut,
         "vdd": np.where(exit1, tables.nominal_vdd, plan.vdd),
         "freq_ghz": np.where(exit1, tables.nominal_freq_ghz, plan.freq_ghz),
         "met_target": np.where(exit1, front_met, met),
+    }
+
+
+def price_latency_aware_deadline_batch(tables, dvfs, entropies, lut,
+                                       entropy_threshold, target_ms,
+                                       deadline_ms):
+    """Vectorized Algorithm 2 planned batch-wide against one deadline.
+
+    Same prediction and exit semantics as
+    :func:`price_latency_aware_batch`, but the DVFS decision is
+    :meth:`~repro.dvfs.DvfsController.plan_batch_deadline`: the whole
+    batch — front ends after the first included — rides a water-filled
+    rail schedule that spends the deadline's slack instead of sprinting
+    every front end at nominal V/F. When the budget grants no slack over
+    the per-sentence plan, this *is* :func:`price_latency_aware_batch`
+    (the zero-slack path reproduces per-sentence pricing exactly).
+    """
+    from repro.dvfs.deadline import DeadlineBudget
+
+    entropies = np.asarray(entropies, dtype=np.float64)
+    num_layers, n = entropies.shape
+    if num_layers != tables.num_layers:
+        raise PipelineError(
+            f"expected {tables.num_layers} entropies, got {num_layers}")
+    target_ns = target_ms * 1e6
+    deadline_ns = max(float(deadline_ms), 0.0) * 1e6
+
+    front_time = tables.embed_time_ns + tables.layer_time_ns
+    front_energy = tables.embed_energy_pj + tables.layer_energy_pj
+    exit1 = entropies[0] < entropy_threshold
+
+    predicted = np.clip(np.asarray(lut.predict(entropies[0]),
+                                   dtype=np.int64), 1, num_layers)
+    # Sentences whose layer-1 entropy already exits owe only their front
+    # end; the batch budget must not reserve layers they will never run.
+    remaining = np.where(exit1, 0.0,
+                         (predicted - 1) * float(tables.layer_cycles))
+    plan = dvfs.plan_batch_deadline(
+        remaining, DeadlineBudget(deadline_ns, target_ns), front_time,
+        layer_cycles=tables.layer_cycles,
+        point_time_ns=tables.point_time_ns,
+        front_point_time_ns=tables.front_point_time_ns,
+        nominal_layer_time_ns=tables.layer_time_ns)
+    if plan.fallback:
+        return price_latency_aware_batch(tables, dvfs, entropies, lut,
+                                         entropy_threshold, target_ms)
+
+    exit_layer = np.where(
+        exit1, 1, bounded_exit_layers(entropies, entropy_threshold,
+                                      predicted))
+    scaled_layers = exit_layer - 1  # 0 for layer-1 exits
+    front_t = plan.gather_front(tables.front_point_time_ns, front_time)
+    front_e = (plan.gather_front(tables.front_point_energy_pj,
+                                 front_energy)
+               + tables.embedding_read_pj)
+    scaled_time = plan.gather(tables.point_time_ns, tables.layer_time_ns)
+    scaled_energy = plan.gather(tables.point_energy_pj,
+                                tables.layer_energy_pj)
+    # One rail move per boundary where the schedule actually changes the
+    # point — a batch holding its rail pays no per-sentence LDO overhead.
+    overhead = np.where(
+        plan.rail_changed,
+        dvfs.ldo.overhead_energy_pj(scaled_energy * 0.02, plan.vdd), 0.0)
+
+    elapsed = front_t + plan.transition_ns + scaled_layers * scaled_time
+    energy = front_e + scaled_layers * scaled_energy + overhead
+    return {
+        "exit_layer": exit_layer,
+        "predicted_layer": np.where(exit1, 1, predicted),
+        "latency_ms": elapsed * 1e-6,
+        "energy_mj": energy * 1e-9,
+        "vdd": plan.vdd,
+        "freq_ghz": plan.freq_ghz,
+        "met_target": plan.meets_target.copy(),
     }
 
 
@@ -342,10 +426,17 @@ class LatencyAwareEngine:
             rows = self.dvfs.table.rows()
             point_time = np.empty(len(rows))
             point_energy = np.empty(len(rows))
+            front_time = np.empty(len(rows))
+            front_energy = np.empty(len(rows))
             for i, (vdd, freq) in enumerate(rows):
                 metrics = self._layer_at(vdd, freq)
                 point_time[i] = metrics.time_ns
                 point_energy[i] = metrics.energy_pj
+                embed = self.accelerator.layer_metrics(
+                    self.embed_workload, vdd=vdd, freq_ghz=freq,
+                    sparse_execution=self.sparse_execution)
+                front_time[i] = embed.time_ns + metrics.time_ns
+                front_energy[i] = embed.energy_pj + metrics.energy_pj
             nominal_vdd, nominal_freq = self._nominal
             self._pricing_tables = PricingTables(
                 num_layers=self.model_config.num_layers,
@@ -359,6 +450,8 @@ class LatencyAwareEngine:
                 layer_cycles=self._layer_nominal.cycles,
                 point_time_ns=point_time,
                 point_energy_pj=point_energy,
+                front_point_time_ns=front_time,
+                front_point_energy_pj=front_energy,
             )
         return self._pricing_tables
 
@@ -454,7 +547,7 @@ class LatencyAwareEngine:
 
     def simulate_dataset(self, mode, layer_logits, entropies, lut=None,
                          entropy_threshold=None, target_ms=None,
-                         vectorized=True):
+                         vectorized=True, deadline_ms=None):
         """Price a whole dataset from precomputed per-layer logits.
 
         ``layer_logits`` is (L, N, C); ``entropies`` (L, N) — both from
@@ -465,6 +558,13 @@ class LatencyAwareEngine:
         batch kernels; ``vectorized=False`` walks the original
         per-sentence loop. Both produce the same per-sentence
         :class:`SentenceResult` rows (equivalence is tested to 1e-9).
+
+        ``deadline_ms`` (``lai`` only) switches to the deadline-budget
+        pricing path: the N sentences are treated as one batch whose
+        sequential compute must finish within the budget, and the DVFS
+        plan water-fills that budget across the whole batch
+        (:func:`price_latency_aware_deadline_batch`). ``deadline_ms=0``
+        reproduces the per-sentence pricing exactly.
         """
         num_layers, n, _ = layer_logits.shape
         if num_layers != self.model_config.num_layers:
@@ -490,6 +590,16 @@ class LatencyAwareEngine:
         if mode == "lai":
             if lut is None or target_ms is None:
                 raise PipelineError("lai mode needs a LUT and latency target")
+            if deadline_ms is not None:
+                if not vectorized:
+                    raise PipelineError(
+                        "deadline-aware lai pricing is batch-level and has "
+                        "no scalar path; its zero-slack fallback is the "
+                        "per-sentence plan itself")
+                priced = price_latency_aware_deadline_batch(
+                    self.pricing_tables(), self.dvfs, entropies, lut,
+                    entropy_threshold, target_ms, deadline_ms)
+                return self._report(priced, predictions)
             if not vectorized:
                 return self._simulate_scalar_lai(
                     entropies, lut, entropy_threshold, target_ms, predictions)

@@ -2,12 +2,15 @@
 
 from repro.dvfs.adpll import AdpllModel
 from repro.dvfs.controller import BatchPlan, DvfsController, OperatingPoint
+from repro.dvfs.deadline import DeadlineBatchPlan, DeadlineBudget
 from repro.dvfs.ldo import LdoModel, VoltageTrace
 from repro.dvfs.vf_table import VoltageFrequencyTable, max_frequency_ghz
 
 __all__ = [
     "AdpllModel",
     "BatchPlan",
+    "DeadlineBatchPlan",
+    "DeadlineBudget",
     "DvfsController",
     "OperatingPoint",
     "LdoModel",

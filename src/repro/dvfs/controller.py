@@ -147,6 +147,31 @@ class DvfsController:
         return BatchPlan(vdd=vdd, freq_ghz=freq, meets_target=meets,
                          requested_freq_ghz=request, table_index=idx)
 
+    def plan_batch_deadline(self, remaining_cycles, budget, elapsed_ns,
+                            **kwargs):
+        """Plan a whole batch against one shared deadline budget.
+
+        Earliest-deadline water-filling over the V/F table (see
+        :mod:`repro.dvfs.deadline`): give early sentences slower
+        operating points while the batch has slack, tighten as the
+        deadline approaches, and fall back to :meth:`plan_batch` — the
+        per-sentence oracle — when the budget grants no slack.
+
+        ``budget`` is a :class:`~repro.dvfs.deadline.DeadlineBudget`, or
+        a ``deadline_ns`` scalar together with a ``target_ns`` keyword;
+        ``remaining_cycles`` / ``elapsed_ns`` are as in
+        :meth:`plan_batch`. Callers pricing with engine tables pass
+        ``layer_cycles`` / ``point_time_ns`` / ``front_point_time_ns``
+        so the plan predicts with the exact per-row costs the engine
+        charges. Returns a
+        :class:`~repro.dvfs.deadline.DeadlineBatchPlan`.
+        """
+        # Imported lazily: the deadline module subclasses this module's
+        # BatchPlan, so a top-level import would be circular.
+        from repro.dvfs.deadline import plan_batch_deadline
+        return plan_batch_deadline(self, remaining_cycles, budget,
+                                   elapsed_ns, **kwargs)
+
     def transition_overhead_ns(self, v_from, v_to, f_from, f_to):
         """Settling time before compute may resume (LDO ∥ ADPLL)."""
         return max(self.ldo.transition_time_ns(v_from, v_to),

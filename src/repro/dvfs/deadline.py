@@ -1,0 +1,346 @@
+"""Deadline-budget DVFS: plan a whole batch against one shared SLO budget.
+
+The per-sentence controller (:meth:`~repro.dvfs.DvfsController.plan_batch`)
+gives every sentence the same latency target and plans each one
+independently — the paper's streaming model, where a new sentence arrives
+every target period. A served *batch* is different: its sentences execute
+back-to-back and the SLO owns the whole run ("all of this work must be
+done ``deadline_ns`` from the rail wake-up"), so planning each sentence
+against the full per-sentence target either sprints the shared nominal
+front ends through work the deadline never asked to be that fast, or
+ignores slack that could buy a lower rail.
+
+:class:`DeadlineBudget` carries that contract, and the planner here turns
+it into per-sentence operating points by **earliest-deadline
+water-filling over the V/F table**:
+
+1. price today's per-sentence plan (the fallback, and the oracle the
+   zero-slack path must reproduce exactly);
+2. sweep a shared *water level* — a table row every sentence is lowered
+   to (never below its per-sentence row… never *above* it either: the
+   level only ever slows sentences) with the whole batch, front ends
+   included, riding the level's rail — and keep the lowest level whose
+   predicted schedule still meets the deadline;
+3. spend any leftover slack lowering the *earliest* sentences one more
+   step (they are the batch's earliest deadlines — the plan tightens as
+   the deadline approaches).
+
+When no level fits (the budget has no slack over the per-sentence plan)
+the planner returns the per-sentence plan unchanged, so the zero-slack
+path is bit-for-bit today's pricing. Because feasibility of a level never
+depends on anything but its own fixed schedule, a larger budget can only
+move every sentence to an equal-or-lower row — more slack never costs
+more energy, and the invariant is testable componentwise.
+
+The planner predicts time from the same per-row tables the engine prices
+with (callers pass ``point_time_ns`` / ``front_point_time_ns`` from
+:class:`~repro.core.engine.PricingTables`), so "the plan meets the
+deadline" and "the priced batch meets the deadline" are the same
+statement — actual exits only come earlier than the predicted layers the
+plan budgeted for.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dvfs.controller import BatchPlan
+from repro.errors import DvfsError
+
+#: Feasibility tolerance (ns) — matches the engine's met-target check.
+DEADLINE_TOL_NS = 1e-6
+
+
+@dataclass(frozen=True)
+class DeadlineBudget:
+    """A whole batch's latency contract.
+
+    ``deadline_ns`` is the total sequential-compute budget: the time from
+    the rail waking for the batch's first front end until the last
+    sentence must be done (the cluster hands in its actual remaining
+    slack — SLO deadline minus queueing delay minus the swap — so compute
+    adapts to time already lost in queue). ``target_ns`` is the SLO
+    class's per-sentence latency target, which the zero-slack fallback
+    plans against. ``deadline_ns = 0`` means "no batch budget": always
+    fall back to the per-sentence plan.
+    """
+
+    deadline_ns: float
+    target_ns: float
+
+    def __post_init__(self):
+        if not math.isfinite(self.target_ns) or self.target_ns <= 0:
+            raise DvfsError("per-sentence target_ns must be positive")
+        if not math.isfinite(self.deadline_ns) or self.deadline_ns < 0:
+            raise DvfsError("deadline_ns must be non-negative")
+
+    @classmethod
+    def from_ms(cls, deadline_ms, target_ms):
+        return cls(deadline_ns=float(deadline_ms) * 1e6,
+                   target_ns=float(target_ms) * 1e6)
+
+    @classmethod
+    def zero_slack(cls, target_ms):
+        """The no-budget contract: plan per-sentence, exactly as today."""
+        return cls(deadline_ns=0.0, target_ns=float(target_ms) * 1e6)
+
+
+@dataclass(frozen=True)
+class DeadlineBatchPlan(BatchPlan):
+    """A :class:`BatchPlan` extended with the batch-wide rail schedule.
+
+    ``table_index`` (inherited) is the row whose rail the sentence runs
+    on (−1 = nominal); ``front_index`` the row its *front end* runs on —
+    always −1 for sentence 0 (the wake transition lands the rail at
+    nominal, exactly where Algorithm 2's first layer-1 pass needs it) and
+    for every sentence of a fallback plan. ``transition_ns`` /
+    ``rail_changed`` describe the one rail move charged at each
+    sentence's boundary; ``sentence_ns`` is the planner's predicted
+    per-sentence time (front + transition + predicted scaled layers),
+    summing to ``planned_ns``.
+    """
+
+    front_index: np.ndarray
+    transition_ns: np.ndarray
+    rail_changed: np.ndarray
+    sentence_ns: np.ndarray
+    planned_ns: float
+    deadline_ns: float
+    fallback: bool
+    feasible: bool
+
+    def gather_front(self, per_row_values, nominal_value):
+        """Per-sentence front-end values from a per-table-row array."""
+        values = np.asarray(per_row_values)
+        hit = self.front_index >= 0
+        return np.where(hit, values[np.maximum(self.front_index, 0)],
+                        nominal_value)
+
+
+def _as_budget(budget, target_ns):
+    if isinstance(budget, DeadlineBudget):
+        return budget
+    if target_ns is None:
+        raise DvfsError(
+            "plan_batch_deadline needs a DeadlineBudget, or a deadline_ns "
+            "scalar together with target_ns")
+    return DeadlineBudget(deadline_ns=float(budget),
+                          target_ns=float(target_ns))
+
+
+class _Schedule:
+    """Vectorized evaluation of candidate batch rail schedules."""
+
+    def __init__(self, controller, remaining, elapsed, layer_cycles,
+                 point_time_ns, front_point_time_ns, nominal_layer_time_ns):
+        self.controller = controller
+        table = controller.table
+        self.num_rows = len(table)
+        self.freqs = table.frequencies
+        self.volts = table.voltages
+        self.nominal_vdd, self.nominal_freq = table.nominal_point()
+        self.remaining = remaining
+        self.elapsed = elapsed
+        n = remaining.size
+
+        # Per-sentence, per-row post-front layer time (n, R). When the
+        # engine's pricing tables are handed in, the planner predicts
+        # with the exact numbers the engine will price with.
+        if point_time_ns is not None:
+            if layer_cycles is None:
+                raise DvfsError("point_time_ns needs layer_cycles")
+            point_time = np.asarray(point_time_ns, dtype=np.float64)
+            if point_time.shape != (self.num_rows,):
+                raise DvfsError(
+                    f"point_time_ns must have one entry per V/F row "
+                    f"({self.num_rows}), got {point_time.shape}")
+            layers = remaining / float(layer_cycles)
+            self.layer_time = layers[:, None] * point_time[None, :]
+            nominal_time = (float(nominal_layer_time_ns)
+                            if nominal_layer_time_ns is not None
+                            else float(layer_cycles) / self.nominal_freq)
+            self.nominal_layer = layers * nominal_time
+        else:
+            self.layer_time = remaining[:, None] / self.freqs[None, :]
+            self.nominal_layer = remaining / self.nominal_freq
+
+        # Per-sentence, per-row front-end time (n, R).
+        if front_point_time_ns is not None:
+            front = np.asarray(front_point_time_ns, dtype=np.float64)
+            if front.shape != (self.num_rows,):
+                raise DvfsError(
+                    f"front_point_time_ns must have one entry per V/F row "
+                    f"({self.num_rows}), got {front.shape}")
+            self.front_time = np.broadcast_to(front, (n, self.num_rows))
+        else:
+            self.front_time = (self.elapsed[:, None]
+                               * (self.nominal_freq / self.freqs)[None, :])
+
+    def _rail_points(self, rail):
+        hit = rail >= 0
+        safe = np.maximum(rail, 0)
+        vdd = np.where(hit, self.volts[safe], self.nominal_vdd)
+        freq = np.where(hit, self.freqs[safe], self.nominal_freq)
+        return vdd, freq
+
+    def evaluate(self, level_rows, base_rows):
+        """Predicted schedule for per-sentence water levels.
+
+        ``level_rows`` is the (n,) candidate level per sentence;
+        ``base_rows`` the per-sentence plan's effective rows (the level
+        only ever *slows* a sentence, so the planned row is the
+        elementwise minimum). Returns the full candidate: rows, rails,
+        per-sentence times and the total.
+        """
+        n = self.remaining.size
+        rows = np.minimum(base_rows, level_rows)
+        rail = rows.copy()
+        if self.remaining[0] <= 0:
+            # Sentence 0 has no post-front work: its front runs at the
+            # nominal wake point and the rail first moves for sentence 1.
+            rail[0] = -1
+        front_index = rows.copy()
+        front_index[0] = -1
+
+        cur_vdd, cur_freq = self._rail_points(rail)
+        prev_vdd = np.concatenate([[self.nominal_vdd], cur_vdd[:-1]])
+        prev_freq = np.concatenate([[self.nominal_freq], cur_freq[:-1]])
+        transition = self.controller.transition_overhead_ns_batch(
+            prev_vdd, cur_vdd, prev_freq, cur_freq)
+        rail_changed = transition > 0
+
+        fronts = np.where(front_index >= 0,
+                          self.front_time[np.arange(n),
+                                          np.maximum(front_index, 0)],
+                          self.elapsed)
+        layers = np.where(rows >= 0,
+                          self.layer_time[np.arange(n),
+                                          np.maximum(rows, 0)],
+                          self.nominal_layer)
+        sentence_ns = fronts + transition + layers
+        return {
+            "rail": rail,
+            "front_index": front_index,
+            "transition_ns": transition,
+            "rail_changed": rail_changed,
+            "sentence_ns": sentence_ns,
+            "total_ns": float(sentence_ns.sum()),
+            "vdd": cur_vdd,
+            "freq": cur_freq,
+        }
+
+
+def plan_batch_deadline(controller, remaining_cycles, budget, elapsed_ns,
+                        target_ns=None, layer_cycles=None,
+                        point_time_ns=None, front_point_time_ns=None,
+                        nominal_layer_time_ns=None):
+    """Water-fill a batch's operating points against a shared deadline.
+
+    See the module docstring for the algorithm;
+    :meth:`~repro.dvfs.DvfsController.plan_batch_deadline` is the public
+    entry point. ``remaining_cycles`` is the (N,) predicted post-front
+    work per sentence (0 for sentences whose layer-1 entropy already
+    exits); ``budget`` a :class:`DeadlineBudget` (or a ``deadline_ns``
+    scalar with ``target_ns``); ``elapsed_ns`` the nominal front-end
+    time, broadcast per sentence.
+    """
+    budget = _as_budget(budget, target_ns)
+    remaining = np.atleast_1d(
+        np.asarray(remaining_cycles, dtype=np.float64))
+    if remaining.ndim != 1:
+        raise DvfsError("remaining_cycles must be one-dimensional")
+    elapsed = np.broadcast_to(
+        np.asarray(elapsed_ns, dtype=np.float64),
+        remaining.shape).astype(np.float64)
+
+    base = controller.plan_batch(remaining, budget.target_ns, elapsed)
+    sched = _Schedule(controller, remaining, elapsed, layer_cycles,
+                      point_time_ns, front_point_time_ns,
+                      nominal_layer_time_ns)
+
+    # Today's per-sentence plan, timed the way the engine prices it: the
+    # nominal front end, one transition down from nominal, then the
+    # predicted layers at the planned point.
+    base_transition = controller.transition_overhead_ns_batch(
+        sched.nominal_vdd, base.vdd, sched.nominal_freq, base.freq_ghz)
+    n = remaining.size
+    base_layer = np.where(
+        base.table_index >= 0,
+        sched.layer_time[np.arange(n), np.maximum(base.table_index, 0)],
+        sched.nominal_layer)
+    base_sentence = elapsed + base_transition + base_layer
+    base_total = float(base_sentence.sum())
+
+    def fallback_plan():
+        return DeadlineBatchPlan(
+            vdd=base.vdd, freq_ghz=base.freq_ghz,
+            meets_target=base.meets_target,
+            requested_freq_ghz=base.requested_freq_ghz,
+            table_index=base.table_index,
+            front_index=np.full(n, -1, dtype=np.int64),
+            transition_ns=base_transition,
+            rail_changed=base_transition > 0,
+            sentence_ns=base_sentence,
+            planned_ns=base_total,
+            deadline_ns=budget.deadline_ns,
+            fallback=True,
+            feasible=base_total <= budget.deadline_ns + DEADLINE_TOL_NS,
+        )
+
+    if n == 0 or budget.deadline_ns <= 0:
+        # No sentences (nothing to water-fill) or no budget: the
+        # per-sentence plan is the answer either way.
+        return fallback_plan()
+
+    # Effective per-sentence ceiling: the per-sentence row, with nominal
+    # fallbacks (infeasible targets, no work) pinned at the top row — the
+    # batch budget, not the blown per-sentence target, now decides
+    # whether they fit.
+    num_rows = sched.num_rows
+    base_eff = np.where(base.table_index >= 0, base.table_index,
+                        num_rows - 1)
+
+    chosen = None
+    chosen_level = None
+    for level in range(num_rows):
+        candidate = sched.evaluate(
+            np.full(n, level, dtype=np.int64), base_eff)
+        if candidate["total_ns"] <= budget.deadline_ns + DEADLINE_TOL_NS:
+            chosen, chosen_level = candidate, level
+            break
+    if chosen is None:
+        # Even the fastest level (per-sentence rows, fronts riding the
+        # batch rail) overruns the budget: the deadline grants no slack
+        # over today's plan, so return it unchanged.
+        return fallback_plan()
+
+    if chosen_level > 0:
+        # Leftover slack buys the earliest sentences — the batch's
+        # earliest deadlines — one more step down the table; the plan
+        # tightens back to the level as the deadline approaches.
+        level_rows = np.full(n, chosen_level, dtype=np.int64)
+        for prefix in range(1, n + 1):
+            trial_rows = level_rows.copy()
+            trial_rows[:prefix] = chosen_level - 1
+            trial = sched.evaluate(trial_rows, base_eff)
+            if trial["total_ns"] > budget.deadline_ns + DEADLINE_TOL_NS:
+                break
+            chosen = trial
+
+    return DeadlineBatchPlan(
+        vdd=chosen["vdd"], freq_ghz=chosen["freq"],
+        meets_target=np.ones(n, dtype=bool),
+        requested_freq_ghz=base.requested_freq_ghz,
+        table_index=chosen["rail"],
+        front_index=chosen["front_index"],
+        transition_ns=chosen["transition_ns"],
+        rail_changed=chosen["rail_changed"],
+        sentence_ns=chosen["sentence_ns"],
+        planned_ns=chosen["total_ns"],
+        deadline_ns=budget.deadline_ns,
+        fallback=False,
+        feasible=True,
+    )

@@ -40,25 +40,44 @@ from repro.hw.accelerator import AcceleratorModel
 
 
 class DeviceEnergyModel:
-    """Parked-operating-point, idle and transition accounting."""
+    """Parked-operating-point, idle, standby and transition accounting.
 
-    def __init__(self, hw_config=None, start_ms=0.0):
+    ``standby_timeout_ms`` arms the sleep state: a device idle longer
+    than the timeout drops its rail from the parked point to the LDO's
+    standby/retention voltage — cheaper leakage from then on, but the
+    next wake pays the full standby→nominal transition through the same
+    LDO-slew ∥ ADPLL-relock path (and the drop itself is charged as one
+    more transition). ``None`` keeps the legacy park-forever behavior.
+    The crossing is applied retroactively when the idle interval is
+    accrued, so accounting stays deterministic and event-schedule-free.
+    """
+
+    def __init__(self, hw_config=None, start_ms=0.0,
+                 standby_timeout_ms=None):
+        if standby_timeout_ms is not None and standby_timeout_ms < 0:
+            raise EnergyError("standby_timeout_ms must be non-negative")
         self.hw_config = hw_config or HwConfig.energy_optimal()
         self.accelerator = AcceleratorModel(self.hw_config)
         self.dvfs = DvfsController(self.hw_config.dvfs)
         self.nominal_vdd, self.nominal_freq_ghz = \
             self.dvfs.table.nominal_point()
-        # Devices power up parked at the retention point: standby
-        # voltage, and the fastest clock that voltage sustains.
-        self.parked_vdd = self.dvfs.ldo.standby_voltage
-        self.parked_freq_ghz = max_frequency_ghz(self.parked_vdd,
-                                                 self.hw_config.dvfs)
+        # The retention point: standby voltage, and the fastest clock
+        # that voltage sustains. Devices power up parked there.
+        self.standby_vdd = self.dvfs.ldo.standby_voltage
+        self.standby_freq_ghz = max_frequency_ghz(self.standby_vdd,
+                                                  self.hw_config.dvfs)
+        self.parked_vdd = self.standby_vdd
+        self.parked_freq_ghz = self.standby_freq_ghz
+        self.standby_timeout_ms = (None if standby_timeout_ms is None
+                                   else float(standby_timeout_ms))
         self._idle_since_ms = float(start_ms)
         self._busy = False
         self._finalized_ms = None
 
         self.idle_energy_mj = 0.0
         self.idle_ms = 0.0
+        self.standby_ms = 0.0
+        self.standby_entries = 0
         self.transition_energy_mj = 0.0
         self.transition_ms = 0.0
         self.transitions = 0
@@ -70,21 +89,36 @@ class DeviceEnergyModel:
         return self.accelerator.leakage_mw(
             self.parked_vdd if vdd is None else vdd)
 
-    def estimate_transition(self, to_vdd=None, to_freq_ghz=None):
+    def would_be_standby(self, now_ms):
+        """Has an idle device crossed its standby timeout by ``now_ms``?"""
+        return (self.standby_timeout_ms is not None
+                and not self._busy
+                and self.parked_vdd != self.standby_vdd
+                and float(now_ms) - self._idle_since_ms
+                > self.standby_timeout_ms)
+
+    def estimate_transition(self, to_vdd=None, to_freq_ghz=None,
+                            now_ms=None):
         """(settle_ms, energy_mj) of moving the parked rail to a point.
 
         Defaults to the nominal point — the move every batch start pays.
         The settle window is dead time at the *higher* of the two rails
         (the LDO header charges before compute resumes) with the ADPLL
-        burning its relock power at the target frequency.
+        burning its relock power at the target frequency. ``now_ms``,
+        when given, accounts for the standby timeout: a device that
+        would be asleep by then is priced waking from the retention
+        point — the pricier wake the governor weighs against routing to
+        an awake device.
         """
         to_vdd = self.nominal_vdd if to_vdd is None else to_vdd
         to_freq = self.nominal_freq_ghz if to_freq_ghz is None \
             else to_freq_ghz
+        from_vdd, from_freq = self.parked_vdd, self.parked_freq_ghz
+        if now_ms is not None and self.would_be_standby(now_ms):
+            from_vdd, from_freq = self.standby_vdd, self.standby_freq_ghz
         settle_ns = self.dvfs.transition_overhead_ns(
-            self.parked_vdd, to_vdd, self.parked_freq_ghz, to_freq)
-        power_mw = (self.accelerator.leakage_mw(max(self.parked_vdd,
-                                                    to_vdd))
+            from_vdd, to_vdd, from_freq, to_freq)
+        power_mw = (self.accelerator.leakage_mw(max(from_vdd, to_vdd))
                     + self.dvfs.adpll.power_mw(to_freq))
         return settle_ns * 1e-6, power_mw * settle_ns * 1e-9  # ms, mJ
 
@@ -128,8 +162,27 @@ class DeviceEnergyModel:
                 f"idle accrual moving backwards: {self._idle_since_ms} ->"
                 f" {now_ms} ms")
         interval_ms = max(0.0, interval_ms)
-        # mW * ms = µJ; scale to mJ.
-        self.idle_energy_mj += self.idle_power_mw() * interval_ms * 1e-3
+        if self.would_be_standby(now_ms):
+            # The rail dropped to retention partway through the interval:
+            # leakage at the parked point until the timeout, one charged
+            # down-transition at the crossing, standby leakage after.
+            awake_ms = min(self.standby_timeout_ms, interval_ms)
+            asleep_ms = interval_ms - awake_ms
+            self.idle_energy_mj += self.idle_power_mw() * awake_ms * 1e-3
+            settle_ms, energy_mj = self.estimate_transition(
+                self.standby_vdd, self.standby_freq_ghz)
+            self.transition_ms += settle_ms
+            self.transition_energy_mj += energy_mj
+            self.transitions += 1
+            self.standby_entries += 1
+            self.parked_vdd = self.standby_vdd
+            self.parked_freq_ghz = self.standby_freq_ghz
+            self.idle_energy_mj += (self.idle_power_mw() * asleep_ms
+                                    * 1e-3)
+            self.standby_ms += asleep_ms
+        else:
+            # mW * ms = µJ; scale to mJ.
+            self.idle_energy_mj += self.idle_power_mw() * interval_ms * 1e-3
         self.idle_ms += interval_ms
         self._idle_since_ms = float(now_ms)
 

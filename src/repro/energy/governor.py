@@ -24,7 +24,14 @@ Heterogeneous routing falls out of that rule: tight-SLO ``lai``
 traffic lands on the big (high ``mac_vector_size``) devices because the
 small ones are infeasible for it, while relaxed-SLO batches flow to the
 smaller, cheaper-per-joule devices — and, via the transition term, to
-devices already parked near the rail they need. The governor is
+devices already parked near the rail they need. The same term is how
+sleep states are weighed: a device past its standby timeout is priced
+waking from the retention voltage, so the governor routes to an awake
+device unless the sleeper's compute advantage pays for the wake. Under
+deadline-aware dispatch the compute term itself comes from the
+deadline-budget DVFS plan, so min-joules placement sees the real
+(cheaper) cost of relaxed batches rather than their per-sentence
+sprint price. The governor is
 work-conserving (it never idles a free device while work is pending)
 and non-preemptive; pair it with a cluster-wide
 :class:`~repro.energy.EnergyBudget` for Camel-style admission

@@ -28,6 +28,7 @@ from repro.serving.scheduler import Scheduler
 from repro.serving.server import (
     Server,
     ServingReport,
+    batch_deadline_ms,
     price_batch,
     validate_request,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "SwitchCost",
     "TaskProfile",
     "TaskRegistry",
+    "batch_deadline_ms",
     "encoder_weight_bytes",
     "price_batch",
     "validate_request",

@@ -46,13 +46,39 @@ def validate_request(registry, request, mode):
     return profile
 
 
-def price_batch(profile, batch, mode, vectorized=True):
+def batch_deadline_ms(batch, now_ms=None):
+    """A batch's remaining sequential-compute budget, in milliseconds.
+
+    The budget runs from the batch's reference start — ``now_ms`` when a
+    clock is given (the cluster passes its dispatch instant, so queueing
+    delay already spent comes off the top), else the last member's
+    arrival (the earliest the batch could have started) — to the
+    *earliest* member's absolute deadline, so a plan that fits it
+    completes every member inside its own SLO. Clamped at zero: a batch
+    that is already late gets no budget, which the deadline planner
+    treats as "plan per-sentence, exactly as today".
+    """
+    if not batch.requests:
+        raise ServingError("an empty batch has no deadline")
+    start = (max(r.arrival_ms for r in batch.requests)
+             if now_ms is None else float(now_ms))
+    return max(min(r.deadline_ms for r in batch.requests) - start, 0.0)
+
+
+def price_batch(profile, batch, mode, vectorized=True, deadline_ms=None):
     """Price one same-task batch against its profile (pure function).
 
     Returns the engine's :class:`~repro.core.engine.EngineReport` with one
     :class:`~repro.core.SentenceResult` per request, in batch order. This
     is the single pricing entry point both the queue-draining
     :class:`Server` and the event-driven cluster simulator call.
+
+    ``deadline_ms`` (``lai`` only) prices the batch with the
+    deadline-budget DVFS plan instead of per-sentence targets: the whole
+    batch's sequential compute is planned to fit the budget
+    (:func:`batch_deadline_ms` derives it from the members'
+    ``Request.deadline_ms``), with per-sentence planning as the
+    zero-slack fallback.
     """
     idx = batch.sentence_indices
     logits = profile.logits[:, idx]
@@ -61,7 +87,9 @@ def price_batch(profile, batch, mode, vectorized=True):
         return profile.engine.simulate_dataset(
             "lai", logits, entropies, lut=profile.lut,
             entropy_threshold=profile.entropy_threshold,
-            target_ms=batch.target_ms, vectorized=vectorized)
+            target_ms=batch.target_ms, vectorized=vectorized,
+            deadline_ms=(None if deadline_ms is None
+                         else max(float(deadline_ms), 0.0)))
     if mode == "base":
         report = profile.engine.simulate_dataset(
             "base", logits, entropies, vectorized=vectorized)
@@ -172,7 +200,7 @@ class Server:
     """Multi-task serving facade over a :class:`TaskRegistry`."""
 
     def __init__(self, registry, scheduler=None, mode="lai",
-                 vectorized=True):
+                 vectorized=True, deadline_aware=False):
         if mode not in SERVING_MODES:
             raise ServingError(
                 f"unknown mode {mode!r}; expected one of {SERVING_MODES}")
@@ -180,6 +208,21 @@ class Server:
         self.scheduler = scheduler or Scheduler()
         self.mode = mode
         self.vectorized = vectorized
+        if deadline_aware and not vectorized:
+            # Fail at construction, not mid-drain: the deadline path is
+            # batch-level and has no scalar reference loop.
+            raise ServingError(
+                "deadline_aware pricing needs the vectorized kernels")
+        if deadline_aware and mode != "lai":
+            # The server's mode is fixed for the whole queue; a
+            # deadline budget only steers the lai DVFS plan, so any
+            # other combination would be a silent no-op.
+            raise ServingError(
+                f"deadline_aware pricing requires lai mode, not {mode!r}")
+        #: Plan lai batches against their shared deadline budget
+        #: (derived per batch by :func:`batch_deadline_ms`) instead of
+        #: per-sentence targets. Default off: the per-sentence path.
+        self.deadline_aware = bool(deadline_aware)
         self._queue = []
         self._queued_ids = set()
         self._next_id = 0
@@ -253,7 +296,8 @@ class Server:
                 report.switch_latency_ms += cost.latency_ms
                 report.switch_energy_mj += cost.energy_mj
                 resident = batch.task
-            engine_report = self._price_batch(profile, batch)
+            engine_report = self._price_batch(profile, batch,
+                                              report.simulated_time_ms)
             for request, result in zip(batch.requests,
                                        engine_report.results):
                 report.results.append(RequestResult(request, result))
@@ -265,6 +309,16 @@ class Server:
         report.wall_seconds = time.perf_counter() - started
         return report
 
-    def _price_batch(self, profile, batch):
+    def _price_batch(self, profile, batch, elapsed_ms=0.0):
+        deadline = None
+        if self.deadline_aware and self.mode == "lai":
+            # The queue drains serially, so earlier batches' compute and
+            # switches have already consumed slack on the simulated
+            # timeline; the budget runs from whichever is later — that
+            # timeline instant or the batch's own last arrival.
+            start = max(float(elapsed_ms),
+                        max(r.arrival_ms for r in batch.requests))
+            deadline = batch_deadline_ms(batch, now_ms=start)
         return price_batch(profile, batch, self.mode,
-                           vectorized=self.vectorized)
+                           vectorized=self.vectorized,
+                           deadline_ms=deadline)

@@ -1,0 +1,123 @@
+"""Adaptive batch-former timeout: controller rules and cluster wiring."""
+
+import pytest
+
+from repro.cluster import AdaptiveTimeout, BatchFormer, ClusterSimulator
+from repro.errors import ClusterError
+from repro.serving import Request, synthetic_registry, synthetic_traffic
+
+TASKS = ("sst2", "mnli")
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return synthetic_registry(TASKS, n=64, seed=0)
+
+
+class TestController:
+    def test_validation(self):
+        with pytest.raises(ClusterError):
+            AdaptiveTimeout(base_ms=-1.0, target_ms=50.0)
+        with pytest.raises(ClusterError):
+            AdaptiveTimeout(base_ms=1.0, target_ms=0.0)
+        with pytest.raises(ClusterError):
+            AdaptiveTimeout(base_ms=1.0, target_ms=50.0, alpha=0.0)
+        with pytest.raises(ClusterError):
+            AdaptiveTimeout(base_ms=1.0, target_ms=50.0, slack_share=1.5)
+
+    def test_light_load_shrinks_to_floor(self):
+        ctl = AdaptiveTimeout(base_ms=5.0, target_ms=50.0)
+        for _ in range(20):
+            ctl.observe_dispatch_delay(0.0)
+        assert ctl.timeout_ms == pytest.approx(ctl.floor_ms)
+        assert ctl.timeout_ms < 5.0
+
+    def test_saturation_grows_toward_slack_cap(self):
+        ctl = AdaptiveTimeout(base_ms=1.0, target_ms=50.0,
+                              slack_share=0.2)
+        for _ in range(30):
+            ctl.observe_dispatch_delay(40.0)
+        assert ctl.cap_ms == pytest.approx(10.0)  # 20% of the SLO
+        assert ctl.timeout_ms == pytest.approx(ctl.cap_ms)
+
+    def test_ewma_tracks_toward_observations(self):
+        ctl = AdaptiveTimeout(base_ms=2.0, target_ms=100.0, alpha=0.5)
+        ctl.observe_dispatch_delay(4.0)
+        assert ctl.ewma_delay_ms == pytest.approx(4.0)
+        ctl.observe_dispatch_delay(0.0)
+        assert ctl.ewma_delay_ms == pytest.approx(2.0)
+        assert ctl.observations == 2
+
+    def test_timeout_stays_clamped(self):
+        ctl = AdaptiveTimeout(base_ms=500.0, target_ms=50.0)
+        assert ctl.timeout_ms <= ctl.cap_ms
+        ctl.observe_dispatch_delay(1e6)
+        assert ctl.timeout_ms == ctl.cap_ms
+
+
+class TestFormerWiring:
+    def test_static_former_unchanged(self):
+        former = BatchFormer(("sst2", 50.0, "lai"), timeout_ms=5.0)
+        former.add(Request(request_id=0, task="sst2", sentence=0,
+                           target_ms=50.0), 0.0)
+        assert former.current_timeout_ms() == 5.0
+        assert former.timeout_deadline_ms() == 5.0
+        former.observe_dispatch_delay(100.0)  # no controller: a no-op
+        assert former.current_timeout_ms() == 5.0
+
+    def test_adaptive_former_rearms_with_new_timeout(self):
+        ctl = AdaptiveTimeout(base_ms=5.0, target_ms=50.0)
+        former = BatchFormer(("sst2", 50.0, "lai"), timeout_ms=5.0,
+                             timeout_controller=ctl)
+        former.add(Request(request_id=0, task="sst2", sentence=0,
+                           target_ms=50.0), 0.0)
+        first_deadline = former.timeout_deadline_ms()
+        former.on_timeout(former.generation, first_deadline)
+        former.observe_dispatch_delay(0.0)
+        former.add(Request(request_id=1, task="sst2", sentence=1,
+                           target_ms=50.0), 20.0)
+        assert former.timeout_deadline_ms() - 20.0 \
+            == pytest.approx(ctl.floor_ms)
+
+
+class TestClusterIntegration:
+    def test_light_load_windows_shrink(self, registry):
+        # Sparse arrivals on a roomy pool: dispatch delay is ~0, so the
+        # controllers must end at their floors.
+        trace = synthetic_traffic(registry, 60, seed=1,
+                                  mean_interarrival_ms=20.0,
+                                  modes=("lai",))
+        sim = ClusterSimulator(registry, num_accelerators=4,
+                               adaptive_timeout=True)
+        report = sim.run(trace)
+        assert report.num_requests == len(trace)
+        controllers = [f.timeout_controller
+                       for f in sim._formers.values()
+                       if f.timeout_controller is not None
+                       and f.timeout_controller.observations > 0]
+        assert controllers
+        assert all(c.timeout_ms == pytest.approx(c.floor_ms)
+                   for c in controllers)
+
+    def test_saturated_pool_windows_grow(self, registry):
+        # A single device under a burst: batches queue, the observed
+        # dispatch delay grows, and so must the windows.
+        trace = synthetic_traffic(registry, 150, seed=2,
+                                  mean_interarrival_ms=0.2,
+                                  modes=("lai",))
+        sim = ClusterSimulator(registry, num_accelerators=1,
+                               adaptive_timeout=True)
+        report = sim.run(trace)
+        assert report.num_requests == len(trace)
+        grown = [f.timeout_controller for f in sim._formers.values()
+                 if f.timeout_controller is not None
+                 and f.timeout_controller.timeout_ms
+                 > f.timeout_controller.floor_ms + 1e-9]
+        assert grown  # at least one class saturated into a longer window
+
+    def test_static_default_has_no_controllers(self, registry):
+        trace = synthetic_traffic(registry, 20, seed=3)
+        sim = ClusterSimulator(registry, num_accelerators=2)
+        sim.run(trace)
+        assert all(f.timeout_controller is None
+                   for f in sim._formers.values())

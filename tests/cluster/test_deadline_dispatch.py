@@ -1,0 +1,177 @@
+"""Deadline-aware cluster dispatch: slack threading and outcomes."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSimulator
+from repro.serving import Request, synthetic_registry, synthetic_traffic
+
+TASKS = ("sst2", "mnli")
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return synthetic_registry(TASKS, n=64, seed=0)
+
+
+@pytest.fixture(scope="module")
+def trace(registry):
+    return synthetic_traffic(registry, 120, seed=3,
+                             mean_interarrival_ms=1.0,
+                             modes=("base", "lai"))
+
+
+def recorded_deadlines(sim, trace, monkeypatch):
+    """Run ``sim`` while capturing every price_batch deadline budget."""
+    import repro.cluster.simulator as simulator_module
+
+    real = simulator_module.price_batch
+    seen = []
+
+    def spy(profile, batch, mode, vectorized=True, deadline_ms=None):
+        seen.append((tuple(r.request_id for r in batch.requests), mode,
+                     deadline_ms))
+        return real(profile, batch, mode, vectorized=vectorized,
+                    deadline_ms=deadline_ms)
+
+    monkeypatch.setattr(simulator_module, "price_batch", spy)
+    report = sim.run(trace)
+    return report, seen
+
+
+class TestSlackThreading:
+    def test_queueing_delay_reduces_engine_slack(self, registry,
+                                                 monkeypatch):
+        """The ISSUE's cluster criterion: time lost in queue comes off
+        the budget the engine plans against."""
+        lai = [Request(request_id=i, task="sst2", sentence=i,
+                       target_ms=50.0, arrival_ms=0.0, mode="lai")
+               for i in range(4)]
+        sim = ClusterSimulator(registry, num_accelerators=1,
+                               deadline_aware=True, max_batch_size=1,
+                               batch_timeout_ms=0.0)
+        report, seen = recorded_deadlines(sim, lai, monkeypatch)
+        budgets = {ids[0]: deadline for ids, mode, deadline in seen
+                   if mode == "lai" and deadline is not None}
+        # All four requests share one absolute deadline (arrival 0,
+        # target 50 ms) but run back-to-back on the single device: each
+        # dispatch sees the previous batches' compute as lost slack.
+        ordered = [budgets[rec.request.request_id]
+                   for rec in sorted(report.records,
+                                     key=lambda r: r.dispatch_ms)]
+        assert all(b > n for b, n in zip(ordered, ordered[1:]))
+        # And the budget is the deadline minus dispatch-time queueing
+        # (minus the swap — only the first batch pays one here — and
+        # the conservative slack-grid flooring).
+        grid = ClusterSimulator.DEADLINE_SLACK_GRID_MS
+        for rec in report.records:
+            expected = max(
+                rec.request.deadline_ms - rec.dispatch_ms, 0.0)
+            got = budgets[rec.request.request_id]
+            assert got <= expected + 1e-9
+            assert got >= expected - grid - 1.0  # swap is sub-ms
+
+    def test_per_sentence_mode_passes_no_deadline(self, registry, trace,
+                                                  monkeypatch):
+        sim = ClusterSimulator(registry, deadline_aware=False)
+        _, seen = recorded_deadlines(sim, trace, monkeypatch)
+        assert all(deadline is None for _, _, deadline in seen)
+
+    def test_base_mode_batches_stay_per_sentence(self, registry, trace,
+                                                 monkeypatch):
+        sim = ClusterSimulator(registry, deadline_aware=True)
+        _, seen = recorded_deadlines(sim, trace, monkeypatch)
+        modes = {mode for _, mode, deadline in seen if deadline is not None}
+        assert modes <= {"lai"}
+        assert any(deadline is not None for _, mode, deadline in seen
+                   if mode == "lai")
+
+
+class TestValidation:
+    def test_deadline_aware_rejects_scalar_pricing(self, registry):
+        from repro.errors import ClusterError
+        with pytest.raises(ClusterError):
+            ClusterSimulator(registry, vectorized=False,
+                             deadline_aware=True)
+
+
+class TestFallbackPlanFlags:
+    def test_fallback_rail_changed_matches_transitions(self, registry):
+        # A blown per-sentence target falls back to the nominal point:
+        # no rail move, so the plan must not flag one (a caller pricing
+        # LDO overhead off rail_changed would over-charge).
+        profile = registry.profile("sst2")
+        engine = profile.engine
+        tables = engine.pricing_tables()
+        remaining = np.array([200.0 * tables.layer_cycles])  # infeasible
+        front = tables.embed_time_ns + tables.layer_time_ns
+        from repro.dvfs import DeadlineBudget
+        plan = engine.dvfs.plan_batch_deadline(
+            remaining, DeadlineBudget.zero_slack(1.0), front)
+        assert plan.fallback
+        assert plan.table_index[0] == -1
+        assert plan.transition_ns[0] == 0.0
+        assert not plan.rail_changed[0]
+
+
+class TestOutcomes:
+    def test_no_additional_violations_and_no_more_energy(self, registry,
+                                                         trace):
+        kwargs = dict(policy="fifo", num_accelerators=2)
+        base = ClusterSimulator(registry, **kwargs).run(trace)
+        dead = ClusterSimulator(registry, deadline_aware=True,
+                                **kwargs).run(trace)
+        assert dead.num_requests == base.num_requests
+        assert dead.deadline_violations <= base.deadline_violations
+        assert dead.energy.total_mj <= base.energy.total_mj + 1e-9
+
+    def test_deterministic_replay(self, registry, trace):
+        def summary():
+            report = ClusterSimulator(registry, policy="energy",
+                                      num_accelerators=2,
+                                      deadline_aware=True).run(trace)
+            record = report.summary()
+            record.pop("wall_seconds", None)
+            return json.dumps(record, sort_keys=True)
+
+        assert summary() == summary()
+
+    def test_energy_accounting_reconciles(self, registry, trace):
+        report = ClusterSimulator(registry, policy="energy",
+                                  num_accelerators=2,
+                                  deadline_aware=True).run(trace)
+        report.energy.reconcile(report.serving, tol=1e-9)
+        total = report.energy.total_mj
+        by_device = sum(d.total_mj for d in report.energy.devices)
+        assert total == pytest.approx(by_device, abs=1e-9)
+
+    def test_relaxed_batch_prices_cheaper_per_request(self, registry):
+        """An uncongested relaxed lai batch must get strictly cheaper
+        under deadline planning (the scaled front ends)."""
+        lai = [Request(request_id=i, task="sst2", sentence=i,
+                       target_ms=100.0, arrival_ms=float(i) * 0.1,
+                       mode="lai")
+               for i in range(8)]
+        kwargs = dict(num_accelerators=1, batch_timeout_ms=5.0)
+        base = ClusterSimulator(registry, **kwargs).run(lai)
+        dead = ClusterSimulator(registry, deadline_aware=True,
+                                **kwargs).run(lai)
+        assert dead.deadline_violations <= base.deadline_violations
+        base_compute = sum(r.result.energy_mj for r in base.records)
+        dead_compute = sum(r.result.energy_mj for r in dead.records)
+        assert dead_compute < base_compute - 1e-9
+
+    def test_preempted_remainder_keeps_deadline_planning(self, registry):
+        """EDF eviction requeues a remainder; repricing at the later
+        dispatch instant must still run and serve everything."""
+        requests = [Request(request_id=0, task="sst2", sentence=0,
+                            target_ms=400.0, arrival_ms=0.0, mode="base")]
+        requests += [Request(request_id=1 + i, task="mnli", sentence=i,
+                             target_ms=30.0, arrival_ms=0.5, mode="lai")
+                     for i in range(3)]
+        report = ClusterSimulator(registry, num_accelerators=1,
+                                  policy="edf", deadline_aware=True,
+                                  batch_timeout_ms=0.0).run(requests)
+        assert report.num_requests == len(requests)

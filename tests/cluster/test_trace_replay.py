@@ -144,6 +144,32 @@ class TestParsing:
             load_trace_jsonl(str(path))
 
 
+class TestReferenceTrace:
+    def test_bursty_reference_trace_loads_and_replays(self, registry):
+        import os
+
+        path = os.path.join(os.path.dirname(__file__), "..", "..",
+                            "benchmarks", "traces",
+                            "reference_bursty.jsonl")
+        loaded = load_trace(os.path.abspath(path))
+        assert len(loaded) > 300
+        # Bursty, not Poisson: the densest 50 ms window carries well
+        # over twice the average load of the trace.
+        arrivals = sorted(r.arrival_ms for r in loaded)
+        span = arrivals[-1] - arrivals[0]
+        densest = max(
+            sum(1 for a in arrivals if start <= a < start + 50.0)
+            for start in range(0, int(span), 25))
+        assert densest > 2.0 * len(loaded) * 50.0 / span
+        # The shipped tasks/sentences replay against the reference
+        # registry shape (64 sentences per task).
+        prefix = [r for r in loaded if r.arrival_ms < 60.0]
+        big = synthetic_registry(("sst2", "mnli", "qqp", "qnli"), n=64,
+                                 seed=0)
+        report = ClusterSimulator(big, num_accelerators=2).run(prefix)
+        assert report.num_requests == len(prefix)
+
+
 class TestMainDriver:
     def test_run_trace_replays_a_file(self, tmp_path, trace):
         path = save_trace_csv(trace, str(tmp_path / "t.csv"))

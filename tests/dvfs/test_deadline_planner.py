@@ -1,0 +1,279 @@
+"""Deadline-budget planner tests: zero-slack oracle, monotonicity,
+deadline-met invariant, and the water-filling shape."""
+
+import numpy as np
+import pytest
+
+from repro.config import GLUE_TASKS
+from repro.core.engine import (
+    price_latency_aware_batch,
+    price_latency_aware_deadline_batch,
+)
+from repro.dvfs import DeadlineBudget, DvfsController
+from repro.errors import DvfsError
+from repro.serving import synthetic_registry
+
+RELAXED_MS = 50.0
+
+
+@pytest.fixture(scope="module")
+def profile():
+    registry = synthetic_registry(GLUE_TASKS[:1], n=24, seed=0)
+    return registry.profile(registry.tasks[0])
+
+
+@pytest.fixture(scope="module")
+def tables(profile):
+    return profile.engine.pricing_tables()
+
+
+def price_deadline(profile, tables, target_ms, deadline_ms):
+    return price_latency_aware_deadline_batch(
+        tables, profile.engine.dvfs, profile.entropies, profile.lut,
+        profile.entropy_threshold, target_ms, deadline_ms)
+
+
+def price_per_sentence(profile, tables, target_ms):
+    return price_latency_aware_batch(
+        tables, profile.engine.dvfs, profile.entropies, profile.lut,
+        profile.entropy_threshold, target_ms)
+
+
+class TestDeadlineBudget:
+    def test_validation(self):
+        with pytest.raises(DvfsError):
+            DeadlineBudget(deadline_ns=-1.0, target_ns=1e6)
+        with pytest.raises(DvfsError):
+            DeadlineBudget(deadline_ns=1e6, target_ns=0.0)
+        with pytest.raises(DvfsError):
+            DeadlineBudget(deadline_ns=float("inf"), target_ns=1e6)
+
+    def test_from_ms(self):
+        budget = DeadlineBudget.from_ms(10.0, 2.0)
+        assert budget.deadline_ns == pytest.approx(10e6)
+        assert budget.target_ns == pytest.approx(2e6)
+
+    def test_zero_slack_constructor(self):
+        assert DeadlineBudget.zero_slack(5.0).deadline_ns == 0.0
+
+    def test_scalar_budget_needs_target(self):
+        controller = DvfsController()
+        with pytest.raises(DvfsError):
+            controller.plan_batch_deadline([1e6], 50e6, 4e3)
+
+
+class TestZeroSlackOracle:
+    """The acceptance criterion: zero slack == per-sentence to 1e-9."""
+
+    @pytest.mark.parametrize("target_ms", [1.0, 2.0, RELAXED_MS])
+    def test_zero_deadline_reproduces_per_sentence(self, profile, tables,
+                                                   target_ms):
+        per = price_per_sentence(profile, tables, target_ms)
+        dead = price_deadline(profile, tables, target_ms, 0.0)
+        for key in per:
+            np.testing.assert_allclose(
+                np.asarray(dead[key], dtype=np.float64),
+                np.asarray(per[key], dtype=np.float64), rtol=0,
+                atol=1e-9, err_msg=key)
+
+    def test_budget_below_plan_reproduces_per_sentence(self, profile,
+                                                       tables):
+        per = price_per_sentence(profile, tables, RELAXED_MS)
+        tight = float(per["latency_ms"].sum()) * 0.9
+        dead = price_deadline(profile, tables, RELAXED_MS, tight)
+        for key in per:
+            np.testing.assert_allclose(
+                np.asarray(dead[key], dtype=np.float64),
+                np.asarray(per[key], dtype=np.float64), rtol=0,
+                atol=1e-9, err_msg=key)
+
+    def test_planner_fallback_flags(self, profile, tables):
+        engine = profile.engine
+        remaining = np.array([4 * tables.layer_cycles,
+                              2 * tables.layer_cycles], dtype=np.float64)
+        front = tables.embed_time_ns + tables.layer_time_ns
+        plan = engine.dvfs.plan_batch_deadline(
+            remaining, DeadlineBudget.zero_slack(RELAXED_MS), front)
+        base = engine.dvfs.plan_batch(remaining, RELAXED_MS * 1e6, front)
+        assert plan.fallback
+        np.testing.assert_array_equal(plan.table_index, base.table_index)
+        np.testing.assert_array_equal(plan.front_index, [-1, -1])
+
+
+class TestMonotonicity:
+    def test_more_slack_never_costs_more_energy(self, profile, tables):
+        energies = [
+            float(price_deadline(profile, tables, RELAXED_MS,
+                                 deadline)["energy_mj"].sum())
+            for deadline in np.linspace(0.0, 400.0, 81)
+        ]
+        assert all(b <= a + 1e-12
+                   for a, b in zip(energies, energies[1:]))
+
+    def test_rows_componentwise_non_increasing(self, profile, tables):
+        engine = profile.engine
+        remaining = np.array([2, 5, 8, 11], dtype=np.float64) \
+            * tables.layer_cycles
+        front = tables.embed_time_ns + tables.layer_time_ns
+        kwargs = dict(layer_cycles=tables.layer_cycles,
+                      point_time_ns=tables.point_time_ns,
+                      front_point_time_ns=tables.front_point_time_ns,
+                      nominal_layer_time_ns=tables.layer_time_ns)
+        prev = None
+        for deadline_ms in (6.0, 8.0, 12.0, 20.0, 60.0):
+            plan = engine.dvfs.plan_batch_deadline(
+                remaining, DeadlineBudget.from_ms(deadline_ms, 3.0),
+                front, **kwargs)
+            if plan.fallback:
+                continue
+            rows = plan.table_index
+            if prev is not None:
+                assert np.all(rows <= prev)
+            prev = rows
+
+
+class TestDeadlineMetInvariant:
+    def test_feasible_plans_fit_their_budget(self, profile, tables):
+        per_total = float(
+            price_per_sentence(profile, tables,
+                               RELAXED_MS)["latency_ms"].sum())
+        for deadline in (per_total * 1.1, per_total * 1.5,
+                         per_total * 4.0, 1e4):
+            priced = price_deadline(profile, tables, RELAXED_MS, deadline)
+            total = float(priced["latency_ms"].sum())
+            assert total <= deadline + 1e-6
+            assert priced["met_target"].all()
+
+    def test_infeasible_budget_returns_per_sentence(self, profile, tables):
+        # A budget below the per-sentence plan's own schedule cannot be
+        # met — the planner must hand back exactly today's plan rather
+        # than a broken promise.
+        per = price_per_sentence(profile, tables, RELAXED_MS)
+        priced = price_deadline(profile, tables, RELAXED_MS,
+                                float(per["latency_ms"].sum()) * 0.5)
+        np.testing.assert_allclose(priced["latency_ms"],
+                                   per["latency_ms"], atol=1e-9)
+
+    def test_table_corner_budgets(self, profile, tables):
+        """Budgets pinned to the V/F corners: all-floor and all-top."""
+        engine = profile.engine
+        table = engine.dvfs.table
+        remaining = np.array([6, 6, 6], dtype=np.float64) \
+            * tables.layer_cycles
+        front = tables.embed_time_ns + tables.layer_time_ns
+        kwargs = dict(layer_cycles=tables.layer_cycles,
+                      point_time_ns=tables.point_time_ns,
+                      front_point_time_ns=tables.front_point_time_ns,
+                      nominal_layer_time_ns=tables.layer_time_ns)
+        # Huge budget: everything sinks to the bottom row.
+        plan = engine.dvfs.plan_batch_deadline(
+            remaining, DeadlineBudget.from_ms(1e6, 2.0), front, **kwargs)
+        assert not plan.fallback
+        assert np.all(plan.table_index == 0)
+        assert plan.planned_ns <= 1e6 * 1e6 + 1e-6
+        # Budget exactly at the plan's own schedule: still feasible.
+        exact = engine.dvfs.plan_batch_deadline(
+            remaining,
+            DeadlineBudget(plan.planned_ns, 2.0 * 1e6), front, **kwargs)
+        assert not exact.fallback
+        assert exact.planned_ns <= plan.planned_ns + 1e-6
+        # A tight-but-feasible budget pins the top of the table: the
+        # chosen level can only be the fastest one that fits.
+        tight = engine.dvfs.plan_batch_deadline(
+            remaining, DeadlineBudget.from_ms(3.2, 1.1), front, **kwargs)
+        if not tight.fallback:
+            assert tight.planned_ns <= 3.2e6 + 1e-6
+
+
+class TestWaterFillingShape:
+    def test_early_sentences_get_the_leftover_slack(self, profile, tables):
+        """The prefix refinement lowers the earliest deadlines first."""
+        engine = profile.engine
+        remaining = np.full(6, 6.0) * tables.layer_cycles
+        front = tables.embed_time_ns + tables.layer_time_ns
+        kwargs = dict(layer_cycles=tables.layer_cycles,
+                      point_time_ns=tables.point_time_ns,
+                      front_point_time_ns=tables.front_point_time_ns,
+                      nominal_layer_time_ns=tables.layer_time_ns)
+        # Sweep budgets between two levels until a split plan appears.
+        split = None
+        for deadline_ms in np.linspace(4.0, 30.0, 200):
+            plan = engine.dvfs.plan_batch_deadline(
+                remaining, DeadlineBudget.from_ms(deadline_ms, 2.0),
+                front, **kwargs)
+            if plan.fallback:
+                continue
+            rows = plan.table_index
+            if rows.min() != rows.max():
+                split = rows
+                break
+        assert split is not None, "no budget produced a split level"
+        # Slower rows (lower index) must form a prefix: early sentences
+        # take the slack, later ones tighten toward the deadline.
+        boundary = int(np.argmax(split == split.max()))
+        assert np.all(split[:boundary] == split.min())
+        assert np.all(split[boundary:] == split.max())
+
+    def test_fronts_ride_the_batch_rail(self, profile, tables):
+        priced = price_deadline(profile, tables, RELAXED_MS, 1e4)
+        per = price_per_sentence(profile, tables, RELAXED_MS)
+        # Relaxed budget: every sentence after the first prices its
+        # front end below the nominal sprint, so the batch is strictly
+        # cheaper even where per-sentence planning already sat at the
+        # table floor.
+        assert float(priced["energy_mj"].sum()) \
+            < float(per["energy_mj"].sum()) - 1e-9
+        assert np.all(priced["energy_mj"][1:] < per["energy_mj"][1:])
+
+    def test_exit1_sentences_budget_no_layers(self, profile, tables):
+        engine = profile.engine
+        # All sentences exit at layer 1: the plan owes only front ends.
+        entropies = np.full_like(profile.entropies, 10.0)
+        entropies[0] = 0.0  # below any threshold
+        priced = price_latency_aware_deadline_batch(
+            tables, engine.dvfs, entropies, profile.lut,
+            profile.entropy_threshold, RELAXED_MS, 1e4)
+        assert np.all(priced["exit_layer"] == 1)
+        assert np.all(priced["predicted_layer"] == 1)
+        # Fronts 2..N run scaled: cheaper than the nominal front.
+        nominal_front_mj = (tables.embed_energy_pj
+                            + tables.embedding_read_pj
+                            + tables.layer_energy_pj) * 1e-9
+        assert priced["energy_mj"][0] == pytest.approx(nominal_front_mj)
+        assert np.all(priced["energy_mj"][1:] < nominal_front_mj)
+
+
+class TestEngineIntegration:
+    def test_simulate_dataset_deadline_ms(self, profile):
+        report = profile.engine.simulate_dataset(
+            "lai", profile.logits, profile.entropies, lut=profile.lut,
+            entropy_threshold=profile.entropy_threshold,
+            target_ms=RELAXED_MS, deadline_ms=1e4)
+        baseline = profile.engine.simulate_dataset(
+            "lai", profile.logits, profile.entropies, lut=profile.lut,
+            entropy_threshold=profile.entropy_threshold,
+            target_ms=RELAXED_MS)
+        assert report.total_energy_mj < baseline.total_energy_mj
+        assert report.target_violations == 0
+
+    def test_empty_batch_matches_per_sentence_parity(self, profile,
+                                                     tables):
+        # A zero-sentence slice must degrade exactly like the
+        # per-sentence kernel does, not crash in the water-fill.
+        empty = profile.entropies[:, :0]
+        priced = price_latency_aware_deadline_batch(
+            tables, profile.engine.dvfs, empty, profile.lut,
+            profile.entropy_threshold, RELAXED_MS, 40.0)
+        assert priced["exit_layer"].size == 0
+        plan = profile.engine.dvfs.plan_batch_deadline(
+            np.empty(0), DeadlineBudget.from_ms(40.0, RELAXED_MS),
+            tables.embed_time_ns + tables.layer_time_ns)
+        assert plan.fallback and len(plan) == 0
+
+    def test_scalar_path_rejects_deadline(self, profile):
+        from repro.errors import PipelineError
+        with pytest.raises(PipelineError):
+            profile.engine.simulate_dataset(
+                "lai", profile.logits, profile.entropies, lut=profile.lut,
+                entropy_threshold=profile.entropy_threshold,
+                target_ms=RELAXED_MS, vectorized=False, deadline_ms=1e4)
