@@ -129,6 +129,10 @@ class AcceleratorSim:
         self.energy = energy_model  # repro.energy.DeviceEnergyModel | None
         self.resident_task = None
         self.run = None
+        #: Autoscaler-controlled availability: a parked (``online=False``)
+        #: device receives no placements but keeps accruing its (standby)
+        #: idle leakage — it still exists, it just isn't dispatchable.
+        self.online = True
         self._next_run_id = 0
         self._estimator = None
         self.stats = AcceleratorStats(accel_id=self.accel_id)
@@ -136,6 +140,11 @@ class AcceleratorSim:
     @property
     def idle(self):
         return self.run is None
+
+    @property
+    def dispatchable(self):
+        """Free to take a batch right now: idle *and* online."""
+        return self.run is None and self.online
 
     @property
     def busy_until_ms(self):

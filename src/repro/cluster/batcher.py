@@ -4,7 +4,10 @@ One :class:`BatchFormer` per (task, latency-target class, mode): the
 first arrival opens the window and arms a timeout; the window closes —
 becoming a dispatchable :class:`PendingBatch` — when either the size
 trigger (``max_batch_size`` requests) or the timeout trigger
-(``timeout_ms`` after opening) fires first. This is the classic dynamic
+(``timeout_ms`` after opening) fires first; a third, optional
+deadline-sizing trigger closes early when the members' *planned*
+compute approaches the earliest member's slack (see
+:class:`BatchFormer`). This is the classic dynamic
 batching trade: larger batches amortize encoder swaps and pricing, but
 every extra ms the window stays open is queueing delay charged to the
 first request in it.
@@ -104,14 +107,31 @@ class PendingBatch:
 
 
 class BatchFormer:
-    """Collects same-(task, SLO class, mode) requests into batches."""
+    """Collects same-(task, SLO class, mode) requests into batches.
+
+    Besides the size and timeout triggers, an optional **deadline-sizing
+    trigger** closes the window early when the *planned* compute of its
+    members approaches the earliest member's remaining slack
+    (``work_estimator`` supplies per-request planned milliseconds;
+    ``sizing_slack_share`` is how close "approaches" means). Without it,
+    a relaxed-SLO window that keeps filling eventually plans more work
+    than its own deadline budget and the deadline-aware DVFS path falls
+    back to per-sentence sprinting — closing early keeps every closed
+    batch inside the budget its earliest member can still afford. The
+    trigger only fires while the members still *fit* their slack
+    (``planned <= slack``): a window that is already blown gains nothing
+    from shedding members, so size/timeout close it as before.
+    """
 
     def __init__(self, key, max_batch_size=32, timeout_ms=5.0,
-                 timeout_controller=None):
+                 timeout_controller=None, work_estimator=None,
+                 sizing_slack_share=0.8):
         if max_batch_size < 1:
             raise ClusterError("max_batch_size must be >= 1")
         if timeout_ms < 0:
             raise ClusterError("timeout_ms must be non-negative")
+        if not 0.0 < sizing_slack_share <= 1.0:
+            raise ClusterError("sizing_slack_share must be in (0, 1]")
         self.key = key
         self.task, self.target_ms, self.mode = key
         self.max_batch_size = int(max_batch_size)
@@ -120,8 +140,15 @@ class BatchFormer:
         #: value (read once per window, at arming time) replaces the
         #: static ``timeout_ms``.
         self.timeout_controller = timeout_controller
+        #: Optional ``request -> planned compute ms`` callable arming the
+        #: deadline-sizing trigger (None keeps size/timeout-only closes).
+        self.work_estimator = work_estimator
+        self.sizing_slack_share = float(sizing_slack_share)
+        #: Windows the deadline-sizing trigger closed (observability).
+        self.deadline_closes = 0
         self.generation = 0
         self.opened_ms = None
+        self._planned_ms = 0.0
         self._pending = []
 
     def __len__(self):
@@ -132,18 +159,55 @@ class BatchFormer:
         return bool(self._pending)
 
     def add(self, request, now_ms):
-        """Admit one request; returns the closed request tuple on the
-        size trigger, else None.
+        """Admit one request; returns a closed request tuple when a
+        trigger (size, deadline-sizing share, or deadline-sizing
+        pre-close) fires, else None.
 
         Opening a window bumps ``generation`` — the caller schedules a
-        :class:`~repro.cluster.events.BatchTimeout` carrying it.
+        :class:`~repro.cluster.events.BatchTimeout` carrying it. After
+        a *pre-close* the former is still open (the newcomer started a
+        fresh window), so callers must re-arm whenever the former is
+        open after a close.
         """
+        work = (None if self.work_estimator is None
+                else float(self.work_estimator(request)))
+        closed = None
+        if work is not None and self._pending:
+            # Deadline-sizing pre-close: admitting this request would
+            # blow the open window's budget even though the current
+            # members still fit — close them now (keeping their
+            # deadline plan) and let the oversized newcomer open a
+            # fresh window, instead of dragging the whole batch into
+            # per-sentence fallback.
+            slack = min(r.deadline_ms for r in self._pending) - now_ms
+            if (self._planned_ms <= slack
+                    and self._planned_ms + work > slack):
+                closed = self._close()
+                self.deadline_closes += 1
         if not self._pending:
             self.generation += 1
             self.opened_ms = float(now_ms)
+            self._planned_ms = 0.0
         self._pending.append(request)
+        if work is not None:
+            self._planned_ms += work
+        if closed is not None:
+            # A pre-close leaves exactly one member pending, so neither
+            # the size nor the share trigger can also fire this add.
+            return closed
         if len(self._pending) >= self.max_batch_size:
             return self._close()
+        if work is not None and len(self._pending) >= 2:
+            # Deadline-sizing trigger: the members' planned schedule has
+            # grown into the earliest member's slack — close now, while
+            # the deadline plan still fits, instead of letting the next
+            # arrival push the batch into per-sentence fallback.
+            slack = min(r.deadline_ms for r in self._pending) - now_ms
+            if (self._planned_ms <= slack
+                    and self._planned_ms
+                    >= self.sizing_slack_share * slack):
+                self.deadline_closes += 1
+                return self._close()
         return None
 
     def on_timeout(self, generation, now_ms):

@@ -91,6 +91,35 @@ class EventLoop:
         heapq.heappush(self._heap, (time_ms, self._seq, event))
         self._seq += 1
 
+    def peek_ms(self):
+        """Instant of the earliest scheduled event, or None when dry.
+
+        The fleet orchestrator merges several site loops by always
+        stepping the one with the earliest next event; peeking must not
+        advance the clock or pop anything.
+        """
+        return self._heap[0][0] if self._heap else None
+
+    def advance_to(self, time_ms):
+        """Move the clock forward to ``time_ms`` without popping events.
+
+        An external driver acting on this loop's state at a global
+        instant (the fleet autoscaler parking or waking a device) must
+        first bring the local clock to that instant, or its actions
+        would take effect in the loop's past. Refuses to jump over a
+        scheduled event — that would reorder causality.
+        """
+        time_ms = float(time_ms)
+        if time_ms < self.now_ms - 1e-9:
+            raise ClusterError(
+                f"cannot advance clock backwards to {time_ms} ms from "
+                f"{self.now_ms} ms")
+        if self._heap and self._heap[0][0] < time_ms - 1e-9:
+            raise ClusterError(
+                f"cannot advance clock to {time_ms} ms past the event "
+                f"scheduled at {self._heap[0][0]} ms")
+        self.now_ms = max(self.now_ms, time_ms)
+
     def step(self):
         """Pop and dispatch the earliest event; False when the heap is dry."""
         if not self._heap:

@@ -35,6 +35,12 @@ The resulting ledger lands in ``ClusterReport.energy``.
 
 Everything is deterministic: no wall-clock, no RNG — the same trace,
 pool and policy always produce the same :class:`ClusterReport`.
+
+``run(requests)`` drives a whole trace in one call; the incremental
+lifecycle (``start`` / ``inject`` / ``peek_ms`` / ``step`` /
+``finish``) lets an external clock — the :mod:`repro.fleet`
+orchestrator — interleave this simulator with other sites' event loops
+and park/wake devices mid-run (``set_device_online``).
 """
 
 from __future__ import annotations
@@ -69,7 +75,8 @@ class ClusterSimulator:
                  mode="lai", max_batch_size=32, batch_timeout_ms=5.0,
                  vectorized=True, hw_configs=None, energy_budget_mw=None,
                  budget_window_ms=100.0, deadline_aware=False,
-                 adaptive_timeout=False, standby_timeout_ms=None):
+                 adaptive_timeout=False, standby_timeout_ms=None,
+                 deadline_sizing=False):
         if mode not in SERVING_MODES:
             raise ClusterError(
                 f"unknown mode {mode!r}; expected one of {SERVING_MODES}")
@@ -84,6 +91,10 @@ class ClusterSimulator:
             # path is batch-level and has no scalar reference loop.
             raise ClusterError(
                 "deadline_aware pricing needs the vectorized kernels")
+        if deadline_sizing and not deadline_aware:
+            raise ClusterError(
+                "deadline_sizing closes windows for the deadline-budget "
+                "planner; it needs deadline_aware=True")
         if hw_configs is not None:
             hw_configs = tuple(hw_configs)
             if not hw_configs:
@@ -120,6 +131,11 @@ class ClusterSimulator:
         #: observed dispatch delay (:class:`~repro.cluster.batcher.
         #: AdaptiveTimeout`); the static ``batch_timeout_ms`` seeds it.
         self.adaptive_timeout = bool(adaptive_timeout)
+        #: Deadline-aware batch sizing: close an open window early when
+        #: the members' planned compute approaches the earliest member's
+        #: slack, so relaxed batches keep their deadline-path savings
+        #: (see :class:`~repro.cluster.batcher.BatchFormer`).
+        self.deadline_sizing = bool(deadline_sizing)
         #: Idle interval after which a device's rail drops to the
         #: standby/retention point (None = park forever, the legacy
         #: behavior); see :class:`~repro.energy.DeviceEnergyModel`.
@@ -133,16 +149,25 @@ class ClusterSimulator:
         requests = list(requests)
         if not requests:
             raise ClusterError("no requests to simulate")
-        seen = set()
+        self.start()
         for request in requests:
-            if request.request_id in seen:
-                raise ClusterError(
-                    f"duplicate request id {request.request_id}")
-            seen.add(request.request_id)
-            validate_request(self.registry, request,
-                             self._resolve_mode(request))
+            self.inject(request)
+        self._loop.run()
+        return self.finish()
 
-        started = time.perf_counter()
+    # -- incremental lifecycle (the fleet orchestrator's driving API) ------------
+
+    def start(self):
+        """Initialize a fresh run without scheduling any arrivals.
+
+        ``run(requests)`` is ``start`` + ``inject`` per request + a full
+        event-loop drain + ``finish``; an external driver (the fleet
+        orchestrator) instead interleaves :meth:`inject` / :meth:`step`
+        with other sites' clocks and calls :meth:`finish` once every
+        loop is dry.
+        """
+        self._started = time.perf_counter()
+        self._seen = set()
         self.policy.reset()
         self._loop = EventLoop()
         self._loop.on(Arrival, self._on_arrival)
@@ -154,19 +179,114 @@ class ClusterSimulator:
         self._pending = []
         self._batch_seq = 0
         self._price_cache = {}
+        self._work_cache = {}
         self._budget = None
         self._budget_retry_armed = False
+        self._budget_tokens = {}
         if self.energy_budget_mw is not None:
             self._budget = EnergyBudget(self.energy_budget_mw,
                                         self.budget_window_ms)
         self._report = ClusterReport(
             policy=self.policy.name, mode=self.mode,
             num_accelerators=self.num_accelerators)
+        return self
 
-        for request in requests:
-            self._loop.schedule(request.arrival_ms, Arrival(request))
-        self._loop.run()
+    def inject(self, request, at_ms=None):
+        """Validate ``request`` and schedule its arrival.
 
+        ``at_ms`` overrides the instant the Arrival event fires (the
+        fleet injects at routing time + network latency); it defaults to
+        ``request.arrival_ms`` and may never precede the site clock.
+        """
+        if request.request_id in self._seen:
+            raise ClusterError(
+                f"duplicate request id {request.request_id}")
+        validate_request(self.registry, request,
+                         self._resolve_mode(request))
+        self._seen.add(request.request_id)
+        at_ms = request.arrival_ms if at_ms is None else float(at_ms)
+        self._loop.schedule(at_ms, Arrival(request))
+
+    def peek_ms(self):
+        """Next event instant, or None when the loop is dry."""
+        return self._loop.peek_ms()
+
+    def step(self):
+        """Process the next event; False when the loop is dry."""
+        return self._loop.step()
+
+    @property
+    def now_ms(self):
+        return self._loop.now_ms
+
+    @property
+    def accelerators(self):
+        """The live pool (autoscalers read ``online``/``idle`` off it)."""
+        return self._accels
+
+    @property
+    def budget(self):
+        """The run's :class:`~repro.energy.EnergyBudget` (or None)."""
+        return self._budget
+
+    def budget_headroom(self, now_ms=None):
+        """Remaining budget-window fraction in [0, 1]; 1.0 uncapped."""
+        if self._budget is None:
+            return 1.0
+        now = self._loop.now_ms if now_ms is None else float(now_ms)
+        return self._budget.headroom_fraction(now)
+
+    def in_system(self):
+        """Requests injected but not yet served (queued, batching, running)."""
+        return len(self._seen) - len(self._report.records)
+
+    def queue_depth(self):
+        """Requests waiting in closed batches or open windows."""
+        return (sum(len(pb) for pb in self._pending)
+                + sum(len(f) for f in self._formers.values()))
+
+    def set_device_online(self, accel_id, online, now_ms=None):
+        """Park (``False``) or wake (``True``) one device.
+
+        Parking requires the device to be idle — the autoscaler only
+        sheds capacity, it never aborts work — and drops its rail to the
+        retention voltage immediately
+        (:meth:`~repro.energy.DeviceEnergyModel.force_standby`), so a
+        parked device leaks at the standby point until woken. Waking
+        marks it dispatchable again and re-runs the dispatcher; the
+        standby→nominal transition is charged by the device's energy
+        model when its first batch begins.
+
+        ``now_ms`` is the instant the decision is made on an *external*
+        clock (the fleet autoscaler's tick): the site clock is advanced
+        to it first, so the park's leakage switch and any dispatch the
+        wake enables happen *at* the decision, never in the site's
+        past. Returns True when the state actually changed.
+        """
+        if now_ms is not None:
+            self._loop.advance_to(now_ms)
+        accel = self._accels[accel_id]
+        if bool(online) == accel.online:
+            return False
+        if not online:
+            if not accel.idle:
+                raise ClusterError(
+                    f"cannot park busy accelerator {accel_id}")
+            accel.online = False
+            if accel.energy is not None:
+                accel.energy.force_standby(self._loop.now_ms)
+        else:
+            accel.online = True
+            self._dispatch()
+        return True
+
+    def finish(self):
+        """Finalize accounting; returns the :class:`ClusterReport`.
+
+        Valid only once every scheduled event has been processed; raises
+        if any injected request was not served exactly once (the
+        conservation invariant ``run`` has always enforced).
+        """
         report = self._report
         report.accelerators = [a.stats for a in self._accels]
         report.makespan_ms = max(
@@ -190,10 +310,10 @@ class ClusterSimulator:
         ]
         if self._budget is not None:
             report.budget = self._budget.stats
-        report.wall_seconds = time.perf_counter() - started
+        report.wall_seconds = time.perf_counter() - self._started
         # Conservation: every submitted request served exactly once.
         served = sorted(rec.request.request_id for rec in report.records)
-        if served != sorted(seen) or self._pending \
+        if served != sorted(self._seen) or self._pending \
                 or any(not a.idle for a in self._accels) \
                 or any(f.is_open for f in self._formers.values()):
             raise ClusterError(
@@ -237,16 +357,23 @@ class ClusterSimulator:
             if self.adaptive_timeout:
                 controller = AdaptiveTimeout(
                     base_ms=self.batch_timeout_ms, target_ms=key[1])
+            estimator = None
+            if self.deadline_sizing and key[2] == "lai":
+                estimator = self._work_estimator(key)
             former = self._formers[key] = BatchFormer(
                 key, max_batch_size=self.max_batch_size,
                 timeout_ms=self.batch_timeout_ms,
-                timeout_controller=controller)
+                timeout_controller=controller,
+                work_estimator=estimator)
         was_open = former.is_open
         closed = former.add(request, now)
         if closed is not None:
             self._enqueue(former.make_pending(closed, now,
                                               self._next_batch_seq()))
-        elif not was_open:
+        if former.is_open and (closed is not None or not was_open):
+            # A fresh window needs its timer: either the first arrival
+            # opened it, or a deadline-sizing pre-close reopened it for
+            # the newcomer that did not fit the previous budget.
             self._loop.schedule(former.timeout_deadline_ms(),
                                 BatchTimeout(key, former.generation))
         self._dispatch()
@@ -264,6 +391,7 @@ class ClusterSimulator:
         if accel.run is None or accel.run.run_id != event.run_id:
             return  # stale completion from a preempted run
         run = accel.complete(self._loop.now_ms)
+        self._budget_tokens.pop((accel.accel_id, run.run_id), None)
         self._record_run(run, len(run.results))
         self._dispatch()
 
@@ -279,6 +407,32 @@ class ClusterSimulator:
     #: policy estimates of the same pending batch across nearby events
     #: hit the price cache instead of re-pricing per event.
     DEADLINE_SLACK_GRID_MS = 0.5
+
+    def _work_estimator(self, key):
+        """``request -> planned compute ms`` for the deadline-sizing trigger.
+
+        Prices each request once as a singleton batch on the registry's
+        default hardware (cached per (task, mode, sentence, target) —
+        arrival order cannot change the estimate) and hands the batch
+        former the per-sentence plan's latency: the quantity whose sum
+        the deadline planner must fit inside the earliest member's slack.
+        """
+        task, target_ms, mode = key
+
+        def estimate(request):
+            cache_key = (task, mode, request.sentence, target_ms)
+            planned = self._work_cache.get(cache_key)
+            if planned is None:
+                profile = self.registry.profile(task)
+                singleton = Batch(task=task, target_ms=target_ms,
+                                  requests=(request,))
+                priced = price_batch(profile, singleton, mode,
+                                     vectorized=self.vectorized)
+                planned = float(priced.results[0].latency_ms)
+                self._work_cache[cache_key] = planned
+            return planned
+
+        return estimate
 
     def _swap_for(self, pending_batch, accel, now_ms):
         """(latency_ms, energy_mj) of the swap this device pays first.
@@ -394,7 +548,7 @@ class ClusterSimulator:
         while self._pending:
             if self._budget_throttled():
                 return
-            free = [a for a in self._accels if a.idle]
+            free = [a for a in self._accels if a.dispatchable]
             if free:
                 placement = self.policy.next_placement(
                     self._pending, free, self._loop.now_ms)
@@ -405,7 +559,8 @@ class ClusterSimulator:
                 self._start(pending_batch, accel)
                 continue
             decision = self.policy.preemption(
-                self._pending, self._accels, self._loop.now_ms)
+                self._pending, [a for a in self._accels if a.online],
+                self._loop.now_ms)
             if decision is None:
                 return
             pending_batch, victim = decision
@@ -421,6 +576,7 @@ class ClusterSimulator:
                                               batch.task)
         engine_report = self._price(pending_batch, accel, now)
         latencies = [r.latency_ms for r in engine_report.results]
+        budget_token = None
         if self._budget is not None:
             # Commit the placement's predicted energy against the
             # rolling window: compute + swap (when actually paid) +
@@ -430,13 +586,15 @@ class ClusterSimulator:
             if accel.resident_task != batch.task:
                 committed += swap_cost.energy_mj
             committed += accel.energy.estimate_transition(now_ms=now)[1]
-            self._budget.commit(now, committed)
+            budget_token = self._budget.commit(now, committed)
         former = self._formers.get((batch.task, float(batch.target_ms),
                                     pending_batch.mode))
         if former is not None:
             former.observe_dispatch_delay(now - pending_batch.ready_ms)
         run = accel.begin(pending_batch, engine_report.results, latencies,
                           now, swap_cost)
+        if budget_token is not None:
+            self._budget_tokens[(accel.accel_id, run.run_id)] = budget_token
         # The batch is placed; its priced variants can never be needed
         # again (requeued remainders get fresh seqs).
         self._price_cache.pop(pending_batch.seq, None)
@@ -453,9 +611,11 @@ class ClusterSimulator:
         """
         now = self._loop.now_ms
         mid_swap = victim.run.aborts_mid_swap(now)
+        swap_refunded_before = victim.stats.swap_energy_refunded_mj
         run, n_done = victim.preempt(now)
         self._record_run(run, n_done)
         self._report.preemptions += 1
+        wasted_mj = 0.0
 
         if mid_swap:
             # Aborted inside the encoder-weight load: the partial
@@ -478,6 +638,24 @@ class ClusterSimulator:
                     self._report.wasted_energy_mj += wasted_mj
                     victim.stats.compute_energy_mj += wasted_mj
                     victim.stats.wasted_energy_mj += wasted_mj
+
+        if self._budget is not None:
+            # Refund the commitment's never-executed share — the energy
+            # the preempted sentences did not burn (minus the wasted
+            # fraction that *was* burned) plus the mid-swap refund the
+            # accelerator handed back. The requeued remainder commits
+            # afresh at re-dispatch, so without this refund the window
+            # would double-charge it and throttle admission spuriously.
+            token = self._budget_tokens.pop(
+                (victim.accel_id, run.run_id), None)
+            if token is not None:
+                unexecuted = (
+                    float(sum(r.energy_mj
+                              for r in run.results[n_done:]))
+                    - wasted_mj
+                    + (victim.stats.swap_energy_refunded_mj
+                       - swap_refunded_before))
+                self._budget.refund(now, token, max(0.0, unexecuted))
 
         remainder = run.pending.batch.requests[n_done:]
         if remainder:

@@ -11,11 +11,11 @@ replayable files.
 Both formats carry one request per row/line with the fields
 
     ``task`` (required), ``sentence`` (required), ``arrival_ms``,
-    ``target_ms``, ``request_id``, ``mode``
+    ``target_ms``, ``request_id``, ``mode``, ``site``
 
 where ``request_id`` defaults to the row's position, ``arrival_ms`` to
-0, ``target_ms`` to ``default_target_ms`` and ``mode`` to inherit the
-simulator's. Rows are returned in arrival order (the event loop sorts
+0, ``target_ms`` to ``default_target_ms``, ``mode`` to inherit the
+simulator's, and ``site`` (a fleet site-affinity pin) to none. Rows are returned in arrival order (the event loop sorts
 by time anyway; sorting here keeps file order irrelevant and diffs
 stable). ``python -m repro.cluster --trace FILE`` replays a file
 end-to-end.
@@ -36,7 +36,7 @@ _JSONL_EXTENSIONS = (".jsonl", ".ndjson", ".json")
 
 #: Columns written by the savers (and accepted by the loaders).
 TRACE_FIELDS = ("request_id", "task", "sentence", "arrival_ms",
-                "target_ms", "mode")
+                "target_ms", "mode", "site")
 
 
 def _request_from_row(row, index, default_target_ms):
@@ -53,6 +53,9 @@ def _request_from_row(row, index, default_target_ms):
     mode = row.get("mode")
     if mode in ("", None):
         mode = None
+    site = row.get("site")
+    if site in ("", None):
+        site = None
 
     def value_or(name, default):
         # Explicit absent test: 0 is a legal request_id/arrival_ms (and
@@ -69,6 +72,7 @@ def _request_from_row(row, index, default_target_ms):
             target_ms=float(value_or("target_ms", default_target_ms)),
             arrival_ms=float(value_or("arrival_ms", 0.0)),
             mode=mode,
+            site=None if site is None else str(site),
         )
     except (TypeError, ValueError, ServingError) as exc:
         # ServingError covers Request's own validation (non-positive
@@ -146,6 +150,7 @@ def _row_of(request):
         "arrival_ms": request.arrival_ms,
         "target_ms": request.target_ms,
         "mode": request.mode,
+        "site": request.site,
     }
 
 
@@ -157,6 +162,7 @@ def save_trace_csv(requests, path):
         for request in requests:
             row = _row_of(request)
             row["mode"] = "" if row["mode"] is None else row["mode"]
+            row["site"] = "" if row["site"] is None else row["site"]
             writer.writerow(row)
     return path
 

@@ -25,9 +25,18 @@ water-filling over the V/F table**:
    step (they are the batch's earliest deadlines — the plan tightens as
    the deadline approaches).
 
-When no level fits (the budget has no slack over the per-sentence plan)
-the planner returns the per-sentence plan unchanged, so the zero-slack
-path is bit-for-bit today's pricing. Because feasibility of a level never
+When no shared level fits, the planner tries **decoupling the front
+ends** before falling back: layers stay at their per-sentence rows and
+the fronts alone sweep up from the table floor to the lowest
+intermediate V/F row whose schedule still meets the deadline (each
+sentence boundary then pays two rail moves, previous rail → front rail
+→ layer rail). That closes the narrow window where the per-sentence
+plan fits but the slowest coupled schedule does not — previously those
+budgets surrendered all front-end savings to the nominal sprint.
+
+When no front level fits either (the budget has no slack over the
+per-sentence plan) the planner returns the per-sentence plan unchanged,
+so the zero-slack path is bit-for-bit today's pricing. Because feasibility of a level never
 depends on anything but its own fixed schedule, a larger budget can only
 move every sentence to an equal-or-lower row — more slack never costs
 more energy, and the invariant is testable componentwise.
@@ -96,7 +105,8 @@ class DeadlineBatchPlan(BatchPlan):
     on (−1 = nominal); ``front_index`` the row its *front end* runs on —
     always −1 for sentence 0 (the wake transition lands the rail at
     nominal, exactly where Algorithm 2's first layer-1 pass needs it) and
-    for every sentence of a fallback plan. ``transition_ns`` /
+    for every sentence of a fallback plan. A decoupled-front plan holds
+    ``front_index`` at one intermediate row above the layer rail. ``transition_ns`` /
     ``rail_changed`` describe the one rail move charged at each
     sentence's boundary; ``sentence_ns`` is the planner's predicted
     per-sentence time (front + transition + predicted scaled layers),
@@ -186,14 +196,19 @@ class _Schedule:
         freq = np.where(hit, self.freqs[safe], self.nominal_freq)
         return vdd, freq
 
-    def evaluate(self, level_rows, base_rows):
+    def evaluate(self, level_rows, base_rows, front_level=None):
         """Predicted schedule for per-sentence water levels.
 
         ``level_rows`` is the (n,) candidate level per sentence;
         ``base_rows`` the per-sentence plan's effective rows (the level
         only ever *slows* a sentence, so the planned row is the
-        elementwise minimum). Returns the full candidate: rows, rails,
-        per-sentence times and the total.
+        elementwise minimum). By default fronts ride the layer rail;
+        ``front_level`` decouples them onto one intermediate table row
+        — each sentence's boundary then pays two rail moves (previous
+        layer rail → front rail → layer rail) instead of one, which is
+        exactly the one-move schedule again whenever the rows coincide.
+        Returns the full candidate: rows, rails, per-sentence times and
+        the total.
         """
         n = self.remaining.size
         rows = np.minimum(base_rows, level_rows)
@@ -202,14 +217,31 @@ class _Schedule:
             # Sentence 0 has no post-front work: its front runs at the
             # nominal wake point and the rail first moves for sentence 1.
             rail[0] = -1
-        front_index = rows.copy()
+        if front_level is None:
+            front_index = rows.copy()
+        else:
+            front_index = np.full(n, int(front_level), dtype=np.int64)
+        # The wake transition lands the rail at nominal, exactly where
+        # sentence 0's front end needs it.
         front_index[0] = -1
 
         cur_vdd, cur_freq = self._rail_points(rail)
         prev_vdd = np.concatenate([[self.nominal_vdd], cur_vdd[:-1]])
         prev_freq = np.concatenate([[self.nominal_freq], cur_freq[:-1]])
-        transition = self.controller.transition_overhead_ns_batch(
-            prev_vdd, cur_vdd, prev_freq, cur_freq)
+        if front_level is None:
+            # Coupled fronts sit on the layer rail (sentence 0's front
+            # is nominal, exactly where the previous rail already is),
+            # so the boundary is a single move — skip the second,
+            # identically-zero transition pass on this hot path.
+            transition = self.controller.transition_overhead_ns_batch(
+                prev_vdd, cur_vdd, prev_freq, cur_freq)
+        else:
+            front_vdd, front_freq = self._rail_points(front_index)
+            transition = (
+                self.controller.transition_overhead_ns_batch(
+                    prev_vdd, front_vdd, prev_freq, front_freq)
+                + self.controller.transition_overhead_ns_batch(
+                    front_vdd, cur_vdd, front_freq, cur_freq))
         rail_changed = transition > 0
 
         fronts = np.where(front_index >= 0,
@@ -313,11 +345,28 @@ def plan_batch_deadline(controller, remaining_cycles, budget, elapsed_ns,
             break
     if chosen is None:
         # Even the fastest level (per-sentence rows, fronts riding the
-        # batch rail) overruns the budget: the deadline grants no slack
-        # over today's plan, so return it unchanged.
+        # batch rail) overruns the budget. Before surrendering to the
+        # per-sentence fallback — which sprints every front end at
+        # nominal V/F — decouple the fronts onto one intermediate table
+        # row: layers stay at their per-sentence rows (the fastest the
+        # water-fill allows), fronts sweep up from the floor, and the
+        # lowest level whose schedule still fits wins. This closes the
+        # window between "per-sentence plan fits" and "slowest schedule
+        # fits" where the fallback used to burn nominal front energy.
+        fastest = np.full(n, num_rows - 1, dtype=np.int64)
+        for front_level in range(num_rows):
+            candidate = sched.evaluate(fastest, base_eff,
+                                       front_level=front_level)
+            if candidate["total_ns"] \
+                    <= budget.deadline_ns + DEADLINE_TOL_NS:
+                chosen = candidate
+                break
+    if chosen is None:
+        # No front level fits either: the deadline grants no slack over
+        # today's plan, so return it unchanged.
         return fallback_plan()
 
-    if chosen_level > 0:
+    if chosen_level is not None and chosen_level > 0:
         # Leftover slack buys the earliest sentences — the batch's
         # earliest deadlines — one more step down the table; the plan
         # tightens back to the level as the deadline approaches.

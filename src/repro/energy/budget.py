@@ -17,9 +17,18 @@ Semantics chosen for determinism and liveness:
   energy overshoots the cap — otherwise a batch larger than the whole
   window budget could never run. Each such overshoot is counted
   (``overshoots``) as a budget violation.
-* preempted work is **not** refunded: the energy was committed at
-  admission, and the re-queued remainder commits again on re-dispatch —
-  a conservative double charge that keeps the ledger append-only.
+* preempted work **is refunded**: :meth:`commit` returns a ledger
+  token, and :meth:`refund` hands back the never-executed share of a
+  commitment the same way the accelerator's swap-refund ledger does —
+  the re-queued remainder commits afresh on re-dispatch, so without the
+  refund an aborted batch would leave the window overcharged and
+  throttle admission spuriously. A commitment that has already slid out
+  of the window refunds nothing (that energy no longer gates anyone).
+
+Fleet-level shaping reads the window through :meth:`headroom_mj` /
+:meth:`headroom_fraction` — the router's signal for preferring cheaper
+sites and deferring relaxed-SLO traffic *before* the hard throttle
+engages.
 """
 
 from __future__ import annotations
@@ -41,6 +50,8 @@ class BudgetStats:
     throttle_events: int = 0
     throttled_ms: float = 0.0
     overshoots: int = 0
+    refunds: int = 0
+    refunded_mj: float = 0.0
 
     @property
     def cap_mj(self):
@@ -57,6 +68,8 @@ class BudgetStats:
             "throttle_events": self.throttle_events,
             "throttled_ms": self.throttled_ms,
             "overshoots": self.overshoots,
+            "refunds": self.refunds,
+            "refunded_mj": self.refunded_mj,
         }
 
 
@@ -71,7 +84,9 @@ class EnergyBudget:
         self.power_mw = float(power_mw)
         self.window_ms = float(window_ms)
         self.cap_mj = self.power_mw * self.window_ms * 1e-3
-        self._ledger = deque()  # (commit_ms, energy_mj), time-ordered
+        self._ledger = deque()  # [commit_ms, energy_mj, token], time-ordered
+        self._live = {}  # token -> ledger entry still inside the window
+        self._next_token = 0
         self._window_mj = 0.0
         self.stats = BudgetStats(power_mw=self.power_mw,
                                  window_ms=self.window_ms)
@@ -79,8 +94,9 @@ class EnergyBudget:
     def _expire(self, now_ms):
         cutoff = now_ms - self.window_ms
         while self._ledger and self._ledger[0][0] <= cutoff + 1e-12:
-            _, energy = self._ledger.popleft()
-            self._window_mj -= energy
+            entry = self._ledger.popleft()
+            self._window_mj -= entry[1]
+            self._live.pop(entry[2], None)
         if not self._ledger:
             self._window_mj = 0.0  # squash float drift at empty window
 
@@ -89,24 +105,70 @@ class EnergyBudget:
         self._expire(now_ms)
         return self._window_mj
 
+    def headroom_mj(self, now_ms):
+        """Energy the window can still admit before the hard throttle."""
+        return max(0.0, self.cap_mj - self.window_spent_mj(now_ms))
+
+    def headroom_fraction(self, now_ms):
+        """Remaining window allowance in [0, 1] — the shaping signal.
+
+        1.0 means the window is empty, 0.0 means admission is stalled;
+        routers use intermediate values to *shape* (prefer cheaper
+        placements, defer relaxed traffic) before throttling bites.
+        """
+        return self.headroom_mj(now_ms) / self.cap_mj
+
     def exhausted(self, now_ms):
         """True while admission must stall (window spend at the cap)."""
         return self.window_spent_mj(now_ms) >= self.cap_mj - 1e-12
 
     def commit(self, now_ms, energy_mj):
-        """Record an admitted batch's predicted energy at ``now_ms``."""
+        """Record an admitted batch's predicted energy at ``now_ms``.
+
+        Returns a token identifying the commitment — hand it to
+        :meth:`refund` if the batch is later aborted before finishing.
+        """
         energy_mj = float(energy_mj)
         if energy_mj < 0:
             raise EnergyError("cannot commit negative energy")
         if self._ledger and now_ms < self._ledger[-1][0] - 1e-9:
             raise EnergyError("budget commits must be time-ordered")
         self._expire(now_ms)
-        self._ledger.append((float(now_ms), energy_mj))
+        token = self._next_token
+        self._next_token += 1
+        entry = [float(now_ms), energy_mj, token]
+        self._ledger.append(entry)
+        self._live[token] = entry
         self._window_mj += energy_mj
         self.stats.spent_mj += energy_mj
         self.stats.admitted += 1
         if self._window_mj > self.cap_mj + 1e-12:
             self.stats.overshoots += 1
+        return token
+
+    def refund(self, now_ms, token, energy_mj):
+        """Hand back the unexecuted share of an aborted commitment.
+
+        Mirrors the accelerator's swap-refund ledger: the refund reduces
+        the original ledger entry in place (never below zero), so the
+        window stops charging for work that will re-commit when the
+        preempted remainder re-dispatches. A commitment that already
+        expired out of the window is a no-op. Returns the millijoules
+        actually refunded.
+        """
+        energy_mj = float(energy_mj)
+        if energy_mj < 0:
+            raise EnergyError("cannot refund negative energy")
+        self._expire(now_ms)
+        entry = self._live.get(token)
+        if entry is None or energy_mj == 0.0:
+            return 0.0
+        amount = min(energy_mj, entry[1])
+        entry[1] -= amount
+        self._window_mj -= amount
+        self.stats.refunds += 1
+        self.stats.refunded_mj += amount
+        return amount
 
     def next_relief_ms(self, now_ms):
         """Earliest instant the window stops being exhausted.
@@ -119,7 +181,7 @@ class EnergyBudget:
         if not self.exhausted(now_ms):
             return float(now_ms)
         running = self._window_mj
-        for commit_ms, energy_mj in self._ledger:
+        for commit_ms, energy_mj, _ in self._ledger:
             running -= energy_mj
             if running < self.cap_mj - 1e-12:
                 return commit_ms + self.window_ms

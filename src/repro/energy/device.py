@@ -148,12 +148,44 @@ class DeviceEnergyModel:
         self._idle_since_ms = float(now_ms)
         self._busy = False
 
+    def force_standby(self, now_ms):
+        """Drop an idle device's rail to retention *now* (device parking).
+
+        The fleet autoscaler's hook: parking a whole device should not
+        wait for the standby timeout, but it must still pay the real
+        DVFS cost — idle leakage at the old parked point up to
+        ``now_ms``, then one charged down-transition to the retention
+        voltage. The next :meth:`on_run_begin` prices the full
+        standby→nominal wake, so a scale-up decision pays its true
+        energy bill too. No-op when the rail already sits at retention.
+        """
+        if self._busy:
+            raise EnergyError("cannot force a busy device into standby")
+        self._accrue_idle(now_ms)
+        if self.parked_vdd == self.standby_vdd:
+            return
+        settle_ms, energy_mj = self.estimate_transition(
+            self.standby_vdd, self.standby_freq_ghz)
+        self.transition_ms += settle_ms
+        self.transition_energy_mj += energy_mj
+        self.transitions += 1
+        self.standby_entries += 1
+        self.parked_vdd = self.standby_vdd
+        self.parked_freq_ghz = self.standby_freq_ghz
+
     def finalize(self, end_ms):
-        """Accrue the tail idle interval up to the run's makespan."""
+        """Accrue the tail idle interval up to the run's makespan.
+
+        A device whose ledger already advanced past ``end_ms`` (an
+        autoscaler parked it at a tick after the last completion) has
+        nothing left to accrue — the horizon clamps forward, never
+        backwards.
+        """
         if self._busy:
             raise EnergyError("cannot finalize a busy device")
+        end_ms = max(float(end_ms), self._idle_since_ms)
         self._accrue_idle(end_ms)
-        self._finalized_ms = float(end_ms)
+        self._finalized_ms = end_ms
 
     def _accrue_idle(self, now_ms):
         interval_ms = float(now_ms) - self._idle_since_ms

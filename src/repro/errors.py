@@ -67,3 +67,8 @@ class EnergyError(ReproError):
 
 class ArtifactError(ReproError):
     """A trained-model artifact is missing or failed validation."""
+
+
+class FleetError(ReproError):
+    """The multi-site fleet orchestrator was configured or driven
+    inconsistently."""

@@ -1,0 +1,67 @@
+"""Multi-site fleet orchestration: routing, power caps, autoscaling.
+
+Where :mod:`repro.cluster` simulates one accelerator pool behind a
+batching dispatcher, this subsystem models the tier above it — the
+production topology of the ROADMAP's north star: N independent cluster
+**sites** (each its own :class:`~repro.cluster.ClusterSimulator` with a
+heterogeneous pool, per-site placement policy and per-site power cap)
+behind one front-end **router**, all on a single deterministic clock.
+
+* :class:`SiteConfig` / :class:`FleetSite` — one site: a cluster plus
+  its network round trip; admission charges the RTT legs against the
+  request's compute slack (the deadline-budget DVFS planner downstream
+  sees slack *net of routing*);
+* :class:`RoundRobinRouting` / :class:`LeastLoadedRouting` /
+  :class:`EnergyDeadlineRouting` — pluggable routing policies, the last
+  scoring sites by predicted joules under deadline feasibility and
+  *shaping* under tightening power-cap windows (prefer cheaper sites,
+  defer relaxed-SLO requests) instead of hard-throttling;
+* :class:`FleetAutoscaler` — parks/wakes whole devices per site from
+  rolling utilization, with every transition charged through the
+  device's :class:`~repro.energy.DeviceEnergyModel`;
+* :class:`FleetOrchestrator` — ``run(trace)`` → :class:`FleetReport`,
+  whose ``reconcile()`` holds the fleet energy rollup to the summed
+  per-site cluster ledgers at 1e-9.
+
+``python -m repro.fleet --smoke`` runs the self-checking gate;
+``python -m repro.fleet --trace FILE --sites 3 --policy energy``
+replays a request log across a reference fleet.
+"""
+
+from repro.fleet.autoscaler import AutoscalerStats, FleetAutoscaler
+from repro.fleet.orchestrator import (
+    AutoscaleTick,
+    FleetOrchestrator,
+    RouteRequest,
+)
+from repro.fleet.report import FleetRecord, FleetReport
+from repro.fleet.router import (
+    ROUTING_POLICIES,
+    EnergyDeadlineRouting,
+    LeastLoadedRouting,
+    RoundRobinRouting,
+    RoutingDecision,
+    RoutingPolicy,
+    make_routing_policy,
+)
+from repro.fleet.site import FleetSite, SiteConfig, SiteOutcome
+
+__all__ = [
+    "AutoscaleTick",
+    "AutoscalerStats",
+    "EnergyDeadlineRouting",
+    "FleetAutoscaler",
+    "FleetOrchestrator",
+    "FleetRecord",
+    "FleetReport",
+    "FleetSite",
+    "LeastLoadedRouting",
+    "ROUTING_POLICIES",
+    "RoundRobinRouting",
+    "RouteRequest",
+    "RoutingDecision",
+    "RoutingPolicy",
+    "SiteConfig",
+    "SiteOutcome",
+    "make_routing_policy",
+]

@@ -1,0 +1,216 @@
+"""The fleet orchestrator: N cluster sites behind one router.
+
+:class:`FleetOrchestrator` runs several independent
+:class:`~repro.cluster.ClusterSimulator` sites — each with its own
+event loop, accelerator pool, placement policy and optional power cap —
+under a single simulated clock. The merge rule is the whole trick:
+every step processes the earliest pending event across the fleet
+(site loops and the orchestrator's own routing/autoscaling loop), with
+ties broken site-events-first and then by site order, so a fleet run is
+exactly as deterministic as its parts: same seed + same trace ⇒
+bit-identical :class:`~repro.fleet.FleetReport`, regardless of the
+order the site configs were handed in (sites are canonicalized by
+``site_id``).
+
+Requests enter through the routing policy at their arrival instant
+(possibly deferred under budget shaping), are admitted to a site in
+site-local coordinates (:meth:`~repro.fleet.FleetSite.admit` charges
+the network legs against the compute slack), and complete back at the
+front-end one egress leg after their site completion. The optional
+:class:`~repro.fleet.FleetAutoscaler` ticks on the same clock and
+parks/wakes whole devices per site.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.cluster.events import EventLoop
+from repro.errors import FleetError
+from repro.fleet.autoscaler import FleetAutoscaler
+from repro.fleet.report import FleetRecord, FleetReport
+from repro.fleet.router import make_routing_policy
+from repro.fleet.site import FleetSite, SiteOutcome
+
+
+@dataclass(frozen=True)
+class RouteRequest:
+    """A request is (re-)routable at the front-end."""
+
+    request: object  # repro.serving.Request
+
+
+@dataclass(frozen=True)
+class AutoscaleTick:
+    """Periodic autoscaler pass over every site."""
+
+
+class FleetOrchestrator:
+    """Deterministic multi-site serving: router → sites → devices."""
+
+    def __init__(self, registry, site_configs, routing="energy",
+                 autoscaler=None):
+        site_configs = sorted(site_configs, key=lambda c: c.site_id)
+        if not site_configs:
+            raise FleetError("a fleet needs at least one site")
+        ids = [c.site_id for c in site_configs]
+        if len(set(ids)) != len(ids):
+            raise FleetError(f"duplicate site ids in {ids}")
+        self.registry = registry
+        self.site_configs = tuple(site_configs)
+        self.routing = make_routing_policy(routing)
+        if autoscaler is True:
+            autoscaler = FleetAutoscaler()
+        self.autoscaler = autoscaler
+
+    # -- public API --------------------------------------------------------------
+
+    def run(self, requests):
+        """Route and serve the trace; returns a :class:`FleetReport`."""
+        requests = list(requests)
+        if not requests:
+            raise FleetError("no requests to route")
+        seen = set()
+        for request in requests:
+            if request.request_id in seen:
+                raise FleetError(
+                    f"duplicate request id {request.request_id}")
+            seen.add(request.request_id)
+
+        started = time.perf_counter()
+        self.routing.reset()
+        if self.autoscaler is not None:
+            self.autoscaler.reset()
+        self._sites = [FleetSite(config, self.registry).start()
+                       for config in self.site_configs]
+        self._loop = EventLoop()
+        self._loop.on(RouteRequest, self._on_route)
+        self._loop.on(AutoscaleTick, self._on_tick)
+        self._routes = {}  # request_id -> (site_index, routed_ms)
+        self._deferrals = 0
+
+        for request in requests:
+            self._loop.schedule(request.arrival_ms,
+                                RouteRequest(request))
+        if self.autoscaler is not None:
+            first = min(r.arrival_ms for r in requests)
+            self._loop.schedule(first + self.autoscaler.interval_ms,
+                                AutoscaleTick())
+        self._drain()
+        return self._finish(requests, started)
+
+    # -- the merged clock --------------------------------------------------------
+
+    #: Runaway guard for the merged loop, mirroring ``EventLoop.run``'s
+    #: per-site cap: a scheduling cycle (or a routing policy that
+    #: defers forever) must raise, not hang.
+    MAX_FLEET_EVENTS = 5_000_000
+
+    def _drain(self):
+        """Process every event fleet-wide in global time order.
+
+        At equal instants, site events fire before front-end events
+        (work completing "by" *t* is visible to a routing decision *at*
+        *t*) and lower-indexed sites before higher — the canonical
+        order that makes runs replay bit-for-bit.
+        """
+        processed = 0
+        while True:
+            processed += 1
+            if processed > self.MAX_FLEET_EVENTS:
+                raise FleetError(
+                    f"fleet loop exceeded {self.MAX_FLEET_EVENTS} "
+                    "events; likely a scheduling cycle or an "
+                    "ever-deferring routing policy")
+            best = None  # (time_ms, site_events_first, site_index)
+            for index, site in enumerate(self._sites):
+                at = site.peek_ms()
+                if at is not None:
+                    key = (at, 0, index)
+                    if best is None or key < best:
+                        best = key
+            at = self._loop.peek_ms()
+            if at is not None:
+                key = (at, 1, 0)
+                if best is None or key < best:
+                    best = key
+            if best is None:
+                return
+            if best[1] == 0:
+                self._sites[best[2]].step()
+            else:
+                self._loop.step()
+
+    # -- event handlers ----------------------------------------------------------
+
+    def _on_route(self, event):
+        request = event.request
+        now = self._loop.now_ms
+        decision = self.routing.route(request, self._sites, now)
+        if decision.deferred:
+            if decision.retry_ms is None or decision.retry_ms <= now:
+                raise FleetError(
+                    "a routing deferral must carry a future retry_ms")
+            self._deferrals += 1
+            self._loop.schedule(decision.retry_ms, RouteRequest(request))
+            return
+        site = self._sites[decision.site_index]
+        site.admit(request, now)
+        self._routes[request.request_id] = (decision.site_index, now)
+
+    def _on_tick(self, event):
+        now = self._loop.now_ms
+        self.autoscaler.tick_all(self._sites, now)
+        # Keep ticking while the fleet still has anything in flight —
+        # queued routing events included — then fall silent so the
+        # merged loop can drain.
+        if len(self._loop) > 0 \
+                or any(site.sim.in_system() > 0 for site in self._sites):
+            self._loop.schedule(now + self.autoscaler.interval_ms,
+                                AutoscaleTick())
+
+    # -- finalization ------------------------------------------------------------
+
+    def _finish(self, requests, started):
+        reports = [site.finish() for site in self._sites]
+        by_site = [
+            {rec.request.request_id: rec for rec in report.records}
+            for report in reports
+        ]
+        records = []
+        for request in requests:
+            if request.request_id not in self._routes:
+                raise FleetError(
+                    f"request {request.request_id} was never routed")
+            site_index, routed_ms = self._routes[request.request_id]
+            site = self._sites[site_index]
+            site_record = by_site[site_index].get(request.request_id)
+            if site_record is None:
+                raise FleetError(
+                    f"request {request.request_id} routed to "
+                    f"{site.site_id} but never served there")
+            records.append(FleetRecord(
+                request=request, site_id=site.site_id,
+                rtt_ms=site.rtt_ms, routed_ms=routed_ms,
+                site_record=site_record))
+
+        stats = self.autoscaler.stats if self.autoscaler else None
+        outcomes = [
+            SiteOutcome(
+                site_id=site.site_id, rtt_ms=site.rtt_ms, report=report,
+                admitted=site.admitted,
+                parks=stats.parks.get(site.site_id, 0) if stats else 0,
+                wakes=stats.wakes.get(site.site_id, 0) if stats else 0,
+            )
+            for site, report in zip(self._sites, reports)
+        ]
+        deferrals = self._deferrals
+        report = FleetReport(
+            routing_policy=self.routing.name, sites=outcomes,
+            records=records, deferrals=deferrals, autoscaler=stats,
+            wall_seconds=time.perf_counter() - started)
+        if report.num_requests != len(requests):
+            raise FleetError("fleet served a different request count "
+                             "than it was handed")
+        return report

@@ -1,0 +1,212 @@
+"""Fleet-level reporting: routing, cross-site queueing, energy rollup.
+
+A :class:`FleetReport` composes one
+:class:`~repro.cluster.ClusterReport` per site (unchanged semantics —
+each site's report is exactly what a standalone cluster run would have
+produced for the traffic routed to it) with the facts only the fleet
+layer knows: which site served each request, the network legs the
+response paid, routing deferrals, autoscaler activity, and an energy
+rollup whose :meth:`~FleetReport.reconcile` asserts — to 1e-9 — that
+the fleet total is precisely the sum of the per-site cluster ledgers
+(which themselves reconcile against their serving aggregates).
+
+SLO accounting happens against the *original* request: a fleet request
+is met when its response lands back at the front-end (site completion
+plus the egress leg) within ``arrival + target``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import FleetError
+
+
+@dataclass(frozen=True)
+class FleetRecord:
+    """One served request with its fleet-timeline view."""
+
+    request: object  # the ORIGINAL repro.serving.Request
+    site_id: str
+    rtt_ms: float
+    routed_ms: float  # when the router placed it (>= arrival on deferral)
+    site_record: object  # the site's ClusterRecord (site-local clock)
+
+    @property
+    def completion_ms(self):
+        """When the response lands back at the front-end."""
+        return self.site_record.completion_ms + self.rtt_ms / 2.0
+
+    @property
+    def time_in_system_ms(self):
+        return self.completion_ms - self.request.arrival_ms
+
+    @property
+    def queueing_delay_ms(self):
+        """Arrival to site dispatch: routing wait + ingress leg + site
+        batching/queueing — the cross-site queueing lens."""
+        return self.site_record.dispatch_ms - self.request.arrival_ms
+
+    @property
+    def routing_delay_ms(self):
+        """Time spent at the front-end before routing (deferrals)."""
+        return self.routed_ms - self.request.arrival_ms
+
+    @property
+    def deadline_met(self):
+        return self.time_in_system_ms <= self.request.target_ms + 1e-9
+
+
+@dataclass
+class FleetReport:
+    """Outcome of one fleet simulation run."""
+
+    routing_policy: str
+    sites: list = field(default_factory=list)  # SiteOutcome rows
+    records: list = field(default_factory=list)  # FleetRecord rows
+    deferrals: int = 0
+    autoscaler: object = None  # AutoscalerStats | None
+    wall_seconds: float = 0.0
+
+    @property
+    def num_requests(self):
+        return len(self.records)
+
+    @property
+    def makespan_ms(self):
+        return max((rec.completion_ms for rec in self.records),
+                   default=0.0)
+
+    def site(self, site_id):
+        for outcome in self.sites:
+            if outcome.site_id == site_id:
+                return outcome
+        raise FleetError(f"no site {site_id!r} in this report")
+
+    # -- energy rollup ------------------------------------------------------------
+
+    @property
+    def total_energy_mj(self):
+        """Fleet total: the sum of every site's cluster energy ledger."""
+        return sum(outcome.report.energy.total_mj
+                   for outcome in self.sites)
+
+    def energy_breakdown(self):
+        """Per-site compute/swap/idle/transition columns (mJ)."""
+        breakdown = {}
+        for outcome in self.sites:
+            energy = outcome.report.energy
+            breakdown[outcome.site_id] = {
+                "compute_mj": energy.compute_mj,
+                "swap_mj": energy.swap_mj,
+                "idle_mj": energy.idle_mj,
+                "transition_mj": energy.transition_mj,
+                "total_mj": energy.total_mj,
+            }
+        return breakdown
+
+    def reconcile(self, tol=1e-9):
+        """Assert the fleet energy rollup agrees with the site ledgers.
+
+        Three identities, all within ``tol``: every site's energy report
+        reconciles against its own serving aggregates; every site's
+        per-device breakdowns sum to that site's total; and the fleet
+        total equals the summed site totals. Raises
+        :class:`~repro.errors.FleetError` on any gap.
+        """
+        summed = 0.0
+        for outcome in self.sites:
+            report = outcome.report
+            report.energy.reconcile(report.serving, tol=tol)
+            by_device = sum(d.total_mj for d in report.energy.devices)
+            gap = abs(report.energy.total_mj - by_device)
+            if gap > tol:
+                raise FleetError(
+                    f"site {outcome.site_id} device ledgers diverge "
+                    f"from its total by {gap:.3e} mJ (tol {tol:g})")
+            summed += report.energy.total_mj
+        gap = abs(self.total_energy_mj - summed)
+        if gap > tol:
+            raise FleetError(
+                f"fleet energy rollup diverges from summed site "
+                f"reports by {gap:.3e} mJ (tol {tol:g})")
+        return True
+
+    # -- SLO / latency accounting -------------------------------------------------
+
+    @property
+    def deadline_violations(self):
+        return sum(not rec.deadline_met for rec in self.records)
+
+    def times_in_system_ms(self):
+        return np.array([rec.time_in_system_ms for rec in self.records])
+
+    @property
+    def mean_time_in_system_ms(self):
+        times = self.times_in_system_ms()
+        return float(times.mean()) if times.size else 0.0
+
+    @property
+    def p95_time_in_system_ms(self):
+        times = self.times_in_system_ms()
+        return float(np.percentile(times, 95)) if times.size else 0.0
+
+    @property
+    def mean_queueing_delay_ms(self):
+        delays = [rec.queueing_delay_ms for rec in self.records]
+        return float(np.mean(delays)) if delays else 0.0
+
+    @property
+    def mean_routing_delay_ms(self):
+        delays = [rec.routing_delay_ms for rec in self.records]
+        return float(np.mean(delays)) if delays else 0.0
+
+    def per_site(self):
+        """Routing/SLO/energy view per site, keyed by site id."""
+        rows = {}
+        for outcome in self.sites:
+            records = [rec for rec in self.records
+                       if rec.site_id == outcome.site_id]
+            energy = outcome.report.energy
+            rows[outcome.site_id] = {
+                "rtt_ms": outcome.rtt_ms,
+                "requests": len(records),
+                "violations": sum(not rec.deadline_met
+                                  for rec in records),
+                "total_energy_mj": energy.total_mj,
+                "num_accelerators": outcome.report.num_accelerators,
+                "parks": outcome.parks,
+                "wakes": outcome.wakes,
+                "budget": (None if outcome.report.budget is None
+                           else outcome.report.budget.summary()),
+            }
+        return rows
+
+    def record_for(self, request_id):
+        for rec in self.records:
+            if rec.request.request_id == request_id:
+                return rec
+        raise FleetError(f"no record for request id {request_id}")
+
+    def summary(self):
+        """JSON-friendly aggregate view (wall time excluded: it is the
+        only nondeterministic field, and summaries gate determinism)."""
+        return {
+            "routing_policy": self.routing_policy,
+            "num_sites": len(self.sites),
+            "requests": self.num_requests,
+            "deferrals": self.deferrals,
+            "makespan_ms": self.makespan_ms,
+            "deadline_violations": self.deadline_violations,
+            "mean_time_in_system_ms": self.mean_time_in_system_ms,
+            "p95_time_in_system_ms": self.p95_time_in_system_ms,
+            "mean_queueing_delay_ms": self.mean_queueing_delay_ms,
+            "mean_routing_delay_ms": self.mean_routing_delay_ms,
+            "total_energy_mj": self.total_energy_mj,
+            "energy_breakdown": self.energy_breakdown(),
+            "per_site": self.per_site(),
+            "autoscaler": (None if self.autoscaler is None
+                           else self.autoscaler.summary()),
+        }

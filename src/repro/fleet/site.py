@@ -1,0 +1,248 @@
+"""One fleet site: a cluster simulator behind a network link.
+
+A :class:`FleetSite` wraps a :class:`~repro.cluster.ClusterSimulator`
+(its own heterogeneous accelerator pool, placement policy and optional
+per-site power cap) plus the network round-trip between the fleet
+front-end and the site. The orchestrator drives the site's event loop
+incrementally (``start``/``peek_ms``/``step``/``finish``) and admits
+requests through :meth:`admit`, which is where the RTT contract lives:
+
+* the request physically reaches the site ``rtt_ms / 2`` after the
+  routing decision, so its site-local ``arrival_ms`` is shifted by the
+  ingress leg (that shift shows up as cross-site queueing in the fleet
+  report);
+* the site-local ``target_ms`` is the original target **net of the
+  time already burned before admission and the full round trip** — the
+  site must finish early enough for the response to travel back, so
+  the slack its deadline-aware DVFS planner sees is exactly the slack
+  the fleet can still spend on compute (the ROADMAP's "slack net of
+  routing RTT" contract).
+
+Routing policies read site state through the cheap observables
+(:meth:`load`, :meth:`headroom`, :meth:`rtt_feasible`) and through
+:meth:`estimate_request` — per-site placement estimates built from the
+same per-device pricing tables the site itself will dispatch with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.cluster.simulator import ClusterSimulator
+from repro.errors import FleetError
+from repro.serving.request import Batch
+from repro.serving.server import price_batch
+
+#: Grid (ms) site-local targets are floored to inside the routing
+#: estimate cache — coarse enough that nearby deadlines share one
+#: pricing, conservative (understating slack only tightens the plan).
+ESTIMATE_TARGET_GRID_MS = 5.0
+
+#: Token site-local target for requests that were already doomed when
+#: routed (no site could make the deadline): they still must be served.
+DOOMED_TARGET_MS = 0.001
+
+
+@dataclass(frozen=True)
+class SiteConfig:
+    """Everything needed to stand up one site of the fleet."""
+
+    site_id: str
+    hw_configs: tuple | None = None
+    num_accelerators: int | None = None
+    #: Front-end <-> site network round trip (ms); each leg costs half.
+    rtt_ms: float = 0.0
+    #: The site's *internal* placement policy (not the fleet router).
+    policy: str = "energy"
+    #: Per-site power cap (rolling joules/sec window); None = uncapped.
+    energy_budget_mw: float | None = None
+    budget_window_ms: float = 100.0
+    mode: str = "lai"
+    max_batch_size: int = 32
+    batch_timeout_ms: float = 5.0
+    deadline_aware: bool = True
+    deadline_sizing: bool = False
+    adaptive_timeout: bool = False
+    standby_timeout_ms: float | None = None
+
+    def __post_init__(self):
+        if not self.site_id:
+            raise FleetError("site_id must be a non-empty string")
+        if self.rtt_ms < 0:
+            raise FleetError("rtt_ms must be non-negative")
+
+
+class FleetSite:
+    """A :class:`ClusterSimulator` plus its routing-facing surface."""
+
+    def __init__(self, config, registry):
+        self.config = config
+        self.site_id = config.site_id
+        self.rtt_ms = float(config.rtt_ms)
+        self.registry = registry
+        self.sim = ClusterSimulator(
+            registry,
+            num_accelerators=config.num_accelerators,
+            policy=config.policy,
+            mode=config.mode,
+            max_batch_size=config.max_batch_size,
+            batch_timeout_ms=config.batch_timeout_ms,
+            hw_configs=config.hw_configs,
+            energy_budget_mw=config.energy_budget_mw,
+            budget_window_ms=config.budget_window_ms,
+            deadline_aware=config.deadline_aware,
+            deadline_sizing=config.deadline_sizing,
+            adaptive_timeout=config.adaptive_timeout,
+            standby_timeout_ms=config.standby_timeout_ms,
+        )
+        self._estimate_cache = {}
+        self.admitted = 0
+        self.late_admissions = 0
+
+    # -- lifecycle (driven by the orchestrator) -----------------------------------
+
+    def start(self):
+        self.sim.start()
+        self.admitted = 0
+        self.late_admissions = 0
+        return self
+
+    def peek_ms(self):
+        return self.sim.peek_ms()
+
+    def step(self):
+        return self.sim.step()
+
+    def finish(self):
+        return self.sim.finish()
+
+    # -- admission ----------------------------------------------------------------
+
+    def remaining_slack_ms(self, request, now_ms):
+        """Compute budget left if routed now: deadline − now − round trip."""
+        return request.deadline_ms - float(now_ms) - self.rtt_ms
+
+    def rtt_feasible(self, request, now_ms):
+        """Can a request routed at ``now_ms`` still make its deadline here?
+
+        Necessary condition only — the network legs must leave *some*
+        compute budget; the router's scoring judges whether the site's
+        hardware fits the rest.
+        """
+        return self.remaining_slack_ms(request, now_ms) > 1e-9
+
+    def admit(self, request, now_ms):
+        """Hand a routed request to the site's cluster.
+
+        Rewrites the request into site-local coordinates: arrival at
+        ``now + rtt/2`` (the ingress leg) and target shrunk so the
+        site-local deadline is the original deadline minus the egress
+        leg — late routing (shaping deferrals) and network time both
+        come out of the compute slack, never out of the SLO.
+        """
+        slack = self.remaining_slack_ms(request, now_ms)
+        if slack <= 0:
+            # Routed although already doomed (every site was
+            # RTT-infeasible and the router limited the damage): the
+            # request must still be served — conservation — so it gets
+            # a token compute budget and the SLO miss lands where it
+            # belongs, at the fleet level.
+            slack = DOOMED_TARGET_MS
+            self.late_admissions += 1
+        ingress_ms = float(now_ms) + self.rtt_ms / 2.0
+        # Site-local deadline = ingress + target = original deadline
+        # minus the egress leg: finishing "on time" at the site leaves
+        # exactly enough time for the response to travel back.
+        local = replace(request, arrival_ms=ingress_ms, target_ms=slack)
+        self.sim.inject(local, at_ms=ingress_ms)
+        self.admitted += 1
+        return local
+
+    # -- routing-facing observables -----------------------------------------------
+
+    def online_devices(self):
+        return [a for a in self.sim.accelerators if a.online]
+
+    def busy_devices(self):
+        return [a for a in self.sim.accelerators
+                if a.online and not a.idle]
+
+    def load(self):
+        """In-system requests per online device (the least-loaded key)."""
+        online = len(self.online_devices())
+        return self.sim.in_system() / max(1, online)
+
+    def headroom(self, now_ms):
+        """Power-cap window headroom in [0, 1]; 1.0 when uncapped."""
+        return self.sim.budget_headroom(now_ms)
+
+    def _device_estimate(self, request, mode, bucket, accel, now_ms):
+        """(energy_mj, latency_ms) of ``request`` on one device, now."""
+        key = (request.task, mode, request.sentence, bucket,
+               accel.hw_config)
+        compute = self._estimate_cache.get(key)
+        if compute is None:
+            profile = self.registry.profile_for(request.task,
+                                                accel.hw_config)
+            singleton = Batch(task=request.task, target_ms=bucket,
+                              requests=(request,))
+            priced = price_batch(profile, singleton, mode,
+                                 vectorized=self.sim.vectorized)
+            compute = (float(priced.results[0].energy_mj),
+                       float(priced.results[0].latency_ms))
+            self._estimate_cache[key] = compute
+        energy_mj, latency_ms = compute
+        cost = self.registry.switch_cost(accel.resident_task,
+                                         request.task)
+        energy_mj += cost.energy_mj
+        latency_ms += cost.latency_ms
+        if accel.energy is not None:
+            energy_mj += accel.energy.estimate_transition(
+                now_ms=now_ms)[1]
+        return energy_mj, latency_ms
+
+    def estimate_request(self, request, now_ms):
+        """Predicted cost of routing ``request`` to this site right now.
+
+        Per-device pricing is pure and cached (keyed on (task, mode,
+        sentence, target bucket, hw)); the live swap and wake-transition
+        terms are added per device. The site-level prediction honors
+        dispatch reality: with a device idle *now*, the request lands on
+        the cheapest idle device (the site's own energy governor picks
+        min-joules too); with every device busy it will be queued onto
+        whichever frees first, so the prediction is the mean over the
+        online pool — a saturated site with one expensive device can no
+        longer hide behind its cheapest one. Returns ``(energy_mj,
+        latency_ms)``, or None when nothing is online.
+        """
+        mode = request.mode if request.mode is not None \
+            else self.sim.mode
+        slack = self.remaining_slack_ms(request, now_ms)
+        grid = ESTIMATE_TARGET_GRID_MS
+        bucket = max(grid, (slack // grid) * grid)
+        online = self.online_devices()
+        if not online:
+            return None
+        idle = [a for a in online if a.idle]
+        if idle:
+            return min(self._device_estimate(request, mode, bucket, a,
+                                             now_ms)
+                       for a in idle)
+        estimates = [self._device_estimate(request, mode, bucket, a,
+                                           now_ms)
+                     for a in online]
+        return (sum(e for e, _ in estimates) / len(estimates),
+                sum(t for _, t in estimates) / len(estimates))
+
+
+@dataclass
+class SiteOutcome:
+    """One site's share of a finished fleet run."""
+
+    site_id: str
+    rtt_ms: float
+    report: object  # repro.cluster.ClusterReport
+    admitted: int
+    parks: int = 0
+    wakes: int = 0
+    deferred_admissions: int = field(default=0)

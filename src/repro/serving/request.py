@@ -35,6 +35,12 @@ class Request:
     constructor mode applies to the whole queue — but the cluster
     simulator honors it, which is what lets tight-SLO ``lai`` traffic
     preempt long ``base`` batches).
+
+    ``site`` optionally pins the request to one fleet site (data
+    residency, session stickiness): the :mod:`repro.fleet` router
+    honors the affinity when that site can still meet the deadline and
+    falls back to free routing otherwise. Single-cluster serving
+    ignores it.
     """
 
     request_id: int
@@ -43,6 +49,7 @@ class Request:
     target_ms: float
     arrival_ms: float = 0.0
     mode: str | None = None
+    site: str | None = None
 
     def __post_init__(self):
         if self.sentence < 0:

@@ -43,6 +43,21 @@ class TestRoundTrip:
         assert replayed == sorted(
             trace, key=lambda r: (r.arrival_ms, r.request_id))
 
+    @pytest.mark.parametrize("save,load,ext", [
+        (save_trace_csv, load_trace_csv, "csv"),
+        (save_trace_jsonl, load_trace_jsonl, "jsonl"),
+    ])
+    def test_site_affinity_round_trips(self, tmp_path, save, load, ext):
+        rows = [Request(request_id=0, task="sst2", sentence=0,
+                        target_ms=50.0, site="edge-a"),
+                Request(request_id=1, task="sst2", sentence=1,
+                        target_ms=50.0)]
+        path = str(tmp_path / f"pins.{ext}")
+        save(rows, path)
+        loaded = load(path)
+        assert loaded[0].site == "edge-a"
+        assert loaded[1].site is None
+
     def test_extension_dispatch(self, tmp_path, trace):
         csv_path = save_trace_csv(trace, str(tmp_path / "t.csv"))
         jsonl_path = save_trace_jsonl(trace, str(tmp_path / "t.jsonl"))

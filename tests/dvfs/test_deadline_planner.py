@@ -243,6 +243,112 @@ class TestWaterFillingShape:
         assert np.all(priced["energy_mj"][1:] < nominal_front_mj)
 
 
+class TestDecoupledFrontRail:
+    """The front ends may ride an intermediate V/F level when no shared
+    water level fits — closing the window between "per-sentence plan
+    fits" and "slowest coupled schedule fits"."""
+
+    @pytest.fixture()
+    def planner_inputs(self, profile, tables):
+        engine = profile.engine
+        remaining = np.full(6, 6.0) * tables.layer_cycles
+        front = tables.embed_time_ns + tables.layer_time_ns
+        kwargs = dict(layer_cycles=tables.layer_cycles,
+                      point_time_ns=tables.point_time_ns,
+                      front_point_time_ns=tables.front_point_time_ns,
+                      nominal_layer_time_ns=tables.layer_time_ns)
+        return engine, remaining, front, kwargs
+
+    def _window_bounds(self, planner_inputs):
+        """(fallback_total, coupled_floor_total) in ms for the fixture.
+
+        Between the two, the coupled sweep fails but the per-sentence
+        plan fits — the decoupled-front window.
+        """
+        engine, remaining, front, kwargs = planner_inputs
+        huge = engine.dvfs.plan_batch_deadline(
+            remaining, DeadlineBudget.from_ms(1e6, RELAXED_MS), front,
+            **kwargs)
+        coupled_floor_ms = huge.planned_ns / 1e6
+        zero = engine.dvfs.plan_batch_deadline(
+            remaining, DeadlineBudget.zero_slack(RELAXED_MS), front,
+            **kwargs)
+        fallback_ms = zero.planned_ns / 1e6
+        assert fallback_ms < coupled_floor_ms
+        return fallback_ms, coupled_floor_ms
+
+    def test_window_budget_decouples_instead_of_falling_back(
+            self, planner_inputs):
+        engine, remaining, front, kwargs = planner_inputs
+        low, high = self._window_bounds(planner_inputs)
+        deadline_ms = (low + high) / 2.0
+        plan = engine.dvfs.plan_batch_deadline(
+            remaining, DeadlineBudget.from_ms(deadline_ms, RELAXED_MS),
+            front, **kwargs)
+        assert not plan.fallback
+        assert plan.feasible
+        assert plan.planned_ns <= deadline_ms * 1e6 + 1e-6
+        # Fronts 2..N ride one intermediate row above the layer rail.
+        assert np.all(plan.front_index[1:] > plan.table_index[1:])
+        assert plan.front_index[0] == -1
+        assert len(set(plan.front_index[1:].tolist())) == 1
+
+    def test_decoupled_beats_the_old_fallback_on_energy(self, profile,
+                                                        tables):
+        """Engine-level: inside the window the priced batch must now be
+        strictly cheaper than per-sentence pricing (which is exactly
+        what the fallback used to return)."""
+        per = price_per_sentence(profile, tables, RELAXED_MS)
+        per_total = float(per["latency_ms"].sum())
+        # Just above the per-sentence schedule: the coupled sweep
+        # cannot fit (its slowest candidate carries slowed fronts), so
+        # pre-change this budget returned per-sentence pricing.
+        deadline_ms = per_total * 1.02
+        dead = price_deadline(profile, tables, RELAXED_MS, deadline_ms)
+        assert float(dead["latency_ms"].sum()) <= deadline_ms + 1e-6
+        if not np.allclose(dead["latency_ms"], per["latency_ms"],
+                           atol=1e-12):
+            assert float(dead["energy_mj"].sum()) \
+                < float(per["energy_mj"].sum()) - 1e-12
+
+    def test_monotonicity_holds_across_the_window(self, profile,
+                                                  tables):
+        """Engine-level energy stays non-increasing in the budget while
+        plans move fallback → decoupled fronts → coupled level."""
+        per_total = float(price_per_sentence(
+            profile, tables, RELAXED_MS)["latency_ms"].sum())
+        energies = [
+            float(price_deadline(profile, tables, RELAXED_MS,
+                                 deadline)["energy_mj"].sum())
+            for deadline in np.linspace(per_total * 0.9,
+                                        per_total * 1.6, 80)
+        ]
+        assert all(b <= a + 1e-12
+                   for a, b in zip(energies, energies[1:]))
+
+    def test_below_the_window_still_falls_back_exactly(self, profile,
+                                                       tables):
+        per = price_per_sentence(profile, tables, RELAXED_MS)
+        tight = float(per["latency_ms"].sum()) * 0.9
+        dead = price_deadline(profile, tables, RELAXED_MS, tight)
+        for key in per:
+            np.testing.assert_allclose(
+                np.asarray(dead[key], dtype=np.float64),
+                np.asarray(per[key], dtype=np.float64), rtol=0,
+                atol=1e-9, err_msg=key)
+
+    def test_above_the_window_fronts_recouple(self, planner_inputs):
+        engine, remaining, front, kwargs = planner_inputs
+        _, high = self._window_bounds(planner_inputs)
+        plan = engine.dvfs.plan_batch_deadline(
+            remaining, DeadlineBudget.from_ms(high * 1.05, RELAXED_MS),
+            front, **kwargs)
+        assert not plan.fallback
+        # A feasible shared level exists again: fronts ride the rail.
+        np.testing.assert_array_equal(plan.front_index[1:],
+                                      plan.table_index[1:])
+
+
 class TestEngineIntegration:
     def test_simulate_dataset_deadline_ms(self, profile):
         report = profile.engine.simulate_dataset(

@@ -78,6 +78,114 @@ class TestStats:
         json.dumps(b.stats.summary())
 
 
+class TestRefunds:
+    """Aborted batches hand back their unexecuted commitment (the
+    swap-refund-style ledger): without the refund, a preempted batch
+    left the window overcharged and throttled admission spuriously."""
+
+    def test_refund_reopens_the_window(self):
+        b = budget()
+        token = b.commit(0.0, 1.0)
+        assert b.exhausted(10.0)
+        refunded = b.refund(10.0, token, 0.6)
+        assert refunded == pytest.approx(0.6)
+        assert b.window_spent_mj(10.0) == pytest.approx(0.4)
+        assert not b.exhausted(10.0)
+        assert b.stats.refunds == 1
+        assert b.stats.refunded_mj == pytest.approx(0.6)
+
+    def test_refund_brings_relief_forward(self):
+        b = budget()
+        token = b.commit(0.0, 0.6)
+        b.commit(30.0, 0.6)
+        assert b.exhausted(40.0)
+        # Pre-refund, relief waits for the t=0 commit to expire (100 ms);
+        # refunding the aborted batch reopens admission immediately.
+        assert b.next_relief_ms(40.0) == pytest.approx(100.0)
+        b.refund(40.0, token, 0.6)
+        assert not b.exhausted(40.0)
+        assert b.next_relief_ms(40.0) == pytest.approx(40.0)
+
+    def test_refund_is_capped_at_the_commitment(self):
+        b = budget()
+        token = b.commit(0.0, 0.3)
+        assert b.refund(1.0, token, 5.0) == pytest.approx(0.3)
+        assert b.window_spent_mj(1.0) == pytest.approx(0.0)
+        # A second refund of the same token has nothing left to return.
+        assert b.refund(2.0, token, 1.0) == pytest.approx(0.0)
+
+    def test_expired_commitment_refunds_nothing(self):
+        b = budget()
+        token = b.commit(0.0, 0.8)
+        assert b.refund(150.0, token, 0.8) == pytest.approx(0.0)
+        assert b.stats.refunds == 0
+
+    def test_negative_refund_raises(self):
+        b = budget()
+        token = b.commit(0.0, 0.5)
+        with pytest.raises(EnergyError):
+            b.refund(1.0, token, -0.1)
+
+    def test_gross_spend_is_untouched_by_refunds(self):
+        b = budget()
+        token = b.commit(0.0, 0.5)
+        b.refund(1.0, token, 0.2)
+        assert b.stats.spent_mj == pytest.approx(0.5)
+        assert b.stats.refunded_mj == pytest.approx(0.2)
+
+
+class TestPreemptionRefundRegression:
+    """End-to-end regression: an EDF preemption under a budget must
+    refund the aborted batch's unexecuted energy into the window."""
+
+    def test_preempted_run_refunds_the_window(self):
+        from repro.cluster import ClusterSimulator
+        from repro.config import GLUE_TASKS
+        from repro.serving import Request, synthetic_registry
+
+        registry = synthetic_registry(GLUE_TASKS[:1], n=32, seed=0)
+        trace = [Request(request_id=i, task=GLUE_TASKS[0], sentence=i,
+                         target_ms=1000.0, arrival_ms=0.0, mode="base")
+                 for i in range(32)]
+        trace += [Request(request_id=100 + i, task=GLUE_TASKS[0], sentence=i,
+                          target_ms=8.0, arrival_ms=10.0 + i, mode="lai")
+                  for i in range(4)]
+        # A roomy budget: admission never stalls, but the ledger runs.
+        report = ClusterSimulator(
+            registry, num_accelerators=1, policy="edf",
+            max_batch_size=32, batch_timeout_ms=2.0,
+            energy_budget_mw=10_000.0).run(trace)
+        assert report.preemptions > 0
+        assert report.budget.refunds >= report.preemptions
+        assert report.budget.refunded_mj > 0.0
+        # The refund never exceeds what was committed.
+        assert report.budget.refunded_mj < report.budget.spent_mj
+
+    def test_refund_prevents_spurious_throttle(self):
+        """Same trace, tight budget: the refunded ledger must throttle
+        no more than an un-refunded one would (strictly less stall time
+        whenever preemption refunds actually landed)."""
+        from repro.cluster import ClusterSimulator
+        from repro.config import GLUE_TASKS
+        from repro.serving import Request, synthetic_registry
+
+        registry = synthetic_registry(GLUE_TASKS[:1], n=32, seed=0)
+        trace = [Request(request_id=i, task=GLUE_TASKS[0], sentence=i,
+                         target_ms=1000.0, arrival_ms=0.0, mode="base")
+                 for i in range(32)]
+        trace += [Request(request_id=100 + i, task=GLUE_TASKS[0], sentence=i,
+                          target_ms=8.0, arrival_ms=10.0 + i, mode="lai")
+                  for i in range(4)]
+        report = ClusterSimulator(
+            registry, num_accelerators=1, policy="edf",
+            max_batch_size=32, batch_timeout_ms=2.0,
+            energy_budget_mw=40.0, budget_window_ms=50.0).run(trace)
+        # Everything still served, refunds happened, ledger consistent.
+        assert report.num_requests == len(trace)
+        if report.preemptions > 0:
+            assert report.budget.refunds > 0
+
+
 class TestValidation:
     def test_bad_configuration_raises(self):
         with pytest.raises(EnergyError):

@@ -99,7 +99,17 @@ class TestLifecycleGuards:
         device.on_run_begin(10.0)
         device.on_run_end(20.0, 0.8, 1.0)
         with pytest.raises(EnergyError):
-            device.finalize(5.0)
+            device.on_run_begin(5.0)
+
+    def test_finalize_clamps_to_the_ledger_horizon(self, device):
+        # A ledger already advanced past the makespan (autoscaler park
+        # at a tick after the last completion) has nothing to accrue:
+        # finalize clamps forward instead of raising.
+        device.on_run_begin(10.0)
+        device.on_run_end(20.0, 0.8, 1.0)
+        idle_before = device.idle_ms
+        device.finalize(5.0)
+        assert device.idle_ms == idle_before
 
 
 class TestHardwareScaling:

@@ -1,0 +1,12 @@
+"""The fleet smoke gate, sized down for the test suite.
+
+Mirrors ``tests/cluster/test_simulator.py``'s smoke coverage: the same
+self-checking pass ``python -m repro.fleet --smoke`` runs in CI, on a
+shorter trace so the whole suite stays fast.
+"""
+
+from repro.fleet.__main__ import run_smoke
+
+
+def test_fleet_smoke_passes():
+    run_smoke(num_requests=120, n_sentences=32, verbose=False)
