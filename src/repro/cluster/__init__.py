@@ -24,10 +24,20 @@ Heterogeneous pools pass per-accelerator ``hw_configs`` (per-device
 pricing tables); the :mod:`repro.energy` subsystem supplies the
 ``"energy"`` placement policy, per-device DVFS/idle accounting and the
 cluster-wide joules/sec budget; :mod:`repro.cluster.trace` replays
-measured CSV/JSONL request logs instead of synthetic arrivals.
+measured CSV/JSONL request logs instead of synthetic arrivals (and
+streams them — ``iter_trace`` — when the log doesn't fit the
+load-everything idiom).
+
+``run()`` replays eligible configurations through the vectorized
+batch-granular core (:mod:`repro.cluster.replay`) — bit-identical
+reports at per-batch instead of per-request cost; ``engine="oracle"``
+keeps the scalar per-event loop as the determinism reference.
 
 ``python -m repro.cluster --smoke`` runs the self-checking gate;
-``python -m repro.cluster --trace FILE`` replays a trace file.
+``python -m repro.cluster --trace FILE`` replays a trace file
+(``--oracle`` forces the scalar loop);
+``python -m repro.cluster --gen-trace N`` writes a deterministic
+diurnal benchmark trace.
 """
 
 from repro.cluster.accelerator import (
@@ -36,7 +46,12 @@ from repro.cluster.accelerator import (
     ActiveRun,
     PlacementEstimate,
 )
-from repro.cluster.batcher import AdaptiveTimeout, BatchFormer, PendingBatch
+from repro.cluster.batcher import (
+    AdaptiveTimeout,
+    BatchFormer,
+    PendingBatch,
+    plan_batches,
+)
 from repro.cluster.events import (
     Arrival,
     BatchDone,
@@ -52,9 +67,14 @@ from repro.cluster.policies import (
     SchedulingPolicy,
     make_policy,
 )
-from repro.cluster.report import ClusterRecord, ClusterReport
-from repro.cluster.simulator import ClusterSimulator
+from repro.cluster.replay import replay_eligible, run_vectorized
+from repro.cluster.report import ClusterRecord, ClusterReport, LazyRecords
+from repro.cluster.simulator import ENGINES, ClusterSimulator
 from repro.cluster.trace import (
+    generate_diurnal_trace,
+    iter_trace,
+    iter_trace_csv,
+    iter_trace_jsonl,
     load_trace,
     load_trace_csv,
     load_trace_jsonl,
@@ -76,17 +96,26 @@ __all__ = [
     "ClusterSimulator",
     "DispatchRetry",
     "EdfPolicy",
+    "ENGINES",
     "EventLoop",
     "FewestSwapsPolicy",
     "FifoPolicy",
+    "LazyRecords",
     "POLICIES",
     "PendingBatch",
     "PlacementEstimate",
     "SchedulingPolicy",
+    "generate_diurnal_trace",
+    "iter_trace",
+    "iter_trace_csv",
+    "iter_trace_jsonl",
     "load_trace",
     "load_trace_csv",
     "load_trace_jsonl",
     "make_policy",
+    "plan_batches",
+    "replay_eligible",
+    "run_vectorized",
     "save_trace_csv",
     "save_trace_jsonl",
 ]

@@ -12,7 +12,10 @@ mirroring ``python -m repro.serving``.
 ``python -m repro.cluster --trace FILE`` replays a measured CSV/JSONL
 request log (:mod:`repro.cluster.trace`) through a chosen policy and
 pool size and prints the report summary — the experiment driver for
-real traffic instead of synthetic Poisson arrivals.
+real traffic instead of synthetic Poisson arrivals. ``--oracle`` forces
+the scalar per-event loop (the determinism reference for the vectorized
+replay engine); ``--gen-trace N --out FILE`` writes a deterministic
+diurnal benchmark trace (:func:`repro.cluster.generate_diurnal_trace`).
 """
 
 from __future__ import annotations
@@ -21,7 +24,12 @@ import argparse
 import json
 import sys
 
-from repro.cluster import ClusterSimulator, load_trace
+from repro.cluster import (
+    ClusterSimulator,
+    generate_diurnal_trace,
+    load_trace,
+    save_trace_jsonl,
+)
 from repro.config import GLUE_TASKS
 from repro.errors import ClusterError, ReproError
 from repro.serving import Request, synthetic_registry, synthetic_traffic
@@ -128,12 +136,14 @@ def run_smoke(num_requests=400, n_sentences=64, seed=0, verbose=True):
 
 
 def run_trace(path, policy="fifo", num_accelerators=4, seed=0,
-              mode="lai", verbose=True):
+              mode="lai", engine="auto", verbose=True):
     """Replay a trace file through the simulator; returns the summary.
 
     The registry is synthesized over the GLUE task set with enough
     sentences per task to cover every index the trace references (real
     deployments would register trained artifacts instead).
+    ``engine="oracle"`` replays through the scalar per-event loop — the
+    determinism reference the vectorized engine is tested against.
     """
     trace = load_trace(path)
     unknown = sorted({r.task for r in trace} - set(GLUE_TASKS))
@@ -145,11 +155,24 @@ def run_trace(path, policy="fifo", num_accelerators=4, seed=0,
     registry = synthetic_registry(GLUE_TASKS, n=max(8, n_sentences),
                                   seed=seed)
     report = ClusterSimulator(registry, num_accelerators=num_accelerators,
-                              policy=policy, mode=mode).run(trace)
+                              policy=policy, mode=mode,
+                              engine=engine).run(trace)
     summary = report.summary()
+    summary["engine"] = report.engine
     if verbose:
         print(json.dumps(summary, indent=2, sort_keys=True))
     return summary
+
+
+def run_gen_trace(num_requests, out, seed=0, verbose=True):
+    """Write a deterministic diurnal trace as JSONL; returns ``out``."""
+    trace = generate_diurnal_trace(num_requests, seed=seed)
+    save_trace_jsonl(trace, out)
+    if verbose:
+        span_s = trace[-1].arrival_ms * 1e-3 if trace else 0.0
+        print(f"wrote {len(trace)} requests spanning "
+              f"{span_s:.1f} s to {out}")
+    return out
 
 
 def main(argv=None):
@@ -160,6 +183,15 @@ def main(argv=None):
                         help="run the self-checking cluster smoke pass")
     parser.add_argument("--trace", metavar="FILE",
                         help="replay a CSV/JSONL request log")
+    parser.add_argument("--oracle", action="store_true",
+                        help="force the scalar per-event loop for "
+                        "--trace replay (the determinism oracle)")
+    parser.add_argument("--gen-trace", type=int, metavar="N",
+                        help="write an N-request diurnal benchmark "
+                        "trace (JSONL) and exit")
+    parser.add_argument("--out", metavar="FILE",
+                        help="output path for --gen-trace "
+                        "(default trace_N.jsonl)")
     parser.add_argument("--policy", default="fifo",
                         help="scheduling policy for --trace replay")
     parser.add_argument("--accelerators", type=int, default=4,
@@ -171,16 +203,23 @@ def main(argv=None):
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
-    if not args.smoke and not args.trace:
-        parser.error("nothing to do; pass --smoke or --trace FILE")
+    if not args.smoke and not args.trace and args.gen_trace is None:
+        parser.error("nothing to do; pass --smoke, --trace FILE or "
+                     "--gen-trace N")
     try:
         if args.smoke:
             run_smoke(num_requests=args.requests, seed=args.seed,
                       verbose=not args.quiet)
+        if args.gen_trace is not None:
+            out = args.out or f"trace_{args.gen_trace}.jsonl"
+            run_gen_trace(args.gen_trace, out, seed=args.seed,
+                          verbose=not args.quiet)
         if args.trace:
             run_trace(args.trace, policy=args.policy,
                       num_accelerators=args.accelerators, seed=args.seed,
-                      mode=args.mode, verbose=not args.quiet)
+                      mode=args.mode,
+                      engine="oracle" if args.oracle else "auto",
+                      verbose=not args.quiet)
     except (AssertionError, ReproError, OSError) as exc:
         print(f"RUN FAILED: {exc}", file=sys.stderr)
         return 1

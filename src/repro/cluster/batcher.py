@@ -31,8 +31,54 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ClusterError
 from repro.serving.request import Batch
+
+
+def plan_batches(times_ms, max_batch_size, timeout_ms):
+    """Offline batch-forming scan for one former under static triggers.
+
+    ``times_ms`` are one (task, SLO class, mode) key's arrival instants
+    in event-processing order (time, then schedule seq). Returns
+    ``(start, end, by_size)`` member slices — exactly the windows a
+    :class:`BatchFormer` with a static timeout and no deadline sizing
+    would close, but computed for the whole trace at once with one
+    ``searchsorted`` per window instead of one Python event per request.
+    The tie semantics match the event loop's: an arrival at the very
+    instant the timer fires carries a smaller event seq than the timer,
+    so it joins the window first (``side="right"``), and a window that
+    hits the size trigger at that instant closes by size, leaving the
+    timer to fire stale.
+
+    This is the vectorized replay engine's former scan
+    (:mod:`repro.cluster.replay`); the per-event :meth:`BatchFormer.add`
+    path stays the reference implementation for the adaptive/deadline
+    triggers that depend on dispatch feedback.
+    """
+    if max_batch_size < 1:
+        raise ClusterError("max_batch_size must be >= 1")
+    if timeout_ms < 0:
+        raise ClusterError("timeout_ms must be non-negative")
+    times_ms = np.asarray(times_ms, dtype=np.float64)
+    n = len(times_ms)
+    if max_batch_size == 1:
+        # A size-1 window closes on its own opening add; no timer is
+        # ever armed (matching BatchFormer.add's close-before-arm).
+        return [(i, i + 1, True) for i in range(n)]
+    plan = []
+    i = 0
+    while i < n:
+        deadline = times_ms[i] + timeout_ms
+        j = int(np.searchsorted(times_ms, deadline, side="right"))
+        if j - i >= max_batch_size:
+            plan.append((i, i + max_batch_size, True))
+            i += max_batch_size
+        else:
+            plan.append((i, j, False))
+            i = j
+    return plan
 
 
 class AdaptiveTimeout:

@@ -143,3 +143,26 @@ class EventLoop:
                     f"event loop exceeded {max_events} events; "
                     "likely a scheduling cycle")
         return self.processed - start
+
+    def drain_until(self, until_ms=None, max_events=None):
+        """Process every event at instants ``<= until_ms`` in one call.
+
+        ``until_ms=None`` drains the heap completely. Returns the number
+        of events processed. This is the chunked driving primitive the
+        fleet orchestrator uses: instead of peeking every site per
+        event, each site free-runs to the next fleet-level instant —
+        the inclusive bound preserves the merged clock's tie rule (site
+        events at the fleet event's instant fire first). ``max_events``
+        guards runaway self-scheduling exactly like :meth:`run`.
+        """
+        count = 0
+        while self._heap:
+            if until_ms is not None and self._heap[0][0] > until_ms:
+                break
+            self.step()
+            count += 1
+            if max_events is not None and count > max_events:
+                raise ClusterError(
+                    f"event loop exceeded {max_events} events; "
+                    "likely a scheduling cycle")
+        return count

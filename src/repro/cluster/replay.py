@@ -1,0 +1,410 @@
+"""The vectorized replay engine: million-request traces in seconds.
+
+The per-event simulator (:class:`~repro.cluster.ClusterSimulator`'s
+heap loop) pays Python-object overhead per *request*: an ``Arrival``
+dataclass, a handler dispatch, a ``BatchFormer.add``, a dispatcher pass
+and a pricing call per batch member. This module replays the same trace
+with per-*batch* cost instead, in four moves:
+
+1. **Struct-of-arrays intake** — request fields (arrival, target,
+   sentence, id, former key) are pulled into NumPy columns in one pass;
+   validation and duplicate detection run batched over whole
+   (task, mode) groups instead of per ``inject``.
+2. **Offline former scans** — with static size/timeout triggers, batch
+   composition per (task, SLO class, mode) key depends only on that
+   key's arrival instants, so :func:`repro.cluster.batcher.plan_batches`
+   computes every window close for the whole trace with one
+   ``searchsorted`` per window.
+3. **A batch-granular event core** — only *interesting* instants (window
+   opens, closes, batch completions) enter the heap, as plain
+   ``(time, seq, kind, payload)`` tuples. Arrivals that merely join an
+   open window never become events: with a non-preemptive policy the
+   dispatcher provably cannot act on them (after any dispatch pass,
+   pending batches and free devices never coexist). Device idle accrual
+   advances lazily inside :class:`~repro.energy.DeviceEnergyModel` at
+   those same instants, so N idle devices cost nothing per skipped tick.
+4. **Price tables** — per-sentence pricing is composition-invariant for
+   the per-sentence engine modes (each column of a batch is priced
+   elementwise), so all of a profile's sentences are priced in ONE
+   engine call per (task, target, mode, hardware) and batches are
+   assembled by array indexing. The deadline-budget ``lai`` path is
+   batch-coupled (water-filling over the shared slack) and keeps the
+   per-batch pricing call.
+
+Event ordering — and therefore every report float — is bit-identical to
+the per-event loop: arrival events keep their inject-order seqs, and the
+dynamic-event seq counter is mirrored exactly (a timer seq is consumed
+at each window open, a completion seq at each batch start, in the same
+processing order the heap loop would schedule them). Equivalence is
+enforced by tests on the reference bursty trace and on randomized
+property traces; the scalar loop stays available as the determinism
+oracle (``engine="oracle"``).
+
+Eligibility: the fast core engages for ``run()`` replays under a
+non-preemptive built-in policy (fifo / affinity) with no energy budget,
+no adaptive timeout and no deadline sizing — exactly the configurations
+whose dispatch state can only change at batch events. Everything else
+falls back to the per-event loop unchanged.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+from operator import itemgetter
+
+import numpy as np
+
+from repro.cluster.batcher import PendingBatch, plan_batches
+from repro.cluster.policies import FewestSwapsPolicy, FifoPolicy
+from repro.cluster.report import ClusterRecord, LazyRecords
+from repro.errors import ClusterError, ReproError
+from repro.serving.request import SERVING_MODES, Batch, Request
+from repro.serving.server import price_batch, validate_request
+
+#: Event kinds in the batch-granular heap. OPEN marks a window opening
+#: (it consumes a timer seq and, for timeout-closed windows, schedules
+#: the close); CLOSE enqueues the dispatchable batch; DONE completes a
+#: run. Heap entries are (time_ms, seq, kind, payload) — (time, seq) is
+#: already unique, so kind/payload never get compared.
+_OPEN, _CLOSE, _DONE = 0, 1, 2
+
+
+def replay_eligible(sim):
+    """Can this simulator's configuration use the batch-granular core?
+
+    Non-preemptive built-in policies only (their dispatch state provably
+    changes only at close/done instants), vectorized pricing, no energy
+    budget (admission throttling re-runs the dispatcher at budget-window
+    instants), and no dispatch-feedback batching triggers (adaptive
+    timeouts and deadline sizing both couple window closes to dispatch
+    history, which the offline scan cannot see).
+    """
+    return (bool(sim.vectorized)
+            and type(sim.policy) in (FifoPolicy, FewestSwapsPolicy)
+            and sim.energy_budget_mw is None
+            and not sim.adaptive_timeout
+            and not sim.deadline_sizing)
+
+
+class _PriceTable:
+    """Every sentence of one (task, target, mode, hardware) priced once."""
+
+    __slots__ = ("results", "latency_ms", "energy_mj")
+
+    def __init__(self, results):
+        self.results = results
+        n = len(results)
+        self.latency_ms = np.fromiter(
+            (r.latency_ms for r in results), dtype=np.float64, count=n)
+        self.energy_mj = np.fromiter(
+            (r.energy_mj for r in results), dtype=np.float64, count=n)
+
+
+def _build_table(registry, task, target_ms, mode, hw_config):
+    """Price a whole profile in one engine call (composition-invariant)."""
+    profile = registry.profile_for(task, hw_config)
+    members = tuple(
+        Request(request_id=-(i + 1), task=task, sentence=i,
+                target_ms=target_ms)
+        for i in range(profile.num_sentences))
+    batch = Batch(task=task, target_ms=target_ms, requests=members)
+    report = price_batch(profile, batch, mode, vectorized=True)
+    return _PriceTable(report.results)
+
+
+class _Planned:
+    """One offline-planned window: member positions + close trigger."""
+
+    __slots__ = ("pos", "task", "target_ms", "mode", "by_size")
+
+    def __init__(self, pos, task, target_ms, mode, by_size):
+        self.pos = pos  # positions into the time-ordered columns
+        self.task = task
+        self.target_ms = target_ms
+        self.mode = mode
+        self.by_size = by_size
+
+
+def _precheck(sim, requests, ids, sentences, arrivals, keymap, key_max_sent):
+    """Batched duplicate/validity checks mirroring per-inject semantics.
+
+    Returns normally when the whole trace is injectable; on any problem
+    re-runs the classic per-request protocol in inject order so the
+    caller raises exactly the error the event loop would have raised
+    first.
+    """
+    ok = bool(np.unique(ids).size == len(ids)) \
+        and bool((arrivals >= -1e-9).all())
+    if ok:
+        try:
+            for (task, _target, mode), kid in keymap.items():
+                if mode not in SERVING_MODES:
+                    ok = False
+                    break
+                profile = sim.registry.profile(task)
+                if key_max_sent[kid] >= profile.num_sentences:
+                    ok = False
+                    break
+                if mode == "lai" and profile.lut is None:
+                    ok = False
+                    break
+                if mode in ("ee", "lai") \
+                        and profile.entropy_threshold is None:
+                    ok = False
+                    break
+        except ReproError:
+            ok = False
+    if ok:
+        return True
+    if (arrivals >= -1e-9).all():
+        # Replay the classic inject-order protocol: duplicate check,
+        # then validation, request by request — the first offender
+        # raises the identical error the event loop would surface.
+        seen = set()
+        for request in requests:
+            if request.request_id in seen:
+                raise ClusterError(
+                    f"duplicate request id {request.request_id}")
+            validate_request(sim.registry, request,
+                             sim._resolve_mode(request))
+            seen.add(request.request_id)
+    # Negative arrivals (or a precheck/classic disagreement): bail to
+    # the per-event path, which raises its own scheduling error.
+    return False
+
+
+def run_vectorized(sim, requests):
+    """Replay ``requests`` through the batch-granular event core.
+
+    Returns the finished :class:`~repro.cluster.ClusterReport` (with
+    ``engine="vector"``), or None when the trace needs the per-event
+    path (the caller falls back; any intake error then surfaces with
+    classic semantics).
+    """
+    sim.start()
+    registry = sim.registry
+    policy = sim.policy
+    accels = sim._accels
+    report = sim._report
+    n = len(requests)
+    default_mode = sim.mode
+
+    # -- struct-of-arrays intake (C-driven column pulls over the trace) -----------
+    ids = np.fromiter((r.request_id for r in requests), dtype=np.int64,
+                      count=n)
+    arrivals = np.fromiter((r.arrival_ms for r in requests),
+                           dtype=np.float64, count=n)
+    targets = np.fromiter((r.target_ms for r in requests),
+                          dtype=np.float64, count=n)
+    sentences = np.fromiter((r.sentence for r in requests),
+                            dtype=np.int64, count=n)
+    keymap = {}
+    kid_list = []
+    kid_append = kid_list.append
+    for request in requests:
+        mode = request.mode
+        if mode is None:
+            mode = default_mode
+        key = (request.task, float(request.target_ms), mode)
+        kid = keymap.get(key)
+        if kid is None:
+            kid = keymap[key] = len(keymap)
+        kid_append(kid)
+    key_ids = np.array(kid_list, dtype=np.int64)
+
+    nkeys = len(keymap)
+    key_max_sent = np.full(nkeys, -1, dtype=np.int64)
+    np.maximum.at(key_max_sent, key_ids, sentences)
+    if not _precheck(sim, requests, ids, sentences, arrivals, keymap,
+                     key_max_sent):
+        return None
+
+    # Event-processing order: arrivals fire by (time, inject seq); a
+    # stable time sort keeps inject order inside equal instants.
+    order = np.argsort(arrivals, kind="stable")
+    arr_o = arrivals[order]
+    sent_o = sentences[order]
+    kid_o = key_ids[order]
+    dead_o = arr_o + targets[order]
+    reqs_o = itemgetter(*order.tolist())(requests) if n > 1 \
+        else (requests[0],)
+
+    # -- offline former scans per key ---------------------------------------------
+    korder = np.argsort(kid_o, kind="stable")
+    kid_sorted = kid_o[korder]
+    key_range = np.arange(nkeys)
+    k_starts = np.searchsorted(kid_sorted, key_range, side="left")
+    k_ends = np.searchsorted(kid_sorted, key_range, side="right")
+    timeout_ms = sim.batch_timeout_ms
+    max_batch = sim.max_batch_size
+
+    events = []
+    for key, kid in keymap.items():
+        task, target_ms, mode = key
+        pos_k = korder[k_starts[kid]:k_ends[kid]]
+        times_k = arr_o[pos_k]
+        for start, end, by_size in plan_batches(times_k, max_batch,
+                                                timeout_ms):
+            mpos = pos_k[start:end]
+            planned = _Planned(mpos, task, target_ms, mode, by_size)
+            opener_seq = int(order[mpos[0]])
+            if by_size and end - start == 1:
+                # The opening add itself hits the size trigger
+                # (max_batch_size == 1): the window closes before any
+                # timer is armed, so no dynamic seq is consumed.
+                events.append((float(arr_o[mpos[0]]), opener_seq,
+                               _CLOSE, planned))
+                continue
+            events.append((float(arr_o[mpos[0]]), opener_seq, _OPEN,
+                           planned))
+            if by_size:
+                closer = mpos[-1]
+                events.append((float(arr_o[closer]),
+                               int(order[closer]), _CLOSE, planned))
+    heapify(events)
+
+    # The per-event loop's schedule seq sits at n after injecting the
+    # trace; every timer armed at a window open and every completion
+    # scheduled at a batch start consumes the next value, in processing
+    # order — mirrored here so equal-instant ties break identically.
+    dyn_seq = n
+    deadline_aware = sim.deadline_aware
+    tables = {}
+    pending = []
+    pend_pos = {}
+    done_batches = []
+    served_pos = []
+    makespan = 0.0
+    # Incrementally-maintained free pool: inside a replay devices leave
+    # it only at ``begin`` and rejoin only at ``complete`` (``online``
+    # never changes without a fleet autoscaler), so the per-dispatch
+    # O(pool) ``dispatchable`` scan of the event loop collapses to list
+    # bookkeeping. Both built-in policies pick by unique keys
+    # (batch seq, accel_id), so membership — not order — determines the
+    # placement.
+    free_accels = [a for a in accels if a.dispatchable]
+
+    def table_for(task, target_ms, mode, hw_config):
+        key = (task, target_ms, mode, hw_config)
+        table = tables.get(key)
+        if table is None:
+            table = tables[key] = _build_table(registry, task, target_ms,
+                                               mode, hw_config)
+        return table
+
+    def start_batch(pending_batch, accel, now):
+        nonlocal dyn_seq
+        batch = pending_batch.batch
+        swap_cost = registry.switch_cost(accel.resident_task, batch.task)
+        pos = pend_pos.pop(pending_batch.seq)
+        if deadline_aware and pending_batch.mode == "lai":
+            # Deadline-budget pricing is batch-coupled (the plan spreads
+            # the members' shared slack), so no table applies.
+            priced = sim._price(pending_batch, accel, now)
+            results = priced.results
+            latencies = [r.latency_ms for r in results]
+            energies = [r.energy_mj for r in results]
+        else:
+            table = table_for(batch.task, batch.target_ms,
+                              pending_batch.mode, accel.hw_config)
+            sent = sent_o[pos]
+            slist = sent.tolist()
+            if len(slist) == 1:
+                results = [table.results[slist[0]]]
+            else:
+                results = itemgetter(*slist)(table.results)
+            # begin() cumsums the latencies; handing it the float64
+            # column directly skips a list round trip (same bits).
+            latencies = table.latency_ms[sent]
+            energies = table.energy_mj[sent].tolist()
+        run = accel.begin(pending_batch, results, latencies, now,
+                          swap_cost)
+        sim._price_cache.pop(pending_batch.seq, None)
+        report.num_batches += 1
+        heappush(events, (run.end_ms, dyn_seq, _DONE,
+                          (accel, run, energies, pos)))
+        dyn_seq += 1
+
+    def dispatch(now):
+        while pending and free_accels:
+            placement = policy.next_placement(pending, free_accels, now)
+            if placement is None:
+                return
+            pending_batch, accel = placement
+            pending.remove(pending_batch)
+            free_accels.remove(accel)
+            start_batch(pending_batch, accel, now)
+
+    # -- the batch-granular drain --------------------------------------------------
+    processed = 0
+    while events:
+        now, _seq, kind, payload = heappop(events)
+        processed += 1
+        if processed > sim.MAX_EVENTS:
+            raise ClusterError(
+                f"event loop exceeded {sim.MAX_EVENTS} events; "
+                "likely a scheduling cycle")
+        if kind == _OPEN:
+            timer_seq = dyn_seq
+            dyn_seq += 1
+            if not payload.by_size:
+                heappush(events, (now + timeout_ms, timer_seq, _CLOSE,
+                                  payload))
+        elif kind == _CLOSE:
+            pos = payload.pos
+            plist = pos.tolist()
+            if len(plist) == 1:
+                members = (reqs_o[plist[0]],)
+            else:
+                members = itemgetter(*plist)(reqs_o)
+            batch = Batch(task=payload.task, target_ms=payload.target_ms,
+                          requests=members)
+            pending_batch = PendingBatch(
+                batch=batch, mode=payload.mode, ready_ms=float(now),
+                deadline_ms=float(dead_o[pos].min()),
+                seq=sim._next_batch_seq())
+            pend_pos[pending_batch.seq] = pos
+            pending.append(pending_batch)
+            dispatch(now)
+        else:  # _DONE
+            accel, run, energies, pos = payload
+            accel.complete(now)
+            free_accels.append(accel)
+            stats = accel.stats
+            total = stats.compute_energy_mj
+            for energy in energies:
+                total += energy
+            stats.compute_energy_mj = total
+            done_batches.append(
+                (run.pending.batch.requests, run.results, run.accel_id,
+                 run.start_ms, run.finish_ms))
+            served_pos.append(pos)
+            if run.end_ms > makespan:
+                makespan = run.end_ms
+            dispatch(now)
+
+    # -- finalization (column-wise) ------------------------------------------------
+    served = (np.sort(np.concatenate(served_pos))
+              if served_pos else np.empty(0, dtype=np.int64))
+    if served.size != n or not np.array_equal(served, np.arange(n)) \
+            or pending or pend_pos \
+            or any(a.run is not None for a in accels):
+        raise ClusterError(
+            "simulation ended with unserved or duplicated requests")
+    sim._seen = set(ids.tolist())
+
+    def build_records():
+        rows = []
+        for members, results, accel_id, start_ms, finish in done_batches:
+            rows.extend(
+                ClusterRecord(request=request, result=result,
+                              accel_id=accel_id, dispatch_ms=start_ms,
+                              completion_ms=float(at))
+                for request, result, at in zip(members, results, finish))
+        return rows
+
+    report.records = LazyRecords(build_records, n)
+    report.makespan_ms = makespan
+    report.engine = "vector"
+    sim._common_finalize(report)
+    return report

@@ -52,6 +52,44 @@ class ClusterRecord:
         return self.time_in_system_ms <= self.request.target_ms + 1e-9
 
 
+class LazyRecords:
+    """A records sequence materialized on first element access.
+
+    The vectorized replay engine keeps a million-request run's outcomes
+    as per-batch columns; building a :class:`ClusterRecord` per request
+    up front would dominate its wall clock. This sequence knows its
+    length (so ``num_requests`` and truthiness stay free) and builds the
+    real record rows — identical to the per-event engine's — only when
+    something actually iterates or indexes them (summaries, energy
+    ledgers, equivalence tests).
+    """
+
+    def __init__(self, build, count):
+        self._build = build
+        self._count = int(count)
+        self._rows = None
+
+    def _materialize(self):
+        if self._rows is None:
+            rows = self._build()
+            if len(rows) != self._count:
+                raise ClusterError(
+                    f"lazy records materialized {len(rows)} rows for a "
+                    f"declared count of {self._count}")
+            self._rows = rows
+            self._build = None
+        return self._rows
+
+    def __len__(self):
+        return self._count if self._rows is None else len(self._rows)
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+    def __getitem__(self, index):
+        return self._materialize()[index]
+
+
 @dataclass
 class ClusterReport:
     """Outcome of one cluster simulation run."""
@@ -69,6 +107,11 @@ class ClusterReport:
     wasted_energy_mj: float = 0.0
     makespan_ms: float = 0.0
     wall_seconds: float = 0.0
+    #: Which event core produced the run: ``"event"`` (the per-event
+    #: heap loop), ``"vector"`` (the batched replay engine), or
+    #: ``"oracle"`` (the per-event loop with scalar pricing). Not part
+    #: of ``summary()`` — engines must agree bit-for-bit there.
+    engine: str = "event"
 
     @property
     def num_requests(self):

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import math
 import time
+from collections import OrderedDict
 
 from repro.energy.budget import EnergyBudget
 from repro.energy.device import DeviceEnergyModel
@@ -65,18 +66,43 @@ from repro.cluster.events import (
     EventLoop,
 )
 from repro.cluster.policies import make_policy
+from repro.cluster.replay import replay_eligible, run_vectorized
 from repro.cluster.report import ClusterRecord, ClusterReport
+
+#: The event cores ``ClusterSimulator(engine=...)`` accepts. ``auto``
+#: uses the vectorized replay core when the configuration is eligible
+#: (:func:`repro.cluster.replay.replay_eligible`) and the per-event loop
+#: otherwise; ``vector`` demands the replay core (raising on ineligible
+#: configurations); ``event`` forces the per-event loop; ``oracle`` is
+#: the determinism oracle — the per-event loop with scalar (loop-based)
+#: pricing, i.e. ``vectorized=False`` throughout.
+ENGINES = ("auto", "vector", "event", "oracle")
 
 
 class ClusterSimulator:
     """A pool of priced accelerators behind arrival-aware batching."""
+
+    #: Runaway guard for one run's event processing, mirroring
+    #: ``FleetOrchestrator.MAX_FLEET_EVENTS``: a scheduling cycle (an
+    #: event handler that keeps rescheduling itself at the same instant)
+    #: raises :class:`~repro.errors.ClusterError` instead of spinning
+    #: forever. Sized for a ~1M-request trace on the per-event loop
+    #: (a few events per request) with an order of magnitude to spare.
+    MAX_EVENTS = 10_000_000
+
+    #: Bound on the deadline-sizing work-estimate cache. It is keyed by
+    #: (task, mode, sentence, target) — unlike ``_price_cache`` nothing
+    #: ever pops its entries, so on a million-request replay it would
+    #: otherwise grow with the full key cross-product. LRU keeps the
+    #: hot sentences resident; a miss only re-prices one singleton.
+    WORK_CACHE_MAX = 4096
 
     def __init__(self, registry, num_accelerators=None, policy="fifo",
                  mode="lai", max_batch_size=32, batch_timeout_ms=5.0,
                  vectorized=True, hw_configs=None, energy_budget_mw=None,
                  budget_window_ms=100.0, deadline_aware=False,
                  adaptive_timeout=False, standby_timeout_ms=None,
-                 deadline_sizing=False):
+                 deadline_sizing=False, engine="auto"):
         if mode not in SERVING_MODES:
             raise ClusterError(
                 f"unknown mode {mode!r}; expected one of {SERVING_MODES}")
@@ -86,6 +112,13 @@ class ClusterSimulator:
             raise ClusterError("batch_timeout_ms must be non-negative")
         if standby_timeout_ms is not None and standby_timeout_ms < 0:
             raise ClusterError("standby_timeout_ms must be non-negative")
+        if engine not in ENGINES:
+            raise ClusterError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}")
+        if engine == "oracle":
+            # The oracle is the scalar reference configuration: the
+            # per-event loop pricing with the loop-based kernels.
+            vectorized = False
         if deadline_aware and not vectorized:
             # Fail at construction, not mid-simulation: the deadline
             # path is batch-level and has no scalar reference loop.
@@ -118,6 +151,8 @@ class ClusterSimulator:
         self.max_batch_size = int(max_batch_size)
         self.batch_timeout_ms = float(batch_timeout_ms)
         self.vectorized = vectorized
+        #: Which event core ``run()`` uses — see :data:`ENGINES`.
+        self.engine = engine
         self.hw_configs = hw_configs
         if energy_budget_mw is not None and energy_budget_mw <= 0:
             raise ClusterError("energy_budget_mw must be positive")
@@ -145,14 +180,35 @@ class ClusterSimulator:
     # -- public API --------------------------------------------------------------
 
     def run(self, requests):
-        """Simulate the trace; returns a :class:`ClusterReport`."""
+        """Simulate the trace; returns a :class:`ClusterReport`.
+
+        Under ``engine="auto"`` (the default) an eligible configuration
+        replays through the vectorized batch-granular core
+        (:mod:`repro.cluster.replay`) — bit-identical reports, per-batch
+        instead of per-request cost — and everything else runs the
+        per-event loop. The report's ``engine`` field says which core
+        actually ran.
+        """
         requests = list(requests)
         if not requests:
             raise ClusterError("no requests to simulate")
+        if self.engine in ("auto", "vector"):
+            if replay_eligible(self):
+                report = run_vectorized(self, requests)
+                if report is not None:
+                    return report
+                # The trace needs classic intake semantics (e.g. its
+                # errors); fall through to the per-event loop.
+            elif self.engine == "vector":
+                raise ClusterError(
+                    "engine='vector' needs a replay-eligible "
+                    "configuration: vectorized pricing, a fifo or "
+                    "affinity policy, no energy budget, no adaptive "
+                    "timeout, no deadline sizing")
         self.start()
         for request in requests:
             self.inject(request)
-        self._loop.run()
+        self._loop.run(max_events=self.MAX_EVENTS)
         return self.finish()
 
     # -- incremental lifecycle (the fleet orchestrator's driving API) ------------
@@ -179,7 +235,7 @@ class ClusterSimulator:
         self._pending = []
         self._batch_seq = 0
         self._price_cache = {}
-        self._work_cache = {}
+        self._work_cache = OrderedDict()
         self._budget = None
         self._budget_retry_armed = False
         self._budget_tokens = {}
@@ -214,6 +270,19 @@ class ClusterSimulator:
     def step(self):
         """Process the next event; False when the loop is dry."""
         return self._loop.step()
+
+    def run_until(self, until_ms=None, max_events=None):
+        """Drain every local event at instants ``<= until_ms``.
+
+        The chunked driving primitive for external clocks: the fleet
+        orchestrator free-runs each site to the next fleet-level instant
+        in one call instead of peeking every site per event. Returns the
+        number of events processed; ``until_ms=None`` drains the loop
+        dry. Guarded by :data:`MAX_EVENTS` like :meth:`run`.
+        """
+        return self._loop.drain_until(
+            until_ms,
+            self.MAX_EVENTS if max_events is None else max_events)
 
     @property
     def now_ms(self):
@@ -288,9 +357,28 @@ class ClusterSimulator:
         conservation invariant ``run`` has always enforced).
         """
         report = self._report
-        report.accelerators = [a.stats for a in self._accels]
         report.makespan_ms = max(
             (rec.completion_ms for rec in report.records), default=0.0)
+        report.engine = "event" if self.vectorized else "oracle"
+        self._common_finalize(report)
+        # Conservation: every submitted request served exactly once.
+        served = sorted(rec.request.request_id for rec in report.records)
+        if served != sorted(self._seen) or self._pending \
+                or any(not a.idle for a in self._accels) \
+                or any(f.is_open for f in self._formers.values()):
+            raise ClusterError(
+                "simulation ended with unserved or duplicated requests")
+        return report
+
+    def _common_finalize(self, report):
+        """Close the device/budget/wall accounting on ``report``.
+
+        Shared by :meth:`finish` and the vectorized replay core
+        (:mod:`repro.cluster.replay`) so both engines settle idle
+        leakage, device ledgers and budget stats through the same code —
+        ``report.makespan_ms`` must already be set.
+        """
+        report.accelerators = [a.stats for a in self._accels]
         for accel in self._accels:
             accel.energy.finalize(report.makespan_ms)
         report.device_energy = [
@@ -311,14 +399,6 @@ class ClusterSimulator:
         if self._budget is not None:
             report.budget = self._budget.stats
         report.wall_seconds = time.perf_counter() - self._started
-        # Conservation: every submitted request served exactly once.
-        served = sorted(rec.request.request_id for rec in report.records)
-        if served != sorted(self._seen) or self._pending \
-                or any(not a.idle for a in self._accels) \
-                or any(f.is_open for f in self._formers.values()):
-            raise ClusterError(
-                "simulation ended with unserved or duplicated requests")
-        return report
 
     # -- pool construction -------------------------------------------------------
 
@@ -416,6 +496,8 @@ class ClusterSimulator:
         arrival order cannot change the estimate) and hands the batch
         former the per-sentence plan's latency: the quantity whose sum
         the deadline planner must fit inside the earliest member's slack.
+        The cache is LRU-bounded at :data:`WORK_CACHE_MAX` so long
+        replays cannot grow it with the full key cross-product.
         """
         task, target_ms, mode = key
 
@@ -430,6 +512,10 @@ class ClusterSimulator:
                                      vectorized=self.vectorized)
                 planned = float(priced.results[0].latency_ms)
                 self._work_cache[cache_key] = planned
+                if len(self._work_cache) > self.WORK_CACHE_MAX:
+                    self._work_cache.popitem(last=False)
+            else:
+                self._work_cache.move_to_end(cache_key)
             return planned
 
         return estimate

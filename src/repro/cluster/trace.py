@@ -19,13 +19,23 @@ simulator's, and ``site`` (a fleet site-affinity pin) to none. Rows are returned
 by time anyway; sorting here keeps file order irrelevant and diffs
 stable). ``python -m repro.cluster --trace FILE`` replays a file
 end-to-end.
+
+Million-request logs don't fit the load-everything idiom, so the
+``iter_trace*`` variants stream :class:`~repro.serving.Request` rows in
+*file* order without materializing the log (the replay engine sorts by
+arrival anyway), and :func:`generate_diurnal_trace` synthesizes a
+deterministic day-curve trace of any size for replay benchmarking
+(``python -m repro.cluster --gen-trace N``).
 """
 
 from __future__ import annotations
 
 import csv
 import json
+import math
 import os
+
+import numpy as np
 
 from repro.errors import ClusterError, ServingError
 from repro.serving.request import Request
@@ -128,6 +138,111 @@ def load_trace_jsonl(path, default_target_ms=50.0):
     if not rows:
         raise ClusterError(f"trace {path!r} has no rows")
     return sorted(rows, key=lambda r: (r.arrival_ms, r.request_id))
+
+
+def iter_trace_csv(path, default_target_ms=50.0):
+    """Stream a CSV request log row by row, in file order.
+
+    The streaming counterpart of :func:`load_trace_csv`: one
+    :class:`~repro.serving.Request` is alive per step, so a
+    million-request log costs O(1) loader memory on its way into
+    ``ClusterSimulator.run`` (which consumes any iterable). No sorting —
+    the simulator orders by arrival time itself.
+    """
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise ClusterError(f"trace {path!r} is empty")
+        for i, row in enumerate(reader):
+            yield _request_from_row(row, i, default_target_ms)
+
+
+def iter_trace_jsonl(path, default_target_ms=50.0):
+    """Stream a JSON-Lines request log line by line, in file order.
+
+    The streaming counterpart of :func:`load_trace_jsonl` for true
+    JSONL files (one object per line — the only shape that *can*
+    stream; a top-level JSON array needs the materializing loader).
+    """
+    with open(path, encoding="utf-8") as handle:
+        for i, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            if i == 0 and line.startswith("["):
+                raise ClusterError(
+                    f"trace {path!r} is a JSON array; streaming needs "
+                    "one object per line (use load_trace_jsonl)")
+            try:
+                parsed = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ClusterError(
+                    f"trace {path!r} line {i + 1} is not valid JSON: "
+                    f"{exc}") from None
+            yield _request_from_row(parsed, i, default_target_ms)
+
+
+def iter_trace(path, default_target_ms=50.0):
+    """Stream a request trace, dispatching on the file extension."""
+    ext = os.path.splitext(path)[1].lower()
+    if ext in _CSV_EXTENSIONS:
+        return iter_trace_csv(path, default_target_ms)
+    if ext in _JSONL_EXTENSIONS:
+        return iter_trace_jsonl(path, default_target_ms)
+    raise ClusterError(
+        f"unknown trace format {ext!r} for {path!r}; expected one of "
+        f"{_CSV_EXTENSIONS + _JSONL_EXTENSIONS}")
+
+
+def generate_diurnal_trace(num_requests, seed=0, tasks=None,
+                           targets_ms=(50.0, 75.0, 100.0),
+                           n_sentences=64, mean_interarrival_ms=1.0,
+                           diurnal_amplitude=0.6, num_epochs=48,
+                           modes=(None,)):
+    """Synthesize a deterministic diurnal (day-curve) request trace.
+
+    The replay benchmark's workload: ``num_requests`` arrivals whose
+    rate follows a sinusoidal day curve — the span is split into
+    ``num_epochs`` equal epochs whose expected load is
+    ``1 + diurnal_amplitude * sin(...)`` over one full period, and a
+    multinomial draw assigns every request to an epoch (so the total is
+    exactly ``num_requests``). Within an epoch arrivals are uniform.
+    Tasks, sentences, SLO targets and modes are drawn i.i.d. per
+    request; ``modes`` entries of None inherit the simulator's mode.
+    Same seed, same trace — requests are returned in arrival order with
+    ``request_id`` equal to that order's index.
+    """
+    if num_requests < 1:
+        raise ClusterError("num_requests must be >= 1")
+    if not 0.0 <= diurnal_amplitude < 1.0:
+        raise ClusterError("diurnal_amplitude must be in [0, 1)")
+    if num_epochs < 1:
+        raise ClusterError("num_epochs must be >= 1")
+    if tasks is None:
+        tasks = ("sst2", "mnli", "qqp", "qnli")
+    rng = np.random.default_rng(seed)
+    span_ms = float(num_requests) * float(mean_interarrival_ms)
+    epoch_ms = span_ms / num_epochs
+    phase = (np.arange(num_epochs) + 0.5) / num_epochs
+    weights = 1.0 + diurnal_amplitude * np.sin(2.0 * math.pi * phase)
+    weights /= weights.sum()
+    counts = rng.multinomial(num_requests, weights)
+    times = np.concatenate([
+        np.sort(rng.uniform(e * epoch_ms, (e + 1) * epoch_ms,
+                            size=int(count)))
+        for e, count in enumerate(counts) if count
+    ])
+    task_idx = rng.integers(0, len(tasks), size=num_requests)
+    sentence = rng.integers(0, int(n_sentences), size=num_requests)
+    target_idx = rng.integers(0, len(targets_ms), size=num_requests)
+    mode_idx = rng.integers(0, len(modes), size=num_requests)
+    return [
+        Request(request_id=i, task=tasks[task_idx[i]],
+                sentence=int(sentence[i]),
+                target_ms=float(targets_ms[target_idx[i]]),
+                arrival_ms=float(times[i]), mode=modes[mode_idx[i]])
+        for i in range(num_requests)
+    ]
 
 
 def load_trace(path, default_target_ms=50.0):

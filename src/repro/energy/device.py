@@ -73,6 +73,11 @@ class DeviceEnergyModel:
         self._idle_since_ms = float(start_ms)
         self._busy = False
         self._finalized_ms = None
+        # Transition memo: (from_vdd, from_freq, to_vdd, to_freq) →
+        # (settle_ms, energy_mj). The rail moves between a handful of
+        # operating points but is priced at every run begin/park of a
+        # replay; the memo returns the identical floats either way.
+        self._transition_cache = {}
 
         self.idle_energy_mj = 0.0
         self.idle_ms = 0.0
@@ -116,11 +121,16 @@ class DeviceEnergyModel:
         from_vdd, from_freq = self.parked_vdd, self.parked_freq_ghz
         if now_ms is not None and self.would_be_standby(now_ms):
             from_vdd, from_freq = self.standby_vdd, self.standby_freq_ghz
-        settle_ns = self.dvfs.transition_overhead_ns(
-            from_vdd, to_vdd, from_freq, to_freq)
-        power_mw = (self.accelerator.leakage_mw(max(from_vdd, to_vdd))
-                    + self.dvfs.adpll.power_mw(to_freq))
-        return settle_ns * 1e-6, power_mw * settle_ns * 1e-9  # ms, mJ
+        key = (from_vdd, from_freq, to_vdd, to_freq)
+        cached = self._transition_cache.get(key)
+        if cached is None:
+            settle_ns = self.dvfs.transition_overhead_ns(
+                from_vdd, to_vdd, from_freq, to_freq)
+            power_mw = (self.accelerator.leakage_mw(max(from_vdd, to_vdd))
+                        + self.dvfs.adpll.power_mw(to_freq))
+            cached = (settle_ns * 1e-6, power_mw * settle_ns * 1e-9)
+            self._transition_cache[key] = cached  # (ms, mJ)
+        return cached
 
     # -- run lifecycle hooks (driven by AcceleratorSim) ---------------------------
 

@@ -114,33 +114,43 @@ class FleetOrchestrator:
         (work completing "by" *t* is visible to a routing decision *at*
         *t*) and lower-indexed sites before higher — the canonical
         order that makes runs replay bit-for-bit.
+
+        Sites only interact through front-end events (routing and
+        autoscaling; a site handler can never schedule onto another
+        site's loop), so between two front-end instants each site's
+        events are independent of every other's. That makes chunked
+        draining exact: instead of peeking every site per event, each
+        site free-runs through all its events up to the next front-end
+        instant (:meth:`~repro.fleet.FleetSite.run_until`, inclusive —
+        preserving the site-events-first tie rule), then the front-end
+        steps once. Site state read by the routing/autoscale handler is
+        identical either way, and the per-event merge cost — the old
+        hot loop on big replays — collapses to one call per site per
+        front-end event.
         """
         processed = 0
         while True:
+            at = self._loop.peek_ms()
+            moved = 0
+            for site in self._sites:
+                moved += site.run_until(at)
+            processed += moved
+            if processed > self.MAX_FLEET_EVENTS:
+                raise FleetError(
+                    f"fleet loop exceeded {self.MAX_FLEET_EVENTS} "
+                    "events; likely a scheduling cycle or an "
+                    "ever-deferring routing policy")
+            if at is None:
+                if moved == 0:
+                    return
+                continue  # sites drained dry; confirm on the next pass
+            self._loop.step()
             processed += 1
             if processed > self.MAX_FLEET_EVENTS:
                 raise FleetError(
                     f"fleet loop exceeded {self.MAX_FLEET_EVENTS} "
                     "events; likely a scheduling cycle or an "
                     "ever-deferring routing policy")
-            best = None  # (time_ms, site_events_first, site_index)
-            for index, site in enumerate(self._sites):
-                at = site.peek_ms()
-                if at is not None:
-                    key = (at, 0, index)
-                    if best is None or key < best:
-                        best = key
-            at = self._loop.peek_ms()
-            if at is not None:
-                key = (at, 1, 0)
-                if best is None or key < best:
-                    best = key
-            if best is None:
-                return
-            if best[1] == 0:
-                self._sites[best[2]].step()
-            else:
-                self._loop.step()
 
     # -- event handlers ----------------------------------------------------------
 

@@ -64,6 +64,10 @@ class SiteConfig:
     deadline_sizing: bool = False
     adaptive_timeout: bool = False
     standby_timeout_ms: float | None = None
+    #: Vectorized pricing kernels (scalar sites are the determinism
+    #: oracle for fleet replays; note ``deadline_aware`` — on by
+    #: default — requires the vectorized kernels).
+    vectorized: bool = True
 
     def __post_init__(self):
         if not self.site_id:
@@ -94,6 +98,7 @@ class FleetSite:
             deadline_sizing=config.deadline_sizing,
             adaptive_timeout=config.adaptive_timeout,
             standby_timeout_ms=config.standby_timeout_ms,
+            vectorized=config.vectorized,
         )
         self._estimate_cache = {}
         self.admitted = 0
@@ -112,6 +117,17 @@ class FleetSite:
 
     def step(self):
         return self.sim.step()
+
+    def run_until(self, until_ms=None):
+        """Drain site events at instants ``<= until_ms`` in one call.
+
+        The orchestrator's chunked driving primitive: between front-end
+        instants this site's events are independent of every other
+        site's, so free-running them in one call replays identically to
+        the per-event merge (see ``FleetOrchestrator._drain``). Returns
+        the number of events processed.
+        """
+        return self.sim.run_until(until_ms)
 
     def finish(self):
         return self.sim.finish()

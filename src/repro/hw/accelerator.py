@@ -81,6 +81,11 @@ class AcceleratorModel:
         self.pu = ProcessingUnit(self.hw_config, self.tech)
         self.sfu = SpecialFunctionUnit(self.hw_config, self.tech)
         self.adpll = AdpllModel(self.hw_config.dvfs)
+        # Pure-function memos: area is fixed at construction and leakage
+        # depends only on vdd, but both sit on per-event hot paths (idle
+        # accrual prices leakage at every run boundary of a replay).
+        self._area_mm2 = None
+        self._leakage_mw = {}
 
     # -- area ------------------------------------------------------------------
 
@@ -101,7 +106,9 @@ class AcceleratorModel:
         }
 
     def total_area_mm2(self):
-        return sum(self.area_breakdown().values())
+        if self._area_mm2 is None:
+            self._area_mm2 = sum(self.area_breakdown().values())
+        return self._area_mm2
 
     # -- per-layer simulation -----------------------------------------------------
 
@@ -110,8 +117,13 @@ class AcceleratorModel:
 
     def leakage_mw(self, vdd):
         """Static power at ``vdd`` (V³ scaling)."""
-        scale = (vdd / self.tech.vdd_nominal) ** 3
-        return self.tech.leakage_mw_per_mm2 * self.total_area_mm2() * scale
+        mw = self._leakage_mw.get(vdd)
+        if mw is None:
+            scale = (vdd / self.tech.vdd_nominal) ** 3
+            mw = (self.tech.leakage_mw_per_mm2
+                  * self.total_area_mm2() * scale)
+            self._leakage_mw[vdd] = mw
+        return mw
 
     def layer_metrics(self, workload, vdd=None, freq_ghz=None,
                       sparse_execution=True):

@@ -120,6 +120,7 @@ class TaskRegistry:
     def __post_init__(self):
         self._profiles = {}
         self._hw_variants = {}
+        self._switch_costs = {}
         self.embedding_store = None
         if self.embedding_table is not None:
             self.embedding_store = EnvmEmbeddingStore(self.embedding_table,
@@ -195,15 +196,24 @@ class TaskRegistry:
         The embeddings stay resident in ReRAM, so the swap is a DRAM read
         of the (compressed) encoder block plus the weight-buffer fill.
         """
-        if from_task == to_task:
-            return SwitchCost(0.0, 0.0)
-        nbytes = self.profile(to_task).weight_bytes
-        return SwitchCost(
-            latency_ns=(self.dram.read_latency_ns(nbytes)
-                        + self.sram.access_latency_ns(nbytes)),
-            energy_pj=(self.dram.read_energy_pj(nbytes)
-                       + self.sram.write_energy_pj(nbytes)),
-        )
+        # Memoized: the cost is a pure function of the destination task
+        # (or the constant zero cost for a warm hit), and the dispatcher
+        # prices a swap at every batch start of a replay.
+        key = to_task if from_task != to_task else None
+        cost = self._switch_costs.get(key)
+        if cost is None:
+            if key is None:
+                cost = SwitchCost(0.0, 0.0)
+            else:
+                nbytes = self.profile(to_task).weight_bytes
+                cost = SwitchCost(
+                    latency_ns=(self.dram.read_latency_ns(nbytes)
+                                + self.sram.access_latency_ns(nbytes)),
+                    energy_pj=(self.dram.read_energy_pj(nbytes)
+                               + self.sram.write_energy_pj(nbytes)),
+                )
+            self._switch_costs[key] = cost
+        return cost
 
     def conventional_switch_cost(self, from_task, to_task):
         """Baseline switch: encoder weights **and** the embedding image.

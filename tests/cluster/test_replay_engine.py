@@ -1,0 +1,232 @@
+"""Vectorized replay engine: equivalence with the event loop, engine
+selection, runaway guards and cache bounds."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterSimulator,
+    ENGINES,
+    generate_diurnal_trace,
+    load_trace,
+    replay_eligible,
+)
+from repro.config import HwConfig
+from repro.errors import ClusterError, ServingError
+from repro.serving import Request, synthetic_registry, synthetic_traffic
+
+TASKS = ("sst2", "mnli")
+REFERENCE_TASKS = ("sst2", "mnli", "qqp", "qnli")
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return synthetic_registry(TASKS, n=32, seed=0)
+
+
+@pytest.fixture(scope="module")
+def reference_registry():
+    return synthetic_registry(REFERENCE_TASKS, n=64, seed=0)
+
+
+@pytest.fixture(scope="module")
+def bursty():
+    path = os.path.join(os.path.dirname(__file__), "..", "..",
+                        "benchmarks", "traces", "reference_bursty.jsonl")
+    return load_trace(os.path.abspath(path))
+
+
+def run_engine(registry, trace, engine, **kwargs):
+    kwargs.setdefault("num_accelerators", 4)
+    kwargs.setdefault("policy", "fifo")
+    kwargs.setdefault("max_batch_size", 8)
+    kwargs.setdefault("batch_timeout_ms", 5.0)
+    sim = ClusterSimulator(registry, engine=engine, **kwargs)
+    return sim.run(trace)
+
+
+def canonical(report):
+    return json.dumps(report.summary(), sort_keys=True)
+
+
+class TestReferenceEquivalence:
+    """The acceptance criterion: bit-identical reports on the
+    reference bursty trace, energy ledgers reconciling at 1e-9."""
+
+    @pytest.mark.parametrize("policy", ["fifo", "affinity"])
+    def test_vector_matches_event_bit_identical(self, reference_registry,
+                                                bursty, policy):
+        vec = run_engine(reference_registry, bursty, "vector",
+                         policy=policy)
+        event = run_engine(reference_registry, bursty, "event",
+                           policy=policy)
+        assert vec.engine == "vector"
+        assert event.engine == "event"
+        assert canonical(vec) == canonical(event)
+        assert [r.request.request_id for r in vec.records] \
+            == [r.request.request_id for r in event.records]
+
+    @pytest.mark.parametrize("policy", ["fifo", "affinity", "edf"])
+    def test_auto_reconciles_with_scalar_oracle(self, reference_registry,
+                                                bursty, policy):
+        auto = run_engine(reference_registry, bursty, "auto",
+                          policy=policy)
+        oracle = run_engine(reference_registry, bursty, "oracle",
+                            policy=policy)
+        assert oracle.engine == "oracle"
+        # The scalar pricing kernels are the determinism oracle; they
+        # agree with the vectorized ones to float-epsilon, not bit.
+        assert auto.makespan_ms == pytest.approx(oracle.makespan_ms,
+                                                 abs=1e-9)
+        for report in (auto, oracle):
+            assert report.energy.reconcile(report.serving, tol=1e-9)
+
+    def test_auto_picks_vector_only_when_eligible(self,
+                                                  reference_registry,
+                                                  bursty):
+        fifo = run_engine(reference_registry, bursty, "auto")
+        edf = run_engine(reference_registry, bursty, "auto",
+                         policy="edf")
+        assert fifo.engine == "vector"
+        assert edf.engine == "event"  # preemptive: falls back
+
+    def test_engine_tag_stays_out_of_the_summary(self,
+                                                 reference_registry,
+                                                 bursty):
+        report = run_engine(reference_registry, bursty, "vector")
+        assert "engine" not in report.summary()
+
+
+class TestPropertyEquivalence:
+    """Randomized small traces across the tricky corners: tied
+    arrivals, singleton windows, zero timeouts, heterogeneous pools,
+    deadline-budget pricing."""
+
+    @pytest.mark.parametrize("policy", ["fifo", "affinity"])
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_random_traces_bit_identical(self, registry, policy, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(10, 80))
+        trace = [
+            Request(request_id=i, task=TASKS[int(rng.integers(2))],
+                    sentence=int(rng.integers(32)),
+                    # One-decimal grid forces equal-instant ties.
+                    arrival_ms=float(np.round(rng.uniform(0.0, 20.0), 1)),
+                    target_ms=float((50.0, 75.0)[int(rng.integers(2))]),
+                    mode=(None, "base", "ee", "lai")[int(rng.integers(4))])
+            for i in range(n)
+        ]
+        pool = int(rng.integers(1, 5))
+        vec = run_engine(registry, trace, "vector", policy=policy,
+                         num_accelerators=pool)
+        event = run_engine(registry, trace, "event", policy=policy,
+                           num_accelerators=pool)
+        assert vec.engine == "vector"
+        assert canonical(vec) == canonical(event)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_batch_size": 1},
+        {"batch_timeout_ms": 0.0},
+        {"hw_configs": (HwConfig(mac_vector_size=16),
+                        HwConfig(mac_vector_size=8)),
+         "num_accelerators": 2},
+        {"deadline_aware": True, "mode": "lai"},
+    ])
+    def test_corner_configs_bit_identical(self, registry, kwargs):
+        trace = synthetic_traffic(registry, 60, seed=4,
+                                  mean_interarrival_ms=0.5,
+                                  modes=("base", "lai"))
+        vec = run_engine(registry, trace, "vector", policy="affinity",
+                         **kwargs)
+        event = run_engine(registry, trace, "event", policy="affinity",
+                           **kwargs)
+        assert vec.engine == "vector"
+        assert canonical(vec) == canonical(event)
+
+    def test_generated_diurnal_trace_bit_identical(self, registry):
+        trace = generate_diurnal_trace(300, seed=5, tasks=TASKS,
+                                       n_sentences=32,
+                                       mean_interarrival_ms=0.5)
+        vec = run_engine(registry, trace, "vector")
+        event = run_engine(registry, trace, "event")
+        assert canonical(vec) == canonical(event)
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self, registry):
+        with pytest.raises(ClusterError, match="unknown engine"):
+            ClusterSimulator(registry, engine="warp")
+        assert set(ENGINES) == {"auto", "vector", "event", "oracle"}
+
+    def test_vector_engine_requires_eligible_config(self, registry):
+        trace = synthetic_traffic(registry, 10, seed=0)
+        sim = ClusterSimulator(registry, num_accelerators=2,
+                               policy="edf", engine="vector")
+        assert not replay_eligible(sim)
+        with pytest.raises(ClusterError, match="replay-eligible"):
+            sim.run(trace)
+
+    def test_oracle_engine_forces_scalar_kernels(self, registry):
+        sim = ClusterSimulator(registry, engine="oracle")
+        assert sim.vectorized is False
+
+    def test_ineligible_flags_fall_back(self, registry):
+        trace = synthetic_traffic(registry, 20, seed=1)
+        sim = ClusterSimulator(registry, num_accelerators=2,
+                               adaptive_timeout=True)
+        assert not replay_eligible(sim)
+        assert sim.run(trace).engine == "event"
+
+
+class TestIntakeErrors:
+    """The vector intake must surface the classic per-inject errors."""
+
+    def test_duplicate_request_id(self, registry):
+        trace = [Request(request_id=7, task="sst2", sentence=0,
+                         target_ms=50.0, arrival_ms=0.0),
+                 Request(request_id=7, task="sst2", sentence=1,
+                         target_ms=50.0, arrival_ms=1.0)]
+        with pytest.raises(ClusterError, match="duplicate request id 7"):
+            run_engine(registry, trace, "vector")
+
+    def test_out_of_range_sentence(self, registry):
+        trace = [Request(request_id=0, task="sst2", sentence=99,
+                         target_ms=50.0, arrival_ms=0.0)]
+        with pytest.raises(ServingError, match="sentence"):
+            run_engine(registry, trace, "vector")
+
+    def test_lai_without_lut_support(self, registry):
+        # A mode a task cannot serve must fail intake the classic way.
+        profile = registry.profile("sst2")
+        lut, profile.lut = profile.lut, None
+        try:
+            trace = [Request(request_id=0, task="sst2", sentence=0,
+                             target_ms=50.0, arrival_ms=0.0, mode="lai")]
+            with pytest.raises(ServingError, match="lai"):
+                run_engine(registry, trace, "vector")
+        finally:
+            profile.lut = lut
+
+
+class TestRunawayGuards:
+    @pytest.mark.parametrize("engine", ["vector", "oracle"])
+    def test_max_events_bounds_both_engines(self, registry, engine):
+        trace = synthetic_traffic(registry, 30, seed=2)
+        sim = ClusterSimulator(registry, num_accelerators=2,
+                               engine=engine)
+        sim.MAX_EVENTS = 3
+        with pytest.raises(ClusterError, match="exceeded 3 events"):
+            sim.run(trace)
+
+    def test_work_cache_is_lru_bounded(self, registry):
+        trace = synthetic_traffic(registry, 60, seed=3, modes=("lai",),
+                                  mean_interarrival_ms=0.2)
+        sim = ClusterSimulator(registry, num_accelerators=2,
+                               deadline_aware=True,
+                               deadline_sizing=True, mode="lai")
+        sim.WORK_CACHE_MAX = 4
+        sim.run(trace)
+        assert 0 < len(sim._work_cache) <= 4
