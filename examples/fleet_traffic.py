@@ -8,12 +8,23 @@ policy comparison (joules, SLO misses, cross-site spread, capped-site
 budget activity, parks/wakes) and then drills into the energy policy's
 per-site breakdown.
 
+The energy-policy run is traced end-to-end: the script writes a
+Perfetto-loadable Chrome trace (``fleet_trace.json`` — drop it on
+https://ui.perfetto.dev) plus the lossless JSONL span log
+(``fleet_spans.jsonl``, replayable with
+``python -m repro.telemetry fleet_spans.jsonl``), audits the traced
+span energy against the fleet ledgers at 1e-9, and prints the
+per-site metric summary off the shared registry.
+
 Run:  PYTHONPATH=src python examples/fleet_traffic.py
 (no trained artifacts needed — synthetic profiles)
 """
 
 from repro.fleet import FleetAutoscaler, FleetOrchestrator
 from repro.fleet.__main__ import reference_fleet, reference_workload
+from repro.telemetry import (MetricsRegistry, Tracer, reconcile_fleet,
+                             render_metrics, render_timeline,
+                             write_chrome_trace, write_spans_jsonl)
 from repro.utils import format_table
 
 
@@ -33,9 +44,17 @@ def main():
 
     reports = {}
     rows = []
+    tracer = Tracer()
+    metrics = MetricsRegistry()
     for policy in ("round-robin", "least-loaded", "energy"):
-        fleet = FleetOrchestrator(registry, configs, routing=policy,
-                                  autoscaler=FleetAutoscaler())
+        # Only the headline (energy) run is traced; tracing is
+        # read-only, so its report matches an untraced run bit-for-bit.
+        traced = policy == "energy"
+        fleet = FleetOrchestrator(
+            registry, configs, routing=policy,
+            autoscaler=FleetAutoscaler(),
+            tracer=tracer if traced else None,
+            metrics=metrics if traced else None)
         report = fleet.run(trace)
         report.reconcile(tol=1e-9)
         reports[policy] = report
@@ -75,6 +94,26 @@ def main():
         ["Site", "Requests", "SLO miss", "Compute (mJ)", "Idle (mJ)",
          "Total (mJ)", "Throttles", "Parks/Wakes"],
         site_rows, title="Energy/deadline-aware routing — per site"))
+    print()
+
+    # The traced run's span-energy rollup must tie out against every
+    # ledger level (per-site categories + fleet total) at 1e-9 — the
+    # trace is an audit, not an approximation.
+    reconcile_fleet(tracer, energy, tol=1e-9)
+    print(f"span-energy audit: {tracer.emitted} spans reconcile "
+          "against the fleet ledgers at 1e-9")
+    print()
+    print(render_timeline(tracer.iter_spans(), width=64))
+    print()
+    print(render_metrics(metrics))
+    print()
+
+    n_events = write_chrome_trace(tracer, "fleet_trace.json")
+    n_spans = write_spans_jsonl(tracer, "fleet_spans.jsonl")
+    print(f"wrote fleet_trace.json ({n_events} events — load in "
+          "https://ui.perfetto.dev)")
+    print(f"wrote fleet_spans.jsonl ({n_spans} spans — replay with "
+          "python -m repro.telemetry fleet_spans.jsonl)")
 
 
 if __name__ == "__main__":

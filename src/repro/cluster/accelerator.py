@@ -133,6 +133,9 @@ class AcceleratorSim:
         #: device receives no placements but keeps accruing its (standby)
         #: idle leakage — it still exists, it just isn't dispatchable.
         self.online = True
+        #: Telemetry track (``"scope/accelN"``) this device's spans land
+        #: on; the simulator assigns it when it builds the pool.
+        self.track = f"cluster/accel{self.accel_id}"
         self._next_run_id = 0
         self._estimator = None
         self.stats = AcceleratorStats(accel_id=self.accel_id)

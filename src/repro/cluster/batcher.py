@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.errors import ClusterError
 from repro.serving.request import Batch
+from repro.telemetry.tracer import NULL_TRACER
 
 
 def plan_batches(times_ms, max_batch_size, timeout_ms):
@@ -171,7 +172,7 @@ class BatchFormer:
 
     def __init__(self, key, max_batch_size=32, timeout_ms=5.0,
                  timeout_controller=None, work_estimator=None,
-                 sizing_slack_share=0.8):
+                 sizing_slack_share=0.8, tracer=None, track=None):
         if max_batch_size < 1:
             raise ClusterError("max_batch_size must be >= 1")
         if timeout_ms < 0:
@@ -192,6 +193,12 @@ class BatchFormer:
         self.sizing_slack_share = float(sizing_slack_share)
         #: Windows the deadline-sizing trigger closed (observability).
         self.deadline_closes = 0
+        #: Telemetry: every window close emits one ``"window"`` span on
+        #: ``track`` covering [opened, closed] with its trigger named.
+        #: Read-only observation — the NULL_TRACER default costs one
+        #: attribute test per close.
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.track = track if track is not None else "former"
         self.generation = 0
         self.opened_ms = None
         self._planned_ms = 0.0
@@ -228,7 +235,7 @@ class BatchFormer:
             slack = min(r.deadline_ms for r in self._pending) - now_ms
             if (self._planned_ms <= slack
                     and self._planned_ms + work > slack):
-                closed = self._close()
+                closed = self._close(now_ms, "preclose")
                 self.deadline_closes += 1
         if not self._pending:
             self.generation += 1
@@ -242,7 +249,7 @@ class BatchFormer:
             # the size nor the share trigger can also fire this add.
             return closed
         if len(self._pending) >= self.max_batch_size:
-            return self._close()
+            return self._close(now_ms, "size")
         if work is not None and len(self._pending) >= 2:
             # Deadline-sizing trigger: the members' planned schedule has
             # grown into the earliest member's slack — close now, while
@@ -253,14 +260,14 @@ class BatchFormer:
                     and self._planned_ms
                     >= self.sizing_slack_share * slack):
                 self.deadline_closes += 1
-                return self._close()
+                return self._close(now_ms, "deadline")
         return None
 
     def on_timeout(self, generation, now_ms):
         """Timeout trigger: close the window iff the timer isn't stale."""
         if generation != self.generation or not self._pending:
             return None
-        return self._close()
+        return self._close(now_ms, "timeout")
 
     def current_timeout_ms(self):
         """The window length in force right now (adaptive or static)."""
@@ -279,8 +286,14 @@ class BatchFormer:
             raise ClusterError("former has never opened")
         return self.opened_ms + self.current_timeout_ms()
 
-    def _close(self):
+    def _close(self, now_ms, trigger):
         members = tuple(self._pending)
+        if self.tracer.enabled:
+            self.tracer.span(
+                "window", "window", self.opened_ms,
+                float(now_ms) - self.opened_ms, self.track,
+                args={"task": self.task, "mode": self.mode,
+                      "size": len(members), "trigger": trigger})
         self._pending = []
         self.opened_ms = None
         # Invalidate the armed timer for the window that just closed.

@@ -55,6 +55,7 @@ from repro.energy.report import DeviceEnergyBreakdown
 from repro.errors import ClusterError
 from repro.serving.request import SERVING_MODES, Batch
 from repro.serving.server import price_batch, validate_request
+from repro.telemetry.tracer import NULL_TRACER
 
 from repro.cluster.accelerator import AcceleratorSim, PlacementEstimate
 from repro.cluster.batcher import AdaptiveTimeout, BatchFormer, PendingBatch
@@ -102,7 +103,8 @@ class ClusterSimulator:
                  vectorized=True, hw_configs=None, energy_budget_mw=None,
                  budget_window_ms=100.0, deadline_aware=False,
                  adaptive_timeout=False, standby_timeout_ms=None,
-                 deadline_sizing=False, engine="auto"):
+                 deadline_sizing=False, engine="auto", tracer=None,
+                 metrics=None, trace_scope="cluster"):
         if mode not in SERVING_MODES:
             raise ClusterError(
                 f"unknown mode {mode!r}; expected one of {SERVING_MODES}")
@@ -176,6 +178,18 @@ class ClusterSimulator:
         #: behavior); see :class:`~repro.energy.DeviceEnergyModel`.
         self.standby_timeout_ms = (None if standby_timeout_ms is None
                                    else float(standby_timeout_ms))
+        #: Telemetry (:mod:`repro.telemetry`): every hook is read-only
+        #: observation fired *after* the simulator commits a state
+        #: change, so a traced run's report is bit-identical to an
+        #: untraced one. The NULL_TRACER default keeps untraced hot
+        #: paths at one attribute test per hook site.
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        #: Optional :class:`~repro.telemetry.MetricsRegistry`; sampled
+        #: on the event clock with ``scope=trace_scope`` labels.
+        self.metrics = metrics
+        #: Leading component of every track this run emits on —
+        #: ``"cluster"`` standalone, the site id inside a fleet.
+        self.trace_scope = str(trace_scope)
 
     # -- public API --------------------------------------------------------------
 
@@ -242,10 +256,48 @@ class ClusterSimulator:
         if self.energy_budget_mw is not None:
             self._budget = EnergyBudget(self.energy_budget_mw,
                                         self.budget_window_ms)
+        self._attach_telemetry()
         self._report = ClusterReport(
             policy=self.policy.name, mode=self.mode,
             num_accelerators=self.num_accelerators)
         return self
+
+    def _attach_telemetry(self):
+        """Point the run's tracks/instruments at this start's state.
+
+        Tracks follow the ``"scope/lane"`` contract: one lane per
+        device (``accelN``), plus the batch former, dispatcher queue
+        and budget lanes. Metric instruments are created once here so
+        the per-event sampling below touches plain attributes.
+        """
+        scope = self.trace_scope
+        self._trk_former = f"{scope}/former"
+        self._trk_queue = f"{scope}/queue"
+        for accel in self._accels:
+            accel.track = f"{scope}/accel{accel.accel_id}"
+        if self.tracer.enabled:
+            for accel in self._accels:
+                if accel.energy is not None:
+                    accel.energy.attach_tracer(self.tracer, accel.track)
+            if self._budget is not None:
+                self._budget.attach_tracer(self.tracer,
+                                           f"{scope}/budget")
+        self._m_served = None
+        if self.metrics is not None:
+            m = self.metrics
+            self._m_served = m.counter("requests_served", scope=scope)
+            self._m_violations = m.counter("deadline_violations",
+                                           scope=scope)
+            self._m_preemptions = m.counter("preemptions", scope=scope)
+            self._m_throttles = m.counter("budget_throttles",
+                                          scope=scope)
+            self._m_queue = m.gauge("queue_depth", scope=scope)
+            self._m_free = m.gauge("free_devices", scope=scope)
+            self._m_headroom = m.gauge("budget_headroom", scope=scope)
+            self._m_latency = m.histogram("time_in_system_ms",
+                                          scope=scope)
+            self._m_qdelay = m.histogram("queueing_delay_ms",
+                                         scope=scope)
 
     def inject(self, request, at_ms=None):
         """Validate ``request`` and schedule its arrival.
@@ -344,8 +396,14 @@ class ClusterSimulator:
             accel.online = False
             if accel.energy is not None:
                 accel.energy.force_standby(self._loop.now_ms)
+            if self.tracer.enabled:
+                self.tracer.instant("park-device", "scale",
+                                    self._loop.now_ms, accel.track)
         else:
             accel.online = True
+            if self.tracer.enabled:
+                self.tracer.instant("wake-device", "scale",
+                                    self._loop.now_ms, accel.track)
             self._dispatch()
         return True
 
@@ -381,6 +439,11 @@ class ClusterSimulator:
         report.accelerators = [a.stats for a in self._accels]
         for accel in self._accels:
             accel.energy.finalize(report.makespan_ms)
+        if self.tracer.enabled:
+            # Device rail telemetry buffers locally on the hot path;
+            # bulk-drain it now that the tail idle intervals are closed.
+            for accel in self._accels:
+                self.tracer.extend_rows(accel.energy.drain_trace_rows())
         report.device_energy = [
             DeviceEnergyBreakdown(
                 accel_id=a.accel_id,
@@ -444,7 +507,8 @@ class ClusterSimulator:
                 key, max_batch_size=self.max_batch_size,
                 timeout_ms=self.batch_timeout_ms,
                 timeout_controller=controller,
-                work_estimator=estimator)
+                work_estimator=estimator,
+                tracer=self.tracer, track=self._trk_former)
         was_open = former.is_open
         closed = former.add(request, now)
         if closed is not None:
@@ -614,6 +678,8 @@ class ClusterSimulator:
 
     def _enqueue(self, pending_batch):
         self._pending.append(pending_batch)
+        if self._m_served is not None:
+            self._m_queue.set(self._loop.now_ms, self.queue_depth())
 
     def _budget_throttled(self):
         """True while admission must stall; arms the retry event."""
@@ -627,6 +693,8 @@ class ClusterSimulator:
             self._budget.note_throttle(now, relief)
             self._loop.schedule(max(relief, now), DispatchRetry())
             self._budget_retry_armed = True
+            if self._m_served is not None:
+                self._m_throttles.inc()
         return True
 
     def _dispatch(self):
@@ -685,6 +753,25 @@ class ClusterSimulator:
         # again (requeued remainders get fresh seqs).
         self._price_cache.pop(pending_batch.seq, None)
         self._report.num_batches += 1
+        if self.tracer.enabled:
+            self.tracer.span(
+                "dispatch-wait", "queue", pending_batch.ready_ms,
+                now - pending_batch.ready_ms, self._trk_queue,
+                args={"batch": pending_batch.seq,
+                      "size": len(pending_batch),
+                      "accel": accel.accel_id})
+            if run.swap_ms > 0.0 or run.swap_energy_mj != 0.0:
+                self.tracer.span(
+                    f"swap:{batch.task}", "swap", now, run.swap_ms,
+                    accel.track, energy_mj=run.swap_energy_mj)
+        if self._m_served is not None:
+            self._m_free.set(now, sum(1 for a in self._accels
+                                      if a.dispatchable))
+            if self._budget is not None:
+                # Pure read: _start's commit already expired the window
+                # at `now`, so headroom_fraction re-expires nothing.
+                self._m_headroom.set(
+                    now, self._budget.headroom_fraction(now))
         self._loop.schedule(run.end_ms, BatchDone(accel.accel_id,
                                                   run.run_id))
 
@@ -743,6 +830,29 @@ class ClusterSimulator:
                        - swap_refunded_before))
                 self._budget.refund(now, token, max(0.0, unexecuted))
 
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "preempt", "preempt", now, victim.track,
+                args={"completed": n_done,
+                      "requeued": len(run.results) - n_done,
+                      "mid_swap": mid_swap})
+            if wasted_mj:
+                # The wasted fraction entered the compute ledger above;
+                # mirror it so the rollup reconciles.
+                self.tracer.instant(
+                    "wasted-compute", "compute", now, victim.track,
+                    energy_mj=wasted_mj)
+            swap_refund = (victim.stats.swap_energy_refunded_mj
+                           - swap_refunded_before)
+            if swap_refund:
+                # Negative-energy instant: net traced swap = charges
+                # minus refunds, exactly like the accelerator's ledger.
+                self.tracer.instant(
+                    "swap-refund", "swap", now, victim.track,
+                    energy_mj=-swap_refund)
+        if self._m_served is not None:
+            self._m_preemptions.inc()
+
         remainder = run.pending.batch.requests[n_done:]
         if remainder:
             batch = Batch(task=run.pending.task,
@@ -755,11 +865,32 @@ class ClusterSimulator:
 
     def _record_run(self, run, n_done):
         """Record the first ``n_done`` completed requests of ``run``."""
-        stats = self._accels[run.accel_id].stats
+        accel = self._accels[run.accel_id]
+        stats = accel.stats
+        traced = self.tracer.enabled
+        metered = self._m_served is not None
+        boundary = run.start_ms + run.swap_ms
         for request, result, finish in zip(
                 run.pending.batch.requests[:n_done],
                 run.results[:n_done], run.finish_ms[:n_done]):
             stats.compute_energy_mj += result.energy_mj
+            completion = float(finish)
             self._report.records.append(ClusterRecord(
                 request=request, result=result, accel_id=run.accel_id,
-                dispatch_ms=run.start_ms, completion_ms=float(finish)))
+                dispatch_ms=run.start_ms, completion_ms=completion))
+            if traced:
+                self.tracer.span(
+                    f"req:{request.request_id}", "compute", boundary,
+                    completion - boundary, accel.track,
+                    energy_mj=result.energy_mj,
+                    args={"task": request.task,
+                          "sentence": request.sentence})
+            if metered:
+                in_system = completion - request.arrival_ms
+                self._m_served.inc()
+                self._m_latency.observe(in_system)
+                self._m_qdelay.observe(run.start_ms
+                                       - request.arrival_ms)
+                if in_system > request.target_ms + 1e-9:
+                    self._m_violations.inc()
+            boundary = completion

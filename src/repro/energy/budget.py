@@ -37,6 +37,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.errors import EnergyError
+from repro.telemetry.tracer import NULL_TRACER
 
 
 @dataclass
@@ -90,6 +91,17 @@ class EnergyBudget:
         self._window_mj = 0.0
         self.stats = BudgetStats(power_mw=self.power_mw,
                                  window_ms=self.window_ms)
+        # Telemetry: commits/refunds become instants and throttle stalls
+        # spans on _track. Their energy rides in args only (category
+        # "budget"), so the ledger-reconciled rollup stays unpolluted —
+        # a commit is a *prediction*, not burned energy.
+        self._tracer = NULL_TRACER
+        self._track = "budget"
+
+    def attach_tracer(self, tracer, track):
+        """Observe this budget's window on ``track`` (read-only)."""
+        self._tracer = tracer
+        self._track = track
 
     def _expire(self, now_ms):
         cutoff = now_ms - self.window_ms
@@ -144,6 +156,12 @@ class EnergyBudget:
         self.stats.admitted += 1
         if self._window_mj > self.cap_mj + 1e-12:
             self.stats.overshoots += 1
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "commit", "budget", float(now_ms), self._track,
+                args={"committed_mj": energy_mj,
+                      "window_mj": self._window_mj,
+                      "cap_mj": self.cap_mj})
         return token
 
     def refund(self, now_ms, token, energy_mj):
@@ -168,6 +186,11 @@ class EnergyBudget:
         self._window_mj -= amount
         self.stats.refunds += 1
         self.stats.refunded_mj += amount
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "refund", "budget", float(now_ms), self._track,
+                args={"refunded_mj": amount,
+                      "window_mj": self._window_mj})
         return amount
 
     def next_relief_ms(self, now_ms):
@@ -192,3 +215,9 @@ class EnergyBudget:
         """Record one dispatcher stall for the report."""
         self.stats.throttle_events += 1
         self.stats.throttled_ms += max(0.0, float(until_ms) - float(now_ms))
+        if self._tracer.enabled:
+            self._tracer.span(
+                "throttle", "budget", float(now_ms),
+                max(0.0, float(until_ms) - float(now_ms)), self._track,
+                args={"window_mj": self._window_mj,
+                      "cap_mj": self.cap_mj})

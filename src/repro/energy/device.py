@@ -37,6 +37,7 @@ from repro.dvfs import DvfsController
 from repro.dvfs.vf_table import max_frequency_ghz
 from repro.errors import EnergyError
 from repro.hw.accelerator import AcceleratorModel
+from repro.telemetry.tracer import NULL_TRACER
 
 
 class DeviceEnergyModel:
@@ -79,6 +80,17 @@ class DeviceEnergyModel:
         # replay; the memo returns the identical floats either way.
         self._transition_cache = {}
 
+        # Telemetry: idle spans and transition instants land on _track;
+        # emission reuses the exact floats added to the ledgers below,
+        # so a traced run's span rollup reconciles at 1e-9 by identity.
+        # Rows buffer locally (_trows) and drain in one bulk pass at
+        # finalization — the rail hooks sit on the replay hot path, and
+        # Tracer.extend_rows is an order of magnitude cheaper per row
+        # than span()/instant() calls.
+        self._tracer = NULL_TRACER
+        self._track = "device"
+        self._trows = []
+
         self.idle_energy_mj = 0.0
         self.idle_ms = 0.0
         self.standby_ms = 0.0
@@ -86,6 +98,18 @@ class DeviceEnergyModel:
         self.transition_energy_mj = 0.0
         self.transition_ms = 0.0
         self.transitions = 0
+
+    def attach_tracer(self, tracer, track):
+        """Observe this device's rail on ``track`` (strictly read-only).
+
+        Idle intervals become ``"idle"`` spans and every rail move
+        (wake, standby drop, forced park) a ``"transition"`` instant,
+        each carrying the identical millijoules the ledger accrued — the
+        telemetry rollup and :class:`~repro.energy.DeviceEnergyBreakdown`
+        agree float-for-float.
+        """
+        self._tracer = tracer
+        self._track = track
 
     # -- power laws ---------------------------------------------------------------
 
@@ -144,6 +168,13 @@ class DeviceEnergyModel:
             self.transition_ms += settle_ms
             self.transition_energy_mj += energy_mj
             self.transitions += 1
+            if self._tracer.enabled:
+                self._trows.append(
+                    ("wake", "transition", float(now_ms), None,
+                     self._track, energy_mj,
+                     {"settle_ms": settle_ms,
+                      "from_vdd": self.parked_vdd,
+                      "to_vdd": self.nominal_vdd}))
         self.parked_vdd = self.nominal_vdd
         self.parked_freq_ghz = self.nominal_freq_ghz
         self._busy = True
@@ -180,6 +211,13 @@ class DeviceEnergyModel:
         self.transition_energy_mj += energy_mj
         self.transitions += 1
         self.standby_entries += 1
+        if self._tracer.enabled:
+            self._trows.append(
+                ("park", "transition", float(now_ms), None,
+                 self._track, energy_mj,
+                 {"settle_ms": settle_ms,
+                  "from_vdd": self.parked_vdd,
+                  "to_vdd": self.standby_vdd}))
         self.parked_vdd = self.standby_vdd
         self.parked_freq_ghz = self.standby_freq_ghz
 
@@ -197,6 +235,18 @@ class DeviceEnergyModel:
         self._accrue_idle(end_ms)
         self._finalized_ms = end_ms
 
+    def drain_trace_rows(self):
+        """Hand the buffered telemetry rows over and reset the buffer.
+
+        The simulator's finalization bulk-emits these through
+        :meth:`~repro.telemetry.Tracer.extend_rows` once the ledgers are
+        settled; exporters order by timestamp, so deferred emission is
+        invisible downstream.
+        """
+        rows = self._trows
+        self._trows = []
+        return rows
+
     def _accrue_idle(self, now_ms):
         interval_ms = float(now_ms) - self._idle_since_ms
         if interval_ms < -1e-9:
@@ -210,21 +260,42 @@ class DeviceEnergyModel:
             # down-transition at the crossing, standby leakage after.
             awake_ms = min(self.standby_timeout_ms, interval_ms)
             asleep_ms = interval_ms - awake_ms
-            self.idle_energy_mj += self.idle_power_mw() * awake_ms * 1e-3
+            awake_mj = self.idle_power_mw() * awake_ms * 1e-3
+            self.idle_energy_mj += awake_mj
             settle_ms, energy_mj = self.estimate_transition(
                 self.standby_vdd, self.standby_freq_ghz)
             self.transition_ms += settle_ms
             self.transition_energy_mj += energy_mj
             self.transitions += 1
             self.standby_entries += 1
+            from_vdd = self.parked_vdd
             self.parked_vdd = self.standby_vdd
             self.parked_freq_ghz = self.standby_freq_ghz
-            self.idle_energy_mj += (self.idle_power_mw() * asleep_ms
-                                    * 1e-3)
+            asleep_mj = (self.idle_power_mw() * asleep_ms
+                         * 1e-3)
+            self.idle_energy_mj += asleep_mj
             self.standby_ms += asleep_ms
+            if self._tracer.enabled:
+                crossing_ms = self._idle_since_ms + awake_ms
+                self._trows.append(
+                    ("idle", "idle", self._idle_since_ms, awake_ms,
+                     self._track, awake_mj, None))
+                self._trows.append(
+                    ("standby-drop", "transition", crossing_ms, None,
+                     self._track, energy_mj,
+                     {"settle_ms": settle_ms, "from_vdd": from_vdd,
+                      "to_vdd": self.standby_vdd}))
+                self._trows.append(
+                    ("standby", "idle", crossing_ms, asleep_ms,
+                     self._track, asleep_mj, None))
         else:
             # mW * ms = µJ; scale to mJ.
-            self.idle_energy_mj += self.idle_power_mw() * interval_ms * 1e-3
+            idle_mj = self.idle_power_mw() * interval_ms * 1e-3
+            self.idle_energy_mj += idle_mj
+            if self._tracer.enabled and interval_ms > 0.0:
+                self._trows.append(
+                    ("idle", "idle", self._idle_since_ms, interval_ms,
+                     self._track, idle_mj, None))
         self.idle_ms += interval_ms
         self._idle_since_ms = float(now_ms)
 

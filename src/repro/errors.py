@@ -72,3 +72,7 @@ class ArtifactError(ReproError):
 class FleetError(ReproError):
     """The multi-site fleet orchestrator was configured or driven
     inconsistently."""
+
+
+class TelemetryError(ReproError):
+    """The tracing/metrics layer was configured or driven inconsistently."""

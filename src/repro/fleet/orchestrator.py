@@ -32,6 +32,7 @@ from repro.fleet.autoscaler import FleetAutoscaler
 from repro.fleet.report import FleetRecord, FleetReport
 from repro.fleet.router import make_routing_policy
 from repro.fleet.site import FleetSite, SiteOutcome
+from repro.telemetry.tracer import NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -50,7 +51,7 @@ class FleetOrchestrator:
     """Deterministic multi-site serving: router → sites → devices."""
 
     def __init__(self, registry, site_configs, routing="energy",
-                 autoscaler=None):
+                 autoscaler=None, tracer=None, metrics=None):
         site_configs = sorted(site_configs, key=lambda c: c.site_id)
         if not site_configs:
             raise FleetError("a fleet needs at least one site")
@@ -63,6 +64,14 @@ class FleetOrchestrator:
         if autoscaler is True:
             autoscaler = FleetAutoscaler()
         self.autoscaler = autoscaler
+        #: Telemetry threads through every layer: front-end decisions
+        #: land on ``fleet/*`` tracks, each site's spans on its own
+        #: ``site_id/*`` scope (so :func:`repro.telemetry.reconcile_fleet`
+        #: can audit per-site energy), metrics carry ``scope=site_id``
+        #: labels. Read-only observation — a traced fleet run's report
+        #: is bit-identical to an untraced one.
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.metrics = metrics
 
     # -- public API --------------------------------------------------------------
 
@@ -82,7 +91,9 @@ class FleetOrchestrator:
         self.routing.reset()
         if self.autoscaler is not None:
             self.autoscaler.reset()
-        self._sites = [FleetSite(config, self.registry).start()
+        self._sites = [FleetSite(config, self.registry,
+                                 tracer=self.tracer,
+                                 metrics=self.metrics).start()
                        for config in self.site_configs]
         self._loop = EventLoop()
         self._loop.on(RouteRequest, self._on_route)
@@ -164,14 +175,27 @@ class FleetOrchestrator:
                     "a routing deferral must carry a future retry_ms")
             self._deferrals += 1
             self._loop.schedule(decision.retry_ms, RouteRequest(request))
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "defer", "net", now, "fleet/router",
+                    args={"request": request.request_id,
+                          "retry_ms": decision.retry_ms})
             return
         site = self._sites[decision.site_index]
         site.admit(request, now)
         self._routes[request.request_id] = (decision.site_index, now)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                f"route:{site.site_id}", "net", now, "fleet/router",
+                args={"request": request.request_id,
+                      "site": site.site_id})
 
     def _on_tick(self, event):
         now = self._loop.now_ms
         self.autoscaler.tick_all(self._sites, now)
+        if self.tracer.enabled:
+            self.tracer.instant("autoscale-tick", "scale", now,
+                                "fleet/scaler")
         # Keep ticking while the fleet still has anything in flight —
         # queued routing events included — then fall silent so the
         # merged loop can drain.
@@ -204,6 +228,13 @@ class FleetOrchestrator:
                 request=request, site_id=site.site_id,
                 rtt_ms=site.rtt_ms, routed_ms=routed_ms,
                 site_record=site_record))
+            if self.tracer.enabled and site.rtt_ms > 0.0:
+                # The response's return leg: site completion back to the
+                # front-end (fleet completion = site completion + rtt/2).
+                self.tracer.span(
+                    "egress", "net", site_record.completion_ms,
+                    site.rtt_ms / 2.0, site._trk_net,
+                    args={"request": request.request_id})
 
         stats = self.autoscaler.stats if self.autoscaler else None
         outcomes = [

@@ -79,7 +79,7 @@ class SiteConfig:
 class FleetSite:
     """A :class:`ClusterSimulator` plus its routing-facing surface."""
 
-    def __init__(self, config, registry):
+    def __init__(self, config, registry, tracer=None, metrics=None):
         self.config = config
         self.site_id = config.site_id
         self.rtt_ms = float(config.rtt_ms)
@@ -99,7 +99,13 @@ class FleetSite:
             adaptive_timeout=config.adaptive_timeout,
             standby_timeout_ms=config.standby_timeout_ms,
             vectorized=config.vectorized,
+            tracer=tracer, metrics=metrics,
+            trace_scope=config.site_id,
         )
+        #: The site's tracer (the orchestrator's, or the shared
+        #: NULL_TRACER); admission emits the ingress network leg on it.
+        self.tracer = self.sim.tracer
+        self._trk_net = f"{self.site_id}/net"
         self._estimate_cache = {}
         self.admitted = 0
         self.late_admissions = 0
@@ -172,6 +178,10 @@ class FleetSite:
         local = replace(request, arrival_ms=ingress_ms, target_ms=slack)
         self.sim.inject(local, at_ms=ingress_ms)
         self.admitted += 1
+        if self.tracer.enabled and self.rtt_ms > 0.0:
+            self.tracer.span(
+                "ingress", "net", float(now_ms), self.rtt_ms / 2.0,
+                self._trk_net, args={"request": request.request_id})
         return local
 
     # -- routing-facing observables -----------------------------------------------

@@ -1,0 +1,86 @@
+"""Deterministic tracing, metrics and timeline export for the stack.
+
+Every layer of the runtime — serving, cluster, energy, DVFS, fleet —
+simulates on one event clock; this subsystem makes that clock
+observable without perturbing it:
+
+* :class:`Tracer` / :class:`Span` — hierarchical sim-clock spans
+  (fleet → site → device → batch → request) covering queue wait,
+  batch-former residency, encoder swaps, DVFS rail transitions,
+  compute, preemption/abort, budget throttles, autoscaler park/wake
+  and network legs. The default everywhere is :data:`NULL_TRACER`
+  (``enabled=False``), so untraced runs pay one attribute test per
+  hook and stay bit-identical to pre-telemetry builds. ``max_spans``
+  + ``spill_path`` stream spans to JSONL past an in-memory cap, so
+  tracing a million-request replay keeps RSS flat.
+* :class:`MetricsRegistry` — labeled counters / gauges / histograms
+  sampled at event instants (queue depth, free devices, budget
+  headroom, served/violated counts, latency distributions) with
+  bounded ring-buffer series.
+* Exporters — Chrome trace-event JSON for Perfetto
+  (:func:`write_chrome_trace`), JSONL span logs
+  (:func:`write_spans_jsonl`), and text rendering
+  (:func:`render_timeline`, :func:`render_summary`).
+* Ledger audit — :func:`reconcile_cluster` / :func:`reconcile_fleet`
+  hold the traced per-category energy rollup against the run's
+  :class:`~repro.energy.EnergyReport` / fleet ledgers at 1e-9, so
+  every traced run doubles as an end-to-end energy audit.
+
+``python -m repro.telemetry --smoke`` is the self-checking CI gate;
+``python -m repro.telemetry SPANLOG`` replays a JSONL span log into a
+text timeline + summary.
+"""
+
+from repro.telemetry.export import (
+    chrome_trace,
+    iter_spans_jsonl,
+    read_spans_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.timeline import (
+    render_metrics,
+    render_summary,
+    render_timeline,
+)
+from repro.telemetry.tracer import (
+    ENERGY_CATEGORIES,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    reconcile_cluster,
+    reconcile_fleet,
+)
+
+__all__ = [
+    "ENERGY_CATEGORIES",
+    "NULL_TRACER",
+    "DEFAULT_BUCKETS_MS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "iter_spans_jsonl",
+    "read_spans_jsonl",
+    "reconcile_cluster",
+    "reconcile_fleet",
+    "render_metrics",
+    "render_summary",
+    "render_timeline",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_spans_jsonl",
+]

@@ -1,0 +1,178 @@
+"""Span-log exporters: Chrome trace-event JSON and JSONL.
+
+Two interchangeable on-disk forms of one traced run:
+
+* **JSONL span log** — one :class:`~repro.telemetry.Span` dict per
+  line, the tracer's own spill format
+  (:func:`write_spans_jsonl` / :func:`read_spans_jsonl` /
+  :func:`iter_spans_jsonl`). This is the lossless form the
+  ``python -m repro.telemetry`` CLI replays.
+* **Chrome trace-event JSON** — the ``{"traceEvents": [...]}`` format
+  Perfetto (https://ui.perfetto.dev) and ``chrome://tracing`` load
+  directly (:func:`chrome_trace` / :func:`write_chrome_trace`). Track
+  scopes become processes, lanes become threads, complete spans become
+  ``"X"`` events and instants ``"i"`` events; ``energy_mj`` and span
+  args ride along in ``args`` so the UI shows them on click.
+
+Everything is deterministic: events are emitted in a canonical sort
+(timestamp, pid, tid, name), pids/tids are assigned by sorted track
+name, and timestamps are exact ``ms * 1000`` microsecond conversions —
+the golden-schema test pins the output byte-for-byte on a reference
+scenario.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import TelemetryError
+from repro.telemetry.tracer import Span, Tracer
+
+#: ``ph`` values this exporter emits (the golden schema test pins them):
+#: complete spans, instant events, and the process/thread-name metadata.
+CHROME_PHASES = ("X", "i", "M")
+
+
+def _spans_of(source):
+    """Accept a Tracer, an iterable of Spans, or a JSONL path."""
+    if isinstance(source, Tracer):
+        return source.iter_spans()
+    if isinstance(source, str):
+        return iter_spans_jsonl(source)
+    return iter(source)
+
+
+# -- JSONL span log ----------------------------------------------------------------
+
+
+def write_spans_jsonl(source, path):
+    """Stream every span of ``source`` to ``path``; returns the count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as f:
+        for span in _spans_of(source):
+            f.write(json.dumps(span.to_dict(), sort_keys=True))
+            f.write("\n")
+            count += 1
+    return count
+
+
+def iter_spans_jsonl(path):
+    """Yield :class:`Span` rows from a JSONL span log, in file order."""
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TelemetryError(
+                    f"{path}:{lineno}: not a JSON span row ({exc})")
+            yield Span.from_dict(row)
+
+
+def read_spans_jsonl(path):
+    """Load a whole JSONL span log into memory."""
+    return list(iter_spans_jsonl(path))
+
+
+# -- Chrome trace-event JSON -------------------------------------------------------
+
+
+def chrome_trace(source):
+    """Build the Perfetto-loadable trace dict for ``source``.
+
+    Track names sort into stable pid/tid assignments: each distinct
+    scope (the part before the first ``/``) is one process, each full
+    track one thread inside it. Metadata events name both, then the
+    span events follow in (ts, pid, tid, name) order.
+    """
+    spans = list(_spans_of(source))
+    tracks = sorted({s.track for s in spans})
+    scopes = sorted({t.split("/", 1)[0] for t in tracks})
+    pid_of = {scope: i + 1 for i, scope in enumerate(scopes)}
+    tid_of = {track: i + 1 for i, track in enumerate(tracks)}
+
+    events = []
+    for scope in scopes:
+        events.append({"ph": "M", "name": "process_name",
+                       "pid": pid_of[scope], "tid": 0,
+                       "args": {"name": scope}})
+    for track in tracks:
+        events.append({"ph": "M", "name": "thread_name",
+                       "pid": pid_of[track.split("/", 1)[0]],
+                       "tid": tid_of[track], "args": {"name": track}})
+
+    rows = []
+    for span in spans:
+        scope = span.track.split("/", 1)[0]
+        args = dict(span.args) if span.args else {}
+        if span.energy_mj:
+            args["energy_mj"] = span.energy_mj
+        event = {"name": span.name, "cat": span.cat,
+                 "pid": pid_of[scope], "tid": tid_of[span.track],
+                 "ts": span.start_ms * 1000.0}
+        if span.dur_ms is None:
+            event["ph"] = "i"
+            event["s"] = "t"  # thread-scoped instant
+        else:
+            event["ph"] = "X"
+            event["dur"] = span.dur_ms * 1000.0
+        if args:
+            event["args"] = args
+        rows.append(event)
+    rows.sort(key=lambda e: (e["ts"], e["pid"], e["tid"], e["name"]))
+    return {"traceEvents": events + rows, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(source, path):
+    """Write the Perfetto-loadable trace JSON; returns the event count."""
+    trace = chrome_trace(source)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(trace, f, sort_keys=True)
+    return len(trace["traceEvents"])
+
+
+def validate_chrome_trace(trace):
+    """Schema-check a Chrome trace dict (the export contract).
+
+    Every event must carry the required keys for its phase, phases must
+    come from :data:`CHROME_PHASES`, timestamps must be non-negative
+    numbers, and every (pid, tid) must be named by metadata. Raises
+    :class:`~repro.errors.TelemetryError` on the first violation;
+    returns the number of non-metadata events otherwise.
+    """
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise TelemetryError("chrome trace must carry 'traceEvents'")
+    named_pids, named_tids = set(), set()
+    count = 0
+    for event in trace["traceEvents"]:
+        ph = event.get("ph")
+        if ph not in CHROME_PHASES:
+            raise TelemetryError(f"unexpected phase {ph!r} in {event!r}")
+        for key in ("name", "pid", "tid"):
+            if key not in event:
+                raise TelemetryError(f"event missing {key!r}: {event!r}")
+        if ph == "M":
+            if event["name"] == "process_name":
+                named_pids.add(event["pid"])
+            elif event["name"] == "thread_name":
+                named_tids.add((event["pid"], event["tid"]))
+            continue
+        count += 1
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise TelemetryError(f"bad timestamp in {event!r}")
+        if "cat" not in event:
+            raise TelemetryError(f"span event missing cat: {event!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise TelemetryError(f"bad duration in {event!r}")
+        if event["pid"] not in named_pids:
+            raise TelemetryError(
+                f"pid {event['pid']} has no process_name metadata")
+        if (event["pid"], event["tid"]) not in named_tids:
+            raise TelemetryError(
+                f"tid {event['tid']} has no thread_name metadata")
+    return count

@@ -1,0 +1,151 @@
+"""Text rendering of a traced run: ASCII timeline + metric summary.
+
+The terminal-native counterpart of the Perfetto export: given a span
+log (a :class:`~repro.telemetry.Tracer`, a list of spans or a JSONL
+path), :func:`render_timeline` draws one fixed-width lane per track —
+each character cell is a time bucket, glyphed by the dominant span
+category inside it — and :func:`render_summary` tabulates per-track
+occupancy/energy plus the per-category energy rollup. Deterministic by
+construction: tracks render in sorted order and buckets resolve
+category collisions by a fixed priority.
+
+Glyph legend (priority order — the highest-priority category occupying
+a bucket wins the cell):
+
+``#`` compute   ``S`` swap   ``^`` DVFS transition   ``~`` queued
+``=`` batch window open   ``>`` network leg   ``!`` budget throttle
+``.`` idle / standby leakage
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.telemetry.export import _spans_of
+from repro.utils import format_table
+
+#: Rendering priority (first wins a contested bucket) and glyphs.
+CATEGORY_GLYPHS = (
+    ("compute", "#"),
+    ("swap", "S"),
+    ("transition", "^"),
+    ("budget", "!"),
+    ("queue", "~"),
+    ("window", "="),
+    ("net", ">"),
+    ("preempt", "x"),
+    ("scale", "*"),
+    ("idle", "."),
+)
+_PRIORITY = {cat: i for i, (cat, _) in enumerate(CATEGORY_GLYPHS)}
+_GLYPH = dict(CATEGORY_GLYPHS)
+
+
+def _span_rows(source):
+    spans = list(_spans_of(source))
+    if not spans:
+        return spans, 0.0, 0.0
+    t0 = min(s.start_ms for s in spans)
+    t1 = max(s.end_ms for s in spans)
+    return spans, t0, t1
+
+
+def render_timeline(source, width=72, max_tracks=32):
+    """One glyph lane per track over the run's [first, last] interval."""
+    spans, t0, t1 = _span_rows(source)
+    if not spans:
+        return "(no spans)"
+    horizon = max(t1 - t0, 1e-9)
+    tracks = sorted({s.track for s in spans})
+    clipped = len(tracks) > max_tracks
+    tracks = tracks[:max_tracks]
+    lanes = {track: [" "] * width for track in tracks}
+    priority = [[len(CATEGORY_GLYPHS)] * width for _ in tracks]
+    index = {track: i for i, track in enumerate(tracks)}
+
+    for span in spans:
+        lane = lanes.get(span.track)
+        if lane is None:
+            continue
+        rank = _PRIORITY.get(span.cat, len(CATEGORY_GLYPHS) - 1)
+        glyph = _GLYPH.get(span.cat, "?")
+        lo = int((span.start_ms - t0) / horizon * width)
+        hi = int(math.ceil((span.end_ms - t0) / horizon * width))
+        lo = min(max(lo, 0), width - 1)
+        hi = min(max(hi, lo + 1), width)
+        row = priority[index[span.track]]
+        for cell in range(lo, hi):
+            if rank < row[cell]:
+                row[cell] = rank
+                lane[cell] = glyph
+
+    label_width = max(len(t) for t in tracks)
+    lines = [f"timeline {t0:.3f} .. {t1:.3f} ms "
+             f"({horizon:.3f} ms across {width} cells)"]
+    lines += [f"{track.ljust(label_width)} |{''.join(lanes[track])}|"
+              for track in tracks]
+    if clipped:
+        lines.append("... (more tracks clipped; raise max_tracks)")
+    legend = "  ".join(f"{glyph}={cat}" for cat, glyph in CATEGORY_GLYPHS)
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def render_summary(source):
+    """Per-track and per-category tables over a span log."""
+    spans, t0, t1 = _span_rows(source)
+    if not spans:
+        return "(no spans)"
+    per_track = {}
+    per_cat = {}
+    for span in spans:
+        row = per_track.setdefault(span.track,
+                                   {"spans": 0, "busy_ms": 0.0,
+                                    "energy_mj": 0.0})
+        row["spans"] += 1
+        row["energy_mj"] += span.energy_mj
+        if span.dur_ms is not None and span.cat in ("compute", "swap"):
+            row["busy_ms"] += span.dur_ms
+        cat = per_cat.setdefault(span.cat, {"spans": 0, "ms": 0.0,
+                                            "energy_mj": 0.0})
+        cat["spans"] += 1
+        cat["ms"] += span.dur_ms or 0.0
+        cat["energy_mj"] += span.energy_mj
+
+    horizon = max(t1 - t0, 1e-9)
+    track_rows = [
+        [track, str(row["spans"]), f"{row['busy_ms']:.3f}",
+         f"{100.0 * row['busy_ms'] / horizon:.1f}%",
+         f"{row['energy_mj']:.6f}"]
+        for track, row in sorted(per_track.items())
+    ]
+    cat_rows = [
+        [cat, str(row["spans"]), f"{row['ms']:.3f}",
+         f"{row['energy_mj']:.6f}"]
+        for cat, row in sorted(per_cat.items())
+    ]
+    return "\n\n".join([
+        format_table(["Track", "Spans", "Busy (ms)", "Busy %",
+                      "Energy (mJ)"], track_rows,
+                     title=f"Tracks — {len(spans)} spans over "
+                           f"{horizon:.3f} ms"),
+        format_table(["Category", "Spans", "Total (ms)", "Energy (mJ)"],
+                     cat_rows, title="Categories"),
+    ])
+
+
+def render_metrics(registry):
+    """Tabulate a :class:`~repro.telemetry.MetricsRegistry` dump."""
+    rows = []
+    for name, labels, instrument in registry.instruments():
+        label_str = ",".join(f"{k}={v}" for k, v in labels)
+        summary = instrument.summary()
+        kind = summary.pop("type")
+        detail = ", ".join(
+            f"{k}={v:.4g}" if isinstance(v, float) else f"{k}={v}"
+            for k, v in summary.items() if not isinstance(v, dict))
+        rows.append([name, label_str or "-", kind, detail])
+    if not rows:
+        return "(no metrics)"
+    return format_table(["Metric", "Labels", "Type", "Summary"], rows,
+                        title="Metrics")

@@ -1,0 +1,159 @@
+"""Exporters: JSONL round trip and the golden Chrome-trace schema.
+
+The golden file pins the Perfetto-facing contract byte-for-byte on a
+handcrafted reference scenario: pid/tid assignment by sorted track
+name, metadata-before-events ordering, exact µs timestamp conversion,
+energy riding in ``args``. Regenerate it (only on a deliberate format
+change) with::
+
+    PYTHONPATH=src python tests/telemetry/test_chrome_export.py
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    Tracer,
+    chrome_trace,
+    read_spans_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__),
+                           "golden_chrome_trace.json")
+
+
+def reference_tracer():
+    """A tiny fixed scenario touching every export feature."""
+    tracer = Tracer()
+    tracer.span("window", "window", 0.0, 5.0, "cluster/former",
+                args={"task": "sst2", "size": 2, "trigger": "timeout"})
+    tracer.span("dispatch-wait", "queue", 5.0, 1.25, "cluster/queue")
+    tracer.span("swap:sst2", "swap", 6.25, 0.75, "cluster/accel0",
+                energy_mj=0.125)
+    tracer.span("req:r1", "compute", 7.0, 3.0, "cluster/accel0",
+                energy_mj=1.5, args={"task": "sst2", "sentence": 4})
+    tracer.instant("wake", "transition", 6.25, "cluster/accel0",
+                   energy_mj=0.005,
+                   args={"from_vdd": 0.5, "to_vdd": 0.8})
+    tracer.instant("refund", "swap", 8.0, "cluster/accel0",
+                   energy_mj=-0.0625)
+    tracer.span("ingress", "net", 0.0, 1.0, "edge-a/net",
+                args={"request": "r2"})
+    tracer.instant("route:edge-a", "net", 0.0, "fleet/router",
+                   args={"request": "r2", "site": "edge-a"})
+    return tracer
+
+
+class TestJsonlRoundTrip:
+    def test_lossless(self, tmp_path):
+        tracer = reference_tracer()
+        path = str(tmp_path / "spans.jsonl")
+        assert write_spans_jsonl(tracer, path) == tracer.emitted
+        again = read_spans_jsonl(path)
+        assert [s.to_dict() for s in again] \
+            == [s.to_dict() for s in tracer.iter_spans()]
+
+    def test_malformed_line_is_located(self, tmp_path):
+        path = str(tmp_path / "bad.jsonl")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write('{"name": "ok", "cat": "compute", "start_ms": 0.0, '
+                    '"track": "t"}\n')
+            f.write("not json\n")
+        with pytest.raises(TelemetryError, match=r"bad\.jsonl:2"):
+            read_spans_jsonl(path)
+
+
+class TestChromeTrace:
+    def test_matches_golden_byte_for_byte(self):
+        got = json.dumps(chrome_trace(reference_tracer()),
+                         sort_keys=True)
+        with open(GOLDEN_PATH, encoding="utf-8") as f:
+            golden = f.read().strip()
+        assert got == golden, (
+            "Chrome trace format drifted from the golden schema; if "
+            "deliberate, regenerate with PYTHONPATH=src python "
+            "tests/telemetry/test_chrome_export.py")
+
+    def test_validates_and_counts_events(self):
+        tracer = reference_tracer()
+        trace = chrome_trace(tracer)
+        assert validate_chrome_trace(trace) == tracer.emitted
+
+    def test_write_equals_build(self, tmp_path):
+        tracer = reference_tracer()
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(tracer, path)
+        with open(path, encoding="utf-8") as f:
+            assert json.load(f) == chrome_trace(tracer)
+
+    def test_pid_tid_assignment_is_sorted_and_stable(self):
+        trace = chrome_trace(reference_tracer())
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        procs = {e["args"]["name"]: e["pid"] for e in meta
+                 if e["name"] == "process_name"}
+        assert procs == {"cluster": 1, "edge-a": 2, "fleet": 3}
+        threads = {e["args"]["name"]: (e["pid"], e["tid"]) for e in meta
+                   if e["name"] == "thread_name"}
+        assert threads["cluster/accel0"] == (1, 1)
+        assert threads["fleet/router"] == (3, 5)
+
+    def test_events_sorted_and_metadata_first(self):
+        events = chrome_trace(reference_tracer())["traceEvents"]
+        phases = [e["ph"] for e in events]
+        n_meta = phases.count("M")
+        assert set(phases[:n_meta]) == {"M"}
+        rows = events[n_meta:]
+        keys = [(e["ts"], e["pid"], e["tid"], e["name"]) for e in rows]
+        assert keys == sorted(keys)
+
+    def test_energy_and_units(self):
+        events = chrome_trace(reference_tracer())["traceEvents"]
+        compute = next(e for e in events if e["name"] == "req:r1")
+        assert compute["ph"] == "X"
+        assert compute["ts"] == 7000.0 and compute["dur"] == 3000.0
+        assert compute["args"]["energy_mj"] == 1.5
+        refund = next(e for e in events if e["name"] == "refund")
+        assert refund["ph"] == "i" and refund["s"] == "t"
+        assert refund["args"]["energy_mj"] == -0.0625
+
+
+class TestValidator:
+    def test_rejects_missing_trace_events(self):
+        with pytest.raises(TelemetryError):
+            validate_chrome_trace({"events": []})
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(TelemetryError, match="phase"):
+            validate_chrome_trace({"traceEvents": [
+                {"ph": "B", "name": "x", "pid": 1, "tid": 1, "ts": 0}]})
+
+    def test_rejects_unnamed_pid(self):
+        with pytest.raises(TelemetryError, match="process_name"):
+            validate_chrome_trace({"traceEvents": [
+                {"ph": "i", "name": "x", "cat": "net", "pid": 1,
+                 "tid": 1, "ts": 0.0, "s": "t"}]})
+
+    def test_rejects_negative_duration(self):
+        trace = chrome_trace(reference_tracer())
+        broken = json.loads(json.dumps(trace))
+        for event in broken["traceEvents"]:
+            if event["ph"] == "X":
+                event["dur"] = -1.0
+                break
+        with pytest.raises(TelemetryError, match="duration"):
+            validate_chrome_trace(broken)
+
+
+if __name__ == "__main__":
+    # Regenerate the golden file after a deliberate format change.
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as f:
+        f.write(json.dumps(chrome_trace(reference_tracer()),
+                           sort_keys=True))
+        f.write("\n")
+    print(f"regenerated {GOLDEN_PATH}")

@@ -1,0 +1,54 @@
+"""The ``python -m repro.telemetry`` driver: replay and smoke gate."""
+
+import json
+
+import pytest
+
+from repro.telemetry import Tracer, write_spans_jsonl
+from repro.telemetry.__main__ import main, run_replay, run_smoke
+
+
+@pytest.fixture()
+def span_log(tmp_path):
+    tracer = Tracer()
+    tracer.span("window", "window", 0.0, 5.0, "cluster/former")
+    tracer.span("req:r1", "compute", 5.0, 2.0, "cluster/accel0",
+                energy_mj=0.5)
+    tracer.instant("wake", "transition", 5.0, "cluster/accel0",
+                   energy_mj=0.01)
+    path = str(tmp_path / "spans.jsonl")
+    write_spans_jsonl(tracer, path)
+    return path
+
+
+class TestReplay:
+    def test_renders_and_exports(self, span_log, tmp_path, capsys):
+        out = str(tmp_path / "trace.json")
+        assert run_replay(span_log, chrome_out=out) == 3
+        printed = capsys.readouterr().out
+        assert "timeline" in printed and "cluster/accel0" in printed
+        assert "Categories" in printed
+        with open(out, encoding="utf-8") as f:
+            trace = json.load(f)
+        assert any(e["name"] == "req:r1" for e in trace["traceEvents"])
+
+    def test_main_replay_exit_codes(self, span_log, capsys):
+        assert main([span_log, "--quiet"]) == 0
+        assert main(["/nonexistent/spans.jsonl"]) == 1
+        assert "RUN FAILED" in capsys.readouterr().err
+
+    def test_main_requires_an_action(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestSmoke:
+    def test_smoke_gate_passes(self):
+        # Small but end-to-end: both engines + the fleet, traced and
+        # untraced, with every telemetry self-check enforced.
+        summaries = run_smoke(num_requests=150, verbose=False)
+        assert set(summaries) == {"event", "vector", "fleet"}
+
+    def test_main_smoke_exit_code(self, capsys):
+        assert main(["--smoke", "--requests", "100", "--quiet"]) == 0
+        assert capsys.readouterr().err == ""

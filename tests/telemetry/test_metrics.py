@@ -1,0 +1,114 @@
+"""Metrics instruments: counters, gauges, histograms, the registry."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    DEFAULT_BUCKETS_MS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_and_weighted_inc(self):
+        c = MetricsRegistry().counter("served")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.summary() == {"type": "counter", "value": 5}
+
+    def test_negative_inc_raises(self):
+        c = MetricsRegistry().counter("served")
+        with pytest.raises(TelemetryError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_series_and_aggregates(self):
+        g = MetricsRegistry().gauge("queue_depth")
+        for t, v in ((0.0, 2), (1.0, 6), (2.0, 4)):
+            g.set(t, v)
+        assert g.value == 4 and g.t_ms == 2.0
+        assert g.samples == 3
+        assert g.mean() == pytest.approx(4.0)
+        assert g.peak() == 6
+
+    def test_ring_buffer_is_bounded(self):
+        g = MetricsRegistry(series_maxlen=8).gauge("depth")
+        for i in range(100):
+            g.set(float(i), i)
+        assert g.samples == 100
+        assert len(g.series) == 8
+        assert list(g.series)[0] == (92.0, 92)
+        assert g.mean() == pytest.approx(sum(range(92, 100)) / 8)
+
+    def test_empty_gauge_summary(self):
+        g = MetricsRegistry().gauge("depth")
+        assert g.summary() == {"type": "gauge", "last": None,
+                               "samples": 0, "window_mean": 0.0,
+                               "window_peak": 0.0}
+
+
+class TestHistogram:
+    def test_bucketing_and_moments(self):
+        h = Histogram("lat", (), bounds=(1.0, 10.0, 100.0))
+        h.observe_many([0.5, 1.0, 5.0, 50.0, 500.0])
+        assert h.count == 5
+        assert h.counts == [2, 1, 1, 1]  # le_1, le_10, le_100, overflow
+        assert h.min == 0.5 and h.max == 500.0
+        assert h.mean == pytest.approx(111.3)
+
+    def test_quantiles_are_bucket_bounds(self):
+        h = Histogram("lat", (), bounds=(1.0, 10.0, 100.0))
+        h.observe_many([0.5] * 90 + [50.0] * 9 + [500.0])
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(0.95) == 100.0
+        assert h.quantile(1.0) == 500.0  # overflow resolves to max
+        with pytest.raises(TelemetryError):
+            h.quantile(1.5)
+
+    def test_empty_histogram(self):
+        h = Histogram("lat", (), bounds=DEFAULT_BUCKETS_MS)
+        assert h.mean == 0.0 and h.quantile(0.99) == 0.0
+        assert h.summary()["count"] == 0
+
+    def test_unsorted_bounds_raise(self):
+        with pytest.raises(TelemetryError):
+            Histogram("lat", (), bounds=(10.0, 1.0))
+        with pytest.raises(TelemetryError):
+            Histogram("lat", (), bounds=())
+
+
+class TestRegistry:
+    def test_get_or_create_by_name_and_labels(self):
+        m = MetricsRegistry()
+        a = m.counter("served", scope="edge-a")
+        b = m.counter("served", scope="edge-b")
+        assert a is not b
+        assert m.counter("served", scope="edge-a") is a
+        a.inc()
+        assert b.value == 0
+
+    def test_label_order_is_canonical(self):
+        m = MetricsRegistry()
+        assert m.counter("x", a="1", b="2") is m.counter("x", b="2",
+                                                         a="1")
+
+    def test_kind_collision_raises(self):
+        m = MetricsRegistry()
+        m.counter("served")
+        with pytest.raises(TelemetryError):
+            m.gauge("served")
+
+    def test_summary_keys_are_deterministic(self):
+        m = MetricsRegistry()
+        m.gauge("depth", scope="edge-b").set(0.0, 3)
+        m.counter("served", scope="edge-a").inc()
+        m.histogram("lat").observe(2.0)
+        assert list(m.summary()) == ["depth{scope=edge-b}", "lat",
+                                     "served{scope=edge-a}"]
+
+    def test_bad_series_maxlen_raises(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry(series_maxlen=0)
