@@ -1,0 +1,103 @@
+"""Perf-trajectory index: one machine-readable view of BENCH_*.json.
+
+Each perf bench that gates a trajectory persists its committed
+artifact as ``benchmarks/BENCH_<name>.json`` (currently the replay
+engine and telemetry overhead benches). This script folds every such
+artifact into ``benchmarks/BENCH_index.json`` so tooling can read the
+whole trajectory from one file — per artifact it records the source
+file and the flattened scalar leaves (dotted keys), which is exactly
+the set of numbers a trend plot or regression diff would want.
+
+The index is deterministic: artifacts sort by name, keys sort within
+each artifact, and no timestamps are stamped (the sim-clock rule —
+artifacts change only when a bench reruns and commits new numbers).
+
+Run:  pytest benchmarks/bench_index.py -s
+ or:  python benchmarks/bench_index.py
+"""
+
+import glob
+import json
+import os
+
+from conftest import RESULTS_DIR, emit
+from repro.utils import format_table
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+INDEX_PATH = os.path.join(BENCH_DIR, "BENCH_index.json")
+
+
+def _flatten(value, prefix=""):
+    """Yield (dotted_key, scalar) leaves of a JSON value, depth-first.
+
+    Lists flatten by index; only scalar leaves (numbers, strings,
+    booleans, null) are emitted — the index carries every measured
+    number without guessing which ones matter.
+    """
+    if isinstance(value, dict):
+        for key in sorted(value):
+            dotted = f"{prefix}.{key}" if prefix else str(key)
+            yield from _flatten(value[key], dotted)
+    elif isinstance(value, (list, tuple)):
+        for i, item in enumerate(value):
+            yield from _flatten(item, f"{prefix}.{i}" if prefix
+                                else str(i))
+    else:
+        yield prefix, value
+
+
+def build_index():
+    """Read every committed BENCH_*.json; return the index record."""
+    artifacts = {}
+    pattern = os.path.join(BENCH_DIR, "BENCH_*.json")
+    for path in sorted(glob.glob(pattern)):
+        if os.path.abspath(path) == INDEX_PATH:
+            continue
+        name = os.path.basename(path)[len("BENCH_"):-len(".json")]
+        with open(path, encoding="utf-8") as f:
+            record = json.load(f)
+        artifacts[name] = {
+            "file": os.path.basename(path),
+            "metrics": dict(_flatten(record)),
+        }
+    return {"artifacts": artifacts, "num_artifacts": len(artifacts)}
+
+
+def _write_index(index):
+    with open(INDEX_PATH, "w", encoding="utf-8") as f:
+        json.dump(index, f, indent=2, sort_keys=True)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "bench_index.json"), "w",
+              encoding="utf-8") as f:
+        json.dump(index, f, indent=2, sort_keys=True)
+    return INDEX_PATH
+
+
+def _build_table(index):
+    rows = [[name, entry["file"], str(len(entry["metrics"]))]
+            for name, entry in sorted(index["artifacts"].items())]
+    return format_table(
+        ["Artifact", "File", "Scalar metrics"], rows,
+        title=f"Perf-trajectory index — "
+              f"{index['num_artifacts']} committed artifacts")
+
+
+def test_bench_index():
+    index = build_index()
+    # The trajectory must not read as empty: the replay and telemetry
+    # benches both commit artifacts.
+    assert index["num_artifacts"] >= 2
+    for entry in index["artifacts"].values():
+        assert entry["metrics"], f"{entry['file']} flattened to nothing"
+    _write_index(index)
+    emit("bench_index", _build_table(index))
+    # Round-trip: the committed index re-reads to the built one.
+    with open(INDEX_PATH, encoding="utf-8") as f:
+        assert json.load(f) == index
+
+
+if __name__ == "__main__":
+    result = build_index()
+    path = _write_index(result)
+    print(_build_table(result))
+    print(f"\nwrote {path}")

@@ -1,11 +1,13 @@
 """Telemetry overhead bench: tracing must be nearly free.
 
 Replays a seeded 100k-request diurnal trace through the vectorized
-engine four ways — untraced (the :data:`~repro.telemetry.NULL_TRACER`
+engine five ways — untraced (the :data:`~repro.telemetry.NULL_TRACER`
 fast path), traced with a default unbounded :class:`Tracer`, traced
-with a spilling (bounded-memory) tracer, and traced with metrics
-sampling on top — and gates the default traced run's wall clock at
-:data:`MAX_OVERHEAD` times the untraced one. The vector engine
+with a spilling (bounded-memory) tracer, traced with metrics sampling
+on top, and monitored (a :class:`~repro.telemetry.TelemetryMonitor`
+with the stock rule set, no tracer) — and gates the default traced
+run's wall clock at :data:`MAX_OVERHEAD` times the untraced one and
+the monitored run at :data:`MAX_MONITOR_OVERHEAD` times it. The vector engine
 reconstructs batch-granular spans from the replay plan, so the traced
 run also re-verifies the observability contract at bench scale: its
 report is bit-identical to the untraced one and the span-energy rollup
@@ -18,9 +20,11 @@ tracing, the spill row prices the bounded-memory opt-in.
 
 Wall clocks on shared machines drift within a run (thermal/noisy
 neighbors), so each mode is re-run :data:`REPEATS` times with the mode
-order flipped on alternate rounds and the best time kept — the
-best-of-N of interleaved rounds is robust to slow drift that would
-bias a sequential A/A/A/B/B/B comparison.
+order flipped on alternate rounds. Reported wall clocks are best-of-N
+and the overhead ratios are computed from them: the workload is
+deterministic and CPU-bound, so each mode's minimum approaches its
+true cost while medians and means absorb whatever noisy-neighbor
+bursts landed in that round.
 
 ``benchmarks/BENCH_telemetry.json`` is the persisted perf-trajectory
 artifact: the committed copy is the baseline, and the bench fails —
@@ -30,8 +34,9 @@ than its margin beyond the baseline ratio.
 Gates (fail the bench before any reporting does):
 
 * traced (unbounded) wall clock <= ``MAX_OVERHEAD`` x untraced;
-* every traced variant's report bit-identical to untraced; the traced
-  rollup reconciles at 1e-9; the spill cap actually engaged;
+* monitored wall clock <= ``MAX_MONITOR_OVERHEAD`` x untraced;
+* every traced/monitored variant's report bit-identical to untraced;
+  the traced rollup reconciles at 1e-9; the spill cap actually engaged;
 * fresh traced ratio within ``REGRESSION_MARGIN`` of the baseline,
   fresh spilling ratio within ``SPILL_REGRESSION_MARGIN`` of it.
 
@@ -48,7 +53,8 @@ import time
 from conftest import RESULTS_DIR, emit
 from repro.cluster import ClusterSimulator, generate_diurnal_trace
 from repro.serving import synthetic_registry
-from repro.telemetry import (MetricsRegistry, Tracer, reconcile_cluster)
+from repro.telemetry import (MetricsRegistry, TelemetryMonitor, Tracer,
+                             default_rules, reconcile_cluster)
 from repro.utils import format_table
 
 TASKS = ("sst2", "mnli", "qqp", "qnli")
@@ -64,10 +70,14 @@ NUM_REQUESTS = 100_000
 #: small enough that the replay spills several times (the spill row
 #: times the bounded-memory path, not an unbounded buffer).
 SPILL_CAP = 4096
-REPEATS = 7
+REPEATS = 9
 
 #: Default traced wall clock may cost at most this factor over untraced.
 MAX_OVERHEAD = 1.10
+#: Monitored (stock rule set) wall clock gate: the monitor does
+#: windowed rule math per committed run, a bit dearer than span
+#: emission but still near-free at 100k scale.
+MAX_MONITOR_OVERHEAD = 1.15
 #: Fresh traced ratio may exceed the committed baseline ratio by at
 #: most this much (absolute) before the bench fails — sized to machine
 #: noise (interleaved best-of-N still wobbles a few percent).
@@ -90,13 +100,15 @@ def _canonical(report):
     return json.dumps(report.summary(), sort_keys=True)
 
 
-def _one_run(registry, trace, tracer=None, metrics=False):
+def _one_run(registry, trace, tracer=None, metrics=False,
+             monitor=None):
     """One timed replay; returns (elapsed_seconds, report)."""
     sim = ClusterSimulator(
         registry, num_accelerators=POOL, policy="fifo",
         max_batch_size=MAX_BATCH, batch_timeout_ms=TIMEOUT_MS,
         engine="vector", tracer=tracer,
-        metrics=MetricsRegistry() if metrics else None)
+        metrics=MetricsRegistry() if metrics else None,
+        monitor=monitor)
     gc.collect()
     gc.disable()
     try:
@@ -118,12 +130,15 @@ def run_benchmark(seed=0):
     with tempfile.TemporaryDirectory(prefix="bench_telemetry_") as tmp:
         spill = os.path.join(tmp, "spans.jsonl")
         modes = [
-            ("untraced", lambda: (None, False)),
-            ("traced", lambda: (Tracer(), False)),
+            ("untraced", lambda: (None, False, None)),
+            ("traced", lambda: (Tracer(), False, None)),
             ("traced_spilling",
              lambda: (Tracer(max_spans=SPILL_CAP, spill_path=spill),
-                      False)),
-            ("traced_with_metrics", lambda: (Tracer(), True)),
+                      False, None)),
+            ("traced_with_metrics", lambda: (Tracer(), True, None)),
+            ("monitored",
+             lambda: (None, False,
+                      TelemetryMonitor(default_rules()))),
         ]
         best = {}
         reports = {}
@@ -134,10 +149,11 @@ def run_benchmark(seed=0):
             # drift within a round then biases each mode both ways.
             ordering = modes if round_no % 2 == 0 else modes[::-1]
             for name, make in ordering:
-                tracer, metrics = make()
+                tracer, metrics, monitor = make()
                 elapsed, report = _one_run(registry, trace,
                                            tracer=tracer,
-                                           metrics=metrics)
+                                           metrics=metrics,
+                                           monitor=monitor)
                 if name not in best or elapsed < best[name]:
                     best[name] = elapsed
                 reports[name] = report
@@ -148,7 +164,7 @@ def run_benchmark(seed=0):
         # Contract checks at bench scale, while the tracers are live.
         base = _canonical(reports["untraced"])
         for name in ("traced", "traced_spilling",
-                     "traced_with_metrics"):
+                     "traced_with_metrics", "monitored"):
             _require(_canonical(reports[name]) == base,
                      f"{name} perturbed the 100k replay report")
         reconcile_cluster(tracers["traced"], reports["traced"],
@@ -168,7 +184,12 @@ def run_benchmark(seed=0):
         }
         for name, wall in best.items()
     }
-    untraced = best["untraced"]
+    def ratio(name):
+        # Noise-floor comparison: the deterministic workload's best
+        # wall approaches its true cost; any other statistic folds
+        # noisy-neighbor bursts into the overhead it claims to price.
+        return best[name] / best["untraced"]
+
     return {
         "config": {
             "tasks": list(TASKS),
@@ -186,11 +207,12 @@ def run_benchmark(seed=0):
         "traced": timings["traced"],
         "traced_spilling": timings["traced_spilling"],
         "traced_with_metrics": timings["traced_with_metrics"],
+        "monitored": timings["monitored"],
         "spans_emitted": emitted,
-        "overhead_ratio": best["traced"] / untraced,
-        "overhead_spilling_ratio": best["traced_spilling"] / untraced,
-        "overhead_with_metrics_ratio":
-            best["traced_with_metrics"] / untraced,
+        "overhead_ratio": ratio("traced"),
+        "overhead_spilling_ratio": ratio("traced_spilling"),
+        "overhead_with_metrics_ratio": ratio("traced_with_metrics"),
+        "overhead_monitored_ratio": ratio("monitored"),
     }
 
 
@@ -199,6 +221,10 @@ def _check_gates(record, baseline=None):
     _require(ratio <= MAX_OVERHEAD,
              f"traced replay costs {ratio:.3f}x untraced "
              f"(gate: <= {MAX_OVERHEAD:.2f}x)")
+    monitored = record["overhead_monitored_ratio"]
+    _require(monitored <= MAX_MONITOR_OVERHEAD,
+             f"monitored replay costs {monitored:.3f}x untraced "
+             f"(gate: <= {MAX_MONITOR_OVERHEAD:.2f}x)")
     if baseline is not None:
         for key, margin in (("overhead_ratio", REGRESSION_MARGIN),
                             ("overhead_spilling_ratio",
@@ -232,13 +258,16 @@ def _write_result(record):
 
 def _build_table(record):
     rows = []
-    for label, key in (("untraced", "untraced"),
-                       ("traced", "traced"),
-                       ("traced (spilling)", "traced_spilling"),
-                       ("traced + metrics", "traced_with_metrics")):
+    for label, key, ratio_key in (
+            ("untraced", "untraced", None),
+            ("traced", "traced", "overhead_ratio"),
+            ("traced (spilling)", "traced_spilling",
+             "overhead_spilling_ratio"),
+            ("traced + metrics", "traced_with_metrics",
+             "overhead_with_metrics_ratio"),
+            ("monitored", "monitored", "overhead_monitored_ratio")):
         timing = record[key]
-        ratio = timing["wall_seconds"] \
-            / record["untraced"]["wall_seconds"]
+        ratio = 1.0 if ratio_key is None else record[ratio_key]
         rows.append([label, f"{timing['wall_seconds']:.2f}",
                      f"{timing['requests_per_second']:,.0f}",
                      f"{ratio:.3f}x"])

@@ -14,21 +14,38 @@ https://ui.perfetto.dev) plus the lossless JSONL span log
 (``fleet_spans.jsonl``, replayable with
 ``python -m repro.telemetry fleet_spans.jsonl``), audits the traced
 span energy against the fleet ledgers at 1e-9, and prints the
-per-site metric summary off the shared registry.
+per-site metric summary off the shared registry. A
+:class:`~repro.telemetry.TelemetryMonitor` with the default SRE rule
+set rides along on the same run and writes whatever fired to
+``fleet_alerts.jsonl`` (replayable with
+``python -m repro.telemetry.monitor --replay fleet_spans.jsonl``).
 
-Run:  PYTHONPATH=src python examples/fleet_traffic.py
-(no trained artifacts needed — synthetic profiles)
+Run:  PYTHONPATH=src python examples/fleet_traffic.py [--out DIR]
+(no trained artifacts needed — synthetic profiles; artifacts land in
+``--out``, default ``./out``)
 """
+
+import argparse
+import os
 
 from repro.fleet import FleetAutoscaler, FleetOrchestrator
 from repro.fleet.__main__ import reference_fleet, reference_workload
-from repro.telemetry import (MetricsRegistry, Tracer, reconcile_fleet,
+from repro.telemetry import (MetricsRegistry, TelemetryMonitor, Tracer,
+                             default_rules, reconcile_fleet,
                              render_metrics, render_timeline,
                              write_chrome_trace, write_spans_jsonl)
 from repro.utils import format_table
 
 
-def main():
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="multi-site fleet routing demo")
+    parser.add_argument(
+        "--out", default="./out", metavar="DIR",
+        help="directory for trace/span/alert artifacts (default ./out)")
+    args = parser.parse_args(argv)
+    os.makedirs(args.out, exist_ok=True)
+
     registry, trace = reference_workload(num_requests=400)
     configs = reference_fleet()
     print(format_table(
@@ -46,15 +63,17 @@ def main():
     rows = []
     tracer = Tracer()
     metrics = MetricsRegistry()
+    monitor = TelemetryMonitor(default_rules(), registry=metrics)
     for policy in ("round-robin", "least-loaded", "energy"):
-        # Only the headline (energy) run is traced; tracing is
+        # Only the headline (energy) run is traced/monitored; both are
         # read-only, so its report matches an untraced run bit-for-bit.
         traced = policy == "energy"
         fleet = FleetOrchestrator(
             registry, configs, routing=policy,
             autoscaler=FleetAutoscaler(),
             tracer=tracer if traced else None,
-            metrics=metrics if traced else None)
+            metrics=metrics if traced else None,
+            monitor=monitor if traced else None)
         report = fleet.run(trace)
         report.reconcile(tol=1e-9)
         reports[policy] = report
@@ -108,12 +127,27 @@ def main():
     print(render_metrics(metrics))
     print()
 
-    n_events = write_chrome_trace(tracer, "fleet_trace.json")
-    n_spans = write_spans_jsonl(tracer, "fleet_spans.jsonl")
-    print(f"wrote fleet_trace.json ({n_events} events — load in "
+    incident_report = monitor.report()
+    worst = incident_report.worst_severity()
+    print(f"monitor: {incident_report.num_alerts} alerts / "
+          f"{incident_report.num_incidents} incidents"
+          + (f" (worst: {worst})" if worst else " — all quiet"))
+    for scope in sorted(incident_report.health):
+        print(f"  health[{scope}] = {incident_report.health[scope]:.2f}")
+    print()
+
+    trace_path = os.path.join(args.out, "fleet_trace.json")
+    spans_path = os.path.join(args.out, "fleet_spans.jsonl")
+    alerts_path = os.path.join(args.out, "fleet_alerts.jsonl")
+    n_events = write_chrome_trace(tracer, trace_path)
+    n_spans = write_spans_jsonl(tracer, spans_path)
+    n_rows = incident_report.to_jsonl(alerts_path)
+    print(f"wrote {trace_path} ({n_events} events — load in "
           "https://ui.perfetto.dev)")
-    print(f"wrote fleet_spans.jsonl ({n_spans} spans — replay with "
-          "python -m repro.telemetry fleet_spans.jsonl)")
+    print(f"wrote {spans_path} ({n_spans} spans — replay with "
+          f"python -m repro.telemetry {spans_path})")
+    print(f"wrote {alerts_path} ({n_rows} rows — alerts, incidents, "
+          "health)")
 
 
 if __name__ == "__main__":

@@ -125,6 +125,55 @@ class _Planned:
         self.by_size = by_size
 
 
+def _drain_monitor_log(mon, scope, log, arr_o, dead_eps_o, ids_o):
+    """Replay deferred monitor feeds with the latency math done in bulk.
+
+    The hot loop records ``(kind, ...)`` tuples at the exact commit
+    points the live path would feed the monitor — kind 0 a queue-depth
+    sample ``(t, depth)``, kind 1 a swap ``(t, task, accel_id)``,
+    kind 2 a completed run ``(t, task, target_ms, pos, finish)``. The
+    per-run latency/violation arithmetic runs here once over
+    whole-trace arrays: concatenating the runs' finish columns and
+    gathering arrivals/deadlines once yields elementwise the identical
+    float64 subtract/compare the live path does per run, so the alert
+    stream is bit-identical to a live-fed (metered) replay and to the
+    event engine. Latency slices handed to the monitor are views into
+    one contiguous array — no per-run allocation survives.
+    """
+    runs = [e for e in log if e[0] == 2]
+    if runs:
+        lengths = np.fromiter((len(e[4]) for e in runs),
+                              dtype=np.intp, count=len(runs))
+        all_pos = np.concatenate([e[4] for e in runs])
+        finish_all = np.concatenate([e[5] for e in runs])
+        lat_all = finish_all - arr_o[all_pos]
+        vm_all = finish_all > dead_eps_o[all_pos]
+        offsets = np.zeros(len(runs), dtype=np.intp)
+        np.cumsum(lengths[:-1], out=offsets[1:])
+        nv_all = np.add.reduceat(vm_all.astype(np.int64), offsets)
+    observe_done = mon.observe_completions
+    observe_queue = mon.observe_queue_depth
+    observe_swap = mon.observe_swap
+    i = 0
+    for event in log:
+        kind = event[0]
+        if kind == 2:
+            start = offsets[i]
+            stop = start + lengths[i]
+            nv = int(nv_all[i])
+            viol = ((lambda s=start, e=stop:
+                     ids_o[all_pos[s:e]][vm_all[s:e]])
+                    if nv else ())
+            observe_done(scope, event[2], event[3], event[1],
+                         int(lengths[i]), nv, lat_all[start:stop],
+                         viol)
+            i += 1
+        elif kind == 0:
+            observe_queue(scope, event[1], event[2])
+        else:
+            observe_swap(scope, event[1], event[2], event[3])
+
+
 def _precheck(sim, requests, ids, sentences, arrivals, keymap, key_max_sent):
     """Batched duplicate/validity checks mirroring per-inject semantics.
 
@@ -295,6 +344,29 @@ def run_vectorized(sim, requests):
     tracer = sim.tracer
     traced = tracer.enabled
     metered = sim._m_served is not None
+    mon = sim._mon
+    monitored = mon is not None
+    # Monitor feeds and the queue gauge both need the running
+    # closed-batch request count.
+    sampled = metered or monitored
+    scope = sim.trace_scope
+    ids_o = ids[order] if monitored else None
+    # Bound monitor feeds, hoisted out of the hot loop.
+    mon_queue = mon.observe_queue_depth if monitored else None
+    mon_done = mon.observe_completions if monitored else None
+    mon_swap = mon.observe_swap if monitored else None
+    # Monitor-only replays defer their feeds: nothing reads monitor
+    # state mid-replay (health feedback lives in the fleet loop, which
+    # drives the event engine), so the hot loop records cheap event
+    # tuples and _drain_monitor_log replays them in commit order after
+    # the heap drains, with the per-run latency math done in bulk.
+    # Metered runs keep live feeds (metrics share the per-run arrays).
+    defer_mon = monitored and not metered
+    mon_log = [] if defer_mon else None
+    # Violation predicate, hoisted: (dead + eps)[pos] is elementwise
+    # identical to dead[pos] + eps, so one bulk add here replaces a
+    # temp-array add per completed run on the sampled hot path.
+    dead_eps_o = dead_o + 1e-9 if sampled else None
     trk_former = sim._trk_former
     trk_queue = sim._trk_queue
     win_log = []  # (opened_ms, closed_ms, task, mode, size, by_size)
@@ -336,6 +408,12 @@ def run_vectorized(sim, requests):
             energies = table.energy_mj[sent].tolist()
         run = accel.begin(pending_batch, results, latencies, now,
                           swap_cost)
+        if monitored \
+                and (run.swap_ms > 0.0 or run.swap_energy_mj != 0.0):
+            if defer_mon:
+                mon_log.append((1, now, batch.task, accel.accel_id))
+            else:
+                mon_swap(scope, now, batch.task, accel.accel_id)
         sim._price_cache.pop(pending_batch.seq, None)
         report.num_batches += 1
         heappush(events, (run.end_ms, dyn_seq, _DONE,
@@ -350,8 +428,13 @@ def run_vectorized(sim, requests):
                 return
             pending_batch, accel = placement
             pending.remove(pending_batch)
-            if metered:
+            if sampled:
                 queued_reqs -= len(pending_batch)
+            if monitored:
+                if defer_mon:
+                    mon_log.append((0, now, queued_reqs))
+                else:
+                    mon_queue(scope, now, queued_reqs)
             free_accels.remove(accel)
             start_batch(pending_batch, accel, now)
 
@@ -390,9 +473,15 @@ def run_vectorized(sim, requests):
                                 pending_batch.ready_ms, payload.task,
                                 payload.mode, len(plist),
                                 payload.by_size))
-            if metered:
+            if sampled:
                 queued_reqs += len(plist)
-                sim._m_queue.set(now, queued_reqs)
+                if defer_mon:
+                    mon_log.append((0, now, queued_reqs))
+                else:
+                    if metered:
+                        sim._m_queue.set(now, queued_reqs)
+                    if monitored:
+                        mon_queue(scope, now, queued_reqs)
             dispatch(now)
         else:  # _DONE
             accel, run, energies, pos = payload
@@ -411,18 +500,37 @@ def run_vectorized(sim, requests):
                 makespan = run.end_ms
             if traced:
                 run_log.append((run, energies))
-            if metered:
+            if defer_mon:
+                mon_log.append((2, now, run.pending.task,
+                                float(run.pending.batch.target_ms),
+                                pos, run.finish_ms))
+            elif sampled:
                 n_served = len(energies)
                 arr = arr_o[pos]
-                sim._m_served.inc(n_served)
-                sim._m_free.set(now, len(free_accels))
-                sim._m_latency.observe_many(
-                    (run.finish_ms - arr).tolist())
-                sim._m_qdelay.observe_many(
-                    (np.full(n_served, run.start_ms) - arr).tolist())
-                sim._m_violations.inc(int(
-                    (run.finish_ms > dead_o[pos] + 1e-9).sum()))
+                lat = run.finish_ms - arr
+                vm = run.finish_ms > dead_eps_o[pos]
+                nv = int(np.count_nonzero(vm))
+                if metered:
+                    sim._m_served.inc(n_served)
+                    sim._m_free.set(now, len(free_accels))
+                    sim._m_latency.observe_many(lat)
+                    sim._m_qdelay.observe_many(run.start_ms - arr)
+                    sim._m_violations.inc(nv)
+                if monitored:
+                    # Violator ids feed alert evidence, which only
+                    # materializes if a burn alert opens — hand the
+                    # monitor a thunk instead of gathering ids per run.
+                    viol_ids = ((lambda p=pos, m=vm: ids_o[p][m])
+                                if nv else ())
+                    mon_done(
+                        scope, run.pending.task,
+                        float(run.pending.batch.target_ms), now,
+                        n_served, nv, lat, viol_ids)
             dispatch(now)
+
+    if defer_mon and mon_log:
+        _drain_monitor_log(mon, scope, mon_log, arr_o, dead_eps_o,
+                           ids_o)
 
     if traced:
         # Reconstruct the batch-granular spans from the retained plan

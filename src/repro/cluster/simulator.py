@@ -104,7 +104,7 @@ class ClusterSimulator:
                  budget_window_ms=100.0, deadline_aware=False,
                  adaptive_timeout=False, standby_timeout_ms=None,
                  deadline_sizing=False, engine="auto", tracer=None,
-                 metrics=None, trace_scope="cluster"):
+                 metrics=None, monitor=None, trace_scope="cluster"):
         if mode not in SERVING_MODES:
             raise ClusterError(
                 f"unknown mode {mode!r}; expected one of {SERVING_MODES}")
@@ -187,6 +187,12 @@ class ClusterSimulator:
         #: Optional :class:`~repro.telemetry.MetricsRegistry`; sampled
         #: on the event clock with ``scope=trace_scope`` labels.
         self.metrics = metrics
+        #: Optional :class:`~repro.telemetry.monitor.TelemetryMonitor`;
+        #: fed read-only observations (completions, queue depth,
+        #: throttles, swaps, park/wake) at the instants they commit, on
+        #: both engines, so alert streams are engine-invariant and a
+        #: monitored report is bit-identical to an unmonitored one.
+        self.monitor = monitor
         #: Leading component of every track this run emits on —
         #: ``"cluster"`` standalone, the site id inside a fleet.
         self.trace_scope = str(trace_scope)
@@ -298,6 +304,7 @@ class ClusterSimulator:
                                           scope=scope)
             self._m_qdelay = m.histogram("queueing_delay_ms",
                                          scope=scope)
+        self._mon = self.monitor
 
     def inject(self, request, at_ms=None):
         """Validate ``request`` and schedule its arrival.
@@ -399,11 +406,19 @@ class ClusterSimulator:
             if self.tracer.enabled:
                 self.tracer.instant("park-device", "scale",
                                     self._loop.now_ms, accel.track)
+            if self._mon is not None:
+                self._mon.observe_scale(self.trace_scope,
+                                        self._loop.now_ms, accel_id,
+                                        "park")
         else:
             accel.online = True
             if self.tracer.enabled:
                 self.tracer.instant("wake-device", "scale",
                                     self._loop.now_ms, accel.track)
+            if self._mon is not None:
+                self._mon.observe_scale(self.trace_scope,
+                                        self._loop.now_ms, accel_id,
+                                        "wake")
             self._dispatch()
         return True
 
@@ -680,6 +695,13 @@ class ClusterSimulator:
         self._pending.append(pending_batch)
         if self._m_served is not None:
             self._m_queue.set(self._loop.now_ms, self.queue_depth())
+        if self._mon is not None:
+            # Closed-batch depth only (no open formers): the quantity
+            # both engines maintain identically, so queue-depth alerts
+            # are engine-invariant.
+            self._mon.observe_queue_depth(
+                self.trace_scope, self._loop.now_ms,
+                sum(len(pb) for pb in self._pending))
 
     def _budget_throttled(self):
         """True while admission must stall; arms the retry event."""
@@ -695,6 +717,9 @@ class ClusterSimulator:
             self._budget_retry_armed = True
             if self._m_served is not None:
                 self._m_throttles.inc()
+            if self._mon is not None:
+                self._mon.observe_throttle(self.trace_scope, now,
+                                           relief)
         return True
 
     def _dispatch(self):
@@ -710,6 +735,10 @@ class ClusterSimulator:
                     return
                 pending_batch, accel = placement
                 self._pending.remove(pending_batch)
+                if self._mon is not None:
+                    self._mon.observe_queue_depth(
+                        self.trace_scope, self._loop.now_ms,
+                        sum(len(pb) for pb in self._pending))
                 self._start(pending_batch, accel)
                 continue
             decision = self.policy.preemption(
@@ -720,6 +749,10 @@ class ClusterSimulator:
             pending_batch, victim = decision
             self._preempt(victim)
             self._pending.remove(pending_batch)
+            if self._mon is not None:
+                self._mon.observe_queue_depth(
+                    self.trace_scope, self._loop.now_ms,
+                    sum(len(pb) for pb in self._pending))
             self._start(pending_batch, victim)
 
     def _start(self, pending_batch, accel):
@@ -764,6 +797,10 @@ class ClusterSimulator:
                 self.tracer.span(
                     f"swap:{batch.task}", "swap", now, run.swap_ms,
                     accel.track, energy_mj=run.swap_energy_mj)
+        if self._mon is not None \
+                and (run.swap_ms > 0.0 or run.swap_energy_mj != 0.0):
+            self._mon.observe_swap(self.trace_scope, now, batch.task,
+                                   accel.accel_id)
         if self._m_served is not None:
             self._m_free.set(now, sum(1 for a in self._accels
                                       if a.dispatchable))
@@ -869,6 +906,10 @@ class ClusterSimulator:
         stats = accel.stats
         traced = self.tracer.enabled
         metered = self._m_served is not None
+        monitored = self._mon is not None
+        mon_lats = [] if monitored else None
+        mon_viol = 0
+        mon_ids = []
         boundary = run.start_ms + run.swap_ms
         for request, result, finish in zip(
                 run.pending.batch.requests[:n_done],
@@ -893,4 +934,18 @@ class ClusterSimulator:
                                        - request.arrival_ms)
                 if in_system > request.target_ms + 1e-9:
                     self._m_violations.inc()
+            if monitored:
+                mon_lats.append(completion - request.arrival_ms)
+                # Deadline-based predicate (arrival + target computed
+                # as one float64 add): the exact comparison the vector
+                # engine vectorizes, so violation counts — and the
+                # alerts they drive — are engine-invariant.
+                if completion > request.deadline_ms + 1e-9:
+                    mon_viol += 1
+                    mon_ids.append(request.request_id)
             boundary = completion
+        if monitored and n_done:
+            self._mon.observe_completions(
+                self.trace_scope, run.pending.task,
+                float(run.pending.batch.target_ms), self._loop.now_ms,
+                n_done, mon_viol, mon_lats, mon_ids)

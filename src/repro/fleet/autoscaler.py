@@ -49,6 +49,17 @@ class AutoscalerStats:
 class FleetAutoscaler:
     """EWMA-utilization device parking/waking across fleet sites."""
 
+    #: Utilization sample forced while a subscribed health score sits
+    #: below :data:`HEALTH_SATURATION` — an alerting site reads as
+    #: fully pressed, so the scaler wakes capacity instead of parking.
+    HEALTH_SATURATION = 0.5
+
+    #: Optional ``site_id -> [0, 1]`` health callable (the monitor's
+    #: live score), set by the orchestrator under ``health_routing``.
+    #: None by default: the scaler then never reads the monitor and
+    #: scaling decisions stay bit-identical to a monitor-less run.
+    health_of = None
+
     def __init__(self, interval_ms=25.0, low_utilization=0.35,
                  high_utilization=0.85, alpha=0.5, min_online=1):
         if interval_ms <= 0:
@@ -82,6 +93,9 @@ class FleetAutoscaler:
             return 1.0  # nothing up: maximum pressure, wake something
         if site.sim.queue_depth() > 0:
             return 1.0  # queued work saturates the pool by definition
+        if self.health_of is not None \
+                and self.health_of(site.site_id) < self.HEALTH_SATURATION:
+            return 1.0  # alerting site: hold capacity up, never park
         return len(site.busy_devices()) / len(online)
 
     def tick(self, site, now_ms):

@@ -51,7 +51,8 @@ class FleetOrchestrator:
     """Deterministic multi-site serving: router → sites → devices."""
 
     def __init__(self, registry, site_configs, routing="energy",
-                 autoscaler=None, tracer=None, metrics=None):
+                 autoscaler=None, tracer=None, metrics=None,
+                 monitor=None, health_routing=False):
         site_configs = sorted(site_configs, key=lambda c: c.site_id)
         if not site_configs:
             raise FleetError("a fleet needs at least one site")
@@ -72,6 +73,21 @@ class FleetOrchestrator:
         #: is bit-identical to an untraced one.
         self.tracer = NULL_TRACER if tracer is None else tracer
         self.metrics = metrics
+        #: Optional :class:`~repro.telemetry.monitor.TelemetryMonitor`
+        #: fed by every site (scope = site_id). Strictly read-only by
+        #: default: a monitored fleet report is bit-identical to an
+        #: unmonitored one. ``health_routing=True`` opts in to the one
+        #: sanctioned feedback path — the routing policy and the
+        #: autoscaler read the monitor's live health scores.
+        self.monitor = monitor
+        self.health_routing = bool(health_routing)
+        if self.health_routing:
+            if monitor is None:
+                raise FleetError(
+                    "health_routing needs a monitor to read from")
+            self.routing.health_of = monitor.health
+            if self.autoscaler is not None:
+                self.autoscaler.health_of = monitor.health
 
     # -- public API --------------------------------------------------------------
 
@@ -93,7 +109,8 @@ class FleetOrchestrator:
             self.autoscaler.reset()
         self._sites = [FleetSite(config, self.registry,
                                  tracer=self.tracer,
-                                 metrics=self.metrics).start()
+                                 metrics=self.metrics,
+                                 monitor=self.monitor).start()
                        for config in self.site_configs]
         self._loop = EventLoop()
         self._loop.on(RouteRequest, self._on_route)
@@ -196,6 +213,10 @@ class FleetOrchestrator:
         if self.tracer.enabled:
             self.tracer.instant("autoscale-tick", "scale", now,
                                 "fleet/scaler")
+        if self.monitor is not None:
+            # Health gauges advance on the scaler cadence — the same
+            # clock the subscribers (router, autoscaler) act on.
+            self.monitor.sample_health(now)
         # Keep ticking while the fleet still has anything in flight —
         # queued routing events included — then fall silent so the
         # merged loop can drain.

@@ -61,6 +61,13 @@ class RoutingPolicy:
 
     name = "base"
 
+    #: Optional ``site_id -> [0, 1]`` health callable (the monitor's
+    #: live score), set by the orchestrator under ``health_routing``.
+    #: None by default, and only :class:`EnergyDeadlineRouting` reads
+    #: it — a read-only signal, so leaving it unset keeps every run
+    #: bit-identical to a monitor-less one.
+    health_of = None
+
     def reset(self):
         """Clear per-run state; the orchestrator calls this at start."""
 
@@ -190,6 +197,13 @@ class EnergyDeadlineRouting(RoutingPolicy):
                 # price: cheaper-but-pressed loses to slightly
                 # pricier-but-open, long before the hard throttle.
                 shaped = energy_mj / max(headroom, SHAPING_FLOOR)
+            if self.health_of is not None:
+                # Monitor feedback (health_routing): a site with live
+                # alerts prices itself up the same way budget pressure
+                # does, steering new work toward healthy sites.
+                health = self.health_of(site.site_id)
+                if health < 1.0:
+                    shaped = shaped / max(health, SHAPING_FLOOR)
             scored.append((not deadline_ok, shaped, site.rtt_ms, i,
                            headroom))
         if not scored:

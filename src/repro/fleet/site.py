@@ -79,7 +79,8 @@ class SiteConfig:
 class FleetSite:
     """A :class:`ClusterSimulator` plus its routing-facing surface."""
 
-    def __init__(self, config, registry, tracer=None, metrics=None):
+    def __init__(self, config, registry, tracer=None, metrics=None,
+                 monitor=None):
         self.config = config
         self.site_id = config.site_id
         self.rtt_ms = float(config.rtt_ms)
@@ -99,7 +100,7 @@ class FleetSite:
             adaptive_timeout=config.adaptive_timeout,
             standby_timeout_ms=config.standby_timeout_ms,
             vectorized=config.vectorized,
-            tracer=tracer, metrics=metrics,
+            tracer=tracer, metrics=metrics, monitor=monitor,
             trace_scope=config.site_id,
         )
         #: The site's tracer (the orchestrator's, or the shared

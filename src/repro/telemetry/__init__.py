@@ -25,6 +25,10 @@ observable without perturbing it:
   hold the traced per-category energy rollup against the run's
   :class:`~repro.energy.EnergyReport` / fleet ledgers at 1e-9, so
   every traced run doubles as an end-to-end energy audit.
+* Monitoring — :mod:`repro.telemetry.monitor` watches the streams:
+  SLO burn-rate rules, anomaly watchdogs, incident grouping and
+  health scores (``python -m repro.telemetry.monitor --smoke``), plus
+  :func:`render_openmetrics` for Prometheus-format scrapes.
 
 ``python -m repro.telemetry --smoke`` is the self-checking CI gate;
 ``python -m repro.telemetry SPANLOG`` replays a JSONL span log into a
@@ -45,6 +49,20 @@ from repro.telemetry.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    estimate_quantile,
+)
+from repro.telemetry.monitor import (
+    Alert,
+    Incident,
+    IncidentReport,
+    TelemetryMonitor,
+    default_rules,
+    group_incidents,
+    parse_rules,
+)
+from repro.telemetry.openmetrics import (
+    render_openmetrics,
+    write_openmetrics,
 )
 from repro.telemetry.timeline import (
     render_metrics,
@@ -65,22 +83,32 @@ __all__ = [
     "ENERGY_CATEGORIES",
     "NULL_TRACER",
     "DEFAULT_BUCKETS_MS",
+    "Alert",
     "Counter",
     "Gauge",
     "Histogram",
+    "Incident",
+    "IncidentReport",
     "MetricsRegistry",
     "NullTracer",
     "Span",
+    "TelemetryMonitor",
     "Tracer",
     "chrome_trace",
+    "default_rules",
+    "estimate_quantile",
+    "group_incidents",
     "iter_spans_jsonl",
+    "parse_rules",
     "read_spans_jsonl",
     "reconcile_cluster",
     "reconcile_fleet",
     "render_metrics",
+    "render_openmetrics",
     "render_summary",
     "render_timeline",
     "validate_chrome_trace",
     "write_chrome_trace",
+    "write_openmetrics",
     "write_spans_jsonl",
 ]

@@ -30,6 +30,8 @@ import math
 from bisect import bisect_left
 from collections import deque
 
+import numpy as np
+
 from repro.errors import TelemetryError
 
 #: Default histogram bucket upper bounds (ms) — log-spaced to cover
@@ -40,6 +42,41 @@ DEFAULT_BUCKETS_MS = (0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
 
 def _label_key(labels):
     return tuple(sorted(labels.items()))
+
+
+def estimate_quantile(bounds, counts, count, q, hi=None):
+    """Interpolated quantile from fixed-bucket counts.
+
+    ``bounds`` are the bucket upper edges, ``counts`` the per-bucket
+    tallies with the ``+Inf`` overflow bucket last (``len(bounds) + 1``
+    entries), ``count`` their sum. Linear interpolation inside the
+    bucket holding the q-rank assumes observations spread uniformly
+    across it — the standard Prometheus ``histogram_quantile`` model.
+    The overflow bucket has no finite upper edge, so ranks landing
+    there interpolate toward ``hi`` (the observed max) when known and
+    clamp to the last finite bound otherwise.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise TelemetryError(f"quantile {q} outside [0, 1]")
+    if not count:
+        return 0.0
+    rank = q * count
+    running = 0
+    for i, n in enumerate(counts):
+        if not n:
+            continue
+        if running + n >= rank:
+            lower = bounds[i - 1] if i > 0 else 0.0
+            if i < len(bounds):
+                upper = bounds[i]
+            elif hi is not None and hi > lower:
+                upper = hi
+            else:
+                return bounds[-1]
+            return lower + (upper - lower) * (rank - running) / n
+        running += n
+    # Unreachable when count == sum(counts); be safe on drifted input.
+    return bounds[-1] if hi is None else hi
 
 
 class Counter:
@@ -101,8 +138,8 @@ class Gauge:
 class Histogram:
     """Fixed-bucket distribution; O(buckets) per observation."""
 
-    __slots__ = ("name", "labels", "bounds", "counts", "total", "count",
-                 "min", "max")
+    __slots__ = ("name", "labels", "bounds", "bounds_arr", "counts",
+                 "total", "count", "min", "max")
 
     def __init__(self, name, labels, bounds):
         bounds = tuple(float(b) for b in bounds)
@@ -112,6 +149,7 @@ class Histogram:
         self.name = name
         self.labels = labels
         self.bounds = bounds
+        self.bounds_arr = np.asarray(bounds, dtype=np.float64)
         self.counts = [0] * (len(bounds) + 1)  # +overflow
         self.total = 0.0
         self.count = 0
@@ -141,23 +179,45 @@ class Histogram:
     def observe_many(self, values):
         """Bulk :meth:`observe`: same sequential float accumulation
         (``total`` grows strictly left-to-right, so a bulk call equals
-        the per-value loop bit-for-bit), with the bucket search done by
-        C-level :func:`bisect.bisect_left` — the replay engine feeds
-        whole batches through here on its hot path."""
-        if not isinstance(values, (list, tuple)):
-            values = [float(v) for v in values]
-        if not values:
-            return
-        counts = self.counts
-        bounds = self.bounds
-        total = self.total
-        for value in values:
-            counts[bisect_left(bounds, value)] += 1
-            total += value
-        self.total = total
-        self.count += len(values)
-        lo = min(values)
-        hi = max(values)
+        the per-value loop bit-for-bit), with the bucket search done in
+        bulk — the replay engine feeds whole batches through here on
+        its hot path. A float64 ndarray takes the vectorized route
+        (one :func:`numpy.searchsorted` + :func:`numpy.bincount` per
+        call; ``searchsorted(..., side="left")`` places every value in
+        exactly the bucket :func:`bisect.bisect_left` would); anything
+        else falls back to the per-value C-level bisect loop. Both
+        routes keep the strictly left-to-right ``total``, so engines
+        mixing per-value and bulk observation stay bit-identical."""
+        if isinstance(values, np.ndarray):
+            if not values.size:
+                return
+            idx = np.searchsorted(self.bounds_arr, values, side="left")
+            counts = self.counts
+            for bucket, n in zip(*np.unique(idx, return_counts=True)):
+                counts[bucket] += int(n)
+            total = self.total
+            values = values.tolist()
+            for value in values:
+                total += value
+            self.total = total
+            self.count += len(values)
+            lo = min(values)
+            hi = max(values)
+        else:
+            if not isinstance(values, (list, tuple)):
+                values = [float(v) for v in values]
+            if not values:
+                return
+            counts = self.counts
+            bounds = self.bounds
+            total = self.total
+            for value in values:
+                counts[bisect_left(bounds, value)] += 1
+                total += value
+            self.total = total
+            self.count += len(values)
+            lo = min(values)
+            hi = max(values)
         if self.min is None or lo < self.min:
             self.min = lo
         if self.max is None or hi > self.max:
@@ -181,6 +241,22 @@ class Histogram:
                 return self.bounds[i] if i < len(self.bounds) \
                     else self.max
         return self.max
+
+    def quantile_estimate(self, q):
+        """Interpolated quantile — p99 without storing samples.
+
+        Linear interpolation inside the bucket holding the q-rank
+        (uniform-within-bucket model); the ``+Inf`` overflow bucket
+        interpolates toward the exact observed ``max``, and the result
+        is clamped to the observed ``[min, max]`` so a coarse first
+        bucket can never report a quantile below the smallest sample.
+        Exact at the edges: ``q=0`` is ``min``, ``q=1`` is ``max``.
+        """
+        if not self.count:
+            return estimate_quantile(self.bounds, self.counts, 0, q)
+        value = estimate_quantile(self.bounds, self.counts, self.count,
+                                  q, hi=self.max)
+        return min(max(value, self.min), self.max)
 
     def summary(self):
         return {"type": "histogram", "count": self.count,

@@ -1,0 +1,69 @@
+"""Deterministic SLO monitoring over the telemetry streams.
+
+The observability *control plane*: where :mod:`repro.telemetry`
+records what happened, this package watches it happen — multi-window
+SLO burn-rate rules and anomaly watchdogs evaluated on the simulated
+clock, typed :class:`Alert` streams grouped into :class:`Incident`
+reports with span-linked root causes, and per-site/per-device health
+scores the fleet layer can optionally subscribe to. Attach a
+:class:`TelemetryMonitor` via the ``monitor=`` argument of
+:class:`~repro.cluster.ClusterSimulator` or
+:class:`~repro.fleet.FleetOrchestrator`; it is strictly read-only, so
+monitored reports stay bit-identical to unmonitored ones and the
+alert stream is bit-identical across the event and vector engines.
+
+``python -m repro.telemetry.monitor --smoke`` is the CI gate;
+``--replay spans.jsonl`` re-runs the watchdogs over a recorded span
+log, ``--rules rules.json`` loads a custom rule set, and
+``--openmetrics`` renders a registry in Prometheus text format.
+"""
+
+from repro.telemetry.monitor.alerts import (
+    SEVERITIES,
+    Alert,
+    Incident,
+    IncidentReport,
+    group_incidents,
+    severity_rank,
+)
+from repro.telemetry.monitor.engine import (
+    EVIDENCE_MAX,
+    SEVERITY_PENALTY,
+    TelemetryMonitor,
+)
+from repro.telemetry.monitor.rules import (
+    BurnRateRule,
+    LatencyQuantileRule,
+    default_rules,
+    parse_rule,
+    parse_rules,
+    rule_to_dict,
+)
+from repro.telemetry.monitor.watchdogs import (
+    FlapRule,
+    QueueDepthRule,
+    SwapThrashRule,
+    ThrottleStormRule,
+)
+
+__all__ = [
+    "EVIDENCE_MAX",
+    "SEVERITIES",
+    "SEVERITY_PENALTY",
+    "Alert",
+    "BurnRateRule",
+    "FlapRule",
+    "Incident",
+    "IncidentReport",
+    "LatencyQuantileRule",
+    "QueueDepthRule",
+    "SwapThrashRule",
+    "TelemetryMonitor",
+    "ThrottleStormRule",
+    "default_rules",
+    "group_incidents",
+    "parse_rule",
+    "parse_rules",
+    "rule_to_dict",
+    "severity_rank",
+]

@@ -1,0 +1,226 @@
+"""Declarative SLO rules: multi-window burn rates and latency quantiles.
+
+The rule vocabulary follows the SRE workbook's multiwindow,
+multi-burn-rate alerting: an SLO of 99.9% leaves an error budget of
+0.1%, and the *burn rate* over a window is the observed violation
+ratio divided by that budget (burn 1.0 = spending the budget exactly
+at the sustainable rate). A :class:`BurnRateRule` fires only when BOTH
+a fast window (catches the spike, resets quickly) and a slow window
+(confirms it is sustained, not one bad batch) exceed their burn
+thresholds — the standard page condition is 14.4× over 5m/1h-shaped
+pairs, scaled here to simulation-sized windows.
+
+Rules are frozen dataclasses so a rule set is hashable, comparable,
+and JSON round-trippable (:func:`parse_rules` / ``rule.to_dict()``),
+and every evaluation is pure arithmetic over windowed counts on the
+simulated clock — the alert stream is exactly as deterministic as the
+run that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+
+from repro.errors import TelemetryError
+from repro.telemetry.monitor.alerts import severity_rank
+
+
+def _positive(name, value):
+    if not value > 0:
+        raise TelemetryError(f"{name} must be positive, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class BurnRateRule:
+    """Fast+slow window error-budget burn over SLO violations.
+
+    ``slo_target`` is the availability objective (0.999 → 0.1% error
+    budget). The rule tracks, per ``(scope, task, slo_ms)`` stream,
+    completion outcomes in two sliding windows; it fires when the
+    violation ratio in *both* windows exceeds ``burn × (1 −
+    slo_target)`` with at least ``min_samples`` completions in the
+    fast window. ``task`` / ``slo_ms`` / ``scope`` of None match every
+    stream (one rule instantiates per-stream state lazily).
+    """
+
+    name: str
+    slo_target: float = 0.999
+    fast_window_ms: float = 50.0
+    slow_window_ms: float = 250.0
+    fast_burn: float = 14.0
+    slow_burn: float = 6.0
+    min_samples: int = 20
+    severity: str = "page"
+    task: str | None = None
+    slo_ms: float | None = None
+    scope: str | None = None
+
+    kind = "burn_rate"
+
+    def __post_init__(self):
+        severity_rank(self.severity)
+        if not 0.0 < self.slo_target < 1.0:
+            raise TelemetryError(
+                f"slo_target must sit in (0, 1), got {self.slo_target}")
+        _positive("fast_window_ms", self.fast_window_ms)
+        _positive("slow_window_ms", self.slow_window_ms)
+        if self.fast_window_ms > self.slow_window_ms:
+            raise TelemetryError(
+                "fast window must not exceed the slow window "
+                f"({self.fast_window_ms} > {self.slow_window_ms})")
+        _positive("fast_burn", self.fast_burn)
+        _positive("slow_burn", self.slow_burn)
+        _positive("min_samples", self.min_samples)
+
+    @property
+    def error_budget(self):
+        return 1.0 - self.slo_target
+
+    def matches(self, scope, task, slo_ms):
+        return ((self.scope is None or self.scope == scope)
+                and (self.task is None or self.task == task)
+                and (self.slo_ms is None or self.slo_ms == slo_ms))
+
+
+@dataclass(frozen=True)
+class LatencyQuantileRule:
+    """Windowed latency quantile against a hard threshold.
+
+    Tracks completion latencies per stream in one sliding window and
+    fires while the interpolated ``q`` quantile (same estimator as
+    :meth:`repro.telemetry.Histogram.quantile_estimate`, computed over
+    the exact window samples) exceeds ``threshold_ms``.
+    """
+
+    name: str
+    q: float = 0.99
+    threshold_ms: float = 100.0
+    window_ms: float = 250.0
+    min_samples: int = 20
+    severity: str = "ticket"
+    task: str | None = None
+    slo_ms: float | None = None
+    scope: str | None = None
+
+    kind = "latency_quantile"
+
+    def __post_init__(self):
+        severity_rank(self.severity)
+        if not 0.0 <= self.q <= 1.0:
+            raise TelemetryError(f"quantile {self.q} outside [0, 1]")
+        _positive("threshold_ms", self.threshold_ms)
+        _positive("window_ms", self.window_ms)
+        _positive("min_samples", self.min_samples)
+
+    def matches(self, scope, task, slo_ms):
+        return ((self.scope is None or self.scope == scope)
+                and (self.task is None or self.task == task)
+                and (self.slo_ms is None or self.slo_ms == slo_ms))
+
+
+def rule_to_dict(rule):
+    """JSON row for any rule dataclass (adds the ``kind`` tag)."""
+    row = {"kind": rule.kind}
+    for f in fields(rule):
+        value = getattr(rule, f.name)
+        if value is not None:
+            row[f.name] = value
+    return row
+
+
+def default_rules():
+    """The stock rule set: SRE burn-rate pair + p99 + every watchdog.
+
+    Window sizes are scaled to simulation time (tens of ms of sim
+    clock stand in for the minutes/hours of the SRE workbook pairs).
+    """
+    from repro.telemetry.monitor.watchdogs import (
+        FlapRule, QueueDepthRule, SwapThrashRule, ThrottleStormRule)
+    return (
+        BurnRateRule("slo-burn-fast", slo_target=0.999,
+                     fast_window_ms=50.0, slow_window_ms=250.0,
+                     fast_burn=14.0, slow_burn=6.0, min_samples=20,
+                     severity="page"),
+        LatencyQuantileRule("latency-p99", q=0.99, threshold_ms=100.0,
+                            window_ms=250.0, min_samples=20,
+                            severity="ticket"),
+        ThrottleStormRule("throttle-storm", window_ms=100.0,
+                          threshold=8, severity="page"),
+        QueueDepthRule("queue-blowup", depth=512, sustain_ms=50.0,
+                       severity="ticket"),
+        SwapThrashRule("swap-thrash", window_ms=100.0, threshold=6,
+                       severity="warn"),
+        FlapRule("autoscale-flap", window_ms=200.0, threshold=4,
+                 severity="warn"),
+    )
+
+
+_RULE_TYPES = None
+
+
+def _rule_types():
+    global _RULE_TYPES
+    if _RULE_TYPES is None:
+        from repro.telemetry.monitor.watchdogs import (
+            FlapRule, QueueDepthRule, SwapThrashRule, ThrottleStormRule)
+        _RULE_TYPES = {cls.kind: cls for cls in (
+            BurnRateRule, LatencyQuantileRule, ThrottleStormRule,
+            QueueDepthRule, SwapThrashRule, FlapRule)}
+    return _RULE_TYPES
+
+
+def parse_rule(row):
+    """One rule from its ``{"kind": ..., ...}`` JSON row."""
+    if not isinstance(row, dict):
+        raise TelemetryError(f"rule row must be an object, got {row!r}")
+    kind = row.get("kind")
+    cls = _rule_types().get(kind)
+    if cls is None:
+        raise TelemetryError(
+            f"unknown rule kind {kind!r}; expected one of "
+            f"{sorted(_rule_types())}")
+    known = {f.name for f in fields(cls)}
+    extra = set(row) - known - {"kind"}
+    if extra:
+        raise TelemetryError(
+            f"rule {row.get('name', kind)!r}: unknown fields "
+            f"{sorted(extra)}")
+    kwargs = {k: v for k, v in row.items() if k in known}
+    if "name" not in kwargs:
+        raise TelemetryError(f"rule of kind {kind!r} needs a name")
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise TelemetryError(f"rule {row['name']!r}: {exc}")
+
+
+def parse_rules(source):
+    """Rule tuple from a JSON list (path, JSON text, or parsed list).
+
+    The file format is a JSON array of rule objects::
+
+        [{"kind": "burn_rate", "name": "slo-burn", "slo_target": 0.999,
+          "fast_window_ms": 50, "slow_window_ms": 250},
+         {"kind": "queue_depth", "name": "blowup", "depth": 256}]
+    """
+    if isinstance(source, (list, tuple)):
+        rows = source
+    else:
+        text = str(source)
+        if "[" not in text:  # a path, not inline JSON
+            with open(text, encoding="utf-8") as f:
+                text = f.read()
+        try:
+            rows = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise TelemetryError(f"rules are not valid JSON: {exc}")
+        if not isinstance(rows, list):
+            raise TelemetryError("rules file must hold a JSON array")
+    rules = tuple(parse_rule(row) for row in rows)
+    names = [r.name for r in rules]
+    if len(set(names)) != len(names):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        raise TelemetryError(f"duplicate rule names: {dupes}")
+    return rules

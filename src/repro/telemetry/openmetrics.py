@@ -1,0 +1,106 @@
+"""Prometheus / OpenMetrics text exposition for a MetricsRegistry.
+
+:func:`render_openmetrics` serializes every instrument of a
+:class:`~repro.telemetry.MetricsRegistry` into the OpenMetrics text
+format (the `# TYPE` / `# EOF` framed superset of the Prometheus
+exposition format), so a simulated run's final metric state can be
+scraped, diffed, or loaded into any Prometheus-compatible stack:
+
+* counters expose one ``<name>_total`` sample;
+* gauges expose their last set value (unset gauges contribute only
+  their ``# TYPE`` metadata);
+* histograms expose cumulative ``<name>_bucket{le="..."}`` samples —
+  per-bucket counts summed up through each upper bound, closing with
+  ``le="+Inf"`` — plus ``<name>_sum`` and ``<name>_count``.
+
+Output is deterministic: families sort by name, samples by label set
+(the registry's own canonical ordering), floats render via ``repr``
+(shortest round-trip form). Mixing two instrument types under one
+metric name is invalid exposition and raises
+:class:`~repro.errors.TelemetryError`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TelemetryError
+from repro.telemetry.metrics import Counter, Gauge, Histogram
+
+_TYPE_NAMES = {Counter: "counter", Gauge: "gauge",
+               Histogram: "histogram"}
+
+
+def _escape(value):
+    return (str(value).replace("\\", "\\\\").replace("\"", "\\\"")
+            .replace("\n", "\\n"))
+
+
+def _labels_text(labels, extra=()):
+    pairs = list(labels) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _num(value):
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_openmetrics(registry):
+    """The registry's full state as OpenMetrics text (ends ``# EOF``)."""
+    families = {}  # name -> (type_name, [(labels, instrument)])
+    for name, labels, instrument in registry.instruments():
+        type_name = _TYPE_NAMES.get(type(instrument))
+        if type_name is None:
+            raise TelemetryError(
+                f"cannot expose {type(instrument).__name__} {name!r}")
+        family = families.get(name)
+        if family is None:
+            families[name] = (type_name, [(labels, instrument)])
+        elif family[0] != type_name:
+            raise TelemetryError(
+                f"metric {name!r} mixes types {family[0]} and "
+                f"{type_name}; one exposition family needs one type")
+        else:
+            family[1].append((labels, instrument))
+
+    lines = []
+    for name in sorted(families):
+        type_name, rows = families[name]
+        lines.append(f"# TYPE {name} {type_name}")
+        for labels, instrument in rows:
+            if type_name == "counter":
+                lines.append(f"{name}_total{_labels_text(labels)} "
+                             f"{_num(instrument.value)}")
+            elif type_name == "gauge":
+                if instrument.value is not None:
+                    lines.append(f"{name}{_labels_text(labels)} "
+                                 f"{_num(instrument.value)}")
+            else:  # histogram
+                running = 0
+                for bound, count in zip(instrument.bounds,
+                                        instrument.counts):
+                    running += count
+                    le = _labels_text(labels,
+                                      (("le", repr(float(bound))),))
+                    lines.append(f"{name}_bucket{le} {running}")
+                inf = _labels_text(labels, (("le", "+Inf"),))
+                lines.append(f"{name}_bucket{inf} {instrument.count}")
+                lines.append(f"{name}_sum{_labels_text(labels)} "
+                             f"{_num(instrument.total)}")
+                lines.append(f"{name}_count{_labels_text(labels)} "
+                             f"{instrument.count}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(registry, path):
+    """Write :func:`render_openmetrics` output; returns the line count."""
+    text = render_openmetrics(registry)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text)
+    return text.count("\n")

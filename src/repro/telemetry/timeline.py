@@ -26,6 +26,8 @@ from repro.utils import format_table
 
 #: Rendering priority (first wins a contested bucket) and glyphs.
 CATEGORY_GLYPHS = (
+    ("alert", "A"),
+    ("incident", "I"),
     ("compute", "#"),
     ("swap", "S"),
     ("transition", "^"),

@@ -3,10 +3,13 @@
 import pytest
 
 from repro.errors import TelemetryError
+import numpy as np
+
 from repro.telemetry import (
     DEFAULT_BUCKETS_MS,
     Histogram,
     MetricsRegistry,
+    estimate_quantile,
 )
 
 
@@ -112,3 +115,73 @@ class TestRegistry:
     def test_bad_series_maxlen_raises(self):
         with pytest.raises(TelemetryError):
             MetricsRegistry(series_maxlen=0)
+
+
+class TestQuantileEstimation:
+    def test_requires_valid_q(self):
+        with pytest.raises(TelemetryError):
+            estimate_quantile((1.0, 2.0), [1, 0, 0], 1, 1.5)
+
+    def test_empty_returns_zero(self):
+        assert estimate_quantile((1.0, 2.0), [0, 0, 0], 0, 0.5) == 0.0
+
+    def test_interpolates_within_bucket(self):
+        # 10 samples uniformly in (1, 2]: the median sits mid-bucket.
+        value = estimate_quantile((1.0, 2.0), [0, 10, 0], 10, 0.5)
+        assert value == pytest.approx(1.5)
+
+    def test_overflow_interpolates_toward_hi(self):
+        # All mass past the last finite bound.
+        bounds = (1.0, 2.0)
+        assert estimate_quantile(bounds, [0, 0, 4], 4, 1.0,
+                                 hi=10.0) == pytest.approx(10.0)
+        # Without hi the overflow clamps to the last finite bound.
+        assert estimate_quantile(bounds, [0, 0, 4], 4, 1.0) == 2.0
+
+    def test_tracks_exact_percentiles_on_uniform_data(self):
+        hist = Histogram("lat", (), DEFAULT_BUCKETS_MS)
+        values = [0.01 + 0.999 * i / 4999 * 199.0 for i in range(5000)]
+        hist.observe_many(values)
+        exact = sorted(values)
+        for q in (0.5, 0.9, 0.95, 0.99):
+            estimate = hist.quantile_estimate(q)
+            rank = int(q * (len(exact) - 1))
+            # Bucket interpolation error stays within one bucket width.
+            assert abs(estimate - exact[rank]) <= 0.2 * exact[rank]
+
+    def test_edges_are_exact(self):
+        hist = Histogram("lat", (), DEFAULT_BUCKETS_MS)
+        hist.observe_many([3.7, 42.0, 8.1, 77.7])
+        assert hist.quantile_estimate(0.0) == 3.7
+        assert hist.quantile_estimate(1.0) == 77.7
+
+    def test_clamped_to_observed_range(self):
+        hist = Histogram("lat", (), (100.0,))
+        hist.observe_many([40.0, 41.0, 42.0])
+        assert hist.quantile_estimate(0.01) >= 40.0
+        assert hist.quantile_estimate(0.99) <= 42.0
+
+
+class TestObserveManyVectorized:
+    def test_ndarray_path_bit_identical_to_loop(self):
+        rng = np.random.default_rng(7)
+        values = rng.gamma(2.0, 12.0, size=4096)
+        bulk = Histogram("lat", (), DEFAULT_BUCKETS_MS)
+        bulk.observe_many(np.asarray(values, dtype=np.float64))
+        loop = Histogram("lat", (), DEFAULT_BUCKETS_MS)
+        for value in values:
+            loop.observe(float(value))
+        assert bulk.counts == loop.counts
+        assert bulk.total == loop.total  # bitwise: same fold order
+        assert bulk.count == loop.count
+        assert bulk.min == loop.min and bulk.max == loop.max
+
+    def test_empty_ndarray_is_a_noop(self):
+        hist = Histogram("lat", (), DEFAULT_BUCKETS_MS)
+        hist.observe_many(np.empty(0, dtype=np.float64))
+        assert hist.count == 0
+
+    def test_generator_input_still_works(self):
+        hist = Histogram("lat", (), DEFAULT_BUCKETS_MS)
+        hist.observe_many(float(v) for v in (1.0, 2.0, 3.0))
+        assert hist.count == 3

@@ -1,0 +1,110 @@
+"""OpenMetrics exposition: exact text format, determinism, errors."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    MetricsRegistry,
+    render_openmetrics,
+    write_openmetrics,
+)
+
+
+def scraped(registry):
+    return render_openmetrics(registry).splitlines()
+
+
+class TestFormat:
+    def test_counter_total_suffix(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_served", scope="cluster").inc(7)
+        lines = scraped(registry)
+        assert "# TYPE requests_served counter" in lines
+        assert 'requests_served_total{scope="cluster"} 7' in lines
+
+    def test_gauge_last_value_and_unset_skipped(self):
+        registry = MetricsRegistry()
+        registry.gauge("queue_depth", scope="c").set(10.0, 3)
+        registry.gauge("free_devices", scope="c")  # never set
+        lines = scraped(registry)
+        assert 'queue_depth{scope="c"} 3' in lines
+        assert "# TYPE free_devices gauge" in lines
+        assert not any(line.startswith("free_devices{")
+                       for line in lines)
+
+    def test_unlabeled_metric_has_no_braces(self):
+        registry = MetricsRegistry()
+        registry.counter("ticks").inc()
+        assert "ticks_total 1" in scraped(registry)
+
+    def test_histogram_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", bounds=(1.0, 5.0), scope="c")
+        for value in (0.5, 0.7, 3.0, 100.0):
+            hist.observe(value)
+        lines = scraped(registry)
+        assert 'lat_bucket{scope="c",le="1.0"} 2' in lines
+        assert 'lat_bucket{scope="c",le="5.0"} 3' in lines
+        # +Inf bucket comes last and equals the total count.
+        assert 'lat_bucket{scope="c",le="+Inf"} 4' in lines
+        assert 'lat_sum{scope="c"} 104.2' in lines
+        assert 'lat_count{scope="c"} 4' in lines
+
+    def test_inf_bucket_equals_count_always(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", bounds=(1.0,))
+        hist.observe_many([0.1, 0.2, 9.9, 12.0, 50.0])
+        lines = scraped(registry)
+        assert 'lat_bucket{le="+Inf"} 5' in lines
+        assert "lat_count 5" in lines
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c", task='we"ird\\task').inc()
+        text = render_openmetrics(registry)
+        assert 'task="we\\"ird\\\\task"' in text
+
+    def test_eof_framing(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        text = render_openmetrics(registry)
+        assert text.endswith("# EOF\n")
+        assert text.splitlines()[-1] == "# EOF"
+
+
+class TestDeterminism:
+    def fill(self, registry):
+        # Insertion order deliberately scrambled vs name order.
+        registry.gauge("zeta", scope="b").set(1.0, 2)
+        registry.counter("alpha", scope="b").inc(3)
+        registry.counter("alpha", scope="a").inc(1)
+        registry.histogram("mid", scope="a").observe(4.2)
+
+    def test_families_sorted_and_stable(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        self.fill(first)
+        self.fill(second)
+        text = render_openmetrics(first)
+        assert text == render_openmetrics(second)
+        type_lines = [line for line in text.splitlines()
+                      if line.startswith("# TYPE")]
+        names = [line.split()[2] for line in type_lines]
+        assert names == sorted(names)
+
+    def test_write_returns_line_count(self, tmp_path):
+        registry = MetricsRegistry()
+        self.fill(registry)
+        path = tmp_path / "metrics.om"
+        count = write_openmetrics(registry, str(path))
+        text = path.read_text()
+        assert text == render_openmetrics(registry)
+        assert count == len(text.splitlines())
+
+
+class TestErrors:
+    def test_mixed_types_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("metric", scope="a").inc()
+        registry.gauge("metric", scope="b").set(0.0, 1)
+        with pytest.raises(TelemetryError, match="mixes types"):
+            render_openmetrics(registry)

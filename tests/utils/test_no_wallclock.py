@@ -1,0 +1,70 @@
+"""Wall-clock lint: simulation logic must run on the simulated clock.
+
+Determinism across engines, machines and runs depends on nothing in
+``src/repro`` reading the host clock — every instant comes from the
+event loop. The only sanctioned exception is the ``wall_seconds``
+throughput field on run reports, measured with ``time.perf_counter``
+in the three run drivers listed in :data:`ALLOWED`. Anything else
+(``time.time``, ``datetime.now``, ``time.monotonic``, ...) is a
+determinism bug waiting to happen and fails this lint.
+"""
+
+import os
+import re
+
+import pytest
+
+SRC = os.path.abspath(os.path.join(os.path.dirname(__file__), "..",
+                                   "..", "src", "repro"))
+
+#: Wall-clock reads that are never acceptable in simulation code.
+FORBIDDEN = re.compile(
+    r"\btime\.time\s*\(|\btime\.monotonic\s*\(|\btime\.clock\s*\("
+    r"|\bdatetime\.now\s*\(|\bdatetime\.today\s*\(|\butcnow\s*\(")
+
+#: ``time.perf_counter`` only for wall_seconds reporting, only here.
+PERF_COUNTER = re.compile(r"\bperf_counter\s*\(")
+ALLOWED = {
+    os.path.join("serving", "server.py"),
+    os.path.join("cluster", "simulator.py"),
+    os.path.join("fleet", "orchestrator.py"),
+}
+
+
+def _py_files():
+    for root, _dirs, files in os.walk(SRC):
+        for name in sorted(files):
+            if name.endswith(".py"):
+                path = os.path.join(root, name)
+                yield os.path.relpath(path, SRC), path
+
+
+def test_src_tree_exists():
+    assert os.path.isdir(SRC)
+    assert any(True for _ in _py_files())
+
+
+@pytest.mark.parametrize("rel,path", list(_py_files()),
+                         ids=[rel for rel, _ in _py_files()])
+def test_no_wallclock_reads(rel, path):
+    with open(path, encoding="utf-8") as f:
+        source = f.read()
+    hits = [match.group(0) for match in FORBIDDEN.finditer(source)]
+    assert not hits, (
+        f"{rel} reads the host clock ({hits}); simulation code must "
+        "use the event loop's simulated instants")
+    if PERF_COUNTER.search(source):
+        assert rel in ALLOWED, (
+            f"{rel} calls time.perf_counter but only the run drivers "
+            f"{sorted(ALLOWED)} may measure wall_seconds")
+
+
+def test_allowlist_is_tight():
+    """Every allowlisted file still needs its exemption."""
+    for rel in ALLOWED:
+        path = os.path.join(SRC, rel)
+        assert os.path.exists(path), f"allowlisted {rel} vanished"
+        with open(path, encoding="utf-8") as f:
+            assert PERF_COUNTER.search(f.read()), (
+                f"{rel} no longer uses perf_counter; drop it from "
+                "the allowlist")
