@@ -12,19 +12,43 @@ The index is deterministic: artifacts sort by name, keys sort within
 each artifact, and no timestamps are stamped (the sim-clock rule —
 artifacts change only when a bench reruns and commits new numbers).
 
+``--check`` turns the index into a gatekeeper: every gated bench
+(the modules in :data:`GATED_BENCHES`, which all expose the
+``run_benchmark`` / ``_check_gates`` / ``_load_baseline`` convention)
+is re-run fresh and its gates re-evaluated; any violation exits 1.
+``--check --quick`` skips the fresh runs and instead re-evaluates each
+committed baseline against its own absolute gates — a seconds-fast
+parse-and-validate pass suited to tier-1 CI (a committed artifact that
+violates its own gates, or a gated bench with no committed artifact,
+still fails).
+
 Run:  pytest benchmarks/bench_index.py -s
- or:  python benchmarks/bench_index.py
+ or:  python benchmarks/bench_index.py [--check [--quick]]
 """
 
+import argparse
 import glob
+import importlib
 import json
 import os
+import sys
 
 from conftest import RESULTS_DIR, emit
 from repro.utils import format_table
 
 BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
 INDEX_PATH = os.path.join(BENCH_DIR, "BENCH_index.json")
+
+#: Committed artifact name -> bench module that gates it. Every module
+#: listed here follows the shared convention: ``BASELINE_PATH``,
+#: ``run_benchmark(seed=0)``, ``_check_gates(record, baseline=None)``
+#: raising AssertionError on violation, and ``_load_baseline()``.
+GATED_BENCHES = {
+    "replay": "bench_replay_engine",
+    "replay_budget": "bench_replay_budget",
+    "fleet_replay": "bench_fleet_replay",
+    "telemetry": "bench_telemetry_overhead",
+}
 
 
 def _flatten(value, prefix=""):
@@ -82,6 +106,44 @@ def _build_table(index):
               f"{index['num_artifacts']} committed artifacts")
 
 
+def check_gates(quick=False):
+    """Re-evaluate every gated bench; return (rows, failures).
+
+    ``quick`` checks each committed baseline against its own absolute
+    gates without re-running anything (the baseline doubles as the
+    fresh record, so regression floors compare it to itself and pass
+    trivially — the absolute gates still bite). A missing baseline is
+    a failure either way: a gated trajectory with no committed
+    artifact is a broken trajectory.
+    """
+    rows, failures = [], []
+    for name in sorted(GATED_BENCHES):
+        module = importlib.import_module(GATED_BENCHES[name])
+        baseline = module._load_baseline()
+        if baseline is None:
+            detail = f"missing {os.path.basename(module.BASELINE_PATH)}"
+            rows.append([name, "FAIL", detail])
+            failures.append(f"{name}: {detail}")
+            continue
+        try:
+            record = baseline if quick else module.run_benchmark()
+            module._check_gates(record, baseline)
+        except AssertionError as exc:
+            rows.append([name, "FAIL", str(exc)])
+            failures.append(f"{name}: {exc}")
+        else:
+            rows.append([name, "ok",
+                         "baseline gates hold" if quick
+                         else "fresh run within gates"])
+    return rows, failures
+
+
+def _check_table(rows, quick):
+    mode = "committed baselines" if quick else "fresh runs"
+    return format_table(["Artifact", "Gates", "Detail"], rows,
+                        title=f"Perf gates — {mode}")
+
+
 def test_bench_index():
     index = build_index()
     # The trajectory must not read as empty: the replay and telemetry
@@ -96,8 +158,38 @@ def test_bench_index():
         assert json.load(f) == index
 
 
-if __name__ == "__main__":
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="fold committed BENCH_*.json artifacts into the "
+                    "perf-trajectory index")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="re-run every gated bench and exit 1 if any committed "
+             "gate is violated")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="with --check: validate the committed baselines against "
+             "their own gates without re-running the benches")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        rows, failures = check_gates(quick=args.quick)
+        print(_check_table(rows, args.quick))
+        if failures:
+            print(f"\n{len(failures)} gate violation(s):",
+                  file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"\nall {len(rows)} gated trajectories hold")
+        return 0
+
     result = build_index()
     path = _write_index(result)
     print(_build_table(result))
     print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,7 @@ Run:  PYTHONPATH=src python examples/fleet_traffic.py [--out DIR]
 import argparse
 import os
 
+from repro.cluster import generate_diurnal_trace
 from repro.fleet import FleetAutoscaler, FleetOrchestrator
 from repro.fleet.__main__ import reference_fleet, reference_workload
 from repro.telemetry import (MetricsRegistry, TelemetryMonitor, Tracer,
@@ -43,10 +44,23 @@ def main(argv=None):
     parser.add_argument(
         "--out", default="./out", metavar="DIR",
         help="directory for trace/span/alert artifacts (default ./out)")
+    parser.add_argument(
+        "--requests", type=int, default=None, metavar="N",
+        help="scale up with a seeded diurnal (day-curve) trace of N "
+             "requests — volumes past a few thousand exercise the "
+             "orchestrator's bulk routing front end (default: the "
+             "400-request reference workload)")
     args = parser.parse_args(argv)
     os.makedirs(args.out, exist_ok=True)
 
     registry, trace = reference_workload(num_requests=400)
+    if args.requests is not None:
+        # Same registry and request mix as the reference workload, but
+        # arrivals follow the diurnal day curve at constant mean rate —
+        # the trace the replay benchmarks scale on.
+        trace = generate_diurnal_trace(
+            args.requests, seed=0, mean_interarrival_ms=1.0,
+            modes=("base", "lai"))
     configs = reference_fleet()
     print(format_table(
         ["Site", "Devices (n)", "RTT (ms)", "Power cap"],

@@ -67,7 +67,11 @@ from repro.cluster.policies import (
     SchedulingPolicy,
     make_policy,
 )
-from repro.cluster.replay import replay_eligible, run_vectorized
+from repro.cluster.replay import (
+    replay_eligible,
+    replay_ineligible_reason,
+    run_vectorized,
+)
 from repro.cluster.report import ClusterRecord, ClusterReport, LazyRecords
 from repro.cluster.simulator import ENGINES, ClusterSimulator
 from repro.cluster.trace import (
@@ -115,6 +119,7 @@ __all__ = [
     "make_policy",
     "plan_batches",
     "replay_eligible",
+    "replay_ineligible_reason",
     "run_vectorized",
     "save_trace_csv",
     "save_trace_jsonl",

@@ -159,6 +159,8 @@ def run_trace(path, policy="fifo", num_accelerators=4, seed=0,
                               engine=engine).run(trace)
     summary = report.summary()
     summary["engine"] = report.engine
+    if report.engine_fallback_reason is not None:
+        summary["engine_fallback_reason"] = report.engine_fallback_reason
     if verbose:
         print(json.dumps(summary, indent=2, sort_keys=True))
     return summary

@@ -10,17 +10,26 @@ with per-*batch* cost instead, in four moves:
    sentence, id, former key) are pulled into NumPy columns in one pass;
    validation and duplicate detection run batched over whole
    (task, mode) groups instead of per ``inject``.
-2. **Offline former scans** — with static size/timeout triggers, batch
+2. **Window planning** — with static size/timeout triggers, batch
    composition per (task, SLO class, mode) key depends only on that
    key's arrival instants, so :func:`repro.cluster.batcher.plan_batches`
    computes every window close for the whole trace with one
-   ``searchsorted`` per window.
+   ``searchsorted`` per window. Under ``adaptive_timeout`` /
+   ``deadline_sizing`` the close of the *currently open* window depends
+   on dispatch history, so planning turns incremental: each window is
+   planned when it opens — one real :class:`BatchFormer` per key is fed
+   the window's members at plan time, reading the adaptive controller
+   at the exact arming instant the event loop would — and the next
+   window's open re-enters the heap. One plan step per window either
+   way.
 3. **A batch-granular event core** — only *interesting* instants (window
-   opens, closes, batch completions) enter the heap, as plain
-   ``(time, seq, kind, payload)`` tuples. Arrivals that merely join an
-   open window never become events: with a non-preemptive policy the
-   dispatcher provably cannot act on them (after any dispatch pass,
-   pending batches and free devices never coexist). Device idle accrual
+   opens, closes, batch completions, budget-relief rechecks) enter the
+   heap, as plain ``(time, seq, kind, payload)`` tuples. Arrivals that
+   merely join an open window never become events: with a
+   non-preemptive policy the dispatcher provably cannot act on them
+   (after any dispatch pass, pending batches and free devices never
+   coexist unless admission is throttled — and then the armed relief
+   event is the next instant dispatch can change). Device idle accrual
    advances lazily inside :class:`~repro.energy.DeviceEnergyModel` at
    those same instants, so N idle devices cost nothing per skipped tick.
 4. **Price tables** — per-sentence pricing is composition-invariant for
@@ -31,30 +40,43 @@ with per-*batch* cost instead, in four moves:
    batch-coupled (water-filling over the shared slack) and keeps the
    per-batch pricing call.
 
+Energy-budget admission (``energy_budget_mw``) replays exactly: the
+same :class:`~repro.energy.EnergyBudget` object is driven at the same
+instants — commits before each ``begin``, ``note_throttle`` +
+``DispatchRetry`` arming mirrored as ``_RETRY`` heap events consuming
+the same schedule seqs — so throttle spans, budget ledgers and
+``BudgetStats`` agree with the event loop bit-for-bit.
+
 Event ordering — and therefore every report float — is bit-identical to
 the per-event loop: arrival events keep their inject-order seqs, and the
 dynamic-event seq counter is mirrored exactly (a timer seq is consumed
-at each window open, a completion seq at each batch start, in the same
-processing order the heap loop would schedule them). Equivalence is
-enforced by tests on the reference bursty trace and on randomized
-property traces; the scalar loop stays available as the determinism
-oracle (``engine="oracle"``).
+at each window open, a completion seq at each batch start, a retry seq
+at each throttle arming, in the same processing order the heap loop
+would schedule them). Equivalence is enforced by tests on the reference
+bursty trace and on randomized property traces; the scalar loop stays
+available as the determinism oracle (``engine="oracle"``).
 
 Eligibility: the fast core engages for ``run()`` replays under a
-non-preemptive built-in policy (fifo / affinity) with no energy budget,
-no adaptive timeout and no deadline sizing — exactly the configurations
-whose dispatch state can only change at batch events. Everything else
-falls back to the per-event loop unchanged.
+non-preemptive built-in policy (fifo / affinity) with vectorized
+pricing. Preemptive or custom policies fall back to the per-event loop
+(their dispatch state can change at arbitrary arrival instants);
+:func:`replay_ineligible_reason` names the downgrade on the report.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from heapq import heapify, heappop, heappush
 from operator import attrgetter, itemgetter
 
 import numpy as np
 
-from repro.cluster.batcher import PendingBatch, plan_batches
+from repro.cluster.batcher import (
+    AdaptiveTimeout,
+    BatchFormer,
+    PendingBatch,
+    plan_batches,
+)
 from repro.cluster.policies import FewestSwapsPolicy, FifoPolicy
 from repro.cluster.report import ClusterRecord, LazyRecords
 from repro.errors import ClusterError, ReproError
@@ -62,28 +84,35 @@ from repro.serving.request import SERVING_MODES, Batch, Request
 from repro.serving.server import price_batch, validate_request
 
 #: Event kinds in the batch-granular heap. OPEN marks a window opening
-#: (it consumes a timer seq and, for timeout-closed windows, schedules
-#: the close); CLOSE enqueues the dispatchable batch; DONE completes a
-#: run. Heap entries are (time_ms, seq, kind, payload) — (time, seq) is
-#: already unique, so kind/payload never get compared.
-_OPEN, _CLOSE, _DONE = 0, 1, 2
+#: (it consumes a timer seq and plans the close); CLOSE enqueues the
+#: dispatchable batch; DONE completes a run; RETRY is a budget-relief
+#: recheck (the event loop's DispatchRetry). Heap entries are
+#: (time_ms, seq, kind, payload) — (time, seq) is already unique, so
+#: kind/payload never get compared.
+_OPEN, _CLOSE, _DONE, _RETRY = 0, 1, 2, 3
+
+
+def replay_ineligible_reason(sim):
+    """Why this configuration cannot use the batch-granular core.
+
+    Returns None when the vector core applies: vectorized pricing under
+    a non-preemptive built-in policy (fifo / affinity), whose dispatch
+    state provably changes only at close/done/budget-relief instants.
+    Otherwise returns a human-readable reason — surfaced as
+    ``ClusterReport.engine_fallback_reason`` so silent vector→event
+    downgrades are diagnosable.
+    """
+    if not sim.vectorized:
+        return "scalar (non-vectorized) pricing kernels"
+    if type(sim.policy) not in (FifoPolicy, FewestSwapsPolicy):
+        return (f"policy {sim.policy.name!r} (preemptive or custom "
+                "policies can act on arbitrary arrival instants)")
+    return None
 
 
 def replay_eligible(sim):
-    """Can this simulator's configuration use the batch-granular core?
-
-    Non-preemptive built-in policies only (their dispatch state provably
-    changes only at close/done instants), vectorized pricing, no energy
-    budget (admission throttling re-runs the dispatcher at budget-window
-    instants), and no dispatch-feedback batching triggers (adaptive
-    timeouts and deadline sizing both couple window closes to dispatch
-    history, which the offline scan cannot see).
-    """
-    return (bool(sim.vectorized)
-            and type(sim.policy) in (FifoPolicy, FewestSwapsPolicy)
-            and sim.energy_budget_mw is None
-            and not sim.adaptive_timeout
-            and not sim.deadline_sizing)
+    """Can this simulator's configuration use the batch-granular core?"""
+    return replay_ineligible_reason(sim) is None
 
 
 class _PriceTable:
@@ -125,20 +154,43 @@ class _Planned:
         self.by_size = by_size
 
 
+class _KeyPlan:
+    """Incremental per-key planning state (adaptive / sizing triggers).
+
+    Wraps one real :class:`BatchFormer` — the reference trigger
+    implementation — plus the key's members in event-processing order.
+    ``cursor`` is the index of the first member not yet fed to the
+    former; the former's own state carries any window a pre-close
+    reopened.
+    """
+
+    __slots__ = ("former", "times", "seqs", "pos", "reqs", "cursor", "n")
+
+    def __init__(self, former, times, seqs, pos, reqs):
+        self.former = former
+        self.times = times  # member arrival instants (Python floats)
+        self.seqs = seqs  # member inject seqs (Python ints)
+        self.pos = pos  # positions into the time-ordered trace columns
+        self.reqs = reqs  # member Request objects
+        self.cursor = 0
+        self.n = len(times)
+
+
 def _drain_monitor_log(mon, scope, log, arr_o, dead_eps_o, ids_o):
     """Replay deferred monitor feeds with the latency math done in bulk.
 
     The hot loop records ``(kind, ...)`` tuples at the exact commit
     points the live path would feed the monitor — kind 0 a queue-depth
     sample ``(t, depth)``, kind 1 a swap ``(t, task, accel_id)``,
-    kind 2 a completed run ``(t, task, target_ms, pos, finish)``. The
-    per-run latency/violation arithmetic runs here once over
-    whole-trace arrays: concatenating the runs' finish columns and
-    gathering arrivals/deadlines once yields elementwise the identical
-    float64 subtract/compare the live path does per run, so the alert
-    stream is bit-identical to a live-fed (metered) replay and to the
-    event engine. Latency slices handed to the monitor are views into
-    one contiguous array — no per-run allocation survives.
+    kind 2 a completed run ``(t, task, target_ms, pos, finish)``,
+    kind 3 a budget throttle ``(t, relief)``. The per-run
+    latency/violation arithmetic runs here once over whole-trace
+    arrays: concatenating the runs' finish columns and gathering
+    arrivals/deadlines once yields elementwise the identical float64
+    subtract/compare the live path does per run, so the alert stream is
+    bit-identical to a live-fed (metered) replay and to the event
+    engine. Latency slices handed to the monitor are views into one
+    contiguous array — no per-run allocation survives.
     """
     runs = [e for e in log if e[0] == 2]
     if runs:
@@ -154,6 +206,7 @@ def _drain_monitor_log(mon, scope, log, arr_o, dead_eps_o, ids_o):
     observe_done = mon.observe_completions
     observe_queue = mon.observe_queue_depth
     observe_swap = mon.observe_swap
+    observe_throttle = mon.observe_throttle
     i = 0
     for event in log:
         kind = event[0]
@@ -170,6 +223,8 @@ def _drain_monitor_log(mon, scope, log, arr_o, dead_eps_o, ids_o):
             i += 1
         elif kind == 0:
             observe_queue(scope, event[1], event[2])
+        elif kind == 3:
+            observe_throttle(scope, event[1], event[2])
         else:
             observe_swap(scope, event[1], event[2], event[3])
 
@@ -182,8 +237,14 @@ def _precheck(sim, requests, ids, sentences, arrivals, keymap, key_max_sent):
     caller raises exactly the error the event loop would have raised
     first.
     """
-    ok = bool(np.unique(ids).size == len(ids)) \
-        and bool((arrivals >= -1e-9).all())
+    n = len(ids)
+    # Generated and replayed traces carry consecutive ids; one
+    # vectorized compare settles uniqueness without the np.unique sort.
+    unique = n > 0 and bool(
+        (ids == np.arange(ids[0], ids[0] + n)).all())
+    if not unique:
+        unique = bool(np.unique(ids).size == n)
+    ok = unique and bool((arrivals >= -1e-9).all())
     if ok:
         try:
             for (task, _target, mode), kid in keymap.items():
@@ -278,7 +339,7 @@ def run_vectorized(sim, requests):
     reqs_o = itemgetter(*order.tolist())(requests) if n > 1 \
         else (requests[0],)
 
-    # -- offline former scans per key ---------------------------------------------
+    # -- window planning per key --------------------------------------------------
     korder = np.argsort(kid_o, kind="stable")
     kid_sorted = kid_o[korder]
     key_range = np.arange(nkeys)
@@ -286,40 +347,85 @@ def run_vectorized(sim, requests):
     k_ends = np.searchsorted(kid_sorted, key_range, side="right")
     timeout_ms = sim.batch_timeout_ms
     max_batch = sim.max_batch_size
+    # Adaptive timeouts and deadline sizing couple a window's close to
+    # dispatch history (the controller's EWMA) or to per-member work
+    # estimates: those keys plan incrementally — each window at its own
+    # open instant — through a real BatchFormer per key, the reference
+    # trigger implementation. Static keys keep the offline scan.
+    incremental = sim.adaptive_timeout or sim.deadline_sizing
+    keyplans = {} if incremental else None
 
     events = []
     for key, kid in keymap.items():
         task, target_ms, mode = key
         pos_k = korder[k_starts[kid]:k_ends[kid]]
-        times_k = arr_o[pos_k]
-        for start, end, by_size in plan_batches(times_k, max_batch,
+        tlist = arr_o[pos_k].tolist()
+        slist = order[pos_k].tolist()
+        if incremental:
+            controller = None
+            if sim.adaptive_timeout:
+                controller = AdaptiveTimeout(
+                    base_ms=sim.batch_timeout_ms, target_ms=target_ms)
+            estimator = None
+            if sim.deadline_sizing and mode == "lai":
+                estimator = sim._work_estimator(key)
+            former = BatchFormer(
+                key, max_batch_size=max_batch,
+                timeout_ms=sim.batch_timeout_ms,
+                timeout_controller=controller,
+                work_estimator=estimator)
+            if n > 1:
+                kreqs = itemgetter(*pos_k.tolist())(reqs_o) \
+                    if len(pos_k) > 1 else (reqs_o[pos_k[0]],)
+            else:
+                kreqs = reqs_o
+            kp = keyplans[key] = _KeyPlan(former, tlist, slist, pos_k,
+                                          kreqs)
+            # Mirror the event loop's former registry so post-run
+            # inspection (controller state, deadline-close counters)
+            # works identically on both engines.
+            sim._formers[key] = former
+            events.append((tlist[0], slist[0], _OPEN, kp))
+            continue
+        for start, end, by_size in plan_batches(tlist, max_batch,
                                                 timeout_ms):
-            mpos = pos_k[start:end]
-            planned = _Planned(mpos, task, target_ms, mode, by_size)
-            opener_seq = int(order[mpos[0]])
+            planned = _Planned(pos_k[start:end], task, target_ms, mode,
+                               by_size)
             if by_size and end - start == 1:
                 # The opening add itself hits the size trigger
                 # (max_batch_size == 1): the window closes before any
                 # timer is armed, so no dynamic seq is consumed.
-                events.append((float(arr_o[mpos[0]]), opener_seq,
-                               _CLOSE, planned))
+                events.append((tlist[start], slist[start], _CLOSE,
+                               planned))
                 continue
-            events.append((float(arr_o[mpos[0]]), opener_seq, _OPEN,
-                           planned))
+            events.append((tlist[start], slist[start], _OPEN, planned))
             if by_size:
-                closer = mpos[-1]
-                events.append((float(arr_o[closer]),
-                               int(order[closer]), _CLOSE, planned))
+                events.append((tlist[end - 1], slist[end - 1], _CLOSE,
+                               planned))
     heapify(events)
 
     # The per-event loop's schedule seq sits at n after injecting the
-    # trace; every timer armed at a window open and every completion
-    # scheduled at a batch start consumes the next value, in processing
-    # order — mirrored here so equal-instant ties break identically.
+    # trace; every timer armed at a window open, every completion
+    # scheduled at a batch start and every DispatchRetry armed at a
+    # throttle consumes the next value, in processing order — mirrored
+    # here so equal-instant ties break identically.
     dyn_seq = n
     deadline_aware = sim.deadline_aware
+    budget = sim._budget
+    budget_armed = False
+    # Window spend only *decays* between commits, so once exhausted()
+    # reads False it stays False until the next commit: gate the
+    # per-dispatch recheck on that, saving a ledger walk per event in
+    # the common unthrottled case.
+    budget_recheck = budget is not None
     tables = {}
-    pending = []
+    # FIFO's placement keys (close seq, accel_id) make its choices pure
+    # head-of-queue / min-id: a deque of batches plus a heap of free
+    # device ids replays them in O(1) per placement where the generic
+    # path scans ``pending`` — the structure, not the policy, is what
+    # changes under multi-thousand-batch budget backlogs.
+    fast_fifo = type(policy) is FifoPolicy
+    pending = deque() if fast_fifo else []
     pend_pos = {}
     done_batches = []
     served_pos = []
@@ -330,8 +436,13 @@ def run_vectorized(sim, requests):
     # O(pool) ``dispatchable`` scan of the event loop collapses to list
     # bookkeeping. Both built-in policies pick by unique keys
     # (batch seq, accel_id), so membership — not order — determines the
-    # placement.
-    free_accels = [a for a in accels if a.dispatchable]
+    # placement. The fast path stores ids, the generic path devices;
+    # len() is the free count either way.
+    if fast_fifo:
+        free_pool = [a.accel_id for a in accels if a.dispatchable]
+        heapify(free_pool)
+    else:
+        free_pool = [a for a in accels if a.dispatchable]
     # Telemetry is batch-granular here: one window/queue/swap span per
     # batch and one compute span per run, reconstructed from the plan —
     # the per-request detail only the event engine pays for. The hot
@@ -355,6 +466,7 @@ def run_vectorized(sim, requests):
     mon_queue = mon.observe_queue_depth if monitored else None
     mon_done = mon.observe_completions if monitored else None
     mon_swap = mon.observe_swap if monitored else None
+    mon_throttle = mon.observe_throttle if monitored else None
     # Monitor-only replays defer their feeds: nothing reads monitor
     # state mid-replay (health feedback lives in the fleet loop, which
     # drives the event engine), so the hot loop records cheap event
@@ -369,7 +481,7 @@ def run_vectorized(sim, requests):
     dead_eps_o = dead_o + 1e-9 if sampled else None
     trk_former = sim._trk_former
     trk_queue = sim._trk_queue
-    win_log = []  # (opened_ms, closed_ms, task, mode, size, by_size)
+    win_log = []  # (opened_ms, closed_ms, task, mode, size, trigger)
     run_log = []  # (run, energies); queue/swap/compute come off the run
     queued_reqs = 0  # running total of requests across `pending`
 
@@ -382,7 +494,7 @@ def run_vectorized(sim, requests):
         return table
 
     def start_batch(pending_batch, accel, now):
-        nonlocal dyn_seq
+        nonlocal dyn_seq, budget_recheck
         batch = pending_batch.batch
         swap_cost = registry.switch_cost(accel.resident_task, batch.task)
         pos = pend_pos.pop(pending_batch.seq)
@@ -406,6 +518,23 @@ def run_vectorized(sim, requests):
             # column directly skips a list round trip (same bits).
             latencies = table.latency_ms[sent]
             energies = table.energy_mj[sent].tolist()
+        if budget is not None:
+            # Commit the placement's predicted energy before begin, as
+            # the event loop does: compute (the same left-to-right
+            # float sum) + swap when actually paid + the wake
+            # transition the device will charge.
+            committed = sum(energies)
+            if accel.resident_task != batch.task:
+                committed += swap_cost.energy_mj
+            committed += accel.energy.estimate_transition(now_ms=now)[1]
+            budget.commit(now, committed)
+            budget_recheck = True
+        if incremental:
+            # Feed the adaptive controller its dispatch delay at the
+            # same instant the event loop's _start would.
+            keyplans[(batch.task, batch.target_ms,
+                      pending_batch.mode)].former.observe_dispatch_delay(
+                now - pending_batch.ready_ms)
         run = accel.begin(pending_batch, results, latencies, now,
                           swap_cost)
         if monitored \
@@ -416,18 +545,55 @@ def run_vectorized(sim, requests):
                 mon_swap(scope, now, batch.task, accel.accel_id)
         sim._price_cache.pop(pending_batch.seq, None)
         report.num_batches += 1
+        if metered and budget is not None:
+            # Pure read: the commit above already expired the window at
+            # `now`, so headroom_fraction re-expires nothing.
+            sim._m_headroom.set(now, budget.headroom_fraction(now))
         heappush(events, (run.end_ms, dyn_seq, _DONE,
                           (accel, run, energies, pos)))
         dyn_seq += 1
 
+    def arm_retry(now):
+        # Mirror of ClusterSimulator._budget_throttled's arming arm:
+        # the DispatchRetry seq is consumed here, at the instant the
+        # throttle is first observed.
+        nonlocal dyn_seq, budget_armed
+        relief = budget.next_relief_ms(now)
+        budget.note_throttle(now, relief)
+        heappush(events, (relief if relief > now else now, dyn_seq,
+                          _RETRY, None))
+        dyn_seq += 1
+        budget_armed = True
+        if metered:
+            sim._m_throttles.inc()
+        if monitored:
+            if defer_mon:
+                mon_log.append((3, now, relief))
+            else:
+                mon_throttle(scope, now, relief)
+
     def dispatch(now):
-        nonlocal queued_reqs
-        while pending and free_accels:
-            placement = policy.next_placement(pending, free_accels, now)
-            if placement is None:
+        nonlocal queued_reqs, budget_recheck
+        while pending:
+            if budget_recheck:
+                if budget.exhausted(now):
+                    if not budget_armed:
+                        arm_retry(now)
+                    return
+                budget_recheck = False
+            if not free_pool:
                 return
-            pending_batch, accel = placement
-            pending.remove(pending_batch)
+            if fast_fifo:
+                pending_batch = pending.popleft()
+                accel = accels[heappop(free_pool)]
+            else:
+                placement = policy.next_placement(pending, free_pool,
+                                                  now)
+                if placement is None:
+                    return
+                pending_batch, accel = placement
+                pending.remove(pending_batch)
+                free_pool.remove(accel)
             if sampled:
                 queued_reqs -= len(pending_batch)
             if monitored:
@@ -435,8 +601,92 @@ def run_vectorized(sim, requests):
                     mon_log.append((0, now, queued_reqs))
                 else:
                     mon_queue(scope, now, queued_reqs)
-            free_accels.remove(accel)
             start_batch(pending_batch, accel, now)
+
+    def enqueue(pending_batch, pos, now):
+        # Shared closed-window bookkeeping: positions for the batch's
+        # later column gathers, the queue-depth sample both engines
+        # maintain identically, and the pending append itself.
+        nonlocal queued_reqs
+        pend_pos[pending_batch.seq] = pos
+        pending.append(pending_batch)
+        if sampled:
+            queued_reqs += len(pending_batch)
+            if defer_mon:
+                mon_log.append((0, now, queued_reqs))
+            else:
+                if metered:
+                    sim._m_queue.set(now, queued_reqs)
+                if monitored:
+                    mon_queue(scope, now, queued_reqs)
+
+    def plan_key_window(kp):
+        """Plan the window opening now; push its _CLOSE into the heap.
+
+        Runs at the exact instant the event loop would arm the window's
+        timer — the opening arrival's (time, seq), or the pre-close
+        _CLOSE that reopened the former — so the adaptive controller is
+        read with precisely the dispatch history the event loop would
+        have seen. Members are fed to the real former ahead of the
+        clock; that is sound because every trigger input (member
+        deadlines, work estimates, the already-armed timer) is
+        arrival-determined once the timeout is fixed.
+        """
+        nonlocal dyn_seq
+        former = kp.former
+        times = kp.times
+        c = kp.cursor
+        if not former.is_open:
+            win_start = c
+            opened = times[c]
+            closed = former.add(kp.reqs[c], opened)
+            c += 1
+            if closed is not None:
+                # Closed on the opening add (max_batch_size == 1): no
+                # timer is armed; the close fires at the opener's own
+                # (time, seq).
+                kp.cursor = c
+                heappush(events, (opened, kp.seqs[c - 1], _CLOSE,
+                                  (kp, closed, kp.pos[win_start:c],
+                                   opened, "size", False)))
+                return
+        else:
+            # A pre-close reopened the former with the newcomer as the
+            # fresh window's only member.
+            win_start = c - 1
+            opened = former.opened_ms
+        timer_seq = dyn_seq
+        dyn_seq += 1
+        deadline = former.timeout_deadline_ms()
+        # An arrival at the very instant the timer fires carries a
+        # smaller event seq than the timer, so it joins first (<=).
+        while c < kp.n and times[c] <= deadline:
+            at = times[c]
+            closed = former.add(kp.reqs[c], at)
+            c += 1
+            if closed is None:
+                continue
+            kp.cursor = c
+            if former.is_open:
+                # Deadline-sizing pre-close: the closed batch holds the
+                # prior members; the newcomer reopened the window and
+                # its timer arms inside the _CLOSE processing.
+                heappush(events, (at, kp.seqs[c - 1], _CLOSE,
+                                  (kp, closed, kp.pos[win_start:c - 1],
+                                   opened, "preclose", True)))
+            else:
+                trigger = ("size" if len(closed) >= former.max_batch_size
+                           else "deadline")
+                heappush(events, (at, kp.seqs[c - 1], _CLOSE,
+                                  (kp, closed, kp.pos[win_start:c],
+                                   opened, trigger, False)))
+            return
+        # Timeout close at the armed timer's (deadline, seq).
+        closed = former.on_timeout(former.generation, deadline)
+        kp.cursor = c
+        heappush(events, (deadline, timer_seq, _CLOSE,
+                          (kp, closed, kp.pos[win_start:c], opened,
+                           "timeout", False)))
 
     # -- the batch-granular drain --------------------------------------------------
     processed = 0
@@ -448,45 +698,63 @@ def run_vectorized(sim, requests):
                 f"event loop exceeded {sim.MAX_EVENTS} events; "
                 "likely a scheduling cycle")
         if kind == _OPEN:
-            timer_seq = dyn_seq
-            dyn_seq += 1
-            if not payload.by_size:
-                heappush(events, (now + timeout_ms, timer_seq, _CLOSE,
-                                  payload))
-        elif kind == _CLOSE:
-            pos = payload.pos
-            plist = pos.tolist()
-            if len(plist) == 1:
-                members = (reqs_o[plist[0]],)
+            if incremental:
+                plan_key_window(payload)
             else:
-                members = itemgetter(*plist)(reqs_o)
-            batch = Batch(task=payload.task, target_ms=payload.target_ms,
-                          requests=members)
-            pending_batch = PendingBatch(
-                batch=batch, mode=payload.mode, ready_ms=float(now),
-                deadline_ms=float(dead_o[pos].min()),
-                seq=sim._next_batch_seq())
-            pend_pos[pending_batch.seq] = pos
-            pending.append(pending_batch)
-            if traced:
-                win_log.append((float(arr_o[pos[0]]),
-                                pending_batch.ready_ms, payload.task,
-                                payload.mode, len(plist),
-                                payload.by_size))
-            if sampled:
-                queued_reqs += len(plist)
-                if defer_mon:
-                    mon_log.append((0, now, queued_reqs))
+                timer_seq = dyn_seq
+                dyn_seq += 1
+                if not payload.by_size:
+                    heappush(events, (now + timeout_ms, timer_seq,
+                                      _CLOSE, payload))
+        elif kind == _CLOSE:
+            if incremental:
+                kp, members, pos, opened, trigger, reopened = payload
+                pending_batch = kp.former.make_pending(
+                    members, now, sim._next_batch_seq())
+                enqueue(pending_batch, pos, now)
+                if traced:
+                    win_log.append((opened, pending_batch.ready_ms,
+                                    kp.former.task, kp.former.mode,
+                                    len(members), trigger))
+                if reopened:
+                    # The newcomer's window arms its timer now — the
+                    # same processing point _on_arrival re-arms at —
+                    # before the dispatch pass consumes further seqs.
+                    plan_key_window(kp)
+                elif kp.cursor < kp.n:
+                    nxt = kp.cursor
+                    heappush(events, (kp.times[nxt], kp.seqs[nxt],
+                                      _OPEN, kp))
+                dispatch(now)
+            else:
+                pos = payload.pos
+                plist = pos.tolist()
+                if len(plist) == 1:
+                    members = (reqs_o[plist[0]],)
                 else:
-                    if metered:
-                        sim._m_queue.set(now, queued_reqs)
-                    if monitored:
-                        mon_queue(scope, now, queued_reqs)
-            dispatch(now)
-        else:  # _DONE
+                    members = itemgetter(*plist)(reqs_o)
+                batch = Batch(task=payload.task,
+                              target_ms=payload.target_ms,
+                              requests=members)
+                pending_batch = PendingBatch(
+                    batch=batch, mode=payload.mode, ready_ms=float(now),
+                    deadline_ms=float(dead_o[pos].min()),
+                    seq=sim._next_batch_seq())
+                enqueue(pending_batch, pos, now)
+                if traced:
+                    win_log.append((float(arr_o[pos[0]]),
+                                    pending_batch.ready_ms, payload.task,
+                                    payload.mode, len(plist),
+                                    "size" if payload.by_size
+                                    else "timeout"))
+                dispatch(now)
+        elif kind == _DONE:
             accel, run, energies, pos = payload
             accel.complete(now)
-            free_accels.append(accel)
+            if fast_fifo:
+                heappush(free_pool, accel.accel_id)
+            else:
+                free_pool.append(accel)
             stats = accel.stats
             total = stats.compute_energy_mj
             for energy in energies:
@@ -512,7 +780,7 @@ def run_vectorized(sim, requests):
                 nv = int(np.count_nonzero(vm))
                 if metered:
                     sim._m_served.inc(n_served)
-                    sim._m_free.set(now, len(free_accels))
+                    sim._m_free.set(now, len(free_pool))
                     sim._m_latency.observe_many(lat)
                     sim._m_qdelay.observe_many(run.start_ms - arr)
                     sim._m_violations.inc(nv)
@@ -526,6 +794,9 @@ def run_vectorized(sim, requests):
                         scope, run.pending.task,
                         float(run.pending.batch.target_ms), now,
                         n_served, nv, lat, viol_ids)
+            dispatch(now)
+        else:  # _RETRY — the budget's DispatchRetry recheck
+            budget_armed = False
             dispatch(now)
 
     if defer_mon and mon_log:
@@ -548,8 +819,8 @@ def run_vectorized(sim, requests):
             ("window", "window", opened, closed - opened, trk_former,
              0.0,
              {"task": task, "mode": mode, "size": size,
-              "trigger": "size" if by_size else "timeout"})
-            for opened, closed, task, mode, size, by_size in win_log]
+              "trigger": trigger})
+            for opened, closed, task, mode, size, trigger in win_log]
         emit = rows.append
         # Columnize at C speed: one attrgetter call per run replaces
         # ~20 interpreted attribute chases across the span builds.

@@ -112,6 +112,15 @@ class ClusterReport:
     #: ``"oracle"`` (the per-event loop with scalar pricing). Not part
     #: of ``summary()`` — engines must agree bit-for-bit there.
     engine: str = "event"
+    #: Why a ``run()`` under ``engine="auto"`` downgraded to the
+    #: per-event loop (:func:`repro.cluster.replay_ineligible_reason`),
+    #: None when the vector core ran or the event loop was requested.
+    #: Diagnostic only — not part of ``summary()``.
+    engine_fallback_reason: str = None
+    #: Engine-internal diagnostics (e.g. the deadline-sizing work
+    #: cache's LRU hit/miss/eviction counters). Values here may depend
+    #: on which core ran; never part of ``summary()``.
+    debug: dict = field(default_factory=dict)
 
     @property
     def num_requests(self):

@@ -67,7 +67,12 @@ from repro.cluster.events import (
     EventLoop,
 )
 from repro.cluster.policies import make_policy
-from repro.cluster.replay import replay_eligible, run_vectorized
+from repro.cluster.replay import (
+    _build_table,
+    replay_eligible,
+    replay_ineligible_reason,
+    run_vectorized,
+)
 from repro.cluster.report import ClusterRecord, ClusterReport
 
 #: The event cores ``ClusterSimulator(engine=...)`` accepts. ``auto``
@@ -78,6 +83,22 @@ from repro.cluster.report import ClusterRecord, ClusterReport
 #: the determinism oracle — the per-event loop with scalar (loop-based)
 #: pricing, i.e. ``vectorized=False`` throughout.
 ENGINES = ("auto", "vector", "event", "oracle")
+
+
+class _GatheredReport:
+    """Price-table rows standing in for a per-batch engine report.
+
+    The per-event loop only ever reads ``.results`` off the pricing
+    report (placement estimates sum them, ``_start`` hands them to the
+    accelerator), so a gathered row list is a drop-in — same
+    :class:`~repro.core.SentenceResult` objects the whole-profile table
+    call produced, in batch-member order.
+    """
+
+    __slots__ = ("results",)
+
+    def __init__(self, results):
+        self.results = results
 
 
 class ClusterSimulator:
@@ -103,8 +124,9 @@ class ClusterSimulator:
                  vectorized=True, hw_configs=None, energy_budget_mw=None,
                  budget_window_ms=100.0, deadline_aware=False,
                  adaptive_timeout=False, standby_timeout_ms=None,
-                 deadline_sizing=False, engine="auto", tracer=None,
-                 metrics=None, monitor=None, trace_scope="cluster"):
+                 deadline_sizing=False, engine="auto", price_tables=False,
+                 tracer=None, metrics=None, monitor=None,
+                 trace_scope="cluster"):
         if mode not in SERVING_MODES:
             raise ClusterError(
                 f"unknown mode {mode!r}; expected one of {SERVING_MODES}")
@@ -178,6 +200,15 @@ class ClusterSimulator:
         #: behavior); see :class:`~repro.energy.DeviceEnergyModel`.
         self.standby_timeout_ms = (None if standby_timeout_ms is None
                                    else float(standby_timeout_ms))
+        #: Serve per-event-loop batch pricing from whole-profile tables
+        #: (the replay core's composition-invariance contract: for
+        #: non-deadline-budget batches every member prices identically
+        #: alone or batched, so one vectorized engine call per (task,
+        #: target, mode, hardware) replaces one per batch). Identical
+        #: results, cheaper pricing — opt-in so engine-vs-engine
+        #: benchmarks keep their per-batch event baseline honest.
+        #: Needs the vectorized kernels; silently off without them.
+        self.price_tables = bool(price_tables) and bool(vectorized)
         #: Telemetry (:mod:`repro.telemetry`): every hook is read-only
         #: observation fired *after* the simulator commits a state
         #: change, so a traced run's report is bit-identical to an
@@ -212,24 +243,31 @@ class ClusterSimulator:
         requests = list(requests)
         if not requests:
             raise ClusterError("no requests to simulate")
+        fallback_reason = None
         if self.engine in ("auto", "vector"):
-            if replay_eligible(self):
+            reason = replay_ineligible_reason(self)
+            if reason is None:
                 report = run_vectorized(self, requests)
                 if report is not None:
                     return report
                 # The trace needs classic intake semantics (e.g. its
                 # errors); fall through to the per-event loop.
+                fallback_reason = ("trace needs classic per-request "
+                                   "intake semantics")
             elif self.engine == "vector":
                 raise ClusterError(
                     "engine='vector' needs a replay-eligible "
-                    "configuration: vectorized pricing, a fifo or "
-                    "affinity policy, no energy budget, no adaptive "
-                    "timeout, no deadline sizing")
+                    f"configuration, but this one has {reason}; use "
+                    "engine='auto' or 'event' instead")
+            else:
+                fallback_reason = reason
         self.start()
         for request in requests:
             self.inject(request)
         self._loop.run(max_events=self.MAX_EVENTS)
-        return self.finish()
+        report = self.finish()
+        report.engine_fallback_reason = fallback_reason
+        return report
 
     # -- incremental lifecycle (the fleet orchestrator's driving API) ------------
 
@@ -255,7 +293,11 @@ class ClusterSimulator:
         self._pending = []
         self._batch_seq = 0
         self._price_cache = {}
+        self._price_tables = {}
         self._work_cache = OrderedDict()
+        self._work_cache_hits = 0
+        self._work_cache_misses = 0
+        self._work_cache_evictions = 0
         self._budget = None
         self._budget_retry_armed = False
         self._budget_tokens = {}
@@ -476,6 +518,17 @@ class ClusterSimulator:
         ]
         if self._budget is not None:
             report.budget = self._budget.stats
+        if self.deadline_sizing:
+            # Cache-sizing regressions (thrash between the LRU bound
+            # and the key cross-product) show up here before they show
+            # up as wall time.
+            report.debug["work_cache"] = {
+                "size": len(self._work_cache),
+                "capacity": self.WORK_CACHE_MAX,
+                "hits": self._work_cache_hits,
+                "misses": self._work_cache_misses,
+                "evictions": self._work_cache_evictions,
+            }
         report.wall_seconds = time.perf_counter() - self._started
 
     # -- pool construction -------------------------------------------------------
@@ -584,6 +637,7 @@ class ClusterSimulator:
             cache_key = (task, mode, request.sentence, target_ms)
             planned = self._work_cache.get(cache_key)
             if planned is None:
+                self._work_cache_misses += 1
                 profile = self.registry.profile(task)
                 singleton = Batch(task=task, target_ms=target_ms,
                                   requests=(request,))
@@ -593,7 +647,9 @@ class ClusterSimulator:
                 self._work_cache[cache_key] = planned
                 if len(self._work_cache) > self.WORK_CACHE_MAX:
                     self._work_cache.popitem(last=False)
+                    self._work_cache_evictions += 1
             else:
+                self._work_cache_hits += 1
                 self._work_cache.move_to_end(cache_key)
             return planned
 
@@ -652,14 +708,35 @@ class ClusterSimulator:
         cache = self._price_cache.setdefault(pending_batch.seq, {})
         report = cache.get(key)
         if report is None:
-            profile = self.registry.profile_for(pending_batch.task,
-                                                accel.hw_config)
-            report = price_batch(profile, pending_batch.batch,
-                                 pending_batch.mode,
-                                 vectorized=self.vectorized,
-                                 deadline_ms=deadline_ms)
+            if self.price_tables and deadline_ms is None:
+                # Composition-invariant pricing: gather the members'
+                # rows from the whole-profile table instead of pricing
+                # this batch's composition (identical rows — the replay
+                # core's table contract).
+                rows = self._table_for(pending_batch,
+                                       accel.hw_config).results
+                report = _GatheredReport(
+                    [rows[r.sentence]
+                     for r in pending_batch.batch.requests])
+            else:
+                profile = self.registry.profile_for(pending_batch.task,
+                                                    accel.hw_config)
+                report = price_batch(profile, pending_batch.batch,
+                                     pending_batch.mode,
+                                     vectorized=self.vectorized,
+                                     deadline_ms=deadline_ms)
             cache[key] = report
         return report
+
+    def _table_for(self, pending_batch, hw_config):
+        """The whole-profile price table for one batch-key variant."""
+        key = (pending_batch.task, float(pending_batch.batch.target_ms),
+               pending_batch.mode, hw_config)
+        table = self._price_tables.get(key)
+        if table is None:
+            table = _build_table(self.registry, *key)
+            self._price_tables[key] = table
+        return table
 
     def _estimate_placement(self, accel, pending_batch, now_ms):
         """Back :meth:`AcceleratorSim.estimate` with cached pricing."""

@@ -33,6 +33,7 @@ engages.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass
 
@@ -207,9 +208,26 @@ class EnergyBudget:
         for commit_ms, energy_mj, _ in self._ledger:
             running -= energy_mj
             if running < self.cap_mj - 1e-12:
-                return commit_ms + self.window_ms
+                return self._relief_instant(commit_ms)
         # Unreachable: dropping every commitment empties the window.
-        return self._ledger[-1][0] + self.window_ms
+        return self._relief_instant(self._ledger[-1][0])
+
+    def _relief_instant(self, commit_ms):
+        """Smallest float instant at which ``commit_ms`` has expired.
+
+        ``commit_ms + window_ms`` alone is not safe: at large clock
+        values ``(commit + window) - window`` can round to below
+        ``commit - 1e-12`` (one ulp of the sum exceeds the epsilon past
+        ~4000 s of sim time), so the promised relief instant would not
+        actually expire the entry and a throttled dispatcher would
+        re-arm at the same instant forever. Nudge upward by ulps until
+        :meth:`_expire`'s cutoff test accepts the entry — at most a few
+        steps, and liveness becomes exact instead of probabilistic.
+        """
+        relief = commit_ms + self.window_ms
+        while relief - self.window_ms < commit_ms - 1e-12:
+            relief = math.nextafter(relief, math.inf)
+        return relief
 
     def note_throttle(self, now_ms, until_ms):
         """Record one dispatcher stall for the report."""

@@ -23,8 +23,11 @@ parks/wakes whole devices per site.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.cluster.events import EventLoop
 from repro.errors import FleetError
@@ -50,9 +53,12 @@ class AutoscaleTick:
 class FleetOrchestrator:
     """Deterministic multi-site serving: router → sites → devices."""
 
+    #: Valid front-end drive modes (see ``front_end`` in ``__init__``).
+    FRONT_ENDS = ("auto", "bulk", "event")
+
     def __init__(self, registry, site_configs, routing="energy",
                  autoscaler=None, tracer=None, metrics=None,
-                 monitor=None, health_routing=False):
+                 monitor=None, health_routing=False, front_end="auto"):
         site_configs = sorted(site_configs, key=lambda c: c.site_id)
         if not site_configs:
             raise FleetError("a fleet needs at least one site")
@@ -80,6 +86,18 @@ class FleetOrchestrator:
         #: sanctioned feedback path — the routing policy and the
         #: autoscaler read the monitor's live health scores.
         self.monitor = monitor
+        #: How arrivals reach the router. ``"event"`` schedules one
+        #: heap event per request (the per-event reference path);
+        #: ``"bulk"`` keeps the trace in sorted columns and routes runs
+        #: of arrivals between site-state-changing instants — same
+        #: decisions, same report, a fraction of the front-end cost.
+        #: ``"auto"`` means bulk (it is exact by construction; the knob
+        #: exists so equivalence tests and benches can pin either side).
+        if front_end not in self.FRONT_ENDS:
+            raise FleetError(
+                f"unknown front_end {front_end!r}; expected one of "
+                f"{self.FRONT_ENDS}")
+        self.front_end = front_end
         self.health_routing = bool(health_routing)
         if self.health_routing:
             if monitor is None:
@@ -117,15 +135,31 @@ class FleetOrchestrator:
         self._loop.on(AutoscaleTick, self._on_tick)
         self._routes = {}  # request_id -> (site_index, routed_ms)
         self._deferrals = 0
+        self._pending_front = 0  # bulk-mode arrivals not yet routed
+        self._ticked = False
 
-        for request in requests:
-            self._loop.schedule(request.arrival_ms,
-                                RouteRequest(request))
+        bulk = self.front_end != "event"
+        if not bulk:
+            for request in requests:
+                self._loop.schedule(request.arrival_ms,
+                                    RouteRequest(request))
         if self.autoscaler is not None:
             first = min(r.arrival_ms for r in requests)
             self._loop.schedule(first + self.autoscaler.interval_ms,
                                 AutoscaleTick())
-        self._drain()
+        if bulk:
+            # Column intake: a stable argsort on the arrival instants
+            # reproduces exactly the heap's (time, seq) pop order, the
+            # seqs being trace positions.
+            column = np.fromiter((r.arrival_ms for r in requests),
+                                 dtype=np.float64, count=len(requests))
+            order = np.argsort(column, kind="stable")
+            arrivals = [requests[k] for k in order.tolist()]
+            times = column[order].tolist()
+            self._pending_front = len(arrivals)
+            self._drain_bulk(arrivals, times)
+        else:
+            self._drain()
         return self._finish(requests, started)
 
     # -- the merged clock --------------------------------------------------------
@@ -180,6 +214,136 @@ class FleetOrchestrator:
                     "events; likely a scheduling cycle or an "
                     "ever-deferring routing policy")
 
+    def _drain_bulk(self, arrivals, times):
+        """Route the sorted arrival columns without per-request events.
+
+        Semantically identical to scheduling one :class:`RouteRequest`
+        per request and running :meth:`_drain` — same merge order, same
+        tie rules, same decisions — but the heap only ever holds the
+        *dynamic* front-end events (autoscaler ticks, deferral
+        retries). Arrivals are consumed straight off the sorted
+        columns; original arrivals win every equal-instant tie against
+        heap events because their per-event seqs (trace positions,
+        assigned before anything else is scheduled) are always lower.
+
+        Between state-changing instants — site event commits,
+        autoscaler ticks — the scoring inputs are frozen, so runs of
+        arrivals are scored through the routing policy's epoch-memoized
+        bulk scorer when it offers one; the sequential feedback that
+        *does* move per admission (in-system counts, the time-decaying
+        budget headroom) is read live per request, exactly as the
+        per-event path reads it. Policies without a bulk scorer (and
+        affinity-pinned requests) route through the ordinary
+        :meth:`~repro.fleet.router.RoutingPolicy.route` call.
+        """
+        loop = self._loop
+        sites = self._sites
+        routing = self.routing
+        tracer = self.tracer
+        scorer = routing.bulk_scorer(sites)
+        inf = math.inf
+        n = len(arrivals)
+        num_sites = len(sites)
+        site_peeks = [inf if p is None else p
+                      for p in (s.peek_ms() for s in sites)]
+        max_events = self.MAX_FLEET_EVENTS
+        processed = 0
+        i = 0
+        while True:
+            t_arr = times[i] if i < n else None
+            heap_at = loop.peek_ms()
+            if t_arr is not None \
+                    and (heap_at is None or t_arr <= heap_at):
+                at = t_arr
+                take_arrival = True
+            else:
+                at = heap_at
+                take_arrival = False
+            # Site events first at equal instants, as in _drain: every
+            # site drains through `at` before the front-end acts there.
+            if at is None:
+                moved = 0
+                for j in range(num_sites):
+                    m = sites[j].run_until(None)
+                    if m:
+                        moved += m
+                        site_peeks[j] = inf
+                        if scorer is not None:
+                            scorer.refresh(j)
+                processed += moved
+                if processed > max_events:
+                    self._raise_runaway()
+                if moved == 0:
+                    return
+                continue  # sites drained dry; confirm on the next pass
+            for j in range(num_sites):
+                if site_peeks[j] <= at:
+                    m = sites[j].run_until(at)
+                    processed += m
+                    p = sites[j].peek_ms()
+                    site_peeks[j] = inf if p is None else p
+                    if m and scorer is not None:
+                        scorer.refresh(j)
+            if processed > max_events:
+                self._raise_runaway()
+            if not take_arrival:
+                # A deferral retry or an autoscaler tick: both may move
+                # site state under the scorer (an admission's ingress,
+                # a park/wake), so re-read every peek afterwards and
+                # invalidate the scorer's epochs on a tick.
+                self._ticked = False
+                loop.step()
+                processed += 1
+                site_peeks = [inf if p is None else p
+                              for p in (s.peek_ms() for s in sites)]
+                if self._ticked and scorer is not None:
+                    scorer.invalidate_all()
+                if processed > max_events:
+                    self._raise_runaway()
+                continue
+            request = arrivals[i]
+            i += 1
+            self._pending_front -= 1
+            if scorer is not None and request.site is None:
+                decision = scorer.route(request, at)
+            else:
+                decision = routing.route(request, sites, at)
+            if decision.deferred:
+                if decision.retry_ms is None or decision.retry_ms <= at:
+                    raise FleetError(
+                        "a routing deferral must carry a future "
+                        "retry_ms")
+                self._deferrals += 1
+                loop.schedule(decision.retry_ms, RouteRequest(request))
+                if tracer.enabled:
+                    tracer.instant(
+                        "defer", "net", at, "fleet/router",
+                        args={"request": request.request_id,
+                              "retry_ms": decision.retry_ms})
+            else:
+                site = sites[decision.site_index]
+                site.admit(request, at)
+                ingress = at + site.rtt_ms / 2.0
+                if ingress < site_peeks[decision.site_index]:
+                    site_peeks[decision.site_index] = ingress
+                self._routes[request.request_id] = \
+                    (decision.site_index, at)
+                if tracer.enabled:
+                    tracer.instant(
+                        f"route:{site.site_id}", "net", at,
+                        "fleet/router",
+                        args={"request": request.request_id,
+                              "site": site.site_id})
+            processed += 1
+            if processed > max_events:
+                self._raise_runaway()
+
+    def _raise_runaway(self):
+        raise FleetError(
+            f"fleet loop exceeded {self.MAX_FLEET_EVENTS} "
+            "events; likely a scheduling cycle or an "
+            "ever-deferring routing policy")
+
     # -- event handlers ----------------------------------------------------------
 
     def _on_route(self, event):
@@ -209,6 +373,7 @@ class FleetOrchestrator:
 
     def _on_tick(self, event):
         now = self._loop.now_ms
+        self._ticked = True  # the bulk loop invalidates scorer epochs
         self.autoscaler.tick_all(self._sites, now)
         if self.tracer.enabled:
             self.tracer.instant("autoscale-tick", "scale", now,
@@ -218,9 +383,9 @@ class FleetOrchestrator:
             # clock the subscribers (router, autoscaler) act on.
             self.monitor.sample_health(now)
         # Keep ticking while the fleet still has anything in flight —
-        # queued routing events included — then fall silent so the
-        # merged loop can drain.
-        if len(self._loop) > 0 \
+        # queued routing events and unrouted bulk-column arrivals
+        # included — then fall silent so the merged loop can drain.
+        if len(self._loop) > 0 or self._pending_front > 0 \
                 or any(site.sim.in_system() > 0 for site in self._sites):
             self._loop.schedule(now + self.autoscaler.interval_ms,
                                 AutoscaleTick())

@@ -68,6 +68,13 @@ class SiteConfig:
     #: oracle for fleet replays; note ``deadline_aware`` — on by
     #: default — requires the vectorized kernels).
     vectorized: bool = True
+    #: Serve the site's per-batch pricing from whole-profile tables
+    #: (bit-identical by the replay core's composition-invariance
+    #: contract; deadline-budget batches still price per batch). On by
+    #: default: fleet replays are site-event bound, and both fleet
+    #: front ends share the site engine, so the speedup is free and the
+    #: bulk-vs-event comparison stays fair.
+    price_tables: bool = True
 
     def __post_init__(self):
         if not self.site_id:
@@ -100,6 +107,7 @@ class FleetSite:
             adaptive_timeout=config.adaptive_timeout,
             standby_timeout_ms=config.standby_timeout_ms,
             vectorized=config.vectorized,
+            price_tables=config.price_tables,
             tracer=tracer, metrics=metrics, monitor=monitor,
             trace_scope=config.site_id,
         )
@@ -202,6 +210,24 @@ class FleetSite:
     def headroom(self, now_ms):
         """Power-cap window headroom in [0, 1]; 1.0 when uncapped."""
         return self.sim.budget_headroom(now_ms)
+
+    def routing_fingerprint(self):
+        """Version stamp of everything a placement estimate reads.
+
+        Device-visible state — who is idle, which task is resident,
+        whether a wake transition is pending, the budget ledger —
+        changes only when a batch starts, a run completes, or a run is
+        preempted; every one of those moves one of these counters.
+        Event runs that leave the stamp unchanged (arrivals merging into
+        open windows, timeouts that close onto a full pool) cannot have
+        changed a routing estimate, so the bulk front end keeps its
+        per-epoch estimate memo warm across them. Autoscaler park/wake
+        moves *no* counter and must invalidate unconditionally — the
+        orchestrator handles that on the tick path.
+        """
+        report = self.sim._report
+        return (report.num_batches, len(report.records),
+                report.preemptions)
 
     def _device_estimate(self, request, mode, bucket, accel, now_ms):
         """(energy_mj, latency_ms) of ``request`` on one device, now."""

@@ -173,12 +173,31 @@ class TestEngineSelection:
         sim = ClusterSimulator(registry, engine="oracle")
         assert sim.vectorized is False
 
-    def test_ineligible_flags_fall_back(self, registry):
+    def test_energy_aware_flags_stay_on_vector(self, registry):
+        # The paper's flagship path — budget admission, adaptive
+        # timeouts, deadline sizing — is replay-eligible since PR 9.
         trace = synthetic_traffic(registry, 20, seed=1)
-        sim = ClusterSimulator(registry, num_accelerators=2,
-                               adaptive_timeout=True)
-        assert not replay_eligible(sim)
-        assert sim.run(trace).engine == "event"
+        for kwargs in ({"adaptive_timeout": True},
+                       {"deadline_sizing": True, "deadline_aware": True},
+                       {"energy_budget_mw": 200.0}):
+            sim = ClusterSimulator(registry, num_accelerators=2,
+                                   **kwargs)
+            assert replay_eligible(sim)
+            report = sim.run(trace)
+            assert report.engine == "vector"
+            assert report.engine_fallback_reason is None
+
+    def test_fallback_reason_surfaces_on_event_downgrade(self, registry):
+        trace = synthetic_traffic(registry, 20, seed=1)
+        report = ClusterSimulator(registry, num_accelerators=2,
+                                  policy="edf").run(trace)
+        assert report.engine == "event"
+        assert "edf" in report.engine_fallback_reason
+        # Explicitly requested engines never report a downgrade.
+        event = ClusterSimulator(registry, num_accelerators=2,
+                                 engine="event").run(trace)
+        assert event.engine_fallback_reason is None
+        assert "engine_fallback_reason" not in event.summary()
 
 
 class TestIntakeErrors:

@@ -1,0 +1,215 @@
+"""Bulk fleet routing: chunked-vs-per-event equivalence suite.
+
+The PR-9 bulk front end routes runs of arrivals between site-state-
+changing instants in one pass; ``front_end="event"`` walks the same
+trace one heap event at a time with the identical policy objects. The
+two must replay bit-identically — same summaries, same per-record
+placement/timing/pricing, same telemetry spans, same monitor alert
+stream — across routing policies, autoscaling, affinity pins, standby
+timeouts (where the bulk scorer declares itself ineligible and falls
+back to exact per-request routing), brownout caps that drive
+deferrals, and *every ordering of the site list*.
+"""
+
+import json
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.fleet import FleetAutoscaler, FleetOrchestrator, SiteConfig
+from repro.serving import synthetic_registry, synthetic_traffic
+from repro.telemetry import TelemetryMonitor, Tracer
+from repro.telemetry.monitor import (
+    BurnRateRule,
+    LatencyQuantileRule,
+    QueueDepthRule,
+    SwapThrashRule,
+)
+
+GLUE_TASKS = ("sst2", "mnli", "qqp", "qnli")
+FRONT_ENDS = ("bulk", "event")
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return synthetic_registry(GLUE_TASKS, n=64, seed=0)
+
+
+@pytest.fixture(scope="module")
+def trace(registry):
+    return synthetic_traffic(registry, num_requests=1200, seed=1,
+                             mean_interarrival_ms=1.0,
+                             modes=("base", "lai"))
+
+
+def site_configs(cap=True, standby_ms=None, price_tables=True):
+    """Three heterogeneous sites; the far one optionally power-capped."""
+    return [
+        SiteConfig("edge-a", num_accelerators=8, rtt_ms=2.0,
+                   standby_timeout_ms=standby_ms,
+                   price_tables=price_tables),
+        SiteConfig("edge-b", num_accelerators=6, rtt_ms=5.0,
+                   standby_timeout_ms=standby_ms,
+                   price_tables=price_tables),
+        SiteConfig("edge-c", num_accelerators=4, rtt_ms=8.0,
+                   energy_budget_mw=30.0 if cap else None,
+                   standby_timeout_ms=standby_ms,
+                   price_tables=price_tables),
+    ]
+
+
+def tight_rules():
+    return (
+        BurnRateRule("burn", slo_target=0.999, fast_window_ms=50.0,
+                     slow_window_ms=250.0, fast_burn=2.0, slow_burn=1.0,
+                     min_samples=5),
+        LatencyQuantileRule("p95", q=0.95, threshold_ms=20.0,
+                            window_ms=100.0, min_samples=5),
+        QueueDepthRule("queue", depth=4, sustain_ms=5.0),
+        SwapThrashRule("thrash", window_ms=100.0, threshold=2),
+    )
+
+
+def run_fleet(front_end, configs, trace, registry, routing="energy",
+              autoscale=False, telemetry=False, health=False):
+    kwargs = {}
+    tracer = monitor = None
+    if autoscale:
+        kwargs["autoscaler"] = FleetAutoscaler(interval_ms=25.0)
+    if telemetry:
+        tracer = Tracer()
+        monitor = TelemetryMonitor(tight_rules())
+        kwargs["tracer"], kwargs["monitor"] = tracer, monitor
+    if health:
+        monitor = TelemetryMonitor(tight_rules())
+        kwargs["monitor"] = monitor
+        kwargs["health_routing"] = True
+    fleet = FleetOrchestrator(registry, configs, routing=routing,
+                              front_end=front_end, **kwargs)
+    report = fleet.run(trace)
+    alerts = None if monitor is None \
+        else json.dumps(monitor.report().summary(), sort_keys=True)
+    spans = None if tracer is None \
+        else [(s.name, s.cat, s.start_ms, s.dur_ms, s.track,
+               s.energy_mj) for s in tracer.spans()]
+    return report, alerts, spans
+
+
+def signature(report):
+    """Summary plus the full per-record placement/timing/pricing."""
+    records = [(r.request.request_id, r.site_id, r.routed_ms,
+                r.completion_ms, r.site_record.result.latency_ms,
+                r.site_record.result.energy_mj)
+               for r in report.records]
+    return (json.dumps(report.summary(), sort_keys=True), records)
+
+
+class TestFrontEndEquivalence:
+    @pytest.mark.parametrize("routing,autoscale", [
+        ("energy", False),
+        ("energy", True),
+        ("rr", True),
+        ("least-loaded", False),
+    ])
+    def test_bulk_matches_event(self, registry, trace, routing,
+                                autoscale):
+        results = [run_fleet(fe, site_configs(), trace, registry,
+                             routing=routing, autoscale=autoscale)
+                   for fe in FRONT_ENDS]
+        assert signature(results[0][0]) == signature(results[1][0])
+
+    def test_telemetry_spans_and_alert_stream_identical(self, registry,
+                                                        trace):
+        bulk = run_fleet("bulk", site_configs(), trace, registry,
+                         telemetry=True)
+        event = run_fleet("event", site_configs(), trace, registry,
+                          telemetry=True)
+        assert signature(bulk[0]) == signature(event[0])
+        assert bulk[1] == event[1]  # alert stream
+        assert bulk[2] == event[2]  # span log
+        assert len(bulk[2]) > 0
+
+    def test_health_routing_feedback_loop(self, registry, trace):
+        bulk = run_fleet("bulk", site_configs(), trace, registry,
+                         health=True)
+        event = run_fleet("event", site_configs(), trace, registry,
+                          health=True)
+        assert signature(bulk[0]) == signature(event[0])
+        assert bulk[1] == event[1]
+
+
+class TestSiteOrderings:
+    """The bulk/event identity must hold for every site ordering, and
+    renaming-free permutations must not change any placement."""
+
+    @pytest.mark.parametrize("ordering", ["identity", "reversed",
+                                          "shuffled"])
+    def test_equivalence_under_permutation(self, registry, trace,
+                                           ordering):
+        configs = site_configs()
+        if ordering == "reversed":
+            configs = list(reversed(configs))
+        elif ordering == "shuffled":
+            rng = random.Random(42)
+            rng.shuffle(configs)
+        bulk, _, _ = run_fleet("bulk", configs, trace, registry)
+        event, _, _ = run_fleet("event", configs, trace, registry)
+        assert signature(bulk) == signature(event)
+
+    def test_permutation_leaves_placements_unchanged(self, registry,
+                                                     trace):
+        # Scoring ties break on site *identity*, never list position,
+        # so reordering the config list is a pure no-op.
+        base, _, _ = run_fleet("bulk", site_configs(), trace, registry)
+        perm, _, _ = run_fleet(
+            "bulk", list(reversed(site_configs())), trace, registry)
+        assert signature(base) == signature(perm)
+
+
+class TestScorerFallbacks:
+    def test_standby_sites_fall_back_to_exact_per_request(self, registry,
+                                                          trace):
+        # Standby timeouts make placement estimates depend on park
+        # clocks the bulk scorer does not model: it must declare
+        # itself ineligible and still replay identically.
+        configs = site_configs(standby_ms=20.0)
+        bulk, _, _ = run_fleet("bulk", configs, trace, registry)
+        event, _, _ = run_fleet("event", site_configs(standby_ms=20.0),
+                                trace, registry)
+        assert signature(bulk) == signature(event)
+
+    def test_affinity_pins_bypass_the_scorer(self, registry, trace):
+        pinned = [replace(r, site="edge-b") if r.request_id % 7 == 0
+                  else r for r in trace]
+        bulk, _, _ = run_fleet("bulk", site_configs(), pinned, registry)
+        event, _, _ = run_fleet("event", site_configs(), pinned,
+                                registry)
+        assert signature(bulk) == signature(event)
+        assert any(rec.site_id == "edge-b" and
+                   rec.request.request_id % 7 == 0
+                   for rec in bulk.records)
+
+    def test_brownout_deferrals_replay_identically(self, registry,
+                                                   trace):
+        # Tight caps on every site force shaping deferrals — the
+        # budget-recheck instants the bulk router must re-score at.
+        tight = [replace(c, energy_budget_mw=8.0)
+                 for c in site_configs()]
+        bulk, _, _ = run_fleet("bulk", tight, trace, registry)
+        event, _, _ = run_fleet(
+            "event",
+            [replace(c, energy_budget_mw=8.0) for c in site_configs()],
+            trace, registry)
+        assert bulk.deferrals > 0
+        assert signature(bulk) == signature(event)
+
+    def test_price_tables_are_composition_invariant(self, registry,
+                                                    trace):
+        # Site-level table pricing is a pure speedup: turning it off
+        # must not move a single float.
+        on, _, _ = run_fleet("event", site_configs(price_tables=True),
+                             trace, registry)
+        off, _, _ = run_fleet("event", site_configs(price_tables=False),
+                              trace, registry)
+        assert signature(on) == signature(off)

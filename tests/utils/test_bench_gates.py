@@ -1,0 +1,52 @@
+"""Tier-1 smoke over the committed perf-trajectory artifacts.
+
+The gated benches are too slow for tier-1, but their committed
+``BENCH_*.json`` baselines are part of the repo's contract: they must
+exist, parse, and satisfy their own absolute gates. That is exactly
+what ``python benchmarks/bench_index.py --check --quick`` validates in
+seconds, so tier-1 runs it as a subprocess — a committed baseline
+that violates its own gates (or a gated trajectory whose artifact
+went missing) fails CI here instead of silently drifting until the
+next full bench run.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..",
+                                    ".."))
+BENCH_DIR = os.path.join(ROOT, "benchmarks")
+
+#: Every committed perf-trajectory artifact (the index plus the four
+#: gated trajectories it folds in).
+COMMITTED_BASELINES = (
+    "BENCH_index.json",
+    "BENCH_replay.json",
+    "BENCH_replay_budget.json",
+    "BENCH_fleet_replay.json",
+    "BENCH_telemetry.json",
+)
+
+
+def test_committed_baselines_exist_and_parse():
+    for name in COMMITTED_BASELINES:
+        path = os.path.join(BENCH_DIR, name)
+        assert os.path.exists(path), f"missing committed {name}"
+        with open(path, encoding="utf-8") as f:
+            record = json.load(f)
+        assert record, f"{name} parsed to an empty record"
+
+
+def test_bench_index_check_quick_holds():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src") + os.pathsep \
+        + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, os.path.join(BENCH_DIR, "bench_index.py"),
+         "--check", "--quick"],
+        cwd=ROOT, env=env, capture_output=True, text=True, timeout=180)
+    assert proc.returncode == 0, \
+        f"--check --quick failed:\n{proc.stdout}\n{proc.stderr}"
+    assert "all 4 gated trajectories hold" in proc.stdout
