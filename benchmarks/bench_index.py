@@ -48,6 +48,7 @@ GATED_BENCHES = {
     "replay_budget": "bench_replay_budget",
     "fleet_replay": "bench_fleet_replay",
     "telemetry": "bench_telemetry_overhead",
+    "trace_analysis": "bench_trace_analysis",
 }
 
 

@@ -20,6 +20,12 @@ set rides along on the same run and writes whatever fired to
 ``fleet_alerts.jsonl`` (replayable with
 ``python -m repro.telemetry.monitor --replay fleet_spans.jsonl``).
 
+The same traced run is then stitched into per-request causal journeys
+(:mod:`repro.telemetry.analysis`): ``fleet_journeys.jsonl`` holds one
+journey per line, ``fleet_flame.txt`` the collapsed-stack flamegraph
+(open with speedscope or ``flamegraph.pl``), and the script prints the
+hot-path table plus the slowest request's latency waterfall.
+
 Run:  PYTHONPATH=src python examples/fleet_traffic.py [--out DIR]
 (no trained artifacts needed — synthetic profiles; artifacts land in
 ``--out``, default ``./out``)
@@ -35,6 +41,9 @@ from repro.telemetry import (MetricsRegistry, TelemetryMonitor, Tracer,
                              default_rules, reconcile_fleet,
                              render_metrics, render_timeline,
                              write_chrome_trace, write_spans_jsonl)
+from repro.telemetry.analysis import (analyze, render_hot_paths,
+                                      render_waterfall,
+                                      write_flamegraph)
 from repro.utils import format_table
 
 
@@ -150,18 +159,39 @@ def main(argv=None):
         print(f"  health[{scope}] = {incident_report.health[scope]:.2f}")
     print()
 
+    # Stitch the traced run into per-request journeys: every leg chain
+    # tiles time-in-system exactly and the attributed joules reconcile
+    # against the same ledgers the span audit above checked.
+    analysis = analyze(tracer)
+    analysis.reconcile(energy, tol=1e-9)
+    for journey in analysis.journeys:
+        journey.critical_path(tol=1e-9)
+    print(render_hot_paths(analysis, limit=8))
+    print()
+    slowest = max(analysis.journeys, key=lambda j: j.time_in_system_ms)
+    print(render_waterfall(slowest))
+    print()
+
     trace_path = os.path.join(args.out, "fleet_trace.json")
     spans_path = os.path.join(args.out, "fleet_spans.jsonl")
     alerts_path = os.path.join(args.out, "fleet_alerts.jsonl")
+    journeys_path = os.path.join(args.out, "fleet_journeys.jsonl")
+    flame_path = os.path.join(args.out, "fleet_flame.txt")
     n_events = write_chrome_trace(tracer, trace_path)
     n_spans = write_spans_jsonl(tracer, spans_path)
     n_rows = incident_report.to_jsonl(alerts_path)
+    n_journeys = analysis.to_jsonl(journeys_path)
+    n_stacks = write_flamegraph(analysis, flame_path)
     print(f"wrote {trace_path} ({n_events} events — load in "
           "https://ui.perfetto.dev)")
     print(f"wrote {spans_path} ({n_spans} spans — replay with "
           f"python -m repro.telemetry {spans_path})")
     print(f"wrote {alerts_path} ({n_rows} rows — alerts, incidents, "
           "health)")
+    print(f"wrote {journeys_path} ({n_journeys} journeys — stitched "
+          f"with python -m repro.telemetry.analysis {spans_path})")
+    print(f"wrote {flame_path} ({n_stacks} collapsed stacks — open in "
+          "https://speedscope.app)")
 
 
 if __name__ == "__main__":

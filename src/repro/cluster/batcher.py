@@ -289,11 +289,18 @@ class BatchFormer:
     def _close(self, now_ms, trigger):
         members = tuple(self._pending)
         if self.tracer.enabled:
+            # Member ids + site-local arrivals make the window leg of a
+            # request's journey reconstructable from the span log alone
+            # (repro.telemetry.analysis stitches on them).
             self.tracer.span(
                 "window", "window", self.opened_ms,
                 float(now_ms) - self.opened_ms, self.track,
                 args={"task": self.task, "mode": self.mode,
-                      "size": len(members), "trigger": trigger})
+                      "size": len(members), "trigger": trigger,
+                      "target": float(self.target_ms),
+                      "rids": [r.request_id for r in members],
+                      "arrivals": [float(r.arrival_ms)
+                                   for r in members]})
         self._pending = []
         self.opened_ms = None
         # Invalidate the armed timer for the window that just closed.

@@ -461,7 +461,10 @@ def run_vectorized(sim, requests):
     # closed-batch request count.
     sampled = metered or monitored
     scope = sim.trace_scope
-    ids_o = ids[order] if monitored else None
+    # Traced replays also need the ordered id column: reconstructed
+    # spans carry the member request ids the journey stitcher
+    # (repro.telemetry.analysis) links legs with.
+    ids_o = ids[order] if (monitored or traced) else None
     # Bound monitor feeds, hoisted out of the hot loop.
     mon_queue = mon.observe_queue_depth if monitored else None
     mon_done = mon.observe_completions if monitored else None
@@ -481,8 +484,8 @@ def run_vectorized(sim, requests):
     dead_eps_o = dead_o + 1e-9 if sampled else None
     trk_former = sim._trk_former
     trk_queue = sim._trk_queue
-    win_log = []  # (opened_ms, closed_ms, task, mode, size, trigger)
-    run_log = []  # (run, energies); queue/swap/compute come off the run
+    win_log = []  # (opened_ms, closed_ms, task, mode, trigger, target, pos)
+    run_log = []  # (run, energies, pos); queue/swap/compute off the run
     queued_reqs = 0  # running total of requests across `pending`
 
     def table_for(task, target_ms, mode, hw_config):
@@ -715,7 +718,8 @@ def run_vectorized(sim, requests):
                 if traced:
                     win_log.append((opened, pending_batch.ready_ms,
                                     kp.former.task, kp.former.mode,
-                                    len(members), trigger))
+                                    trigger,
+                                    float(kp.former.target_ms), pos))
                 if reopened:
                     # The newcomer's window arms its timer now — the
                     # same processing point _on_arrival re-arms at —
@@ -744,9 +748,10 @@ def run_vectorized(sim, requests):
                 if traced:
                     win_log.append((float(arr_o[pos[0]]),
                                     pending_batch.ready_ms, payload.task,
-                                    payload.mode, len(plist),
+                                    payload.mode,
                                     "size" if payload.by_size
-                                    else "timeout"))
+                                    else "timeout",
+                                    float(payload.target_ms), pos))
                 dispatch(now)
         elif kind == _DONE:
             accel, run, energies, pos = payload
@@ -767,7 +772,7 @@ def run_vectorized(sim, requests):
             if run.end_ms > makespan:
                 makespan = run.end_ms
             if traced:
-                run_log.append((run, energies))
+                run_log.append((run, energies, pos))
             if defer_mon:
                 mon_log.append((2, now, run.pending.task,
                                 float(run.pending.batch.target_ms),
@@ -811,41 +816,84 @@ def run_vectorized(sim, requests):
         # plain left-to-right sum), so cross-engine span parity and the
         # 1e-9 rollup reconciliation both hold while the hot loop pays
         # only a tuple append per batch.
-        tasks = {task for _, _, task, _, _, _ in win_log}
+        tasks = {task for _, _, task, _, _, _, _ in win_log}
         swap_names = {task: f"swap:{task}" for task in tasks}
         batch_names = {task: f"batch:{task}" for task in tasks}
         tracks = [a.track for a in accels]
-        rows = [
-            ("window", "window", opened, closed - opened, trk_former,
-             0.0,
-             {"task": task, "mode": mode, "size": size,
-              "trigger": trigger})
-            for opened, closed, task, mode, size, trigger in win_log]
+        hw_of = [a.hw_config.mac_vector_size
+                 if a.hw_config is not None else None for a in accels]
+        # Span args carry the plan's numpy columns as-is (member ids,
+        # arrivals, per-request finish instants): the serialization
+        # boundaries — ``Span.to_dict``, the spill writer, the Chrome
+        # exporter, the journey stitcher — convert them to plain lists
+        # on demand via ``jsonable_args``/``_column``, so the traced
+        # replay never pays a per-member scalar boxing. A window's
+        # member set is its batch's member set (the same ``pos`` array
+        # object flows from window close to dispatch), so all member
+        # columns come from two whole-run gathers sliced into views,
+        # one per distinct ``pos``.
+        member_cache = {}
+        uniq = []
+        for pos in map(itemgetter(6), win_log):
+            if id(pos) not in member_cache:
+                member_cache[id(pos)] = None
+                uniq.append(pos)
+        for _, _, pos in run_log:
+            if id(pos) not in member_cache:
+                member_cache[id(pos)] = None
+                uniq.append(pos)
+        if uniq:
+            big = np.concatenate(uniq)
+            ids_all = ids_o[big]
+            arr_all = arr_o[big]
+            offset = 0
+            for pos in uniq:
+                end = offset + pos.size
+                member_cache[id(pos)] = (ids_all[offset:end],
+                                         arr_all[offset:end])
+                offset = end
+
+        rows = []
         emit = rows.append
+        for opened, closed, task, mode, trigger, target, pos in win_log:
+            rids, arrivals = member_cache[id(pos)]
+            emit(("window", "window", opened, closed - opened,
+                  trk_former, 0.0,
+                  {"task": task, "mode": mode, "size": len(rids),
+                   "trigger": trigger, "target": target,
+                   "rids": rids, "arrivals": arrivals}))
         # Columnize at C speed: one attrgetter call per run replaces
         # ~20 interpreted attribute chases across the span builds.
         fields = attrgetter("pending.ready_ms", "start_ms", "swap_ms",
                             "swap_energy_mj", "end_ms", "accel_id",
                             "pending.task", "pending.seq")
-        engs = list(map(itemgetter(1), run_log))
         # builtin sum over each batch's energies is the same strict
         # left-to-right addition the event engine's per-request ledger
-        # performs, at C speed.
+        # performs, at C speed. The compute span carries the member
+        # ids plus the exact per-request finish/energy columns — the
+        # same plan floats the event engine's per-request spans emit —
+        # so the journey stitcher decomposes the batch losslessly.
         for (ready, start, swap_ms, swap_mj, end, accel_id, task,
-             seq), n_req, batch_mj in zip(
-                map(fields, map(itemgetter(0), run_log)),
-                map(len, engs), map(sum, engs)):
+             seq), (run_obj, engs, pos) in zip(
+                map(fields, map(itemgetter(0), run_log)), run_log):
+            n_req = len(engs)
+            rids = member_cache[id(pos)][0]
             emit(("dispatch-wait", "queue", ready, start - ready,
                   trk_queue, 0.0,
-                  {"batch": seq, "size": n_req, "accel": accel_id}))
+                  {"batch": seq, "size": n_req, "accel": accel_id,
+                   "rids": rids, "hw": hw_of[accel_id]}))
             track = tracks[accel_id]
             if swap_ms > 0.0 or swap_mj != 0.0:
                 emit((swap_names[task], "swap", start, swap_ms, track,
-                      swap_mj, None))
+                      swap_mj, {"batch": seq}))
             compute_start = start + swap_ms
+            # ``engs`` is already a plain float list (the plan's
+            # pricing column); share it rather than copy it.
             emit((batch_names[task], "compute", compute_start,
-                  end - compute_start, track, batch_mj,
-                  {"requests": n_req}))
+                  end - compute_start, track, sum(engs),
+                  {"requests": n_req, "batch": seq, "rids": rids,
+                   "finish": run_obj.finish_ms,
+                   "energy": engs}))
         tracer.extend_rows(rows)
 
     # -- finalization (column-wise) ------------------------------------------------

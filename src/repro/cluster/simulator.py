@@ -864,16 +864,24 @@ class ClusterSimulator:
         self._price_cache.pop(pending_batch.seq, None)
         self._report.num_batches += 1
         if self.tracer.enabled:
+            # Member ids + the device's hw class ride on the queue leg
+            # so every dispatch attempt (including requeued preemption
+            # remainders, which never re-open a window) is linkable to
+            # its requests from the span log alone.
             self.tracer.span(
                 "dispatch-wait", "queue", pending_batch.ready_ms,
                 now - pending_batch.ready_ms, self._trk_queue,
                 args={"batch": pending_batch.seq,
                       "size": len(pending_batch),
-                      "accel": accel.accel_id})
+                      "accel": accel.accel_id,
+                      "rids": [r.request_id for r in batch.requests],
+                      "hw": (accel.hw_config.mac_vector_size
+                             if accel.hw_config is not None else None)})
             if run.swap_ms > 0.0 or run.swap_energy_mj != 0.0:
                 self.tracer.span(
                     f"swap:{batch.task}", "swap", now, run.swap_ms,
-                    accel.track, energy_mj=run.swap_energy_mj)
+                    accel.track, energy_mj=run.swap_energy_mj,
+                    args={"batch": pending_batch.seq})
         if self._mon is not None \
                 and (run.swap_ms > 0.0 or run.swap_energy_mj != 0.0):
             self._mon.observe_swap(self.trace_scope, now, batch.task,
@@ -949,21 +957,26 @@ class ClusterSimulator:
                 "preempt", "preempt", now, victim.track,
                 args={"completed": n_done,
                       "requeued": len(run.results) - n_done,
-                      "mid_swap": mid_swap})
+                      "mid_swap": mid_swap,
+                      "batch": run.pending.seq})
             if wasted_mj:
                 # The wasted fraction entered the compute ledger above;
                 # mirror it so the rollup reconciles.
                 self.tracer.instant(
                     "wasted-compute", "compute", now, victim.track,
-                    energy_mj=wasted_mj)
+                    energy_mj=wasted_mj,
+                    args={"batch": run.pending.seq})
             swap_refund = (victim.stats.swap_energy_refunded_mj
                            - swap_refunded_before)
             if swap_refund:
                 # Negative-energy instant: net traced swap = charges
                 # minus refunds, exactly like the accelerator's ledger.
+                # The batch seq lets the analysis layer net the refund
+                # against the victim batch's swap charge.
                 self.tracer.instant(
                     "swap-refund", "swap", now, victim.track,
-                    energy_mj=-swap_refund)
+                    energy_mj=-swap_refund,
+                    args={"batch": run.pending.seq})
         if self._m_served is not None:
             self._m_preemptions.inc()
 
@@ -997,12 +1010,20 @@ class ClusterSimulator:
                 request=request, result=result, accel_id=run.accel_id,
                 dispatch_ms=run.start_ms, completion_ms=completion))
             if traced:
+                # ``finish`` rides in args because the span's own
+                # (start, dur) pair cannot round-trip the completion
+                # instant bit-exactly (start + dur re-rounds); the
+                # journey stitcher needs the same float the record and
+                # the vector engine's finish column carry.
                 self.tracer.span(
                     f"req:{request.request_id}", "compute", boundary,
                     completion - boundary, accel.track,
                     energy_mj=result.energy_mj,
                     args={"task": request.task,
-                          "sentence": request.sentence})
+                          "sentence": request.sentence,
+                          "rid": request.request_id,
+                          "batch": run.pending.seq,
+                          "finish": completion})
             if metered:
                 in_system = completion - request.arrival_ms
                 self._m_served.inc()

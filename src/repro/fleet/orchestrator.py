@@ -333,7 +333,8 @@ class FleetOrchestrator:
                         f"route:{site.site_id}", "net", at,
                         "fleet/router",
                         args={"request": request.request_id,
-                              "site": site.site_id})
+                              "site": site.site_id,
+                              "deadline": float(request.deadline_ms)})
             processed += 1
             if processed > max_events:
                 self._raise_runaway()
@@ -369,7 +370,8 @@ class FleetOrchestrator:
             self.tracer.instant(
                 f"route:{site.site_id}", "net", now, "fleet/router",
                 args={"request": request.request_id,
-                      "site": site.site_id})
+                      "site": site.site_id,
+                      "deadline": float(request.deadline_ms)})
 
     def _on_tick(self, event):
         now = self._loop.now_ms

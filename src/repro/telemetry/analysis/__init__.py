@@ -1,0 +1,60 @@
+"""Trace analysis & attribution over the telemetry span streams.
+
+Where :mod:`repro.telemetry` records a run, this package *explains*
+it. Everything consumes the same span sources the exporters accept —
+a live :class:`~repro.telemetry.Tracer`, an iterable of spans, or a
+JSONL span log (spilled or written) — and every result is
+bit-identical no matter which source or cluster engine produced the
+spans:
+
+* :func:`analyze` stitches **per-request causal journeys** (ordered
+  defer/ingress/window/queue/throttle/swap/serial/compute/egress
+  legs) whose durations tile time-in-system exactly, with per-category
+  energy attribution that reconciles against the run's energy ledgers
+  at 1e-9 (:meth:`TraceAnalysis.reconcile`);
+* :func:`hot_paths` / :func:`flamegraph_lines` /
+  :func:`write_flamegraph` roll journeys up by (task, SLO class,
+  mode, hw) and export collapsed stacks (speedscope /
+  ``flamegraph.pl``);
+* :func:`render_waterfall` / :func:`waterfall_json` draw one journey's
+  latency/energy waterfall (ASCII + JSON);
+* :func:`diff_runs` aligns two replays of the same trace and emits a
+  typed, JSON-round-tripping :class:`RegressionReport` attributing
+  the p50/p99/violation/joule deltas to queueing vs compute vs swap
+  vs throttle vs RTT.
+
+``python -m repro.telemetry.analysis`` drives all of it from the
+command line (``--journeys``, ``--critical-path``, ``--flame``,
+``--waterfall``, ``--diff A B``, ``--smoke``).
+"""
+
+from repro.telemetry.analysis.diff import (ENERGY_CATS, GROUPS,
+                                           RegressionReport, diff_runs)
+from repro.telemetry.analysis.journeys import (LEG_GROUPS, LEG_ORDER,
+                                               Journey, Leg,
+                                               TraceAnalysis, analyze)
+from repro.telemetry.analysis.profile import (flamegraph_lines,
+                                              hot_paths,
+                                              render_hot_paths,
+                                              write_flamegraph)
+from repro.telemetry.analysis.waterfall import (render_waterfall,
+                                                waterfall_json)
+
+__all__ = [
+    "ENERGY_CATS",
+    "GROUPS",
+    "Journey",
+    "Leg",
+    "LEG_GROUPS",
+    "LEG_ORDER",
+    "RegressionReport",
+    "TraceAnalysis",
+    "analyze",
+    "diff_runs",
+    "flamegraph_lines",
+    "hot_paths",
+    "render_hot_paths",
+    "render_waterfall",
+    "waterfall_json",
+    "write_flamegraph",
+]

@@ -1,0 +1,147 @@
+"""Aggregated profiling views over stitched journeys.
+
+Two renderings of the same rollup:
+
+* :func:`hot_paths` — per ``(task, SLO class, mode, hw)`` totals:
+  request/violation counts, per-leg milliseconds, per-category
+  millijoules — the table a capacity planner reads;
+* :func:`flamegraph_lines` / :func:`write_flamegraph` — collapsed-stack
+  export (``frame;frame;frame weight`` per line) loadable by
+  speedscope (https://speedscope.app) and Brendan Gregg's
+  ``flamegraph.pl``. Stacks are ``scope;task|slo|mode|hw;leg`` and the
+  weight is integer nanoseconds (``weight="time"``) or nanojoules
+  (``weight="energy"``), so fractional milliseconds survive the
+  integer collapse losslessly at trace scale.
+"""
+
+from __future__ import annotations
+
+from math import fsum
+
+from repro.errors import TelemetryError
+from repro.telemetry.analysis.journeys import LEG_ORDER, _LEG_RANK
+
+
+def _class_key(journey):
+    hw = "any" if journey.hw is None else journey.hw
+    return (f"{journey.task}|{journey.target_ms:g}ms|{journey.mode}"
+            f"|hw{hw}")
+
+
+def hot_paths(analysis):
+    """Rollup by (task, SLO class, mode, hw): the hot-path table.
+
+    Returns ``{class_key: {"requests", "violations", "attempts",
+    "time_in_system_ms", "legs_ms": {leg: ms}, "energy_mj":
+    {category: mJ}}}`` sorted by descending total time in system.
+    """
+    groups = {}
+    for journey in analysis.journeys:
+        key = _class_key(journey)
+        cell = groups.get(key)
+        if cell is None:
+            cell = groups[key] = {
+                "requests": 0, "violations": 0, "attempts": 0,
+                "tis": [], "legs": {}, "energy": {}}
+        cell["requests"] += 1
+        cell["violations"] += 1 if journey.violated else 0
+        cell["attempts"] += journey.attempts
+        cell["tis"].append(journey.time_in_system_ms)
+        for leg in journey.legs:
+            ms, mj = cell["legs"].get(leg.name, (0.0, 0.0))
+            cell["legs"][leg.name] = (ms + leg.dur_ms,
+                                      mj + leg.energy_mj)
+            if leg.name in ("compute", "swap"):
+                cell["energy"][leg.name] = \
+                    cell["energy"].get(leg.name, 0.0) + leg.energy_mj
+    out = {}
+    for key, cell in groups.items():
+        tis = fsum(cell["tis"])
+        out[key] = {
+            "requests": cell["requests"],
+            "violations": cell["violations"],
+            "attempts": cell["attempts"],
+            "time_in_system_ms": tis,
+            "mean_time_in_system_ms": tis / cell["requests"],
+            "legs_ms": {
+                name: cell["legs"][name][0]
+                for name in sorted(cell["legs"],
+                                   key=_LEG_RANK.__getitem__)},
+            "energy_mj": dict(sorted(cell["energy"].items())),
+        }
+    return dict(sorted(out.items(),
+                       key=lambda kv: (-kv[1]["time_in_system_ms"],
+                                       kv[0])))
+
+
+def flamegraph_lines(analysis, weight="time"):
+    """Collapsed stacks, one ``scope;class;leg weight`` line each.
+
+    ``weight="time"`` sums leg durations (integer nanoseconds);
+    ``weight="energy"`` sums leg energies (integer nanojoules, only
+    legs that carry energy). Lines sort lexicographically — the export
+    is deterministic and diffable.
+    """
+    if weight not in ("time", "energy"):
+        raise TelemetryError(
+            f"flamegraph weight must be 'time' or 'energy', "
+            f"got {weight!r}")
+    cells = {}
+    for journey in analysis.journeys:
+        cls = _class_key(journey)
+        for leg in journey.legs:
+            value = leg.dur_ms if weight == "time" else leg.energy_mj
+            if value == 0.0:
+                continue
+            stack = f"{journey.site};{cls};{leg.name}"
+            cells[stack] = cells.get(stack, 0.0) + value
+    if weight == "energy":
+        for scope, cats in analysis.unattributed.items():
+            for cat, mj in cats.items():
+                if mj != 0.0:
+                    stack = f"{scope};(unattributed);{cat}"
+                    cells[stack] = cells.get(stack, 0.0) + mj
+    lines = []
+    for stack in sorted(cells):
+        value = int(round(cells[stack] * 1e6))  # ms -> ns, mJ -> nJ
+        if value:
+            lines.append(f"{stack} {value}")
+    return lines
+
+
+def write_flamegraph(analysis, path, weight="time"):
+    """Write :func:`flamegraph_lines` to ``path``; returns line count."""
+    lines = flamegraph_lines(analysis, weight=weight)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("\n".join(lines))
+        if lines:
+            f.write("\n")
+    return len(lines)
+
+
+def render_hot_paths(analysis, limit=12):
+    """ASCII hot-path table (top ``limit`` classes by time)."""
+    from repro.utils import format_table
+
+    table = hot_paths(analysis)
+    rows = []
+    for key, cell in list(table.items())[:limit]:
+        legs = cell["legs_ms"]
+        dominant = max(legs, key=lambda k: (legs[k], -_LEG_RANK[k])) \
+            if legs else "-"
+        rows.append([
+            key, str(cell["requests"]), str(cell["violations"]),
+            f"{cell['mean_time_in_system_ms']:.3f}",
+            dominant,
+            f"{cell['energy_mj'].get('compute', 0.0):.3f}",
+            f"{cell['energy_mj'].get('swap', 0.0):.3f}",
+        ])
+    return format_table(
+        ["Class (task|slo|mode|hw)", "Reqs", "Miss", "Mean ms",
+         "Hottest leg", "Compute mJ", "Swap mJ"],
+        rows, title=f"Hot paths — {len(analysis)} journeys")
+
+
+#: Re-exported for callers building custom rollups.
+__all__ = ["hot_paths", "flamegraph_lines", "write_flamegraph",
+           "render_hot_paths", "LEG_ORDER"]

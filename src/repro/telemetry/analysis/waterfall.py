@@ -1,0 +1,62 @@
+"""Latency/energy waterfall for one request's journey (ASCII + JSON).
+
+The waterfall is the classic browser-devtools view transplanted onto
+the sim clock: one row per leg, bars positioned proportionally inside
+``[arrival, completion]``, with the leg's duration and energy share in
+the gutter. :func:`waterfall_json` is the same data as a typed dict
+(the journey plus its critical-path summary), so dashboards can render
+their own.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TelemetryError
+
+#: One glyph per leg kind — visually distinct at a glance.
+LEG_GLYPHS = {
+    "defer": "·", "ingress": ">", "egress": "<",
+    "window": "w", "queue": "q", "throttle": "t",
+    "swap": "s", "serial": "-", "preempted": "x", "compute": "#",
+}
+
+
+def waterfall_json(journey):
+    """The waterfall as a typed dict: journey + critical-path rollup."""
+    return {
+        "journey": journey.to_dict(),
+        "critical_path": journey.critical_path(),
+    }
+
+
+def render_waterfall(journey, width=56):
+    """ASCII waterfall of one journey's legs."""
+    if width < 8:
+        raise TelemetryError("waterfall width must be >= 8")
+    span = journey.time_in_system_ms
+    if span <= 0:
+        span = 1.0
+    scale = (width - 1) / span
+    hw = "any" if journey.hw is None else journey.hw
+    verdict = "MISS" if journey.violated else "met"
+    lines = [
+        f"request {journey.request_id} · {journey.task} "
+        f"{journey.target_ms:g}ms {journey.mode} · site {journey.site} "
+        f"accel{journey.accel} hw{hw}",
+        f"  arrival {journey.arrival_ms:.3f}ms -> completion "
+        f"{journey.completion_ms:.3f}ms "
+        f"({journey.time_in_system_ms:.3f}ms in system, "
+        f"deadline {verdict}; {journey.energy_mj:.3f}mJ attributed"
+        + (f"; {journey.attempts} attempts" if journey.attempts > 1
+           else "") + ")",
+    ]
+    name_w = max((len(leg.name) for leg in journey.legs), default=4)
+    for leg in journey.legs:
+        lo = int((leg.start_ms - journey.arrival_ms) * scale)
+        hi = int((leg.end_ms - journey.arrival_ms) * scale)
+        hi = max(hi, lo + 1)
+        bar = " " * lo + LEG_GLYPHS.get(leg.name, "?") * (hi - lo)
+        energy = f" {leg.energy_mj:9.4f}mJ" if leg.energy_mj else ""
+        lines.append(
+            f"  {leg.name:<{name_w}} |{bar:<{width}}| "
+            f"{leg.dur_ms:9.4f}ms{energy}")
+    return "\n".join(lines)

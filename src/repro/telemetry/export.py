@@ -26,11 +26,12 @@ from __future__ import annotations
 import json
 
 from repro.errors import TelemetryError
-from repro.telemetry.tracer import Span, Tracer
+from repro.telemetry.tracer import Span, Tracer, jsonable_args
 
 #: ``ph`` values this exporter emits (the golden schema test pins them):
-#: complete spans, instant events, and the process/thread-name metadata.
-CHROME_PHASES = ("X", "i", "M")
+#: complete spans, instant events, process/thread-name metadata, and the
+#: flow triplet (start / step / finish) linking one request's journey.
+CHROME_PHASES = ("X", "i", "M", "s", "t", "f")
 
 
 def _spans_of(source):
@@ -79,6 +80,19 @@ def read_spans_jsonl(path):
 # -- Chrome trace-event JSON -------------------------------------------------------
 
 
+def _journey_ids(args):
+    """Request ids a complete span is part of (``rid``/``request``/``rids``)."""
+    out = []
+    if "rid" in args:
+        out.append(args["rid"])
+    elif "request" in args:
+        out.append(args["request"])
+    rids = args.get("rids")
+    if rids:
+        out.extend(rids)
+    return out
+
+
 def chrome_trace(source):
     """Build the Perfetto-loadable trace dict for ``source``.
 
@@ -86,6 +100,14 @@ def chrome_trace(source):
     scope (the part before the first ``/``) is one process, each full
     track one thread inside it. Metadata events name both, then the
     span events follow in (ts, pid, tid, name) order.
+
+    Complete spans that carry request ids (``rid``, ``request``, or a
+    ``rids`` list in their args) additionally anchor **flow events**:
+    for every request touching two or more such spans, a ``ph: "s"``
+    event opens the flow on the first span, ``"t"`` steps through the
+    middle ones, and ``"f"`` (with ``bp: "e"``) closes it on the last —
+    so Perfetto draws each request's journey as arrows across the
+    batch-former, queue, accelerator, and network tracks.
     """
     spans = list(_spans_of(source))
     tracks = sorted({s.track for s in spans})
@@ -104,9 +126,10 @@ def chrome_trace(source):
                        "tid": tid_of[track], "args": {"name": track}})
 
     rows = []
+    anchors = {}  # request id -> complete-span events on its journey
     for span in spans:
         scope = span.track.split("/", 1)[0]
-        args = dict(span.args) if span.args else {}
+        args = dict(jsonable_args(span.args)) if span.args else {}
         if span.energy_mj:
             args["energy_mj"] = span.energy_mj
         event = {"name": span.name, "cat": span.cat,
@@ -118,10 +141,30 @@ def chrome_trace(source):
         else:
             event["ph"] = "X"
             event["dur"] = span.dur_ms * 1000.0
+            for rid in _journey_ids(args):
+                anchors.setdefault(rid, []).append(event)
         if args:
             event["args"] = args
         rows.append(event)
-    rows.sort(key=lambda e: (e["ts"], e["pid"], e["tid"], e["name"]))
+
+    # Flow events: one s -> t... -> f chain per request, anchored on the
+    # complete spans that name it. Single-span requests draw no arrow.
+    order = ("ts", "pid", "tid", "name")
+    for rid, chain in anchors.items():
+        if len(chain) < 2:
+            continue
+        chain.sort(key=lambda e: tuple(e[k] for k in order))
+        last = len(chain) - 1
+        for i, anchor in enumerate(chain):
+            flow = {"ph": "s" if i == 0 else "f" if i == last else "t",
+                    "name": "journey", "cat": "journey", "id": str(rid),
+                    "pid": anchor["pid"], "tid": anchor["tid"],
+                    "ts": anchor["ts"]}
+            if i == last:
+                flow["bp"] = "e"  # bind to the enclosing slice's end
+            rows.append(flow)
+    rows.sort(key=lambda e: (e["ts"], e["pid"], e["tid"], e["name"],
+                             e["ph"], e.get("id", "")))
     return {"traceEvents": events + rows, "displayTimeUnit": "ms"}
 
 
@@ -138,13 +181,17 @@ def validate_chrome_trace(trace):
 
     Every event must carry the required keys for its phase, phases must
     come from :data:`CHROME_PHASES`, timestamps must be non-negative
-    numbers, and every (pid, tid) must be named by metadata. Raises
+    numbers, every (pid, tid) must be named by metadata, and flow
+    events (``s``/``t``/``f``) must carry an ``id`` whose chain opens
+    with ``s`` and closes with ``f``. Raises
     :class:`~repro.errors.TelemetryError` on the first violation;
-    returns the number of non-metadata events otherwise.
+    returns the number of span/instant events (flow events link spans,
+    they don't add to the count).
     """
     if not isinstance(trace, dict) or "traceEvents" not in trace:
         raise TelemetryError("chrome trace must carry 'traceEvents'")
     named_pids, named_tids = set(), set()
+    flows = {}
     count = 0
     for event in trace["traceEvents"]:
         ph = event.get("ph")
@@ -159,12 +206,17 @@ def validate_chrome_trace(trace):
             elif event["name"] == "thread_name":
                 named_tids.add((event["pid"], event["tid"]))
             continue
-        count += 1
         ts = event.get("ts")
         if not isinstance(ts, (int, float)) or ts < 0:
             raise TelemetryError(f"bad timestamp in {event!r}")
         if "cat" not in event:
             raise TelemetryError(f"span event missing cat: {event!r}")
+        if ph in ("s", "t", "f"):
+            if "id" not in event:
+                raise TelemetryError(f"flow event missing id: {event!r}")
+            flows.setdefault(event["id"], []).append(ph)
+        else:
+            count += 1
         if ph == "X":
             dur = event.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
@@ -175,4 +227,9 @@ def validate_chrome_trace(trace):
         if (event["pid"], event["tid"]) not in named_tids:
             raise TelemetryError(
                 f"tid {event['tid']} has no thread_name metadata")
+    for flow_id, phases in flows.items():
+        if phases.count("s") != 1 or phases.count("f") != 1 \
+                or phases[0] != "s" or phases[-1] != "f":
+            raise TelemetryError(
+                f"flow {flow_id!r} is not one s..f chain: {phases}")
     return count

@@ -13,6 +13,13 @@ scraped, diffed, or loaded into any Prometheus-compatible stack:
   per-bucket counts summed up through each upper bound, closing with
   ``le="+Inf"`` — plus ``<name>_sum`` and ``<name>_count``.
 
+Families whose name ends in a recognized unit suffix (``_ms``
+milliseconds, ``_mj`` millijoules) additionally carry a ``# UNIT``
+metadata line, and passing ``timestamp_ms`` stamps every sample with
+an explicit OpenMetrics timestamp (seconds on the sim clock) — so a
+scraper archiving one exposition per replay epoch keeps the samples
+ordered without trusting scrape time.
+
 Output is deterministic: families sort by name, samples by label set
 (the registry's own canonical ordering), floats render via ``repr``
 (shortest round-trip form). Mixing two instrument types under one
@@ -27,6 +34,16 @@ from repro.telemetry.metrics import Counter, Gauge, Histogram
 
 _TYPE_NAMES = {Counter: "counter", Gauge: "gauge",
                Histogram: "histogram"}
+
+#: Metric-name suffixes that earn a ``# UNIT`` metadata line.
+UNIT_SUFFIXES = {"_ms": "ms", "_mj": "mj"}
+
+
+def _unit_of(name):
+    for suffix, unit in UNIT_SUFFIXES.items():
+        if name.endswith(suffix):
+            return unit
+    return None
 
 
 def _escape(value):
@@ -50,8 +67,20 @@ def _num(value):
     return repr(float(value))
 
 
-def render_openmetrics(registry):
-    """The registry's full state as OpenMetrics text (ends ``# EOF``)."""
+def render_openmetrics(registry, timestamp_ms=None):
+    """The registry's full state as OpenMetrics text (ends ``# EOF``).
+
+    ``timestamp_ms`` (sim-clock milliseconds) adds an explicit
+    OpenMetrics timestamp — rendered in seconds — to every sample line.
+    """
+    stamp = ""
+    if timestamp_ms is not None:
+        if not isinstance(timestamp_ms, (int, float)) \
+                or isinstance(timestamp_ms, bool) or timestamp_ms < 0:
+            raise TelemetryError(
+                f"timestamp_ms must be a non-negative sim time, "
+                f"got {timestamp_ms!r}")
+        stamp = f" {_num(timestamp_ms / 1000.0)}"
     families = {}  # name -> (type_name, [(labels, instrument)])
     for name, labels, instrument in registry.instruments():
         type_name = _TYPE_NAMES.get(type(instrument))
@@ -72,14 +101,17 @@ def render_openmetrics(registry):
     for name in sorted(families):
         type_name, rows = families[name]
         lines.append(f"# TYPE {name} {type_name}")
+        unit = _unit_of(name)
+        if unit is not None:
+            lines.append(f"# UNIT {name} {unit}")
         for labels, instrument in rows:
             if type_name == "counter":
                 lines.append(f"{name}_total{_labels_text(labels)} "
-                             f"{_num(instrument.value)}")
+                             f"{_num(instrument.value)}{stamp}")
             elif type_name == "gauge":
                 if instrument.value is not None:
                     lines.append(f"{name}{_labels_text(labels)} "
-                                 f"{_num(instrument.value)}")
+                                 f"{_num(instrument.value)}{stamp}")
             else:  # histogram
                 running = 0
                 for bound, count in zip(instrument.bounds,
@@ -87,20 +119,21 @@ def render_openmetrics(registry):
                     running += count
                     le = _labels_text(labels,
                                       (("le", repr(float(bound))),))
-                    lines.append(f"{name}_bucket{le} {running}")
+                    lines.append(f"{name}_bucket{le} {running}{stamp}")
                 inf = _labels_text(labels, (("le", "+Inf"),))
-                lines.append(f"{name}_bucket{inf} {instrument.count}")
+                lines.append(f"{name}_bucket{inf} "
+                             f"{instrument.count}{stamp}")
                 lines.append(f"{name}_sum{_labels_text(labels)} "
-                             f"{_num(instrument.total)}")
+                             f"{_num(instrument.total)}{stamp}")
                 lines.append(f"{name}_count{_labels_text(labels)} "
-                             f"{instrument.count}")
+                             f"{instrument.count}{stamp}")
     lines.append("# EOF")
     return "\n".join(lines) + "\n"
 
 
-def write_openmetrics(registry, path):
+def write_openmetrics(registry, path, timestamp_ms=None):
     """Write :func:`render_openmetrics` output; returns the line count."""
-    text = render_openmetrics(registry)
+    text = render_openmetrics(registry, timestamp_ms=timestamp_ms)
     with open(path, "w", encoding="utf-8") as f:
         f.write(text)
     return text.count("\n")

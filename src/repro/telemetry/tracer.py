@@ -52,6 +52,21 @@ from repro.errors import TelemetryError
 ENERGY_CATEGORIES = ("compute", "swap", "idle", "transition")
 
 
+def jsonable_args(args):
+    """``args`` with any numpy columns converted to plain lists.
+
+    The vector engine attaches its plan columns (member ids, arrival
+    and finish instants) to hot-path spans as ndarrays so the traced
+    replay never pays per-member scalar boxing; every serialization
+    boundary funnels through here instead. Duck-typed on ``tolist`` so
+    this module stays numpy-free.
+    """
+    if any(hasattr(value, "tolist") for value in args.values()):
+        return {key: value.tolist() if hasattr(value, "tolist")
+                else value for key, value in args.items()}
+    return args
+
+
 class Span:
     """One traced interval (or instant) on one track.
 
@@ -94,7 +109,7 @@ class Span:
         if self.energy_mj:
             row["energy_mj"] = self.energy_mj
         if self.args:
-            row["args"] = self.args
+            row["args"] = jsonable_args(self.args)
         return row
 
     @classmethod
@@ -353,7 +368,7 @@ class Tracer:
             if energy_mj:
                 row["energy_mj"] = energy_mj
             if args:
-                row["args"] = args
+                row["args"] = jsonable_args(args)
             lines.append(dumps(row))
         lines.append("")
         self._spill_file.write("\n".join(lines))

@@ -3,8 +3,9 @@
 The golden file pins the Perfetto-facing contract byte-for-byte on a
 handcrafted reference scenario: pid/tid assignment by sorted track
 name, metadata-before-events ordering, exact µs timestamp conversion,
-energy riding in ``args``. Regenerate it (only on a deliberate format
-change) with::
+energy riding in ``args``, and the ``s``/``t``/``f`` flow chains that
+link one request's journey across tracks. Regenerate it (only on a
+deliberate format change) with::
 
     PYTHONPATH=src python tests/telemetry/test_chrome_export.py
 """
@@ -32,18 +33,23 @@ def reference_tracer():
     """A tiny fixed scenario touching every export feature."""
     tracer = Tracer()
     tracer.span("window", "window", 0.0, 5.0, "cluster/former",
-                args={"task": "sst2", "size": 2, "trigger": "timeout"})
-    tracer.span("dispatch-wait", "queue", 5.0, 1.25, "cluster/queue")
+                args={"task": "sst2", "size": 2, "trigger": "timeout",
+                      "rids": ["r1", "r3"]})
+    tracer.span("dispatch-wait", "queue", 5.0, 1.25, "cluster/queue",
+                args={"rids": ["r1"]})
     tracer.span("swap:sst2", "swap", 6.25, 0.75, "cluster/accel0",
                 energy_mj=0.125)
     tracer.span("req:r1", "compute", 7.0, 3.0, "cluster/accel0",
-                energy_mj=1.5, args={"task": "sst2", "sentence": 4})
+                energy_mj=1.5, args={"task": "sst2", "sentence": 4,
+                                     "rid": "r1"})
     tracer.instant("wake", "transition", 6.25, "cluster/accel0",
                    energy_mj=0.005,
                    args={"from_vdd": 0.5, "to_vdd": 0.8})
     tracer.instant("refund", "swap", 8.0, "cluster/accel0",
                    energy_mj=-0.0625)
     tracer.span("ingress", "net", 0.0, 1.0, "edge-a/net",
+                args={"request": "r2"})
+    tracer.span("egress", "net", 10.0, 1.0, "edge-a/net",
                 args={"request": "r2"})
     tracer.instant("route:edge-a", "net", 0.0, "fleet/router",
                    args={"request": "r2", "site": "edge-a"})
@@ -121,6 +127,55 @@ class TestChromeTrace:
         refund = next(e for e in events if e["name"] == "refund")
         assert refund["ph"] == "i" and refund["s"] == "t"
         assert refund["args"]["energy_mj"] == -0.0625
+
+
+class TestFlowEvents:
+    def flows(self):
+        events = chrome_trace(reference_tracer())["traceEvents"]
+        return [e for e in events if e["ph"] in ("s", "t", "f")]
+
+    def test_each_multi_span_request_gets_one_chain(self):
+        chains = {}
+        for event in self.flows():
+            chains.setdefault(event["id"], []).append(event["ph"])
+        # r1 touches window -> dispatch-wait -> req:r1; r2 touches
+        # ingress -> egress; r3 only appears in the window span, so it
+        # draws no arrow.
+        assert chains == {"r1": ["s", "t", "f"], "r2": ["s", "f"]}
+
+    def test_flow_anchors_ride_their_spans(self):
+        events = chrome_trace(reference_tracer())["traceEvents"]
+        spans = {e["name"]: e for e in events if e["ph"] == "X"}
+        start = next(e for e in self.flows()
+                     if e["id"] == "r1" and e["ph"] == "s")
+        assert (start["pid"], start["tid"], start["ts"]) == (
+            spans["window"]["pid"], spans["window"]["tid"],
+            spans["window"]["ts"])
+        finish = next(e for e in self.flows()
+                      if e["id"] == "r1" and e["ph"] == "f")
+        assert finish["bp"] == "e"
+        assert (finish["pid"], finish["tid"], finish["ts"]) == (
+            spans["req:r1"]["pid"], spans["req:r1"]["tid"],
+            spans["req:r1"]["ts"])
+
+    def test_flows_validate_but_do_not_count(self):
+        tracer = reference_tracer()
+        trace = chrome_trace(tracer)
+        n_flows = len(self.flows())
+        assert n_flows == 5
+        assert validate_chrome_trace(trace) \
+            == len(trace["traceEvents"]) - n_flows \
+            - sum(1 for e in trace["traceEvents"] if e["ph"] == "M")
+
+    def test_broken_chain_is_rejected(self):
+        trace = chrome_trace(reference_tracer())
+        broken = json.loads(json.dumps(trace))
+        for event in broken["traceEvents"]:
+            if event["ph"] == "f":
+                event["ph"] = "t"
+                break
+        with pytest.raises(TelemetryError, match="chain"):
+            validate_chrome_trace(broken)
 
 
 class TestValidator:

@@ -72,6 +72,61 @@ class TestFormat:
         assert text.splitlines()[-1] == "# EOF"
 
 
+class TestUnitsAndTimestamps:
+    def test_unit_lines_for_ms_and_mj_suffixes(self):
+        registry = MetricsRegistry()
+        registry.histogram("request_latency_ms", scope="c").observe(4.0)
+        registry.counter("energy_mj", scope="c").inc(2)
+        registry.counter("requests", scope="c").inc()
+        lines = scraped(registry)
+        assert "# UNIT request_latency_ms ms" in lines
+        assert "# UNIT energy_mj mj" in lines
+        assert not any(line.startswith("# UNIT requests")
+                       for line in lines)
+        # UNIT metadata rides directly under its TYPE line.
+        at = lines.index("# TYPE energy_mj counter")
+        assert lines[at + 1] == "# UNIT energy_mj mj"
+
+    def test_explicit_timestamps_stamp_every_sample(self):
+        registry = MetricsRegistry()
+        registry.counter("requests", scope="c").inc(3)
+        hist = registry.histogram("lat_ms", bounds=(1.0,), scope="c")
+        hist.observe(0.5)
+        text = render_openmetrics(registry, timestamp_ms=1500.0)
+        lines = text.splitlines()
+        assert 'requests_total{scope="c"} 3 1.5' in lines
+        assert 'lat_ms_bucket{scope="c",le="1.0"} 1 1.5' in lines
+        assert 'lat_ms_bucket{scope="c",le="+Inf"} 1 1.5' in lines
+        assert 'lat_ms_sum{scope="c"} 0.5 1.5' in lines
+        assert 'lat_ms_count{scope="c"} 1 1.5' in lines
+        # Metadata and framing lines stay unstamped.
+        assert "# TYPE requests counter" in lines
+        assert lines[-1] == "# EOF"
+
+    def test_timestamp_converts_sim_ms_to_seconds(self):
+        registry = MetricsRegistry()
+        registry.counter("ticks").inc()
+        assert "ticks_total 1 0.25" \
+            in render_openmetrics(registry, timestamp_ms=250)
+        assert "ticks_total 1 2.0" \
+            in render_openmetrics(registry, timestamp_ms=2000)
+
+    def test_write_passes_timestamp_through(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("ticks").inc()
+        path = tmp_path / "metrics.om"
+        write_openmetrics(registry, str(path), timestamp_ms=250.0)
+        assert path.read_text() \
+            == render_openmetrics(registry, timestamp_ms=250.0)
+
+    def test_bad_timestamp_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("ticks").inc()
+        for bad in (-1.0, "100", True):
+            with pytest.raises(TelemetryError, match="timestamp_ms"):
+                render_openmetrics(registry, timestamp_ms=bad)
+
+
 class TestDeterminism:
     def fill(self, registry):
         # Insertion order deliberately scrambled vs name order.

@@ -19,7 +19,7 @@ ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..",
                                     ".."))
 BENCH_DIR = os.path.join(ROOT, "benchmarks")
 
-#: Every committed perf-trajectory artifact (the index plus the four
+#: Every committed perf-trajectory artifact (the index plus the five
 #: gated trajectories it folds in).
 COMMITTED_BASELINES = (
     "BENCH_index.json",
@@ -27,6 +27,7 @@ COMMITTED_BASELINES = (
     "BENCH_replay_budget.json",
     "BENCH_fleet_replay.json",
     "BENCH_telemetry.json",
+    "BENCH_trace_analysis.json",
 )
 
 
@@ -49,4 +50,5 @@ def test_bench_index_check_quick_holds():
         cwd=ROOT, env=env, capture_output=True, text=True, timeout=180)
     assert proc.returncode == 0, \
         f"--check --quick failed:\n{proc.stdout}\n{proc.stderr}"
-    assert "all 4 gated trajectories hold" in proc.stdout
+    gated = len(COMMITTED_BASELINES) - 1  # the index itself is ungated
+    assert f"all {gated} gated trajectories hold" in proc.stdout
